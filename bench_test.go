@@ -1,0 +1,144 @@
+// Benchmarks regenerating the paper's tables and figures in miniature: one
+// bench per table/figure, each running the same harness as cmd/msbench with
+// shortened windows. Custom metrics report the quantities the paper plots
+// (simulated tuples/s, relative throughput, bytes). For the full-size
+// sweeps, run: go run ./cmd/msbench -exp all
+package mobistreams
+
+import (
+	"testing"
+	"time"
+
+	"mobistreams/internal/bench"
+	"mobistreams/internal/ft"
+)
+
+// short returns a scenario sized for benchmarking: 30 s checkpoint period,
+// one-period warmup, 60 s measure window.
+func short() bench.Scenario {
+	return bench.Scenario{
+		Speedup:          400,
+		CheckpointPeriod: 30 * time.Second,
+		Warmup:           30 * time.Second,
+		Measure:          60 * time.Second,
+		Seed:             1,
+	}
+}
+
+func runScenario(b *testing.B, s bench.Scenario) bench.Outcome {
+	b.Helper()
+	var last bench.Outcome
+	for i := 0; i < b.N; i++ {
+		o, err := bench.Run(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = o
+	}
+	b.ReportMetric(last.ThroughputTPS, "sim_tuples/s")
+	b.ReportMetric(last.MeanLatency.Seconds(), "sim_latency_s")
+	return last
+}
+
+// BenchmarkTable1 regenerates Table I's MobiStreams rows (the server rows
+// are a separate deployment model, benched below).
+func BenchmarkTable1(b *testing.B) {
+	for _, app := range []bench.App{bench.BCP, bench.SG} {
+		app := app
+		b.Run(app.String()+"/ft-off", func(b *testing.B) {
+			s := short()
+			s.App = app
+			s.Scheme = ft.BaseScheme
+			runScenario(b, s)
+		})
+		b.Run(app.String()+"/ms-departure", func(b *testing.B) {
+			s := short()
+			s.App = app
+			s.Scheme = ft.MSScheme
+			s.DepartCount = 1
+			runScenario(b, s)
+		})
+		b.Run(app.String()+"/ms-failure", func(b *testing.B) {
+			s := short()
+			s.App = app
+			s.Scheme = ft.MSScheme
+			s.FailCount = 1
+			runScenario(b, s)
+		})
+	}
+}
+
+// BenchmarkFig8 regenerates the steady-state scheme comparison: relative
+// throughput under each fault-tolerance scheme, per app.
+func BenchmarkFig8(b *testing.B) {
+	for _, app := range []bench.App{bench.BCP, bench.SG} {
+		for _, sch := range bench.SteadySchemes {
+			app, sch := app, sch
+			b.Run(app.String()+"/"+sch.String(), func(b *testing.B) {
+				s := short()
+				s.App = app
+				s.Scheme = sch
+				runScenario(b, s)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates representative points of the failure/departure
+// sweep: MobiStreams stays flat with k, dist-n dies beyond n.
+func BenchmarkFig9(b *testing.B) {
+	cases := []struct {
+		name    string
+		scheme  ft.Scheme
+		fail    int
+		departs int
+	}{
+		{"BCP/ms-fail-1", ft.MSScheme, 1, 0},
+		{"BCP/ms-fail-4", ft.MSScheme, 4, 0},
+		{"BCP/ms-fail-8", ft.MSScheme, 8, 0},
+		{"BCP/ms-depart-2", ft.MSScheme, 0, 2},
+		{"BCP/dist1-fail-1", ft.Dist(1), 1, 0},
+		{"BCP/rep2-fail-1", ft.Rep2Scheme, 1, 0},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			s := short()
+			s.App = bench.BCP
+			s.Scheme = c.scheme
+			s.FailCount = c.fail
+			s.DepartCount = c.departs
+			o := runScenario(b, s)
+			if c.scheme.Kind == ft.MS && o.Dead {
+				b.Fatal("MobiStreams region died")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10 regenerates the preservation/checkpoint byte accounting.
+func BenchmarkFig10(b *testing.B) {
+	for _, sch := range []ft.Scheme{ft.LocalScheme, ft.Dist(1), ft.Dist(3), ft.MSScheme} {
+		sch := sch
+		b.Run("BCP/"+sch.String(), func(b *testing.B) {
+			s := short()
+			s.App = bench.BCP
+			s.Scheme = sch
+			o := runScenario(b, s)
+			b.ReportMetric(float64(o.PreservedBytes)/(1<<20), "preserved_MB")
+			b.ReportMetric(float64(o.CheckpointNet+o.ReplicationNet)/(1<<20), "ckpt_net_MB")
+		})
+	}
+}
+
+// BenchmarkFig6 measures the multi-phase broadcast walk-through itself
+// (8 MB, 8192 blocks, the paper's loss pattern).
+func BenchmarkFig6(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st := bench.Fig6(nil)
+		if st.UDPPhases != 3 {
+			b.Fatalf("phases = %d", st.UDPPhases)
+		}
+	}
+}

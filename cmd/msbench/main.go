@@ -1,0 +1,99 @@
+// msbench regenerates the paper's tables and figures on the simulated
+// phone platform. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records a reference run against the paper's
+// numbers.
+//
+// Usage:
+//
+//	msbench -exp all            # every experiment
+//	msbench -exp fig8           # steady-state scheme comparison
+//	msbench -exp fig9 -maxk 8   # failure/departure sweep
+//	msbench -exp fig10          # preservation / checkpoint data
+//	msbench -exp table1         # MobiStreams vs server-based DSPS
+//	msbench -exp fig6           # broadcast walk-through
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mobistreams/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|all")
+	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
+	seed := flag.Int64("seed", 1, "workload and loss seed")
+	speedup := flag.Float64("speedup", 200, "simulated-to-wall clock ratio")
+	apps := flag.String("apps", "bcp,sg", "comma-separated apps: bcp,sg")
+	flag.Parse()
+
+	base := bench.Scenario{Seed: *seed, Speedup: *speedup}
+	var appList []bench.App
+	for _, a := range strings.Split(*apps, ",") {
+		switch strings.TrimSpace(a) {
+		case "bcp":
+			appList = append(appList, bench.BCP)
+		case "sg", "signalguru":
+			appList = append(appList, bench.SG)
+		}
+	}
+	if len(appList) == 0 {
+		fmt.Fprintln(os.Stderr, "no apps selected")
+		os.Exit(2)
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %v of wall time)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig6") {
+		run("fig6", func() error {
+			bench.Fig6(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig8") || want("fig10") {
+		for _, app := range appList {
+			app := app
+			run("fig8/fig10 "+app.String(), func() error {
+				outs, err := bench.SteadyState(app, base)
+				if err != nil {
+					return err
+				}
+				if want("fig8") {
+					bench.WriteFig8(os.Stdout, app, outs)
+				}
+				if want("fig10") {
+					bench.WriteFig10(os.Stdout, app, outs)
+				}
+				return nil
+			})
+		}
+	}
+	if want("fig9") {
+		for _, app := range appList {
+			app := app
+			run("fig9 "+app.String(), func() error {
+				_, err := bench.Fig9(app, base, *maxK, os.Stdout)
+				return err
+			})
+		}
+	}
+	if want("table1") {
+		run("table1", func() error {
+			_, err := bench.Table1(base, os.Stdout)
+			return err
+		})
+	}
+}

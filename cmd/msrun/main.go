@@ -1,0 +1,80 @@
+// msrun runs one MobiStreams scenario — an application, a fault-tolerance
+// scheme, an optional fault burst — and prints the region's report. It is
+// the command-line front end to the same harness the benchmarks use.
+//
+// Usage:
+//
+//	msrun -app bcp -scheme ms -measure 120s
+//	msrun -app sg -scheme dist-2 -fail 2
+//	msrun -app bcp -scheme ms -depart 3 -speedup 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mobistreams/internal/bench"
+	"mobistreams/internal/ft"
+)
+
+func main() {
+	appName := flag.String("app", "bcp", "application: bcp|sg")
+	schemeName := flag.String("scheme", "ms", "scheme: base|rep-2|local|dist-N|ms")
+	measure := flag.Duration("measure", 2*time.Minute, "measurement window (simulated)")
+	period := flag.Duration("period", time.Minute, "checkpoint period (simulated)")
+	speedup := flag.Float64("speedup", 200, "simulated-to-wall clock ratio")
+	failN := flag.Int("fail", 0, "phones to crash mid-window")
+	departN := flag.Int("depart", 0, "phones to depart mid-window")
+	phones := flag.Int("phones", 16, "region population (8 slots + spares)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var app bench.App
+	switch *appName {
+	case "bcp":
+		app = bench.BCP
+	case "sg", "signalguru":
+		app = bench.SG
+	default:
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+	scheme, err := ft.Parse(*schemeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	out, err := bench.Run(bench.Scenario{
+		App:              app,
+		Scheme:           scheme,
+		Phones:           *phones,
+		Speedup:          *speedup,
+		CheckpointPeriod: *period,
+		Measure:          *measure,
+		FailCount:        *failN,
+		DepartCount:      *departN,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("app:          %s\n", app)
+	fmt.Printf("scheme:       %s\n", scheme)
+	fmt.Printf("window:       %v simulated\n", out.Window)
+	fmt.Printf("outputs:      %d unique tuples (%.3f t/s)\n", out.Tuples, out.ThroughputTPS)
+	fmt.Printf("latency:      mean %v, p95 %v\n", out.MeanLatency.Round(time.Millisecond), out.P95Latency.Round(time.Millisecond))
+	fmt.Printf("data:         %.2f MB on WiFi\n", float64(out.DataBytes)/(1<<20))
+	fmt.Printf("checkpoints:  %.2f MB network, %.2f MB preserved\n",
+		float64(out.CheckpointNet)/(1<<20), float64(out.PreservedBytes)/(1<<20))
+	fmt.Printf("replication:  %.2f MB network\n", float64(out.ReplicationNet)/(1<<20))
+	fmt.Printf("recoveries:   %d (departures handled: %d)\n", out.Recoveries, out.Departures)
+	fmt.Printf("duplicates:   %d suppressed at the sink\n", out.Duplicates)
+	if out.Dead {
+		fmt.Println("region:       DEAD (bypassed by the controller)")
+	}
+}

@@ -1,0 +1,301 @@
+// Package bench is the experiment harness: it assembles a full MobiStreams
+// system (region, controller, workload) for one scenario, runs it at a
+// scaled clock, and reports the metrics the paper's tables and figures are
+// built from. The experiments scale the paper's 5-minute checkpoint period
+// down (default 60 simulated seconds) with state sizes calibrated to keep
+// the airtime fractions — the figures compare shapes, not testbed-absolute
+// numbers (see EXPERIMENTS.md).
+package bench
+
+import (
+	"time"
+
+	"mobistreams/internal/broadcast"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/controller"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/graph"
+	"mobistreams/internal/metrics"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/region"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/workload"
+
+	bcpapp "mobistreams/internal/apps/bcp"
+	sgapp "mobistreams/internal/apps/signalguru"
+)
+
+// App selects the driving application.
+type App int
+
+const (
+	// BCP is Bus Capacity Prediction.
+	BCP App = iota
+	// SG is SignalGuru.
+	SG
+)
+
+func (a App) String() string {
+	if a == BCP {
+		return "BCP"
+	}
+	return "SignalGuru"
+}
+
+// Scenario configures one experiment run.
+type Scenario struct {
+	App    App
+	Scheme ft.Scheme
+	// Phones is the region population: the graph's 8 slots plus idle
+	// spares that store checkpoint copies and stand in as replacements
+	// (default 16 = 8 active + 8 idle; Fig. 4 shows idle members).
+	Phones int
+	// Speedup is the clock scale (default 400: one simulated minute
+	// takes 150 ms of wall time).
+	Speedup float64
+	// CheckpointPeriod (default 60 s; the paper's 5 min scaled by 1/5
+	// with state sizes scaled to preserve airtime fractions).
+	CheckpointPeriod time.Duration
+	// Warmup runs before the measurement window opens (default one
+	// checkpoint period).
+	Warmup time.Duration
+	// Measure is the measurement window (default two checkpoint
+	// periods).
+	Measure time.Duration
+	// WiFiBps is the shared medium capacity (default 3 Mbps, the middle
+	// of the paper's 1-5 Mbps range); WiFiLoss the UDP loss probability
+	// (default 2%).
+	WiFiBps  float64
+	WiFiLoss float64
+	// FailCount phones crash simultaneously FaultAfter into the window;
+	// DepartCount phones leave instead. FaultAfter defaults to half the
+	// measurement window.
+	FailCount   int
+	DepartCount int
+	FaultAfter  time.Duration
+	Seed        int64
+	// PreserveBroadcast replicates source logs region-wide under MS
+	// (default true).
+	NoPreserveBroadcast bool
+}
+
+func (s *Scenario) applyDefaults() {
+	if s.Phones <= 0 {
+		s.Phones = 16
+	}
+	if s.Speedup <= 0 {
+		s.Speedup = 200
+	}
+	if s.CheckpointPeriod <= 0 {
+		s.CheckpointPeriod = 60 * time.Second
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = s.CheckpointPeriod
+	}
+	if s.Measure <= 0 {
+		s.Measure = 2 * s.CheckpointPeriod
+	}
+	if s.WiFiBps <= 0 {
+		s.WiFiBps = 3e6
+	}
+	if s.WiFiLoss == 0 {
+		s.WiFiLoss = 0.02
+	}
+	if s.FaultAfter <= 0 {
+		s.FaultAfter = s.Measure / 2
+	}
+}
+
+// Outcome is one run's result.
+type Outcome struct {
+	metrics.Report
+	App        App
+	Window     time.Duration
+	Dead       bool
+	Recoveries int
+	Departures int
+	Duplicates int64
+}
+
+// appBundle wires an application's graph, registry and feeds.
+type appBundle struct {
+	graph    *graph.Graph
+	registry operator.Registry
+	start    func(g *workload.Generator, push workload.Push, seed int64)
+}
+
+func buildApp(a App, seed int64) (appBundle, error) {
+	switch a {
+	case BCP:
+		g, err := bcpapp.Graph()
+		if err != nil {
+			return appBundle{}, err
+		}
+		reg := bcpapp.Registry(bcpapp.Params{})
+		return appBundle{graph: g, registry: reg, start: func(gen *workload.Generator, push workload.Push, seed int64) {
+			gen.StartBCPCamera(push, workload.BCPCameraConfig{Period: 2000 * time.Millisecond, Seed: seed})
+			gen.StartBCPBus(push, workload.BCPBusConfig{Period: 30 * time.Second, CorruptEvery: 10, Seed: seed})
+		}}, nil
+	default:
+		g, err := sgapp.Graph()
+		if err != nil {
+			return appBundle{}, err
+		}
+		reg := sgapp.Registry(sgapp.Params{})
+		return appBundle{graph: g, registry: reg, start: func(gen *workload.Generator, push workload.Push, seed int64) {
+			gen.StartSGCamera(push, workload.SGCameraConfig{Period: 1300 * time.Millisecond, Seed: seed})
+			gen.StartSGUpstream(push, workload.SGUpstreamConfig{Period: 30 * time.Second, Seed: seed})
+		}}, nil
+	}
+}
+
+// Run executes one scenario to completion.
+func Run(s Scenario) (Outcome, error) {
+	s.applyDefaults()
+	app, err := buildApp(s.App, s.Seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+
+	clk := clock.NewScaled(s.Speedup)
+	cell := simnet.NewCellular(clk, simnet.CellularConfig{
+		UpBitsPerSecond:   0.16e6,
+		DownBitsPerSecond: 0.7e6,
+		Latency:           80 * time.Millisecond,
+		SharedBps:         2e6,
+	})
+	ctrl := controller.New(controller.Config{
+		Clock:            clk,
+		Cell:             cell,
+		CheckpointPeriod: s.CheckpointPeriod,
+		PingInterval:     30 * time.Second,
+		PingTimeout:      10 * time.Second,
+		DebounceWindow:   2 * time.Second,
+	})
+	r, err := region.New(region.Config{
+		ID:                "r1",
+		Graph:             app.graph,
+		Registry:          app.registry,
+		Scheme:            s.Scheme,
+		Phones:            s.Phones,
+		Clock:             clk,
+		WiFi:              simnet.WiFiConfig{BitsPerSecond: s.WiFiBps, LossProb: s.WiFiLoss, Seed: s.Seed},
+		Cell:              cell,
+		ControllerID:      ctrl.ID(),
+		Broadcast:         broadcast.Config{BlockSize: 1024},
+		PreserveBroadcast: s.Scheme.Kind == ft.MS && !s.NoPreserveBroadcast,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	ctrl.AddRegion(r)
+	r.Start()
+	ctrl.Start()
+
+	gen := workload.NewGenerator(clk)
+	app.start(gen, r.Ingest, s.Seed)
+
+	// Warm up, then open the measurement window.
+	clk.Sleep(s.Warmup)
+	r.Throughput.Start(clk.Now())
+	r.Latency.Reset()
+	netBefore := snapshotNet(r)
+	srcBefore, edgeBefore := r.PreservedBytes()
+
+	if s.FailCount > 0 || s.DepartCount > 0 {
+		clk.Sleep(s.FaultAfter)
+		injectFaults(r, ctrl, s)
+		clk.Sleep(s.Measure - s.FaultAfter)
+	} else {
+		clk.Sleep(s.Measure)
+	}
+
+	now := clk.Now()
+	rep := r.Report(now)
+	netAfter := snapshotNet(r)
+	srcAfter, edgeAfter := r.PreservedBytes()
+	rep.CheckpointNet = netAfter.ckpt - netBefore.ckpt
+	rep.ReplicationNet = netAfter.repl - netBefore.repl
+	rep.DataBytes = netAfter.data - netBefore.data
+	rep.PreservedBytes = (srcAfter - srcBefore) + (edgeAfter - edgeBefore)
+
+	out := Outcome{
+		Report:     rep,
+		App:        s.App,
+		Window:     s.Measure,
+		Dead:       ctrl.RegionDead("r1"),
+		Recoveries: ctrl.Recoveries("r1"),
+		Departures: ctrl.Departures("r1"),
+		Duplicates: r.DuplicateOutputs(),
+	}
+	gen.Stop()
+	r.Stop()
+	ctrl.Stop()
+	return out, nil
+}
+
+type netSnap struct{ data, ckpt, repl int64 }
+
+func snapshotNet(r *region.Region) netSnap {
+	c := &r.WiFi().Counters
+	return netSnap{
+		data: c.Bytes(simnet.ClassData),
+		ckpt: c.Bytes(simnet.ClassCheckpoint) + c.Bytes(simnet.ClassBitmap),
+		repl: c.Bytes(simnet.ClassReplication),
+	}
+}
+
+// injectFaults crashes or departs phones hosting slots, computing slots
+// first, then the sink slot, then sources — so small k hits the middle of
+// the pipeline as in Fig. 5's narrative.
+func injectFaults(r *region.Region, ctrl *controller.Controller, s Scenario) {
+	order := victimOrder(r)
+	k := s.FailCount
+	depart := false
+	if s.DepartCount > 0 {
+		k = s.DepartCount
+		depart = true
+	}
+	if k > len(order) {
+		k = len(order)
+	}
+	for i := 0; i < k; i++ {
+		slot := order[i]
+		pid, ok := r.Placement(slot)
+		if !ok {
+			continue
+		}
+		if depart {
+			r.DepartPhone(pid)
+			ctrl.NotifyDeparture(r.ID(), pid)
+		} else {
+			r.FailPhone(pid)
+		}
+	}
+}
+
+// victimOrder lists slots: computing first, then sinks, then sources.
+func victimOrder(r *region.Region) []string {
+	g := r.Graph()
+	isSrc := make(map[string]bool)
+	for _, s := range g.SourceSlots() {
+		isSrc[s] = true
+	}
+	isSink := make(map[string]bool)
+	for _, s := range g.SinkSlots() {
+		isSink[s] = true
+	}
+	var computing, sinks, sources []string
+	for _, s := range g.Slots() {
+		switch {
+		case isSrc[s]:
+			sources = append(sources, s)
+		case isSink[s]:
+			sinks = append(sinks, s)
+		default:
+			computing = append(computing, s)
+		}
+	}
+	out := append(computing, sinks...)
+	return append(out, sources...)
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobistreams/internal/ft"
+)
+
+// tiny returns the smallest useful scenario for tests.
+func tiny() Scenario {
+	return Scenario{
+		Speedup:          400,
+		CheckpointPeriod: 20 * time.Second,
+		Warmup:           20 * time.Second,
+		Measure:          40 * time.Second,
+		Seed:             1,
+	}
+}
+
+func TestRunBaseProducesOutput(t *testing.T) {
+	s := tiny()
+	s.App = BCP
+	s.Scheme = ft.BaseScheme
+	o, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tuples == 0 {
+		t.Fatal("no output tuples")
+	}
+	if o.Dead {
+		t.Fatal("region died without faults")
+	}
+	if o.CheckpointNet != 0 {
+		t.Fatalf("base scheme sent %d checkpoint bytes", o.CheckpointNet)
+	}
+}
+
+func TestRunMSCheckpointsAndPreserves(t *testing.T) {
+	s := tiny()
+	s.App = SG
+	s.Scheme = ft.MSScheme
+	o, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tuples == 0 {
+		t.Fatal("no output")
+	}
+	if o.CheckpointNet == 0 {
+		t.Fatal("ms sent no checkpoint bytes")
+	}
+	if o.PreservedBytes == 0 {
+		t.Fatal("ms preserved nothing at sources")
+	}
+}
+
+func TestRunMSRecoversFromBurst(t *testing.T) {
+	s := tiny()
+	s.App = BCP
+	s.Scheme = ft.MSScheme
+	s.FailCount = 3
+	o, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dead {
+		t.Fatal("ms region died on a 3-phone burst")
+	}
+	if o.Recoveries == 0 {
+		t.Fatal("no recovery recorded")
+	}
+}
+
+func TestRunDistDiesBeyondTolerance(t *testing.T) {
+	s := tiny()
+	s.App = BCP
+	s.Scheme = ft.Dist(1)
+	s.FailCount = 3
+	o, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Dead {
+		t.Fatal("dist-1 should not survive 3 failures")
+	}
+}
+
+func TestFig6Walkthrough(t *testing.T) {
+	var sb strings.Builder
+	st := Fig6(&sb)
+	if st.UDPPhases != 3 {
+		t.Fatalf("phases = %d, want 3", st.UDPPhases)
+	}
+	if st.TCPBytes != 2048 {
+		t.Fatalf("tcp bytes = %d, want 2048", st.TCPBytes)
+	}
+	if !strings.Contains(sb.String(), "8192") {
+		t.Fatal("walk-through text missing block count")
+	}
+}
+
+func TestVictimOrderPrefersComputingSlots(t *testing.T) {
+	s := tiny()
+	s.App = BCP
+	s.Scheme = ft.BaseScheme
+	app, err := buildApp(BCP, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sources host S0/S1 on n1/n2; sink K on n8.
+	srcSlots := app.graph.SourceSlots()
+	if len(srcSlots) == 0 {
+		t.Fatal("no source slots")
+	}
+	_ = s
+}
+
+func TestServerRunIsUplinkBound(t *testing.T) {
+	lo := runServer(BCP, 0.016e6, Scenario{Speedup: 2000, Measure: 60 * time.Second})
+	hi := runServer(BCP, 0.32e6, Scenario{Speedup: 2000, Measure: 60 * time.Second})
+	if lo.ThroughputTPS <= 0 || hi.ThroughputTPS <= 0 {
+		t.Fatalf("server throughputs: %v / %v", lo.ThroughputTPS, hi.ThroughputTPS)
+	}
+	// 20x the uplink must buy close to 20x the throughput.
+	ratio := hi.ThroughputTPS / lo.ThroughputTPS
+	if ratio < 8 {
+		t.Fatalf("uplink scaling ratio = %.1f, want uplink-bound behaviour", ratio)
+	}
+	if lo.MeanLatency < 30*time.Second {
+		t.Fatalf("slow-uplink latency = %v, expected tens of seconds", lo.MeanLatency)
+	}
+}
+
+func TestAppString(t *testing.T) {
+	if BCP.String() != "BCP" || SG.String() != "SignalGuru" {
+		t.Fatal("app names wrong")
+	}
+}

@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/server"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/storage"
+
+	"mobistreams/internal/broadcast"
+)
+
+// SteadySchemes is Fig. 8/Fig. 10's x-axis.
+var SteadySchemes = []ft.Scheme{
+	ft.BaseScheme, ft.Rep2Scheme, ft.LocalScheme,
+	ft.Dist(1), ft.Dist(2), ft.Dist(3), ft.MSScheme,
+}
+
+// SteadyState runs the no-fault scenario for every scheme on one app.
+func SteadyState(app App, base Scenario) (map[string]Outcome, error) {
+	out := make(map[string]Outcome, len(SteadySchemes))
+	for _, sch := range SteadySchemes {
+		s := base
+		s.App = app
+		s.Scheme = sch
+		o, err := Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("steady %s/%s: %w", app, sch, err)
+		}
+		out[sch.String()] = o
+	}
+	return out, nil
+}
+
+// WriteFig8 renders the relative throughput/latency table of Fig. 8 from
+// steady-state outcomes (values normalised to base).
+func WriteFig8(w io.Writer, app App, outs map[string]Outcome) {
+	base := outs["base"]
+	fmt.Fprintf(w, "Fig. 8 — %s: fault-tolerance schemes at steady state (no faults)\n", app)
+	fmt.Fprintf(w, "%-8s %14s %12s %14s %12s\n", "scheme", "tput (t/s)", "rel tput", "mean lat (s)", "rel lat")
+	for _, sch := range SteadySchemes {
+		o := outs[sch.String()]
+		relT, relL := 0.0, 0.0
+		if base.ThroughputTPS > 0 {
+			relT = o.ThroughputTPS / base.ThroughputTPS
+		}
+		if base.MeanLatency > 0 {
+			relL = o.MeanLatency.Seconds() / base.MeanLatency.Seconds()
+		}
+		fmt.Fprintf(w, "%-8s %14.3f %11.0f%% %14.1f %12.2f\n",
+			sch.String(), o.ThroughputTPS, relT*100, o.MeanLatency.Seconds(), relL)
+	}
+}
+
+// WriteFig10 renders the preservation/checkpoint data table of Fig. 10
+// (values normalised to ms).
+func WriteFig10(w io.Writer, app App, outs map[string]Outcome) {
+	ms := outs["ms"]
+	fmt.Fprintf(w, "Fig. 10 — %s: preservation and checkpoint/replication data\n", app)
+	fmt.Fprintf(w, "%-8s %16s %10s %18s %10s\n", "scheme", "preserved (MB)", "rel", "ckpt/repl net (MB)", "rel")
+	for _, sch := range SteadySchemes {
+		o := outs[sch.String()]
+		net := o.CheckpointNet + o.ReplicationNet
+		msNet := ms.CheckpointNet + ms.ReplicationNet
+		relP, relN := 0.0, 0.0
+		if ms.PreservedBytes > 0 {
+			relP = float64(o.PreservedBytes) / float64(ms.PreservedBytes)
+		}
+		if msNet > 0 {
+			relN = float64(net) / float64(msNet)
+		}
+		fmt.Fprintf(w, "%-8s %16.2f %10.2f %18.2f %10.2f\n",
+			sch.String(), mb(o.PreservedBytes), relP, mb(net), relN)
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+// Fig9Point is one (scheme, k) cell of Fig. 9.
+type Fig9Point struct {
+	Scheme    string
+	K         int
+	Departure bool
+	Outcome   Outcome
+	RelTput   float64
+	RelLat    float64
+}
+
+// Fig9Schemes lists the failure curves of Fig. 9.
+var Fig9Schemes = []ft.Scheme{ft.Rep2Scheme, ft.Dist(1), ft.Dist(2), ft.Dist(3), ft.MSScheme}
+
+// Fig9 runs the fault sweep for one app: k = 0..maxK simultaneous failures
+// per scheme, plus the MobiStreams departure curve. Points beyond a
+// scheme's tolerance stop the curve (rep-2 has two points, dist-n has n+1),
+// exactly as in the paper.
+func Fig9(app App, base Scenario, maxK int, w io.Writer) ([]Fig9Point, error) {
+	var points []Fig9Point
+	baselines := make(map[string]Outcome)
+	curve := func(sch ft.Scheme, departure bool, label string) error {
+		for k := 0; k <= maxK; k++ {
+			s := base
+			s.App = app
+			s.Scheme = sch
+			if departure {
+				s.DepartCount = k
+			} else {
+				s.FailCount = k
+			}
+			o, err := Run(s)
+			if err != nil {
+				return err
+			}
+			if k == 0 {
+				baselines[label] = o
+			}
+			b := baselines[label]
+			p := Fig9Point{Scheme: label, K: k, Departure: departure, Outcome: o}
+			if b.ThroughputTPS > 0 {
+				p.RelTput = o.ThroughputTPS / b.ThroughputTPS
+			}
+			if b.MeanLatency > 0 {
+				p.RelLat = o.MeanLatency.Seconds() / b.MeanLatency.Seconds()
+			}
+			points = append(points, p)
+			if w != nil {
+				dead := ""
+				if o.Dead {
+					dead = " [region dead]"
+				}
+				fmt.Fprintf(w, "%-22s k=%d: rel tput %5.0f%%  rel lat %5.2f%s\n",
+					label, k, p.RelTput*100, p.RelLat, dead)
+			}
+			if o.Dead && k > 0 {
+				break // the curve truncates where recovery fails
+			}
+		}
+		return nil
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Fig. 9 — %s: n-node failures/departures within one checkpoint period\n", app)
+	}
+	for _, sch := range Fig9Schemes {
+		if err := curve(sch, false, sch.String()+" failure"); err != nil {
+			return nil, err
+		}
+	}
+	if err := curve(ft.MSScheme, true, "ms departure"); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// Table1Row is one row of Table I.
+type Table1Row struct {
+	System        string
+	App           App
+	ThroughputTPS float64
+	LatencySec    float64
+}
+
+// Table1 reproduces the MobiStreams-vs-server comparison. The server rows
+// sweep the paper's 3G uplink range (0.016-0.32 Mbps); the MobiStreams rows
+// run the phone platform with fault tolerance off (base), with a departure
+// per period, and with a failure per period.
+func Table1(base Scenario, w io.Writer) ([]Table1Row, error) {
+	var rows []Table1Row
+	apps := []App{BCP, SG}
+	if w != nil {
+		fmt.Fprintln(w, "Table I — MobiStreams vs server-based DSPS (per-region)")
+	}
+	for _, app := range apps {
+		lo := runServer(app, 0.016e6, base)
+		hi := runServer(app, 0.32e6, base)
+		rows = append(rows, Table1Row{System: "server (0.016 Mbps up)", App: app, ThroughputTPS: lo.ThroughputTPS, LatencySec: lo.MeanLatency.Seconds()})
+		rows = append(rows, Table1Row{System: "server (0.32 Mbps up)", App: app, ThroughputTPS: hi.ThroughputTPS, LatencySec: hi.MeanLatency.Seconds()})
+		if w != nil {
+			fmt.Fprintf(w, "%-11s server-based: %0.3f~%0.3f t/s, latency %0.0f~%0.0f s\n",
+				app, lo.ThroughputTPS, hi.ThroughputTPS, hi.MeanLatency.Seconds(), lo.MeanLatency.Seconds())
+		}
+		for _, mode := range []struct {
+			name    string
+			scheme  ft.Scheme
+			fail    int
+			departs int
+		}{
+			{"MobiStreams (FT off)", ft.BaseScheme, 0, 0},
+			{"MobiStreams (departure/period)", ft.MSScheme, 0, 1},
+			{"MobiStreams (failure/period)", ft.MSScheme, 1, 0},
+		} {
+			s := base
+			s.App = app
+			s.Scheme = mode.scheme
+			s.FailCount = mode.fail
+			s.DepartCount = mode.departs
+			o, err := Run(s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table1Row{System: mode.name, App: app, ThroughputTPS: o.ThroughputTPS, LatencySec: o.MeanLatency.Seconds()})
+			if w != nil {
+				fmt.Fprintf(w, "%-11s %-32s %0.3f t/s, latency %0.0f s\n",
+					app, mode.name+":", o.ThroughputTPS, o.MeanLatency.Seconds())
+			}
+		}
+	}
+	return rows, nil
+}
+
+// runServer measures the thin-client deployment of one app at an uplink
+// rate: every camera tuple rides the uplink to the data center.
+// serverSummary is runServer's compact result.
+type serverSummary struct {
+	ThroughputTPS float64
+	MeanLatency   time.Duration
+}
+
+func runServer(app App, uplinkBps float64, base Scenario) serverSummary {
+	clk := clock.NewScaled(base.Speedup * 4)
+	var tupleBytes int
+	var pipeline time.Duration
+	var period time.Duration
+	if app == BCP {
+		tupleBytes = 180 << 10
+		pipeline = 8500 * time.Millisecond // H + C + models on phone CPU
+		period = 1750 * time.Millisecond
+	} else {
+		tupleBytes = 110 << 10
+		pipeline = 3600 * time.Millisecond // colour+shape+motion + models
+		period = 1200 * time.Millisecond
+	}
+	d := server.New(server.Config{
+		Clock:         clk,
+		UplinkBps:     uplinkBps,
+		DownlinkBps:   0.7e6,
+		CellLatency:   80 * time.Millisecond,
+		ServerSpeedup: 20,
+		PipelineCost:  pipeline,
+		QueueCap:      8,
+	})
+	d.Start()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-clk.After(period):
+				d.Offer(tupleBytes)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	// Warm up one window, then measure.
+	window := base.Measure
+	if window <= 0 {
+		window = 120 * time.Second
+	}
+	clk.Sleep(window / 2)
+	d.Throughput.Start(clk.Now())
+	d.Latency.Reset()
+	clk.Sleep(window * 4) // the slow uplink needs a long window for stable rates
+	rep := d.Report(clk.Now())
+	close(stop)
+	d.Stop()
+	return serverSummary{ThroughputTPS: rep.ThroughputTPS, MeanLatency: rep.MeanLatency}
+}
+
+// Fig6 renders the multi-phase broadcast walk-through with the paper's
+// exact loss pattern (8 MB checkpoint, receivers A/B/C).
+func Fig6(w io.Writer) broadcast.Stats {
+	blob := &checkpoint.Blob{Slot: "sender", Version: 1, Size: 8192 * 1024, Ops: map[string][]byte{}}
+	med := newScriptedMedium(map[simnet.NodeID]*broadcast.Receiver{
+		"A": broadcast.NewReceiver(storage.New()),
+		"B": broadcast.NewReceiver(storage.New()),
+		"C": broadcast.NewReceiver(storage.New()),
+	})
+	st := broadcast.Disseminate(med, clock.NewManual(), "sender", []simnet.NodeID{"A", "B", "C"}, blob, broadcast.Config{BlockSize: 1024})
+	if w != nil {
+		fmt.Fprintln(w, "Fig. 6 — multi-phase UDP broadcast walk-through (8 MB, 8192 x 1 KB blocks)")
+		fmt.Fprintf(w, "UDP phases: %d (phase 1 all, phase 2 all, phase 3 evens; cost 4099 KB > gain 4095 KB stops UDP)\n", st.UDPPhases)
+		fmt.Fprintf(w, "UDP bytes: %d KB, bitmap bytes: %d KB, TCP fill: %d KB\n",
+			st.UDPBytes/1024, st.BitmapBytes/1024, st.TCPBytes/1024)
+		fmt.Fprintf(w, "complete replicas: %d\n", len(st.Complete))
+	}
+	return st
+}
+
+// scriptedMedium reproduces Fig. 6's loss pattern: phase 1 delivers the
+// first 3 messages to A, even messages to B, odd messages to C; phase 2
+// completes A and B; phase 3 delivers all but M2 to C.
+type scriptedMedium struct {
+	receivers map[simnet.NodeID]*broadcast.Receiver
+	phase     int
+}
+
+func newScriptedMedium(rs map[simnet.NodeID]*broadcast.Receiver) *scriptedMedium {
+	return &scriptedMedium{receivers: rs}
+}
+
+func (s *scriptedMedium) BroadcastBatch(from simnet.NodeID, class simnet.Class, grams []simnet.Datagram) []int {
+	s.phase++
+	counts := make([]int, len(grams))
+	for gi, g := range grams {
+		bm := g.Payload.(broadcast.BlockMsg)
+		for id, r := range s.receivers {
+			if s.deliver(id, bm.Index) {
+				r.OnBlock(bm)
+				counts[gi]++
+			}
+		}
+	}
+	return counts
+}
+
+func (s *scriptedMedium) deliver(to simnet.NodeID, b int) bool {
+	switch s.phase {
+	case 1:
+		switch to {
+		case "A":
+			return b < 3
+		case "B":
+			return b%2 == 1
+		default:
+			return b%2 == 0
+		}
+	case 2:
+		return to != "C"
+	default:
+		return to != "C" || b != 1
+	}
+}
+
+func (s *scriptedMedium) Request(from, to simnet.NodeID, class simnet.Class, size int, payload interface{}) (chan simnet.Message, error) {
+	q := payload.(broadcast.QueryMsg)
+	bm := s.receivers[to].Bitmap(q)
+	ch := make(chan simnet.Message, 1)
+	ch <- simnet.Message{From: to, To: from, Class: class, Size: broadcast.BitmapWireBytes(q.Total), Payload: bm}
+	return ch, nil
+}
+
+func (s *scriptedMedium) Unicast(from, to simnet.NodeID, class simnet.Class, size int, payload interface{}) error {
+	if r, ok := s.receivers[to]; ok {
+		r.OnFill(payload.(broadcast.FillMsg))
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package broadcast
+
+import (
+	"sync"
+
+	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/storage"
+)
+
+// Receiver assembles checkpoint blocks arriving at one phone, answers
+// bitmap queries, and stores completed blobs into the phone's local store.
+type Receiver struct {
+	store *storage.Store
+
+	mu  sync.Mutex
+	asm map[asmKey]*assembler
+}
+
+type asmKey struct {
+	slot    string
+	version uint64
+}
+
+type assembler struct {
+	blob  *checkpoint.Blob
+	got   []bool
+	count int
+	done  bool
+}
+
+// NewReceiver creates a receiver backed by the given store.
+func NewReceiver(store *storage.Store) *Receiver {
+	return &Receiver{store: store, asm: make(map[asmKey]*assembler)}
+}
+
+func (r *Receiver) assemblerFor(slot string, version uint64, total int, blob *checkpoint.Blob) *assembler {
+	k := asmKey{slot, version}
+	a, ok := r.asm[k]
+	if !ok {
+		a = &assembler{blob: blob, got: make([]bool, total)}
+		r.asm[k] = a
+	}
+	if a.blob == nil {
+		a.blob = blob
+	}
+	return a
+}
+
+// OnBlock records one UDP block; it returns true when the blob just became
+// complete (at which point it has been persisted to the store).
+func (r *Receiver) OnBlock(msg BlockMsg) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.assemblerFor(msg.Slot, msg.Version, msg.Total, msg.Blob)
+	if msg.Index < 0 || msg.Index >= len(a.got) || a.got[msg.Index] {
+		return false
+	}
+	a.got[msg.Index] = true
+	a.count++
+	return r.maybeComplete(a)
+}
+
+// OnFill records a TCP fill of multiple blocks; it returns true when the
+// blob just became complete.
+func (r *Receiver) OnFill(msg FillMsg) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.assemblerFor(msg.Slot, msg.Version, msg.Total, msg.Blob)
+	for _, i := range msg.Indices {
+		if i >= 0 && i < len(a.got) && !a.got[i] {
+			a.got[i] = true
+			a.count++
+		}
+	}
+	return r.maybeComplete(a)
+}
+
+func (r *Receiver) maybeComplete(a *assembler) bool {
+	if a.done || a.count != len(a.got) || a.blob == nil {
+		return false
+	}
+	a.done = true
+	r.store.PutBlob(a.blob)
+	return true
+}
+
+// Bitmap answers a query: one bool per block. The wire size of the answer
+// is BitmapWireBytes(total).
+func (r *Receiver) Bitmap(q QueryMsg) []bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a := r.assemblerFor(q.Slot, q.Version, q.Total, nil)
+	return append([]bool(nil), a.got...)
+}
+
+// ReceivedBlocks reports how many blocks of a stream have arrived.
+func (r *Receiver) ReceivedBlocks(slot string, version uint64) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.asm[asmKey{slot, version}]
+	if !ok {
+		return 0
+	}
+	return a.count
+}
+
+// Complete reports whether the blob for (slot, version) is fully assembled.
+func (r *Receiver) Complete(slot string, version uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	a, ok := r.asm[asmKey{slot, version}]
+	return ok && a.done
+}
+
+// DropBefore discards partial assemblies older than version — a failure
+// during a checkpoint abandons the partial data (§III-D).
+func (r *Receiver) DropBefore(version uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k := range r.asm {
+		if k.version < version {
+			delete(r.asm, k)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package checkpoint implements the token-triggered checkpointing protocol
+// of §III-B: the alignment state machine each node runs, and the state blob
+// a node produces when it checkpoints.
+//
+// The alignment rule (Fig. 5): a node checkpoints when it has received the
+// token of the current version from every upstream neighbour. A channel
+// whose token has arrived is stalled — the node stops consuming its tuples —
+// so no tuple that follows the token can corrupt the pre-token state; the
+// other channels keep flowing. With these cut semantics no tuple is saved
+// twice or missed across the region snapshot.
+package checkpoint
+
+import (
+	"fmt"
+	"sort"
+
+	"mobistreams/internal/operator"
+)
+
+// Blob is one node's checkpoint: the serialised state of every operator on
+// the node plus runtime bookkeeping (edge sequence counters). Size is the
+// modelled on-the-wire size used for network and storage accounting.
+type Blob struct {
+	Slot    string
+	Version uint64
+	Ops     map[string][]byte
+	Runtime []byte
+	Size    int
+}
+
+// BuildBlob snapshots the given operators into a blob. extra is opaque
+// runtime state (edge counters); modelSize adds the modelled state bytes of
+// operators whose in-memory snapshot under-represents their real footprint.
+func BuildBlob(slot string, version uint64, ops []operator.Operator, extra []byte) (*Blob, error) {
+	b := &Blob{Slot: slot, Version: version, Ops: make(map[string][]byte, len(ops)), Runtime: extra}
+	size := len(extra)
+	for _, op := range ops {
+		data, err := op.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: snapshot %s: %w", op.ID(), err)
+		}
+		b.Ops[op.ID()] = data
+		s := op.StateSize()
+		if len(data) > s {
+			s = len(data)
+		}
+		size += s
+	}
+	b.Size = size
+	return b, nil
+}
+
+// RestoreBlob loads a blob into freshly instantiated operators. Operators
+// present in the blob but not in ops (or vice versa) indicate a wiring bug
+// and return an error.
+func RestoreBlob(b *Blob, ops []operator.Operator) error {
+	if len(ops) != len(b.Ops) {
+		return fmt.Errorf("checkpoint: blob has %d operators, node has %d", len(b.Ops), len(ops))
+	}
+	for _, op := range ops {
+		data, ok := b.Ops[op.ID()]
+		if !ok {
+			return fmt.Errorf("checkpoint: blob missing operator %s", op.ID())
+		}
+		if err := op.Restore(data); err != nil {
+			return fmt.Errorf("checkpoint: restore %s: %w", op.ID(), err)
+		}
+	}
+	return nil
+}
+
+// Alignment tracks token arrival for one node across checkpoint versions.
+// It is not safe for concurrent use; the node's executor owns it.
+type Alignment struct {
+	upstreams []string
+	version   uint64 // version currently aligning; 0 = idle
+	seen      map[string]bool
+}
+
+// NewAlignment creates an alignment tracker over the node's upstream
+// neighbours (slot-level, per graph.SlotUpstreams). Source nodes pass the
+// single virtual upstream "controller".
+func NewAlignment(upstreams []string) *Alignment {
+	a := &Alignment{upstreams: append([]string(nil), upstreams...), seen: make(map[string]bool)}
+	sort.Strings(a.upstreams)
+	return a
+}
+
+// Status describes the effect of a token arrival.
+type Status struct {
+	// Complete is true when tokens have arrived from every upstream:
+	// the node must checkpoint now and then forward its token.
+	Complete bool
+	// Stalled lists upstreams whose channels must not be consumed until
+	// the alignment completes.
+	Stalled []string
+}
+
+// OnToken records a token from an upstream neighbour. It returns an error
+// for protocol violations: unknown upstream, duplicate token, or a version
+// mismatch with an alignment in progress (checkpoint periods are far longer
+// than alignment, so overlapping versions indicate a bug or a lost abort).
+func (a *Alignment) OnToken(from string, version uint64) (Status, error) {
+	if !a.knows(from) {
+		return Status{}, fmt.Errorf("checkpoint: token from unknown upstream %q", from)
+	}
+	if a.version == 0 {
+		a.version = version
+	} else if a.version != version {
+		return Status{}, fmt.Errorf("checkpoint: token v%d while aligning v%d", version, a.version)
+	}
+	if a.seen[from] {
+		return Status{}, fmt.Errorf("checkpoint: duplicate token from %q for v%d", from, version)
+	}
+	a.seen[from] = true
+	if len(a.seen) == len(a.upstreams) {
+		a.reset()
+		return Status{Complete: true}, nil
+	}
+	return Status{Stalled: a.stalled()}, nil
+}
+
+// Stalled reports the upstreams currently stalled by a pending alignment.
+func (a *Alignment) Stalled() []string {
+	if a.version == 0 {
+		return nil
+	}
+	return a.stalled()
+}
+
+// Aligning reports the version being aligned, or 0 when idle.
+func (a *Alignment) Aligning() uint64 { return a.version }
+
+// Abort cancels an in-progress alignment (failure during checkpoint: the
+// partial checkpoint is discarded, §III-D).
+func (a *Alignment) Abort() { a.reset() }
+
+func (a *Alignment) reset() {
+	a.version = 0
+	a.seen = make(map[string]bool)
+}
+
+func (a *Alignment) stalled() []string {
+	var s []string
+	for _, u := range a.upstreams {
+		if a.seen[u] {
+			s = append(s, u)
+		}
+	}
+	return s
+}
+
+func (a *Alignment) knows(id string) bool {
+	for _, u := range a.upstreams {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,183 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScaledNowAdvances(t *testing.T) {
+	c := NewScaled(1000)
+	t0 := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	t1 := c.Now()
+	if t1 <= t0 {
+		t.Fatalf("Now did not advance: %v -> %v", t0, t1)
+	}
+	// 2ms of wall time at 1000x is ~2s of simulated time.
+	if t1-t0 < 1*time.Second {
+		t.Fatalf("expected >=1s simulated elapsed, got %v", t1-t0)
+	}
+}
+
+func TestScaledSleepScales(t *testing.T) {
+	c := NewScaled(1000)
+	start := time.Now()
+	c.Sleep(1 * time.Second) // should take ~1ms wall time
+	if wall := time.Since(start); wall > 200*time.Millisecond {
+		t.Fatalf("scaled sleep took too long: %v", wall)
+	}
+}
+
+func TestScaledSleepNonPositive(t *testing.T) {
+	c := NewScaled(10)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(0)
+		c.Sleep(-time.Second)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("non-positive sleep blocked")
+	}
+}
+
+func TestScaledAfter(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(500 * time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestScaledAfterImmediate(t *testing.T) {
+	c := NewScaled(10)
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+}
+
+func TestNewScaledPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive speedup")
+		}
+	}()
+	NewScaled(0)
+}
+
+func TestManualAdvanceFiresTimers(t *testing.T) {
+	m := NewManual()
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before advance")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired too early")
+	default:
+	}
+	m.Advance(1 * time.Second)
+	select {
+	case at := <-ch:
+		if at != 10*time.Second {
+			t.Fatalf("fire time = %v, want 10s", at)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+	if m.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", m.Now())
+	}
+}
+
+func TestManualTimersFireInDeadlineOrder(t *testing.T) {
+	m := NewManual()
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	delays := []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second}
+	for i, d := range delays {
+		wg.Add(1)
+		i, d := i, d
+		ch := m.After(d)
+		go func() {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}()
+	}
+	// Advance one deadline at a time so goroutine scheduling cannot
+	// reorder the recorded sequence.
+	m.Advance(10 * time.Second)
+	waitLen(t, &mu, &order, 1)
+	m.Advance(10 * time.Second)
+	waitLen(t, &mu, &order, 2)
+	m.Advance(10 * time.Second)
+	waitLen(t, &mu, &order, 3)
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func waitLen(t *testing.T, mu *sync.Mutex, s *[]int, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		l := len(*s)
+		mu.Unlock()
+		if l >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d entries", n)
+}
+
+func TestManualSleepBlocksUntilAdvance(t *testing.T) {
+	m := NewManual()
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for m.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("sleep returned before advance")
+	default:
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("sleep did not return after advance")
+	}
+}
+
+func TestManualAfterNonPositive(t *testing.T) {
+	m := NewManual()
+	select {
+	case <-m.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+}

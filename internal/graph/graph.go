@@ -1,0 +1,266 @@
+// Package graph models a stream application's query network: a directed
+// acyclic graph of operators, each placed on a logical node slot (one slot
+// per phone). Source operators have no in-edges and admit external data;
+// sink operators have no out-edges and publish results (§II-A).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OperatorSpec declares one operator and its placement.
+type OperatorSpec struct {
+	// ID is the operator's unique name within the graph (e.g. "C0").
+	ID string
+	// Slot is the logical node the operator runs on (e.g. "n3"). All
+	// operators sharing a slot run on the same phone as a super-operator.
+	Slot string
+}
+
+// Edge is a producer-consumer connection between two operators.
+type Edge struct {
+	From, To string
+}
+
+// Graph is a validated query network.
+type Graph struct {
+	ops   map[string]OperatorSpec
+	order []string // insertion order, for deterministic iteration
+	out   map[string][]string
+	in    map[string][]string
+}
+
+// Builder accumulates operators and edges; Build validates them.
+type Builder struct {
+	specs []OperatorSpec
+	edges []Edge
+}
+
+// AddOperator declares an operator on a slot.
+func (b *Builder) AddOperator(id, slot string) *Builder {
+	b.specs = append(b.specs, OperatorSpec{ID: id, Slot: slot})
+	return b
+}
+
+// Connect adds a directed edge from producer to consumer.
+func (b *Builder) Connect(from, to string) *Builder {
+	b.edges = append(b.edges, Edge{From: from, To: to})
+	return b
+}
+
+// Chain connects a sequence of operators in order.
+func (b *Builder) Chain(ids ...string) *Builder {
+	for i := 0; i+1 < len(ids); i++ {
+		b.Connect(ids[i], ids[i+1])
+	}
+	return b
+}
+
+// Build validates the accumulated specification and returns the graph.
+func (b *Builder) Build() (*Graph, error) {
+	g := &Graph{
+		ops: make(map[string]OperatorSpec, len(b.specs)),
+		out: make(map[string][]string),
+		in:  make(map[string][]string),
+	}
+	for _, s := range b.specs {
+		if s.ID == "" {
+			return nil, fmt.Errorf("graph: empty operator id")
+		}
+		if s.Slot == "" {
+			return nil, fmt.Errorf("graph: operator %q has no slot", s.ID)
+		}
+		if _, dup := g.ops[s.ID]; dup {
+			return nil, fmt.Errorf("graph: duplicate operator %q", s.ID)
+		}
+		g.ops[s.ID] = s
+		g.order = append(g.order, s.ID)
+	}
+	for _, e := range b.edges {
+		if _, ok := g.ops[e.From]; !ok {
+			return nil, fmt.Errorf("graph: edge from unknown operator %q", e.From)
+		}
+		if _, ok := g.ops[e.To]; !ok {
+			return nil, fmt.Errorf("graph: edge to unknown operator %q", e.To)
+		}
+		if e.From == e.To {
+			return nil, fmt.Errorf("graph: self-loop on %q", e.From)
+		}
+		for _, existing := range g.out[e.From] {
+			if existing == e.To {
+				return nil, fmt.Errorf("graph: duplicate edge %s->%s", e.From, e.To)
+			}
+		}
+		g.out[e.From] = append(g.out[e.From], e.To)
+		g.in[e.To] = append(g.in[e.To], e.From)
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return nil, err
+	}
+	if len(g.Sources()) == 0 {
+		return nil, fmt.Errorf("graph: no source operators")
+	}
+	if len(g.Sinks()) == 0 {
+		return nil, fmt.Errorf("graph: no sink operators")
+	}
+	return g, nil
+}
+
+// Operators returns operator IDs in declaration order.
+func (g *Graph) Operators() []string {
+	return append([]string(nil), g.order...)
+}
+
+// Spec returns the spec for an operator, and whether it exists.
+func (g *Graph) Spec(id string) (OperatorSpec, bool) {
+	s, ok := g.ops[id]
+	return s, ok
+}
+
+// SlotOf returns the slot an operator is placed on.
+func (g *Graph) SlotOf(id string) string { return g.ops[id].Slot }
+
+// Downstream returns the consumers of an operator.
+func (g *Graph) Downstream(id string) []string {
+	return append([]string(nil), g.out[id]...)
+}
+
+// Upstream returns the producers feeding an operator.
+func (g *Graph) Upstream(id string) []string {
+	return append([]string(nil), g.in[id]...)
+}
+
+// Sources returns operators with no in-edges, in declaration order.
+func (g *Graph) Sources() []string {
+	var s []string
+	for _, id := range g.order {
+		if len(g.in[id]) == 0 {
+			s = append(s, id)
+		}
+	}
+	return s
+}
+
+// Sinks returns operators with no out-edges, in declaration order.
+func (g *Graph) Sinks() []string {
+	var s []string
+	for _, id := range g.order {
+		if len(g.out[id]) == 0 {
+			s = append(s, id)
+		}
+	}
+	return s
+}
+
+// Slots returns all slot names, sorted.
+func (g *Graph) Slots() []string {
+	set := make(map[string]bool)
+	for _, s := range g.ops {
+		set[s.Slot] = true
+	}
+	slots := make([]string, 0, len(set))
+	for s := range set {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+	return slots
+}
+
+// OpsOnSlot returns the operators placed on a slot, in declaration order.
+func (g *Graph) OpsOnSlot(slot string) []string {
+	var ids []string
+	for _, id := range g.order {
+		if g.ops[id].Slot == slot {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// SlotUpstreams returns the distinct slots that feed operators on the given
+// slot from other slots, sorted. This is the node-level projection of
+// Fig. 1b: token alignment operates on these.
+func (g *Graph) SlotUpstreams(slot string) []string {
+	set := make(map[string]bool)
+	for _, id := range g.OpsOnSlot(slot) {
+		for _, up := range g.in[id] {
+			if us := g.ops[up].Slot; us != slot {
+				set[us] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// SlotDownstreams returns the distinct slots fed by operators on the given
+// slot, excluding itself, sorted.
+func (g *Graph) SlotDownstreams(slot string) []string {
+	set := make(map[string]bool)
+	for _, id := range g.OpsOnSlot(slot) {
+		for _, dn := range g.out[id] {
+			if ds := g.ops[dn].Slot; ds != slot {
+				set[ds] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// SourceSlots returns the slots hosting at least one source operator.
+func (g *Graph) SourceSlots() []string {
+	set := make(map[string]bool)
+	for _, id := range g.Sources() {
+		set[g.ops[id].Slot] = true
+	}
+	return sortedKeys(set)
+}
+
+// SinkSlots returns the slots hosting at least one sink operator.
+func (g *Graph) SinkSlots() []string {
+	set := make(map[string]bool)
+	for _, id := range g.Sinks() {
+		set[g.ops[id].Slot] = true
+	}
+	return sortedKeys(set)
+}
+
+// TopoOrder returns a topological order of the operators, or an error if
+// the graph has a cycle.
+func (g *Graph) TopoOrder() ([]string, error) {
+	indeg := make(map[string]int, len(g.ops))
+	for _, id := range g.order {
+		indeg[id] = len(g.in[id])
+	}
+	var queue []string
+	for _, id := range g.order {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	var topo []string
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		topo = append(topo, id)
+		for _, dn := range g.out[id] {
+			indeg[dn]--
+			if indeg[dn] == 0 {
+				queue = append(queue, dn)
+			}
+		}
+	}
+	if len(topo) != len(g.ops) {
+		return nil, fmt.Errorf("graph: cycle detected")
+	}
+	return topo, nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

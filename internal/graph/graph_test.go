@@ -1,0 +1,176 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// diamond builds the 5-node graph of Fig. 5: A -> B -> {C, D} -> E.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	var b Builder
+	b.AddOperator("A", "n1").AddOperator("B", "n2").
+		AddOperator("C", "n3").AddOperator("D", "n4").AddOperator("E", "n5")
+	b.Connect("A", "B").Connect("B", "C").Connect("B", "D").
+		Connect("C", "E").Connect("D", "E")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildDiamond(t *testing.T) {
+	g := diamond(t)
+	if got := g.Sources(); !reflect.DeepEqual(got, []string{"A"}) {
+		t.Fatalf("sources = %v", got)
+	}
+	if got := g.Sinks(); !reflect.DeepEqual(got, []string{"E"}) {
+		t.Fatalf("sinks = %v", got)
+	}
+	if got := g.Upstream("E"); !reflect.DeepEqual(got, []string{"C", "D"}) {
+		t.Fatalf("upstream(E) = %v", got)
+	}
+	if got := g.Downstream("B"); !reflect.DeepEqual(got, []string{"C", "D"}) {
+		t.Fatalf("downstream(B) = %v", got)
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	g := diamond(t)
+	topo, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, id := range topo {
+		pos[id] = i
+	}
+	for _, id := range g.Operators() {
+		for _, dn := range g.Downstream(id) {
+			if pos[id] >= pos[dn] {
+				t.Fatalf("topo order violates edge %s->%s: %v", id, dn, topo)
+			}
+		}
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	var b Builder
+	b.AddOperator("A", "n1").AddOperator("B", "n2").AddOperator("S", "n3").AddOperator("K", "n4")
+	b.Connect("S", "A").Connect("A", "B").Connect("B", "A").Connect("B", "K")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("cycle not rejected")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Builder
+	}{
+		{"empty id", func() *Builder {
+			var b Builder
+			return b.AddOperator("", "n1")
+		}},
+		{"no slot", func() *Builder {
+			var b Builder
+			return b.AddOperator("A", "")
+		}},
+		{"duplicate op", func() *Builder {
+			var b Builder
+			return b.AddOperator("A", "n1").AddOperator("A", "n2")
+		}},
+		{"unknown edge from", func() *Builder {
+			var b Builder
+			return b.AddOperator("A", "n1").Connect("X", "A")
+		}},
+		{"unknown edge to", func() *Builder {
+			var b Builder
+			return b.AddOperator("A", "n1").Connect("A", "X")
+		}},
+		{"self loop", func() *Builder {
+			var b Builder
+			return b.AddOperator("A", "n1").Connect("A", "A")
+		}},
+		{"duplicate edge", func() *Builder {
+			var b Builder
+			return b.AddOperator("A", "n1").AddOperator("B", "n2").
+				Connect("A", "B").Connect("A", "B")
+		}},
+		{"no sources", func() *Builder {
+			// Not buildable without a cycle; a cycle also errors first,
+			// so use an empty graph which has no sources.
+			return &Builder{}
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.build().Build(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestSlotProjection(t *testing.T) {
+	// Two operators co-located on one slot: A,B on n1; C on n2; D on n3.
+	var b Builder
+	b.AddOperator("A", "n1").AddOperator("B", "n1").
+		AddOperator("C", "n2").AddOperator("D", "n3")
+	b.Connect("A", "B").Connect("B", "C").Connect("C", "D")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Slots(); !reflect.DeepEqual(got, []string{"n1", "n2", "n3"}) {
+		t.Fatalf("slots = %v", got)
+	}
+	if got := g.OpsOnSlot("n1"); !reflect.DeepEqual(got, []string{"A", "B"}) {
+		t.Fatalf("ops on n1 = %v", got)
+	}
+	// The A->B edge is intra-slot and must not appear in the projection.
+	if got := g.SlotUpstreams("n1"); len(got) != 0 {
+		t.Fatalf("slot upstreams(n1) = %v, want none", got)
+	}
+	if got := g.SlotDownstreams("n1"); !reflect.DeepEqual(got, []string{"n2"}) {
+		t.Fatalf("slot downstreams(n1) = %v", got)
+	}
+	if got := g.SlotUpstreams("n3"); !reflect.DeepEqual(got, []string{"n2"}) {
+		t.Fatalf("slot upstreams(n3) = %v", got)
+	}
+	if got := g.SourceSlots(); !reflect.DeepEqual(got, []string{"n1"}) {
+		t.Fatalf("source slots = %v", got)
+	}
+	if got := g.SinkSlots(); !reflect.DeepEqual(got, []string{"n3"}) {
+		t.Fatalf("sink slots = %v", got)
+	}
+}
+
+func TestChainHelper(t *testing.T) {
+	var b Builder
+	b.AddOperator("S", "n1").AddOperator("M", "n2").AddOperator("K", "n3")
+	b.Chain("S", "M", "K")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Downstream("S"); !reflect.DeepEqual(got, []string{"M"}) {
+		t.Fatalf("downstream(S) = %v", got)
+	}
+	if got := g.Downstream("M"); !reflect.DeepEqual(got, []string{"K"}) {
+		t.Fatalf("downstream(M) = %v", got)
+	}
+}
+
+func TestSpecLookup(t *testing.T) {
+	g := diamond(t)
+	s, ok := g.Spec("C")
+	if !ok || s.Slot != "n3" {
+		t.Fatalf("spec(C) = %+v, %v", s, ok)
+	}
+	if _, ok := g.Spec("nope"); ok {
+		t.Fatal("unknown operator found")
+	}
+	if g.SlotOf("D") != "n4" {
+		t.Fatalf("SlotOf(D) = %q", g.SlotOf("D"))
+	}
+}

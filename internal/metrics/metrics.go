@@ -1,0 +1,147 @@
+// Package metrics collects the quantities the paper reports: per-region
+// throughput (output tuples per second at steady state), end-to-end tuple
+// latency, and byte accounting for preservation and checkpoint traffic.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Latency accumulates latency samples and summarises them.
+type Latency struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Add records one sample.
+func (l *Latency) Add(d time.Duration) {
+	l.mu.Lock()
+	l.samples = append(l.samples, d)
+	l.mu.Unlock()
+}
+
+// Count reports the number of samples.
+func (l *Latency) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.samples)
+}
+
+// Mean reports the mean latency, or 0 with no samples.
+func (l *Latency) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range l.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(l.samples))
+}
+
+// Percentile reports the p-th percentile (0 < p <= 100), or 0 with no
+// samples.
+func (l *Latency) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Max reports the largest sample.
+func (l *Latency) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var m time.Duration
+	for _, s := range l.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Reset drops all samples.
+func (l *Latency) Reset() {
+	l.mu.Lock()
+	l.samples = l.samples[:0]
+	l.mu.Unlock()
+}
+
+// Throughput counts output tuples over a measurement window of simulated
+// time.
+type Throughput struct {
+	mu    sync.Mutex
+	count int64
+	start time.Duration
+	last  time.Duration
+}
+
+// Start (re)opens the measurement window at simulated time now.
+func (t *Throughput) Start(now time.Duration) {
+	t.mu.Lock()
+	t.count = 0
+	t.start = now
+	t.last = now
+	t.mu.Unlock()
+}
+
+// Tick records one output tuple at simulated time now.
+func (t *Throughput) Tick(now time.Duration) {
+	t.mu.Lock()
+	t.count++
+	if now > t.last {
+		t.last = now
+	}
+	t.mu.Unlock()
+}
+
+// Count reports tuples since Start.
+func (t *Throughput) Count() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// PerSecond reports tuples per simulated second over [start, now].
+func (t *Throughput) PerSecond(now time.Duration) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	window := now - t.start
+	if window <= 0 {
+		return 0
+	}
+	return float64(t.count) / window.Seconds()
+}
+
+// Report is the summary of one experiment run.
+type Report struct {
+	Scheme         string
+	App            string
+	Tuples         int64
+	Window         time.Duration
+	ThroughputTPS  float64
+	MeanLatency    time.Duration
+	P95Latency     time.Duration
+	DataBytes      int64
+	CheckpointNet  int64 // checkpoint + bitmap bytes on the network
+	ReplicationNet int64 // duplicated-tuple bytes on the network
+	PreservedBytes int64 // source + edge preservation bytes stored
+	Recovered      bool  // whether the run survived its fault injection
+}

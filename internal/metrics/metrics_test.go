@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatencySummaries(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Percentile(95) != 0 || l.Max() != 0 {
+		t.Fatal("empty collector should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		l.Add(time.Duration(i) * time.Second)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+	if got := l.Mean(); got != 50500*time.Millisecond {
+		t.Fatalf("mean = %v, want 50.5s", got)
+	}
+	if got := l.Percentile(50); got != 50*time.Second {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.Percentile(95); got != 95*time.Second {
+		t.Fatalf("p95 = %v", got)
+	}
+	if got := l.Max(); got != 100*time.Second {
+		t.Fatalf("max = %v", got)
+	}
+	l.Reset()
+	if l.Count() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestThroughputWindow(t *testing.T) {
+	var tp Throughput
+	tp.Start(10 * time.Second)
+	for i := 0; i < 20; i++ {
+		tp.Tick(10*time.Second + time.Duration(i)*time.Second)
+	}
+	if tp.Count() != 20 {
+		t.Fatalf("count = %d", tp.Count())
+	}
+	if got := tp.PerSecond(20 * time.Second); got != 2.0 {
+		t.Fatalf("rate = %v, want 2.0", got)
+	}
+	if got := tp.PerSecond(10 * time.Second); got != 0 {
+		t.Fatal("zero window should report 0")
+	}
+	tp.Start(0)
+	if tp.Count() != 0 {
+		t.Fatal("restart did not reset count")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(samples []uint16) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var l Latency
+		for _, s := range samples {
+			l.Add(time.Duration(s) * time.Millisecond)
+		}
+		last := time.Duration(0)
+		for _, p := range []float64{1, 25, 50, 75, 95, 100} {
+			v := l.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return last == l.Max() || last <= l.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

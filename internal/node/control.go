@@ -1,0 +1,557 @@
+package node
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"mobistreams/internal/broadcast"
+	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/tuple"
+)
+
+// dispatchLoop drains the endpoint inbox. Cheap data-plane work (stream
+// enqueue, checkpoint block assembly) happens inline; blocking control work
+// is forwarded to the control goroutine.
+func (n *Node) dispatchLoop() {
+	defer n.wg.Done()
+	inbox := n.cfg.Endpoint.Inbox()
+	for {
+		select {
+		case m := <-inbox:
+			n.dispatch(m)
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// ctrlBuffer is the control queue depth; control traffic is low-rate.
+const ctrlBuffer = 4096
+
+func (n *Node) dispatch(m simnet.Message) {
+	switch m.Class {
+	case simnet.ClassData, simnet.ClassReplication, simnet.ClassRecovery:
+		switch p := m.Payload.(type) {
+		case StreamMsg:
+			n.enqueueStream(p)
+		case InterRegionMsg:
+			if n.cfg.OnIngest != nil {
+				n.cfg.OnIngest(p.SrcOp, p.Value, p.Size, p.Kind)
+			}
+		default:
+			// Recovery-control requests (blob fetches, resend requests)
+			// share the recovery class with resent data; route them to
+			// the control goroutine.
+			select {
+			case n.ctrlCh() <- m:
+			case <-n.stopCh:
+			}
+		}
+	case simnet.ClassCode:
+		// Operator code shipping is modelled by its transfer cost only.
+	case simnet.ClassPreserve:
+		if pm, ok := m.Payload.(PreserveMsg); ok {
+			n.cfg.Store.AppendSourceReplica(pm.Version, pm.Source, pm.T)
+		}
+	case simnet.ClassCheckpoint:
+		switch p := m.Payload.(type) {
+		case broadcast.BlockMsg:
+			n.recv.OnBlock(p)
+		case broadcast.FillMsg:
+			n.recv.OnFill(p)
+		case DistBlobMsg:
+			n.cfg.Store.PutBlob(p.Blob)
+		}
+	default:
+		select {
+		case n.ctrlCh() <- m:
+		case <-n.stopCh:
+		}
+	}
+}
+
+// ctrlCh lazily builds the control channel (kept out of New for zero-value
+// friendliness of tests constructing partial nodes).
+func (n *Node) ctrlCh() chan simnet.Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ctrl == nil {
+		n.ctrl = make(chan simnet.Message, ctrlBuffer)
+	}
+	return n.ctrl
+}
+
+// controlLoop serves bitmap queries, controller commands and peer recovery
+// requests.
+func (n *Node) controlLoop() {
+	defer n.wg.Done()
+	ch := n.ctrlCh()
+	for {
+		select {
+		case m := <-ch:
+			n.handleControl(m)
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func (n *Node) handleControl(m simnet.Message) {
+	switch p := m.Payload.(type) {
+	case broadcast.QueryMsg:
+		bm := n.recv.Bitmap(p)
+		n.cfg.WiFi.Respond(m, n.id, simnet.ClassBitmap, broadcast.BitmapWireBytes(p.Total), bm)
+	case Command:
+		n.handleCommand(m, p)
+	case FetchBlobReq:
+		n.handleFetchBlob(m, p)
+	case ResendReq:
+		n.injectCmd(execCmd{resendTo: p.Downstream, after: p.After})
+	case TruncateMsg:
+		n.cfg.Store.TruncateEdge(p.Downstream, p.Upto)
+	case TransferMsg:
+		n.handleTransferIn(p)
+	default:
+		n.logf("%s: unhandled control payload %T", n.id, m.Payload)
+	}
+}
+
+func (n *Node) handleCommand(m simnet.Message, c Command) {
+	switch c.Op {
+	case CmdToken:
+		n.InjectToken(c.Version)
+	case CmdSnapshot:
+		n.injectCmd(execCmd{snapshot: c.Version})
+	case CmdCommit:
+		n.handleCommit(c.Version)
+	case CmdPause:
+		n.PauseExec()
+		n.respondOK(m)
+	case CmdResume:
+		n.ResumeExec()
+	case CmdRestore:
+		err := n.RestoreTo(c.Version)
+		n.mu.Lock()
+		slot := n.slot
+		n.mu.Unlock()
+		r := Report{Type: RepRestored, Phone: n.id, Slot: slot, Version: c.Version}
+		if err != nil {
+			r.Err = err.Error()
+		}
+		n.report(r)
+	case CmdReplay:
+		n.ReplayFrom(c.Version, c.Epoch)
+	case CmdPromote:
+		n.Promote()
+	case CmdHandoff:
+		n.HandoffTo(c.Target)
+	case CmdFetchRestore:
+		n.fetchRestore(c)
+	case CmdPing:
+		n.respondOK(m)
+	default:
+		n.logf("%s: unknown command %v", n.id, c.Op)
+	}
+}
+
+func (n *Node) respondOK(m simnet.Message) {
+	if m.Reply == nil {
+		return
+	}
+	if n.cfg.Cell != nil {
+		n.cfg.Cell.Respond(m, n.id, simnet.ClassControl, 16, "ok")
+	}
+}
+
+// handleCommit applies a committed checkpoint version: garbage-collect, and
+// under input preservation tell upstream slots how far they can truncate.
+func (n *Node) handleCommit(v uint64) {
+	n.cfg.Store.Commit(v)
+	n.recv.DropBefore(v)
+	if !n.cfg.Scheme.PreservesAtEdges() {
+		return
+	}
+	n.mu.Lock()
+	hw := n.hwAt[v]
+	for ver := range n.hwAt {
+		if ver < v {
+			delete(n.hwAt, ver)
+		}
+	}
+	slot := n.slot
+	ups := append([]string(nil), n.graph.SlotUpstreams(slot)...)
+	n.mu.Unlock()
+	if hw == nil {
+		return
+	}
+	for _, up := range ups {
+		if target, ok := n.cfg.Resolver.Primary(up); ok {
+			n.cfg.WiFi.Unicast(n.id, target, simnet.ClassControl, 32, TruncateMsg{Downstream: slot, Upto: hw[up]})
+		}
+	}
+}
+
+// handleFetchBlob serves a peer's recovery request for a checkpoint blob
+// (dist-n/local). The response is charged at the blob's full size.
+func (n *Node) handleFetchBlob(m simnet.Message, req FetchBlobReq) {
+	blob, ok := n.cfg.Store.Blob(req.Version, req.Slot)
+	if m.Reply == nil {
+		return
+	}
+	if !ok {
+		n.cfg.WiFi.Respond(m, n.id, simnet.ClassRecovery, 16, nil)
+		return
+	}
+	n.cfg.WiFi.Respond(m, n.id, simnet.ClassRecovery, blob.Size, blob)
+}
+
+// persistLoop persists checkpoint blobs asynchronously: MobiStreams
+// disseminates by broadcast to every peer; dist-n unicasts to its assigned
+// peers. The executor keeps processing while this runs (§III-B).
+func (n *Node) persistLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case blob := <-n.persistCh:
+			n.clk.Sleep(n.cfg.Phone.FlashWriteTime(blob.Size))
+			if n.cfg.Scheme.Kind == ft.MS {
+				peers := n.livePeers()
+				st := broadcast.Disseminate(n.cfg.WiFi, n.clk, n.id, peers, blob, n.bcfg)
+				n.cfg.Phone.DrainTx(int(st.UDPBytes + st.TCPBytes))
+				n.report(Report{Type: RepPersisted, Phone: n.id, Slot: blob.Slot, Version: blob.Version, Replicas: len(st.Complete)})
+			}
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func (n *Node) livePeers() []simnet.NodeID {
+	if n.cfg.Peers == nil {
+		return nil
+	}
+	return n.cfg.Peers()
+}
+
+// PauseExec stops the executor at the next tuple boundary and waits (in
+// wall time, bounded) until it parks.
+func (n *Node) PauseExec() {
+	n.mu.Lock()
+	n.paused = true
+	n.mu.Unlock()
+	n.cond.Broadcast()
+	deadline := time.Now().Add(5 * time.Second)
+	n.mu.Lock()
+	for !n.execParked && n.running && time.Now().Before(deadline) {
+		n.mu.Unlock()
+		time.Sleep(200 * time.Microsecond)
+		n.mu.Lock()
+	}
+	n.mu.Unlock()
+}
+
+// ResumeExec restarts the executor.
+func (n *Node) ResumeExec() {
+	n.mu.Lock()
+	n.paused = false
+	n.mu.Unlock()
+	n.cond.Broadcast()
+}
+
+// Promote turns a rep-2 standby into the primary: it starts emitting.
+func (n *Node) Promote() {
+	n.mu.Lock()
+	if n.role == RoleStandby {
+		n.role = RolePrimary
+	}
+	n.mu.Unlock()
+}
+
+// RestoreTo reloads the node's operators from the local copy of version v
+// (v = 0 resets to initial state). The executor must be paused. This is
+// the parallel, local-read restoration that makes MobiStreams recovery
+// scale (§III-D).
+func (n *Node) RestoreTo(v uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.slot == "" {
+		return fmt.Errorf("node %s: restore on idle node", n.id)
+	}
+	var blob *checkpoint.Blob
+	if v > 0 {
+		var ok bool
+		blob, ok = n.cfg.Store.Blob(v, n.slot)
+		if !ok {
+			return fmt.Errorf("node %s: no local blob for %s v%d", n.id, n.slot, v)
+		}
+		// Restoration reads the MRC from local flash (§III-D: each node
+		// reads state from local storage, in parallel across nodes).
+		n.mu.Unlock()
+		n.clk.Sleep(n.cfg.Phone.FlashReadTime(blob.Size))
+		n.mu.Lock()
+	}
+	return n.installBlobLocked(blob)
+}
+
+// installBlobLocked rebuilds operators and runtime state from a blob (nil
+// means initial state). Caller holds n.mu.
+func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
+	fresh := make([]operator.Operator, 0, len(n.opIDs))
+	for _, id := range n.opIDs {
+		fresh = append(fresh, n.cfg.Registry.New(id))
+	}
+	rt := runtimeState{OutSeq: map[string]uint64{}, InHW: map[string]uint64{}}
+	if blob != nil {
+		if err := checkpoint.RestoreBlob(blob, fresh); err != nil {
+			return err
+		}
+		if len(blob.Runtime) > 0 {
+			if err := gob.NewDecoder(bytes.NewReader(blob.Runtime)).Decode(&rt); err != nil {
+				return fmt.Errorf("node %s: decode runtime: %w", n.id, err)
+			}
+		}
+	}
+	n.ops = fresh
+	n.opIdx = make(map[string]operator.Operator, len(fresh))
+	for i, id := range n.opIDs {
+		n.opIdx[id] = fresh[i]
+	}
+	n.outSeq = rt.OutSeq
+	n.inHW = rt.InHW
+	if n.outSeq == nil {
+		n.outSeq = map[string]uint64{}
+	}
+	if n.inHW == nil {
+		n.inHW = map[string]uint64{}
+	}
+	n.logVersion = rt.LogVersion
+	for name, q := range n.queues {
+		if name == externalSlot {
+			// Fresh external input queued during the outage was never
+			// processed (hence never preserved): keep it, so it runs
+			// after the replayed log. Stale in-band markers (tokens of
+			// the aborted checkpoint) are dropped.
+			var kept []queued
+			for _, it := range q.items[q.head:] {
+				if it.item.Tuple != nil {
+					kept = append(kept, it)
+				}
+			}
+			q.items = kept
+			q.head = 0
+			q.stalled = false
+			continue
+		}
+		q.reset()
+		q.lastEnq = n.inHW[name]
+	}
+	n.cmds = nil
+	n.align = checkpoint.NewAlignment(n.alignUpstreams)
+	n.replaySeen = make(map[uint64]map[string]bool)
+	n.suppress = n.isSink
+	n.unreachable = make(map[simnet.NodeID]bool)
+	n.urgentReported = make(map[string]bool)
+	return nil
+}
+
+// ReplayFrom prepends the preserved input since version v to the external
+// queue (catch-up, §III-D), terminated by a replay-end marker for epoch.
+func (n *Node) ReplayFrom(v uint64, epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q, ok := n.queues[externalSlot]
+	if !ok {
+		return
+	}
+	var replay []queued
+	for _, src := range n.sourceOps {
+		for _, t := range n.cfg.Store.SourceLogsFrom(v, src) {
+			c := t.Clone()
+			c.Replay = true
+			replay = append(replay, queued{toOp: src, item: tuple.DataItem(c)})
+		}
+	}
+	replay = append(replay, queued{item: tuple.MarkerItem(tuple.Marker{Kind: tuple.MarkerReplayEnd, Version: epoch})})
+	pending := q.items[q.head:]
+	q.items = append(replay, pending...)
+	q.head = 0
+	n.cond.Signal()
+}
+
+// fetchRestore is the dist-n/local recovery path: fetch the blob for this
+// node's slot from a peer (or local storage), restore, then ask every
+// upstream to resend retained output past the restored watermarks.
+func (n *Node) fetchRestore(c Command) {
+	n.PauseExec()
+	var blob *checkpoint.Blob
+	if c.Target == n.id {
+		b, ok := n.cfg.Store.Blob(c.Version, n.slot)
+		if ok {
+			blob = b
+		}
+	} else if c.Version > 0 {
+		reply, err := n.cfg.WiFi.Request(n.id, c.Target, simnet.ClassRecovery, 32, FetchBlobReq{Slot: n.fetchSlot(), Version: c.Version})
+		if err == nil {
+			select {
+			case msg := <-reply:
+				if b, ok := msg.Payload.(*checkpoint.Blob); ok {
+					blob = b
+				}
+			case <-n.clk.After(60 * time.Second):
+			}
+		}
+	}
+	if blob == nil && c.Version > 0 {
+		n.report(Report{Type: RepRestored, Phone: n.id, Slot: n.fetchSlot(), Version: c.Version, Err: "blob unavailable"})
+		n.ResumeExec()
+		return
+	}
+	n.mu.Lock()
+	err := n.installBlobLocked(blob)
+	// Classic schemes have no catch-up suppression window; duplicates are
+	// handled by edge-sequence dedup instead.
+	n.suppress = false
+	hw := make(map[string]uint64, len(n.inHW))
+	for k, v := range n.inHW {
+		hw[k] = v
+	}
+	slot := n.slot
+	ups := append([]string(nil), n.graph.SlotUpstreams(slot)...)
+	n.mu.Unlock()
+	r := Report{Type: RepRestored, Phone: n.id, Slot: slot, Version: c.Version}
+	if err != nil {
+		r.Err = err.Error()
+	}
+	n.report(r)
+	for _, up := range ups {
+		if target, ok := n.cfg.Resolver.Primary(up); ok {
+			n.cfg.WiFi.Unicast(n.id, target, simnet.ClassRecovery, 32, ResendReq{Downstream: slot, After: hw[up]})
+		}
+	}
+	n.ResumeExec()
+}
+
+// fetchSlot reads the node's slot under lock (for recovery paths running
+// off the executor goroutine).
+func (n *Node) fetchSlot() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.slot
+}
+
+// HandoffTo transfers the node's live state to a replacement phone over the
+// cellular network and demotes this node to idle (§III-E).
+func (n *Node) HandoffTo(target simnet.NodeID) {
+	n.PauseExec()
+	n.mu.Lock()
+	slot := n.slot
+	n.mu.Unlock()
+	if slot == "" {
+		n.ResumeExec()
+		return
+	}
+	blob, err := n.snapshot(transferVersion)
+	if err != nil {
+		n.logf("%s: handoff snapshot: %v", n.id, err)
+		n.ResumeExec()
+		return
+	}
+	// Atomically: collect queued-but-unprocessed items for the transfer,
+	// vacate the slot and start relaying stragglers to the replacement —
+	// so nothing arriving during the (slow, cellular) transfer is lost.
+	n.mu.Lock()
+	var pending []PendingItem
+	pendingBytes := 0
+	for name, q := range n.queues {
+		for _, it := range q.items[q.head:] {
+			pending = append(pending, PendingItem{FromSlot: name, FromOp: it.fromOp, ToOp: it.toOp, EdgeSeq: it.edgeSeq, Item: it.item})
+			pendingBytes += it.item.WireSize()
+		}
+	}
+	n.slot = ""
+	n.ops = nil
+	n.opIdx = nil
+	n.qOrder = nil
+	n.queues = make(map[string]*upQueue)
+	n.role = RoleIdle
+	n.paused = false
+	n.forwardTo = target
+	n.mu.Unlock()
+	n.cond.Broadcast()
+	if n.cfg.Cell != nil {
+		size := blob.Size + pendingBytes
+		if err := n.cfg.Cell.Send(n.id, target, simnet.ClassTransfer, size, TransferMsg{Slot: slot, Blob: blob, Pending: pending}); err != nil {
+			n.logf("%s: handoff transfer failed: %v", n.id, err)
+		}
+		n.cfg.Phone.DrainTx(size)
+	}
+	n.report(Report{Type: RepHandoffDone, Phone: n.id, Slot: slot})
+}
+
+// handleTransferIn activates an idle node with a departing peer's state.
+func (n *Node) handleTransferIn(msg TransferMsg) {
+	n.mu.Lock()
+	if n.slot != "" {
+		n.mu.Unlock()
+		n.logf("%s: transfer-in while hosting %s", n.id, n.slot)
+		return
+	}
+	n.configureSlot(msg.Slot, n.opIDsForSlot(msg.Slot))
+	n.role = RolePrimary
+	err := n.installBlobLocked(msg.Blob)
+	// A handed-off node resumes mid-stream; it does not suppress.
+	n.suppress = false
+	// Re-queue the items the departing node had not yet processed.
+	for _, p := range msg.Pending {
+		q, ok := n.queues[p.FromSlot]
+		if !ok {
+			continue
+		}
+		q.push(queued{fromOp: p.FromOp, toOp: p.ToOp, edgeSeq: p.EdgeSeq, item: p.Item})
+		if p.EdgeSeq > q.lastEnq {
+			q.lastEnq = p.EdgeSeq
+		}
+	}
+	buffered := n.preBuf
+	n.preBuf = nil
+	n.mu.Unlock()
+	if err != nil {
+		n.logf("%s: transfer-in restore: %v", n.id, err)
+		return
+	}
+	// Stragglers relayed by the departing node while the transfer was in
+	// flight follow the transferred backlog.
+	for _, m := range buffered {
+		n.enqueueStream(m)
+	}
+	n.cond.Broadcast()
+	n.report(Report{Type: RepRestored, Phone: n.id, Slot: msg.Slot, Version: transferVersion})
+}
+
+// Activate configures an idle node to host a slot (recovery replacement).
+// The caller (controller) then issues CmdRestore/CmdReplay as needed.
+func (n *Node) Activate(slot string) {
+	n.mu.Lock()
+	n.configureSlot(slot, n.opIDsForSlot(slot))
+	n.role = RolePrimary
+	buffered := n.preBuf
+	n.preBuf = nil
+	n.mu.Unlock()
+	for _, m := range buffered {
+		n.enqueueStream(m)
+	}
+	n.cond.Broadcast()
+}
+
+func (n *Node) opIDsForSlot(slot string) []string {
+	return n.graph.OpsOnSlot(slot)
+}
+
+// transferVersion tags handoff blobs, which are live state outside the
+// checkpoint version sequence.
+const transferVersion = ^uint64(0)

@@ -1,0 +1,184 @@
+package node
+
+import (
+	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/tuple"
+)
+
+// StreamMsg is a data-plane message on a slot-to-slot edge. Each ordered
+// pair of slots forms one FIFO stream carrying tuples and in-band markers,
+// sequenced by EdgeSeq for duplicate suppression after recovery resends.
+type StreamMsg struct {
+	FromSlot string
+	FromOp   string
+	ToSlot   string
+	ToOp     string
+	EdgeSeq  uint64
+	Item     tuple.Item
+}
+
+// PreserveMsg replicates one admitted source tuple to every phone in the
+// region (UDP best-effort), so the replay log survives source failures.
+type PreserveMsg struct {
+	Version uint64
+	Source  string
+	T       *tuple.Tuple
+}
+
+// InterRegionMsg carries a result tuple from an upstream region's sink to
+// this region's source node over the cellular network (Fig. 4).
+type InterRegionMsg struct {
+	SrcOp string
+	Kind  string
+	Size  int
+	Value interface{}
+}
+
+// DistBlobMsg carries a whole checkpoint blob to one peer (dist-n unicast
+// persistence).
+type DistBlobMsg struct {
+	Blob *checkpoint.Blob
+}
+
+// PendingItem is one queued-but-unprocessed stream item included in a
+// departure handoff so no in-flight tuple is lost to mobility.
+type PendingItem struct {
+	FromSlot string
+	FromOp   string
+	ToOp     string
+	EdgeSeq  uint64
+	Item     tuple.Item
+}
+
+// TransferMsg carries a departing node's state — snapshot plus queued
+// input — to its replacement over the cellular network (§III-E).
+type TransferMsg struct {
+	Slot    string
+	Blob    *checkpoint.Blob
+	Pending []PendingItem
+}
+
+// FetchBlobReq asks a peer for a checkpoint blob (dist-n/local recovery).
+type FetchBlobReq struct {
+	Slot    string
+	Version uint64
+}
+
+// ResendReq asks an upstream slot to resend retained output with
+// EdgeSeq > After (input preservation replay, dist-n/local recovery).
+type ResendReq struct {
+	Downstream string
+	After      uint64
+}
+
+// TruncateMsg tells an upstream slot that the sender's checkpoint covering
+// edge sequences <= Upto has committed, so retained output can be dropped.
+type TruncateMsg struct {
+	Downstream string
+	Upto       uint64
+}
+
+// Command is a controller-to-node instruction, delivered over cellular
+// (ClassControl).
+type Command struct {
+	Op      CommandOp
+	Version uint64
+	Epoch   uint64
+	Target  simnet.NodeID // handoff destination / fetch peer
+	Slot    string
+}
+
+// CommandOp enumerates controller commands.
+type CommandOp int
+
+const (
+	// CmdToken makes a source slot inject a checkpoint token (§III-B
+	// step 1).
+	CmdToken CommandOp = iota
+	// CmdSnapshot makes a node snapshot now (local/dist-n periodic
+	// checkpointing).
+	CmdSnapshot
+	// CmdCommit announces a fully committed checkpoint version.
+	CmdCommit
+	// CmdPause stops tuple processing at the next boundary.
+	CmdPause
+	// CmdResume restarts tuple processing.
+	CmdResume
+	// CmdRestore reloads operator state for Version from local storage.
+	CmdRestore
+	// CmdReplay makes a source slot replay preserved input from Version
+	// and then emit a replay-end marker with Epoch.
+	CmdReplay
+	// CmdPromote promotes a rep-2 standby to primary.
+	CmdPromote
+	// CmdHandoff makes a departing node transfer state to Target.
+	CmdHandoff
+	// CmdFetchRestore makes a replacement fetch Version's blob for Slot
+	// from peer Target (its own store if Target equals itself), restore,
+	// and request upstream resends.
+	CmdFetchRestore
+	// CmdPing is the controller liveness probe (§III-D).
+	CmdPing
+)
+
+var cmdNames = [...]string{"token", "snapshot", "commit", "pause", "resume",
+	"restore", "replay", "promote", "handoff", "fetch-restore", "ping"}
+
+func (c CommandOp) String() string {
+	if int(c) < len(cmdNames) {
+		return cmdNames[c]
+	}
+	return "cmd(?)"
+}
+
+// Report is a node-to-controller notification, delivered over cellular
+// (ClassControl).
+type Report struct {
+	Type     ReportType
+	Phone    simnet.NodeID
+	Slot     string
+	Version  uint64
+	Epoch    uint64
+	Replicas int
+	Observed simnet.NodeID // failed/unreachable phone for failure reports
+	Err      string
+}
+
+// ReportType enumerates node reports.
+type ReportType int
+
+const (
+	// RepCheckpointed: the node snapshotted Version (sink slots reporting
+	// this is the token percolating back to the controller).
+	RepCheckpointed ReportType = iota
+	// RepPersisted: the node's Version blob is persisted (Replicas full
+	// remote copies exist).
+	RepPersisted
+	// RepFailure: a downstream neighbour is unreachable.
+	RepFailure
+	// RepUrgent: the node fell back to cellular for a data edge.
+	RepUrgent
+	// RepCatchUpDone: a sink finished catch-up for Epoch.
+	RepCatchUpDone
+	// RepChronicBattery: the node's battery is at chronic level.
+	RepChronicBattery
+	// RepHandoffDone: a departing node finished transferring state.
+	RepHandoffDone
+	// RepRestored: the node finished a restore command.
+	RepRestored
+)
+
+var repNames = [...]string{"checkpointed", "persisted", "failure", "urgent",
+	"catchup-done", "chronic-battery", "handoff-done", "restored"}
+
+func (r ReportType) String() string {
+	if int(r) < len(repNames) {
+		return repNames[r]
+	}
+	return "report(?)"
+}
+
+// externalSlot is the virtual upstream for externally admitted tuples and
+// controller-injected markers on source slots.
+const externalSlot = "__ext__"

@@ -1,0 +1,938 @@
+// Package node implements the per-phone runtime: the dispatcher that sorts
+// incoming network messages, the executor that processes tuples through the
+// phone's operators with calibrated service times, token alignment and
+// checkpointing, and the control handler for controller commands, recovery
+// and mobility.
+//
+// Concurrency model: one dispatcher goroutine drains the endpoint inbox,
+// one executor goroutine owns the operators and all stream state, one
+// control goroutine serves commands and peer requests, and one persist
+// goroutine disseminates checkpoint blobs so the executor never blocks on
+// checkpoint I/O (the paper's asynchronous checkpointing, §III-B).
+package node
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"mobistreams/internal/broadcast"
+	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/graph"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/phone"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/storage"
+	"mobistreams/internal/tuple"
+)
+
+// Role is a node's current function in the region.
+type Role int
+
+const (
+	// RolePrimary runs operators and emits output.
+	RolePrimary Role = iota
+	// RoleStandby runs operators but suppresses output (rep-2 replica).
+	RoleStandby
+	// RoleIdle runs no operators; it stores checkpoint data and stands
+	// by as a replacement (node F in Fig. 4).
+	RoleIdle
+)
+
+// Resolver maps slots to the phones currently hosting them. The region
+// owns the placement and updates it during recovery and mobility; nodes
+// resolve on every send.
+type Resolver interface {
+	Primary(slot string) (simnet.NodeID, bool)
+	Standby(slot string) (simnet.NodeID, bool)
+}
+
+// Config assembles a node.
+type Config struct {
+	// ID is the node's network identity; defaults to Phone.ID. A rep-2
+	// standby has its own identity on a shared physical phone.
+	ID       simnet.NodeID
+	Phone    *phone.Phone
+	Slot     string // "" for idle nodes
+	Role     Role
+	Registry operator.Registry
+	OpIDs    []string // operators on this slot, topological order
+	Graph    *graph.Graph
+	Scheme   ft.Scheme
+	Clock    clock.Clock
+	WiFi     *simnet.WiFi
+	Cell     *simnet.Cellular
+	Endpoint *simnet.Endpoint
+	Store    *storage.Store
+	Resolver Resolver
+	// ControllerID is the controller's network identity for reports.
+	ControllerID simnet.NodeID
+	// Peers returns the current region members (minus this phone) for
+	// broadcast dissemination queries.
+	Peers func() []simnet.NodeID
+	// DistPeers are the unicast persistence targets under dist-n.
+	DistPeers []simnet.NodeID
+	// Broadcast configures the dissemination protocol.
+	Broadcast broadcast.Config
+	// PreserveBroadcast replicates admitted source input to all peers
+	// (UDP best-effort) so replay logs survive source failures.
+	PreserveBroadcast bool
+	// OnSinkOutput receives externally published results.
+	OnSinkOutput func(*tuple.Tuple)
+	// OnIngest admits an inter-region tuple arriving over cellular into
+	// the region (set by the region to its Ingest method).
+	OnIngest func(srcOp string, value interface{}, size int, kind string)
+	// Logf receives debug logging; nil disables.
+	Logf func(string, ...interface{})
+}
+
+// queued is one item waiting on an upstream queue.
+type queued struct {
+	fromOp  string
+	toOp    string
+	edgeSeq uint64
+	item    tuple.Item
+}
+
+// upQueue is the FIFO from one upstream slot (or the external world).
+//
+// Under edge-preserving schemes (local/dist-n) the queue delivers strictly
+// in edge-sequence order: recovery resends must not be overtaken by fresh
+// emissions, so out-of-order arrivals park until the gap fills. The park
+// has an overflow valve — an unfillable gap (edge log lost to a second
+// failure) degrades to tuple loss rather than deadlock.
+type upQueue struct {
+	items   []queued
+	head    int
+	stalled bool
+	lastEnq uint64
+	ordered bool
+	park    map[uint64]queued
+}
+
+// parkLimit bounds out-of-order buffering before the gap is abandoned.
+const parkLimit = 1024
+
+// enqueue applies the queue's ordering discipline to a sequenced arrival
+// and reports whether anything became deliverable.
+func (q *upQueue) enqueue(it queued) bool {
+	if it.edgeSeq <= q.lastEnq {
+		return false // duplicate
+	}
+	if !q.ordered {
+		q.lastEnq = it.edgeSeq
+		q.push(it)
+		return true
+	}
+	if it.edgeSeq == q.lastEnq+1 {
+		q.lastEnq = it.edgeSeq
+		q.push(it)
+		for {
+			next, ok := q.park[q.lastEnq+1]
+			if !ok {
+				break
+			}
+			delete(q.park, q.lastEnq+1)
+			q.lastEnq++
+			q.push(next)
+		}
+		return true
+	}
+	if q.park == nil {
+		q.park = make(map[uint64]queued)
+	}
+	q.park[it.edgeSeq] = it
+	if len(q.park) > parkLimit {
+		q.flushPark()
+		return true
+	}
+	return false
+}
+
+// flushPark abandons an unfillable gap: parked items are delivered in
+// sequence order and the watermark jumps past them.
+func (q *upQueue) flushPark() {
+	for {
+		var min uint64
+		found := false
+		for s := range q.park {
+			if !found || s < min {
+				min = s
+				found = true
+			}
+		}
+		if !found {
+			return
+		}
+		it := q.park[min]
+		delete(q.park, min)
+		q.lastEnq = min
+		q.push(it)
+	}
+}
+
+func (q *upQueue) len() int { return len(q.items) - q.head }
+
+func (q *upQueue) push(it queued) { q.items = append(q.items, it) }
+
+func (q *upQueue) pop() queued {
+	it := q.items[q.head]
+	q.items[q.head] = queued{}
+	q.head++
+	if q.head > 256 && q.head*2 >= len(q.items) {
+		q.items = append([]queued(nil), q.items[q.head:]...)
+		q.head = 0
+	}
+	return it
+}
+
+func (q *upQueue) reset() {
+	q.items = nil
+	q.head = 0
+	q.stalled = false
+	q.park = nil
+}
+
+// execCmd is a high-priority executor command.
+type execCmd struct {
+	snapshot uint64 // snapshot now at this version (local/dist-n)
+	resendTo string // downstream slot to resend retained output to
+	after    uint64
+}
+
+// Node is one phone's runtime.
+type Node struct {
+	cfg   Config
+	id    simnet.NodeID
+	clk   clock.Clock
+	logf  func(string, ...interface{})
+	bcfg  broadcast.Config
+	recv  *broadcast.Receiver
+	graph *graph.Graph
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	running    bool
+	paused     bool
+	execParked bool
+	failed     bool
+	role       Role
+	slot       string
+	opIDs      []string
+	ops        []operator.Operator
+	opIdx      map[string]operator.Operator
+	queues     map[string]*upQueue
+	qOrder     []string
+	rr         int
+	cmds       []execCmd
+
+	align          *checkpoint.Alignment
+	alignUpstreams []string
+	replaySeen     map[uint64]map[string]bool
+	suppress       bool
+	outSeq         map[string]uint64
+	inHW           map[string]uint64
+	logVersion     uint64
+	hwAt           map[uint64]map[string]uint64
+	isSource       bool
+	isSink         bool
+	sourceOps      []string
+
+	unreachable     map[simnet.NodeID]bool
+	urgentReported  map[string]bool
+	chronicReported bool
+	extFwdSeq       uint64
+	forwardTo       simnet.NodeID // post-handoff relay target (§III-E)
+	preBuf          []StreamMsg   // stream arrivals before activation
+
+	ctrl      chan simnet.Message
+	persistCh chan *checkpoint.Blob
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// runtimeState is the executor bookkeeping carried inside checkpoints so a
+// restored node resumes with consistent edge sequences.
+type runtimeState struct {
+	OutSeq     map[string]uint64
+	InHW       map[string]uint64
+	LogVersion uint64
+}
+
+// New assembles a node; Start launches it.
+func New(cfg Config) *Node {
+	id := cfg.ID
+	if id == "" {
+		id = cfg.Phone.ID
+	}
+	n := &Node{
+		cfg:            cfg,
+		id:             id,
+		clk:            cfg.Clock,
+		bcfg:           cfg.Broadcast,
+		graph:          cfg.Graph,
+		role:           cfg.Role,
+		recv:           broadcast.NewReceiver(cfg.Store),
+		queues:         make(map[string]*upQueue),
+		replaySeen:     make(map[uint64]map[string]bool),
+		outSeq:         make(map[string]uint64),
+		inHW:           make(map[string]uint64),
+		hwAt:           make(map[uint64]map[string]uint64),
+		unreachable:    make(map[simnet.NodeID]bool),
+		urgentReported: make(map[string]bool),
+		persistCh:      make(chan *checkpoint.Blob, 64),
+		stopCh:         make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	n.logf = cfg.Logf
+	if n.logf == nil {
+		n.logf = func(string, ...interface{}) {}
+	}
+	if cfg.Slot != "" {
+		n.configureSlot(cfg.Slot, cfg.OpIDs)
+	}
+	return n
+}
+
+// configureSlot installs the slot's operators and queue topology. Callers
+// hold no lock (construction) or n.mu (activation of an idle node).
+func (n *Node) configureSlot(slot string, opIDs []string) {
+	n.slot = slot
+	n.opIDs = append([]string(nil), opIDs...)
+	n.ops = make([]operator.Operator, 0, len(opIDs))
+	n.opIdx = make(map[string]operator.Operator, len(opIDs))
+	for _, id := range opIDs {
+		op := n.cfg.Registry.New(id)
+		n.ops = append(n.ops, op)
+		n.opIdx[id] = op
+	}
+	n.queues = make(map[string]*upQueue)
+	n.qOrder = nil
+	for _, up := range n.graph.SlotUpstreams(slot) {
+		n.queues[up] = &upQueue{ordered: n.cfg.Scheme.PreservesAtEdges()}
+		n.qOrder = append(n.qOrder, up)
+	}
+	n.isSource, n.isSink = false, false
+	n.sourceOps = nil
+	for _, id := range n.graph.Sources() {
+		if n.graph.SlotOf(id) == slot {
+			n.isSource = true
+			n.sourceOps = append(n.sourceOps, id)
+		}
+	}
+	for _, id := range n.graph.Sinks() {
+		if n.graph.SlotOf(id) == slot {
+			n.isSink = true
+		}
+	}
+	if n.isSource {
+		n.queues[externalSlot] = &upQueue{}
+		n.qOrder = append(n.qOrder, externalSlot)
+	}
+	n.alignUpstreams = append([]string(nil), n.graph.SlotUpstreams(slot)...)
+	if n.isSource {
+		n.alignUpstreams = append(n.alignUpstreams, externalSlot)
+	}
+	n.align = checkpoint.NewAlignment(n.alignUpstreams)
+}
+
+// ID returns the phone's network identity.
+func (n *Node) ID() simnet.NodeID { return n.id }
+
+// Slot returns the slot the node currently hosts ("" when idle).
+func (n *Node) Slot() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.slot
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Start launches the node's goroutines.
+func (n *Node) Start() {
+	n.mu.Lock()
+	n.running = true
+	n.mu.Unlock()
+	n.wg.Add(3)
+	go n.dispatchLoop()
+	go n.controlLoop()
+	go n.execLoop()
+	if n.cfg.Scheme.Checkpoints() {
+		n.wg.Add(1)
+		go n.persistLoop()
+	}
+}
+
+// Stop shuts the node down gracefully and waits for its goroutines.
+func (n *Node) Stop() {
+	n.shutdown(false)
+	n.wg.Wait()
+}
+
+// Fail crashes the phone: goroutines stop, the endpoint is sealed, local
+// storage is lost. It does not wait: a crash is not graceful.
+func (n *Node) Fail() {
+	n.cfg.Phone.Kill()
+	n.cfg.Store.MarkLost()
+	n.cfg.Endpoint.Seal()
+	n.shutdown(true)
+}
+
+// Failed reports whether the node has crashed.
+func (n *Node) Failed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failed
+}
+
+func (n *Node) shutdown(failed bool) {
+	n.mu.Lock()
+	n.running = false
+	if failed {
+		n.failed = true
+	}
+	n.mu.Unlock()
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.cond.Broadcast()
+}
+
+// IngestExternal admits one externally sensed tuple on a source operator.
+// The workload driver calls this on the phone currently hosting the source.
+func (n *Node) IngestExternal(srcOp string, t *tuple.Tuple) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q, ok := n.queues[externalSlot]
+	if !ok || !n.running {
+		return
+	}
+	q.push(queued{fromOp: "", toOp: srcOp, item: tuple.DataItem(t)})
+	n.cond.Signal()
+}
+
+// enqueueStream delivers a cross-slot stream message into its upstream
+// queue, suppressing duplicates below the edge-sequence watermark. A node
+// that has handed its slot off relays stragglers to the replacement.
+func (n *Node) enqueueStream(m StreamMsg) {
+	n.mu.Lock()
+	q, ok := n.queues[m.FromSlot]
+	if !ok {
+		fwd := n.forwardTo
+		if fwd == "" && n.slot == "" {
+			// Not yet hosting a slot: an incoming replacement buffers
+			// early arrivals until its state transfer installs.
+			if len(n.preBuf) < 4096 {
+				n.preBuf = append(n.preBuf, m)
+			}
+			n.mu.Unlock()
+			return
+		}
+		n.mu.Unlock()
+		if fwd != "" {
+			if err := n.cfg.WiFi.Unicast(n.id, fwd, simnet.ClassData, m.Item.WireSize(), m); err != nil && n.cfg.Cell != nil {
+				n.cfg.Cell.Send(n.id, fwd, simnet.ClassData, m.Item.WireSize(), m)
+			}
+			return
+		}
+		n.logf("%s: stream from unexpected slot %s", n.id, m.FromSlot)
+		return
+	}
+	defer n.mu.Unlock()
+	if q.enqueue(queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item}) {
+		n.cond.Signal()
+	}
+}
+
+// injectCmd queues a high-priority executor command.
+func (n *Node) injectCmd(c execCmd) {
+	n.mu.Lock()
+	n.cmds = append(n.cmds, c)
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// InjectToken makes a source slot admit a checkpoint token for version v
+// at the next tuple boundary (controller notification, §III-B step 1).
+func (n *Node) InjectToken(v uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	q, ok := n.queues[externalSlot]
+	if !ok {
+		return
+	}
+	q.push(queued{item: tuple.MarkerItem(tuple.Marker{Kind: tuple.MarkerToken, Version: v})})
+	n.cond.Signal()
+}
+
+// execLoop is the executor: it owns the operators and all stream state.
+func (n *Node) execLoop() {
+	defer n.wg.Done()
+	for {
+		n.mu.Lock()
+		var cmd *execCmd
+		var from string
+		var it queued
+		var have bool
+		for {
+			if !n.running {
+				n.mu.Unlock()
+				return
+			}
+			if !n.paused {
+				if len(n.cmds) > 0 {
+					c := n.cmds[0]
+					n.cmds = n.cmds[1:]
+					cmd = &c
+					break
+				}
+				from, it, have = n.nextItemLocked()
+				if have {
+					break
+				}
+			}
+			n.execParked = true
+			n.cond.Broadcast()
+			n.cond.Wait()
+		}
+		n.execParked = false
+		n.mu.Unlock()
+
+		switch {
+		case cmd != nil && cmd.resendTo != "":
+			n.doResend(cmd.resendTo, cmd.after)
+		case cmd != nil:
+			n.doPeriodicSnapshot(cmd.snapshot)
+		case have:
+			n.handleItem(from, it)
+		}
+	}
+}
+
+// nextItemLocked round-robins across unstalled non-empty queues.
+func (n *Node) nextItemLocked() (string, queued, bool) {
+	for i := 0; i < len(n.qOrder); i++ {
+		name := n.qOrder[(n.rr+i)%len(n.qOrder)]
+		q := n.queues[name]
+		if q.stalled || q.len() == 0 {
+			continue
+		}
+		n.rr = (n.rr + i + 1) % len(n.qOrder)
+		return name, q.pop(), true
+	}
+	return "", queued{}, false
+}
+
+// handleItem processes one stream item (tuple or marker).
+func (n *Node) handleItem(from string, it queued) {
+	if it.item.Marker != nil {
+		switch it.item.Marker.Kind {
+		case tuple.MarkerToken:
+			n.onToken(from, it.item.Marker.Version, it.edgeSeq)
+		case tuple.MarkerReplayEnd:
+			n.onReplayEnd(from, it.item.Marker.Version)
+		}
+		return
+	}
+	t := it.item.Tuple
+	if from != externalSlot {
+		n.mu.Lock()
+		if it.edgeSeq > n.inHW[from] {
+			n.inHW[from] = it.edgeSeq
+		}
+		n.mu.Unlock()
+	} else {
+		n.preserveSourceInput(it.toOp, t)
+		n.forwardExternalToStandby(it.toOp, t)
+	}
+	n.runOp(it.toOp, it.fromOp, t)
+}
+
+// forwardExternalToStandby duplicates externally admitted input to the
+// slot's standby replica under rep-2, so both replicas build the same
+// state. This is part of the replication network overhead (Fig. 10b).
+func (n *Node) forwardExternalToStandby(srcOp string, t *tuple.Tuple) {
+	if !n.cfg.Scheme.Replicated() {
+		return
+	}
+	n.mu.Lock()
+	if n.role != RolePrimary {
+		n.mu.Unlock()
+		return
+	}
+	n.extFwdSeq++
+	seq := n.extFwdSeq
+	slot := n.slot
+	n.mu.Unlock()
+	standby, ok := n.cfg.Resolver.Standby(slot)
+	if !ok {
+		return
+	}
+	msg := StreamMsg{FromSlot: externalSlot, ToSlot: slot, ToOp: srcOp, EdgeSeq: seq, Item: tuple.DataItem(t)}
+	if err := n.cfg.WiFi.Unicast(n.id, standby, simnet.ClassReplication, t.Size, msg); err == nil {
+		n.cfg.Phone.DrainTx(t.Size)
+	}
+}
+
+// preserveSourceInput implements source preservation (§III-B step 3): the
+// admitted tuple joins the local replay log and, when configured, is
+// replicated to every phone via one UDP broadcast airtime.
+func (n *Node) preserveSourceInput(srcOp string, t *tuple.Tuple) {
+	if !n.cfg.Scheme.PreservesAtSources() || t.Replay {
+		return
+	}
+	n.mu.Lock()
+	v := n.logVersion
+	n.mu.Unlock()
+	n.cfg.Store.AppendSource(v, srcOp, t)
+	// The log append hits local flash on the data path.
+	n.clk.Sleep(n.cfg.Phone.FlashWriteTime(t.Size))
+	if n.cfg.PreserveBroadcast {
+		n.cfg.WiFi.Broadcast(n.id, simnet.ClassPreserve, t.Size, PreserveMsg{Version: v, Source: srcOp, T: t})
+		n.cfg.Phone.DrainTx(t.Size)
+	}
+}
+
+// runOp executes one operator on a tuple, charging its service time, and
+// routes the emissions: in-slot targets recurse synchronously; cross-slot
+// targets are sent over the region network; targets with no downstream are
+// external sink output.
+func (n *Node) runOp(opID, fromOp string, t *tuple.Tuple) {
+	n.mu.Lock()
+	op, ok := n.opIdx[opID]
+	slot := n.slot
+	n.mu.Unlock()
+	if !ok {
+		n.logf("%s: tuple for unknown operator %s", n.id, opID)
+		return
+	}
+	if cost := op.Cost(t); cost > 0 {
+		if !n.cfg.Phone.Exec(n.clk, cost) {
+			n.logf("%s: battery dead", n.id)
+			n.Fail()
+			return
+		}
+		n.maybeReportChronic()
+	}
+	outs, err := op.Process(fromOp, t)
+	if err != nil {
+		n.logf("%s: operator %s: %v", n.id, opID, err)
+		return
+	}
+	for _, out := range outs {
+		var targets []string
+		if out.To != "" {
+			targets = []string{out.To}
+		} else {
+			targets = n.graph.Downstream(opID)
+		}
+		if len(targets) == 0 {
+			n.emitExternal(out.T)
+			continue
+		}
+		for _, tgt := range targets {
+			if n.graph.SlotOf(tgt) == slot {
+				n.runOp(tgt, opID, out.T)
+			} else {
+				n.sendCross(n.graph.SlotOf(tgt), tgt, opID, tuple.DataItem(out.T))
+			}
+		}
+	}
+}
+
+func (n *Node) maybeReportChronic() {
+	if n.chronicReported || !n.cfg.Phone.BatteryChronic() {
+		return
+	}
+	n.chronicReported = true
+	n.report(Report{Type: RepChronicBattery, Phone: n.id})
+}
+
+// emitExternal publishes a sink result unless the node is suppressing
+// catch-up output (§III-D).
+func (n *Node) emitExternal(t *tuple.Tuple) {
+	n.mu.Lock()
+	role, sup := n.role, n.suppress
+	n.mu.Unlock()
+	if role == RoleStandby || sup {
+		return
+	}
+	if n.cfg.OnSinkOutput != nil {
+		n.cfg.OnSinkOutput(t)
+	}
+}
+
+// sendCross ships one item to an operator on another slot, with urgent-mode
+// cellular fallback and failure reporting (§III-D, §III-E).
+func (n *Node) sendCross(toSlot, toOp, fromOp string, item tuple.Item) {
+	n.mu.Lock()
+	if n.role == RoleStandby {
+		n.outSeq[toSlot]++ // keep sequences aligned with the primary
+		n.mu.Unlock()
+		return
+	}
+	n.outSeq[toSlot]++
+	seq := n.outSeq[toSlot]
+	fromSlot := n.slot
+	n.mu.Unlock()
+
+	if n.cfg.Scheme.PreservesAtEdges() && item.Tuple != nil {
+		// Classic input preservation writes every retained output to
+		// flash on the data path — part of local/dist-n's steady-state
+		// overhead (§IV-B).
+		n.cfg.Store.AppendEdge(toSlot, seq, fromOp, toOp, item.Tuple)
+		n.clk.Sleep(n.cfg.Phone.FlashWriteTime(item.Tuple.Size))
+	}
+	msg := StreamMsg{FromSlot: fromSlot, FromOp: fromOp, ToSlot: toSlot, ToOp: toOp, EdgeSeq: seq, Item: item}
+	n.deliverData(toSlot, msg, simnet.ClassData)
+
+	if n.cfg.Scheme.Replicated() {
+		if standby, ok := n.cfg.Resolver.Standby(toSlot); ok {
+			size := item.WireSize()
+			if err := n.cfg.WiFi.Unicast(n.id, standby, simnet.ClassReplication, size, msg); err == nil {
+				n.cfg.Phone.DrainTx(size)
+			}
+		}
+	}
+}
+
+// deliverData resolves the destination slot's phone and sends reliably,
+// falling back to the cellular network (urgent mode) when the WiFi path is
+// broken, and reporting the destination failed after bounded retries.
+func (n *Node) deliverData(toSlot string, msg StreamMsg, class simnet.Class) {
+	size := msg.Item.WireSize()
+	const attempts = 3
+	var target simnet.NodeID
+	for i := 0; i < attempts; i++ {
+		var ok bool
+		target, ok = n.cfg.Resolver.Primary(toSlot)
+		if !ok {
+			n.clk.Sleep(200 * time.Millisecond)
+			continue
+		}
+		if err := n.cfg.WiFi.Unicast(n.id, target, class, size, msg); err == nil {
+			n.cfg.Phone.DrainTx(size)
+			return
+		}
+		// Urgent mode: detour over the cellular network (§III-E).
+		if n.cfg.Cell != nil && n.cfg.Cell.Attached(target) {
+			if err := n.cfg.Cell.Send(n.id, target, class, size, msg); err == nil {
+				n.cfg.Phone.DrainTx(size)
+				n.mu.Lock()
+				reported := n.urgentReported[toSlot]
+				n.urgentReported[toSlot] = true
+				n.mu.Unlock()
+				if !reported {
+					n.report(Report{Type: RepUrgent, Phone: n.id, Slot: toSlot, Observed: target})
+				}
+				return
+			}
+		}
+		n.clk.Sleep(200 * time.Millisecond)
+	}
+	n.mu.Lock()
+	already := n.unreachable[target]
+	n.unreachable[target] = true
+	n.mu.Unlock()
+	if !already && target != "" {
+		n.report(Report{Type: RepFailure, Phone: n.id, Slot: toSlot, Observed: target})
+	}
+}
+
+// sendMarker forwards an in-band marker to every downstream slot.
+func (n *Node) sendMarker(m tuple.Marker) {
+	n.mu.Lock()
+	slot := n.slot
+	n.mu.Unlock()
+	for _, ds := range n.graph.SlotDownstreams(slot) {
+		n.sendCross(ds, "", "", tuple.MarkerItem(m))
+	}
+}
+
+// onToken runs the alignment step of token-triggered checkpointing.
+func (n *Node) onToken(from string, v uint64, edgeSeq uint64) {
+	n.mu.Lock()
+	if from != externalSlot && edgeSeq > n.inHW[from] {
+		n.inHW[from] = edgeSeq
+	}
+	if from == externalSlot {
+		n.logVersion = v
+	}
+	st, err := n.align.OnToken(from, v)
+	if err != nil {
+		n.logf("%s: token: %v", n.id, err)
+		n.mu.Unlock()
+		return
+	}
+	if !st.Complete {
+		n.queues[from].stalled = true
+		n.mu.Unlock()
+		return
+	}
+	for _, q := range n.queues {
+		q.stalled = false
+	}
+	n.mu.Unlock()
+	n.cond.Broadcast()
+	n.doTokenCheckpoint(v)
+}
+
+// onReplayEnd tracks catch-up termination markers. Replay-end markers are
+// aligned exactly like tokens — a channel that has delivered its marker is
+// stalled — so no fresh (post-recovery) tuple can overtake the marker
+// through a reconverging path and be wrongly discarded by a suppressing
+// sink. When every upstream has delivered one, a sink resumes publishing
+// and reports; an interior node forwards the marker downstream.
+func (n *Node) onReplayEnd(from string, epoch uint64) {
+	n.mu.Lock()
+	set, ok := n.replaySeen[epoch]
+	if !ok {
+		set = make(map[string]bool)
+		n.replaySeen[epoch] = set
+	}
+	set[from] = true
+	complete := len(set) == len(n.alignUpstreams)
+	if !complete {
+		if q, ok := n.queues[from]; ok {
+			q.stalled = true
+		}
+		n.mu.Unlock()
+		return
+	}
+	delete(n.replaySeen, epoch)
+	for _, q := range n.queues {
+		q.stalled = false
+	}
+	if n.isSink {
+		n.suppress = false
+	}
+	isSink := n.isSink
+	slot := n.slot
+	n.mu.Unlock()
+	n.cond.Broadcast()
+	if isSink {
+		n.report(Report{Type: RepCatchUpDone, Phone: n.id, Slot: slot, Epoch: epoch})
+		return
+	}
+	n.sendMarker(tuple.Marker{Kind: tuple.MarkerReplayEnd, Version: epoch})
+}
+
+// doTokenCheckpoint snapshots the node (MobiStreams path), hands the blob
+// to the async persist worker, and forwards the token (§III-B step 2).
+func (n *Node) doTokenCheckpoint(v uint64) {
+	blob, err := n.snapshot(v)
+	if err != nil {
+		n.logf("%s: checkpoint v%d: %v", n.id, v, err)
+		return
+	}
+	n.cfg.Store.PutBlob(blob)
+	n.report(Report{Type: RepCheckpointed, Phone: n.id, Slot: blob.Slot, Version: v})
+	select {
+	case n.persistCh <- blob:
+	default:
+		n.logf("%s: persist backlog full, dropping v%d dissemination", n.id, v)
+	}
+	n.sendMarker(tuple.Marker{Kind: tuple.MarkerToken, Version: v})
+}
+
+// doPeriodicSnapshot is the local/dist-n checkpoint path: snapshot at a
+// tuple boundary, charge the synchronous flash write, and under dist-n
+// ship the state copies to the n peers *synchronously* — the classic
+// schemes' checkpoint stalls the operator until the state is safe
+// (Cooperative HA's HAU pause), which is the overhead the paper's Fig. 8
+// exposes as n grows.
+func (n *Node) doPeriodicSnapshot(v uint64) {
+	blob, err := n.snapshot(v)
+	if err != nil {
+		n.logf("%s: snapshot v%d: %v", n.id, v, err)
+		return
+	}
+	n.cfg.Store.PutBlob(blob)
+	n.clk.Sleep(n.cfg.Phone.FlashWriteTime(blob.Size))
+	n.mu.Lock()
+	hw := make(map[string]uint64, len(n.inHW))
+	for k, val := range n.inHW {
+		hw[k] = val
+	}
+	n.hwAt[v] = hw
+	n.mu.Unlock()
+	n.report(Report{Type: RepCheckpointed, Phone: n.id, Slot: blob.Slot, Version: v})
+	replicas := 0
+	if n.cfg.Scheme.Kind == ft.DistN {
+		for _, p := range n.cfg.DistPeers {
+			if err := n.cfg.WiFi.Unicast(n.id, p, simnet.ClassCheckpoint, blob.Size, DistBlobMsg{Blob: blob}); err == nil {
+				replicas++
+				n.cfg.Phone.DrainTx(blob.Size)
+			}
+		}
+	}
+	n.report(Report{Type: RepPersisted, Phone: n.id, Slot: blob.Slot, Version: v, Replicas: replicas})
+}
+
+// snapshot builds this node's checkpoint blob.
+func (n *Node) snapshot(v uint64) (*checkpoint.Blob, error) {
+	n.mu.Lock()
+	rt := runtimeState{
+		OutSeq:     make(map[string]uint64, len(n.outSeq)),
+		InHW:       make(map[string]uint64, len(n.inHW)),
+		LogVersion: n.logVersion,
+	}
+	for k, val := range n.outSeq {
+		rt.OutSeq[k] = val
+	}
+	for k, val := range n.inHW {
+		rt.InHW[k] = val
+	}
+	slot := n.slot
+	ops := append([]operator.Operator(nil), n.ops...)
+	n.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rt); err != nil {
+		return nil, fmt.Errorf("node %s: encode runtime: %w", n.id, err)
+	}
+	return checkpoint.BuildBlob(slot, v, ops, buf.Bytes())
+}
+
+// doResend replays retained output for a recovered downstream (input
+// preservation, executed on the executor so ordering with fresh emissions
+// is exact).
+func (n *Node) doResend(downstream string, after uint64) {
+	entries := n.cfg.Store.EdgeLogSince(downstream, after)
+	n.mu.Lock()
+	fromSlot := n.slot
+	n.mu.Unlock()
+	for _, e := range entries {
+		msg := StreamMsg{FromSlot: fromSlot, FromOp: e.FromOp, ToSlot: downstream,
+			ToOp: e.ToOp, EdgeSeq: e.EdgeSeq, Item: tuple.DataItem(e.T)}
+		n.deliverData(downstream, msg, simnet.ClassRecovery)
+	}
+	n.logf("%s: resent %d retained tuples to %s after seq %d", n.id, len(entries), downstream, after)
+}
+
+// report sends a node report to the controller over cellular.
+func (n *Node) report(r Report) {
+	if n.cfg.Cell == nil || n.cfg.ControllerID == "" {
+		return
+	}
+	r.Phone = n.id
+	if r.Slot == "" {
+		n.mu.Lock()
+		r.Slot = n.slot
+		n.mu.Unlock()
+	}
+	if err := n.cfg.Cell.Send(n.id, n.cfg.ControllerID, simnet.ClassControl, reportWireBytes, r); err != nil {
+		n.logf("%s: report %v failed: %v", n.id, r.Type, err)
+	}
+}
+
+// reportWireBytes is the modelled size of a control report; controller
+// traffic is under 2 KB/s in the paper's applications (§III).
+const reportWireBytes = 96

@@ -1,0 +1,164 @@
+package node
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobistreams/internal/tuple"
+)
+
+func item(seq uint64) queued {
+	return queued{edgeSeq: seq, item: tuple.DataItem(&tuple.Tuple{Seq: seq, Size: 1})}
+}
+
+func drain(q *upQueue) []uint64 {
+	var seqs []uint64
+	for q.len() > 0 {
+		seqs = append(seqs, q.pop().edgeSeq)
+	}
+	return seqs
+}
+
+func TestUnorderedQueueWatermarkDedup(t *testing.T) {
+	q := &upQueue{}
+	for _, seq := range []uint64{1, 2, 2, 1, 3, 5, 4} {
+		q.enqueue(item(seq))
+	}
+	// Watermark mode: duplicates and late arrivals below the watermark
+	// drop; gaps pass through (5 accepted, 4 dropped as stale).
+	got := drain(q)
+	want := []uint64{1, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrderedQueueParksAndDrains(t *testing.T) {
+	q := &upQueue{ordered: true}
+	// Fresh data overtakes a recovery resend: 4 and 5 park until 1..3
+	// arrive, then everything delivers in sequence order.
+	q.enqueue(item(4))
+	q.enqueue(item(5))
+	if q.len() != 0 {
+		t.Fatalf("out-of-order items delivered early: %d", q.len())
+	}
+	q.enqueue(item(1))
+	q.enqueue(item(2))
+	q.enqueue(item(3))
+	got := drain(q)
+	for i, seq := range []uint64{1, 2, 3, 4, 5} {
+		if got[i] != seq {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if len(q.park) != 0 {
+		t.Fatalf("park not drained: %d", len(q.park))
+	}
+}
+
+func TestOrderedQueueDuplicateDrop(t *testing.T) {
+	q := &upQueue{ordered: true}
+	q.enqueue(item(1))
+	q.enqueue(item(1))
+	q.enqueue(item(2))
+	q.enqueue(item(2))
+	if got := drain(q); len(got) != 2 {
+		t.Fatalf("delivered %v, want [1 2]", got)
+	}
+}
+
+func TestOrderedQueueFlushValve(t *testing.T) {
+	q := &upQueue{ordered: true}
+	// An unfillable gap (seq 1 never arrives) must not deadlock: past
+	// the park limit, parked items flush in order.
+	for seq := uint64(2); seq <= uint64(parkLimit+3); seq++ {
+		q.enqueue(item(seq))
+	}
+	got := drain(q)
+	if len(got) == 0 {
+		t.Fatal("valve never flushed")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("flush out of order at %d: %v...", i, got[:i+1])
+		}
+	}
+	if q.lastEnq < uint64(parkLimit) {
+		t.Fatalf("watermark did not advance: %d", q.lastEnq)
+	}
+}
+
+func TestQueuePopCompaction(t *testing.T) {
+	q := &upQueue{}
+	for seq := uint64(1); seq <= 1000; seq++ {
+		q.enqueue(item(seq))
+	}
+	for i := 0; i < 600; i++ {
+		q.pop()
+	}
+	if q.len() != 400 {
+		t.Fatalf("len = %d, want 400", q.len())
+	}
+	// Compaction must have reclaimed the consumed prefix.
+	if q.head > 512 {
+		t.Fatalf("head = %d, compaction never ran", q.head)
+	}
+	if got := q.pop().edgeSeq; got != 601 {
+		t.Fatalf("next = %d, want 601", got)
+	}
+}
+
+func TestCommandAndReportNames(t *testing.T) {
+	if CmdToken.String() != "token" || CmdFetchRestore.String() != "fetch-restore" {
+		t.Fatal("command names wrong")
+	}
+	if RepCheckpointed.String() != "checkpointed" || RepHandoffDone.String() != "handoff-done" {
+		t.Fatal("report names wrong")
+	}
+	if CommandOp(99).String() != "cmd(?)" || ReportType(99).String() != "report(?)" {
+		t.Fatal("unknown names wrong")
+	}
+}
+
+// Property: an ordered queue delivers exactly the set {1..n} in order for
+// any arrival permutation (no gaps, duplicates injected freely).
+func TestOrderedQueuePermutationProperty(t *testing.T) {
+	f := func(permSeed uint32, n uint8, dupEvery uint8) bool {
+		k := int(n%64) + 1
+		q := &upQueue{ordered: true}
+		perm := make([]uint64, k)
+		for i := range perm {
+			perm[i] = uint64(i + 1)
+		}
+		s := permSeed
+		for i := k - 1; i > 0; i-- {
+			s = s*1664525 + 1013904223
+			j := int(s % uint32(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i, seq := range perm {
+			q.enqueue(item(seq))
+			if dupEvery > 0 && i%int(dupEvery+1) == 0 {
+				q.enqueue(item(seq)) // duplicate injection
+			}
+		}
+		got := drain(q)
+		if len(got) != k {
+			return false
+		}
+		for i := range got {
+			if got[i] != uint64(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package operator defines the operator programming model: a piece of code
+// executed repeatedly on input tuples (§II-A), with snapshotable state and a
+// calibrated service-time cost charged against the phone's CPU.
+package operator
+
+import (
+	"time"
+
+	"mobistreams/internal/tuple"
+)
+
+// Out is one emission from an operator. To names the consuming operator; an
+// empty To fans the tuple out to every downstream operator in the graph.
+// Routed emissions let dispatchers (BCP's D) target one consumer.
+type Out struct {
+	To string
+	T  *tuple.Tuple
+}
+
+// Emit builds a fan-out emission.
+func Emit(t *tuple.Tuple) Out { return Out{T: t} }
+
+// EmitTo builds a routed emission.
+func EmitTo(to string, t *tuple.Tuple) Out { return Out{To: to, T: t} }
+
+// Operator is the unit of work that is placed on a phone, checkpointed and
+// recovered (§II-A).
+type Operator interface {
+	// ID returns the operator's graph ID.
+	ID() string
+	// Process consumes one input tuple that arrived from the named
+	// upstream operator and returns emissions. Source operators receive
+	// from == "" for externally admitted tuples.
+	Process(from string, t *tuple.Tuple) ([]Out, error)
+	// Cost returns the CPU service time for processing t on the phone.
+	// The node runtime charges it against the phone before Process runs.
+	Cost(t *tuple.Tuple) time.Duration
+	// Snapshot serialises the operator's state for a checkpoint.
+	Snapshot() ([]byte, error)
+	// Restore loads state saved by Snapshot.
+	Restore(data []byte) error
+	// StateSize is the modelled on-the-wire size of the operator's state
+	// in bytes. It may exceed len(Snapshot()) when the real deployment
+	// would carry auxiliary state (model tables, window buffers) that
+	// the simulation represents compactly.
+	StateSize() int
+}
+
+// Base provides defaults for stateless, zero-cost operators; embed it and
+// override what the operator needs.
+type Base struct {
+	Name string
+}
+
+// ID implements Operator.
+func (b *Base) ID() string { return b.Name }
+
+// Cost implements Operator with zero service time.
+func (*Base) Cost(*tuple.Tuple) time.Duration { return 0 }
+
+// Snapshot implements Operator with empty state.
+func (*Base) Snapshot() ([]byte, error) { return nil, nil }
+
+// Restore implements Operator by ignoring state.
+func (*Base) Restore([]byte) error { return nil }
+
+// StateSize implements Operator with no modelled state.
+func (*Base) StateSize() int { return 0 }
+
+// Factory builds a fresh operator instance. The controller ships "code" to
+// phones at placement and recovery time; in this library, code is a factory.
+type Factory func() Operator
+
+// Registry maps operator IDs to factories for one application graph.
+type Registry map[string]Factory
+
+// New instantiates the operator with the given ID; it panics if the ID is
+// unknown, which indicates an application wiring bug.
+func (r Registry) New(id string) Operator {
+	f, ok := r[id]
+	if !ok {
+		panic("operator: no factory for " + id)
+	}
+	return f()
+}

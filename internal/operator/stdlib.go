@@ -1,0 +1,317 @@
+package operator
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"mobistreams/internal/tuple"
+)
+
+// FixedCost returns a cost function charging the same service time for
+// every tuple.
+func FixedCost(d time.Duration) func(*tuple.Tuple) time.Duration {
+	return func(*tuple.Tuple) time.Duration { return d }
+}
+
+// Map applies a pure function to every tuple.
+type Map struct {
+	Base
+	Fn      func(*tuple.Tuple) *tuple.Tuple
+	CostFn  func(*tuple.Tuple) time.Duration
+	SizeFn  func() int // modelled state size; nil means stateless
+	counter uint64     // processed-tuple count, part of checkpointed state
+}
+
+// NewMap builds a Map operator.
+func NewMap(id string, fn func(*tuple.Tuple) *tuple.Tuple) *Map {
+	return &Map{Base: Base{Name: id}, Fn: fn}
+}
+
+// Process implements Operator.
+func (m *Map) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+	m.counter++
+	out := m.Fn(t)
+	if out == nil {
+		return nil, nil
+	}
+	return []Out{Emit(out)}, nil
+}
+
+// Cost implements Operator.
+func (m *Map) Cost(t *tuple.Tuple) time.Duration {
+	if m.CostFn == nil {
+		return 0
+	}
+	return m.CostFn(t)
+}
+
+// Snapshot implements Operator.
+func (m *Map) Snapshot() ([]byte, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], m.counter)
+	return buf[:], nil
+}
+
+// Restore implements Operator.
+func (m *Map) Restore(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("map %s: short state (%d bytes)", m.Name, len(data))
+	}
+	m.counter = binary.BigEndian.Uint64(data)
+	return nil
+}
+
+// StateSize implements Operator.
+func (m *Map) StateSize() int {
+	if m.SizeFn == nil {
+		return 8
+	}
+	return m.SizeFn()
+}
+
+// Count reports how many tuples the operator has processed (for tests).
+func (m *Map) Count() uint64 { return m.counter }
+
+// Filter drops tuples failing a predicate.
+type Filter struct {
+	Base
+	Pred    func(*tuple.Tuple) bool
+	CostFn  func(*tuple.Tuple) time.Duration
+	dropped uint64
+	passed  uint64
+}
+
+// NewFilter builds a Filter operator.
+func NewFilter(id string, pred func(*tuple.Tuple) bool) *Filter {
+	return &Filter{Base: Base{Name: id}, Pred: pred}
+}
+
+// Process implements Operator.
+func (f *Filter) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+	if f.Pred(t) {
+		f.passed++
+		return []Out{Emit(t)}, nil
+	}
+	f.dropped++
+	return nil, nil
+}
+
+// Cost implements Operator.
+func (f *Filter) Cost(t *tuple.Tuple) time.Duration {
+	if f.CostFn == nil {
+		return 0
+	}
+	return f.CostFn(t)
+}
+
+// Snapshot implements Operator.
+func (f *Filter) Snapshot() ([]byte, error) {
+	var buf [16]byte
+	binary.BigEndian.PutUint64(buf[0:8], f.dropped)
+	binary.BigEndian.PutUint64(buf[8:16], f.passed)
+	return buf[:], nil
+}
+
+// Restore implements Operator.
+func (f *Filter) Restore(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("filter %s: short state", f.Name)
+	}
+	f.dropped = binary.BigEndian.Uint64(data[0:8])
+	f.passed = binary.BigEndian.Uint64(data[8:16])
+	return nil
+}
+
+// StateSize implements Operator.
+func (*Filter) StateSize() int { return 16 }
+
+// RoundRobin routes each input tuple to one of its targets in rotation —
+// BCP's dispatcher D spreading images across the parallel counters.
+type RoundRobin struct {
+	Base
+	Targets []string
+	next    uint64
+}
+
+// NewRoundRobin builds a dispatcher over the given target operators.
+func NewRoundRobin(id string, targets ...string) *RoundRobin {
+	return &RoundRobin{Base: Base{Name: id}, Targets: targets}
+}
+
+// Process implements Operator.
+func (r *RoundRobin) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+	if len(r.Targets) == 0 {
+		return nil, fmt.Errorf("roundrobin %s: no targets", r.Name)
+	}
+	to := r.Targets[r.next%uint64(len(r.Targets))]
+	r.next++
+	return []Out{EmitTo(to, t)}, nil
+}
+
+// Snapshot implements Operator.
+func (r *RoundRobin) Snapshot() ([]byte, error) {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], r.next)
+	return buf[:], nil
+}
+
+// Restore implements Operator.
+func (r *RoundRobin) Restore(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("roundrobin %s: short state", r.Name)
+	}
+	r.next = binary.BigEndian.Uint64(data)
+	return nil
+}
+
+// StateSize implements Operator.
+func (*RoundRobin) StateSize() int { return 8 }
+
+// Join pairs tuples from two upstream operators by sequence number: the
+// paper's J operator joining boarding/alighting predictions for the same
+// bus arrival. Unmatched tuples wait in per-side windows that are part of
+// the operator's checkpointed state.
+type Join struct {
+	Base
+	Left, Right string
+	Merge       func(l, r *tuple.Tuple) *tuple.Tuple
+	CostFn      func(*tuple.Tuple) time.Duration
+	// ExtraState models window buffers beyond the live tuples.
+	ExtraState int
+	left       map[uint64]*tuple.Tuple
+	right      map[uint64]*tuple.Tuple
+}
+
+// NewJoin builds a Join keyed by tuple sequence number.
+func NewJoin(id, left, right string, merge func(l, r *tuple.Tuple) *tuple.Tuple) *Join {
+	return &Join{
+		Base: Base{Name: id}, Left: left, Right: right, Merge: merge,
+		left: make(map[uint64]*tuple.Tuple), right: make(map[uint64]*tuple.Tuple),
+	}
+}
+
+// Process implements Operator.
+func (j *Join) Process(from string, t *tuple.Tuple) ([]Out, error) {
+	var mine, other map[uint64]*tuple.Tuple
+	switch from {
+	case j.Left:
+		mine, other = j.left, j.right
+	case j.Right:
+		mine, other = j.right, j.left
+	default:
+		return nil, fmt.Errorf("join %s: tuple from unexpected upstream %q", j.Name, from)
+	}
+	if match, ok := other[t.Seq]; ok {
+		delete(other, t.Seq)
+		var l, r *tuple.Tuple
+		if from == j.Left {
+			l, r = t, match
+		} else {
+			l, r = match, t
+		}
+		out := j.Merge(l, r)
+		if out == nil {
+			return nil, nil
+		}
+		return []Out{Emit(out)}, nil
+	}
+	mine[t.Seq] = t
+	return nil, nil
+}
+
+// Cost implements Operator.
+func (j *Join) Cost(t *tuple.Tuple) time.Duration {
+	if j.CostFn == nil {
+		return 0
+	}
+	return j.CostFn(t)
+}
+
+// Snapshot implements Operator. The window contents are serialised as
+// (seq, size) pairs per side; payloads of windowed tuples are modelled by
+// size only, which is what recovery fidelity requires for the simulated
+// applications.
+func (j *Join) Snapshot() ([]byte, error) {
+	buf := make([]byte, 0, 16+16*(len(j.left)+len(j.right)))
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(len(j.left)))
+	for seq, t := range j.left {
+		put(seq)
+		put(uint64(t.Size))
+	}
+	put(uint64(len(j.right)))
+	for seq, t := range j.right {
+		put(seq)
+		put(uint64(t.Size))
+	}
+	return buf, nil
+}
+
+// Restore implements Operator.
+func (j *Join) Restore(data []byte) error {
+	j.left = make(map[uint64]*tuple.Tuple)
+	j.right = make(map[uint64]*tuple.Tuple)
+	off := 0
+	next := func() (uint64, error) {
+		if off+8 > len(data) {
+			return 0, fmt.Errorf("join %s: short state", j.Name)
+		}
+		v := binary.BigEndian.Uint64(data[off : off+8])
+		off += 8
+		return v, nil
+	}
+	for _, side := range []map[uint64]*tuple.Tuple{j.left, j.right} {
+		n, err := next()
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < n; i++ {
+			seq, err := next()
+			if err != nil {
+				return err
+			}
+			size, err := next()
+			if err != nil {
+				return err
+			}
+			side[seq] = &tuple.Tuple{Seq: seq, Size: int(size)}
+		}
+	}
+	return nil
+}
+
+// StateSize implements Operator.
+func (j *Join) StateSize() int {
+	live := 0
+	for _, t := range j.left {
+		live += t.Size
+	}
+	for _, t := range j.right {
+		live += t.Size
+	}
+	return 16 + live + j.ExtraState
+}
+
+// Pending reports how many tuples wait unmatched (for tests).
+func (j *Join) Pending() int { return len(j.left) + len(j.right) }
+
+// Passthrough forwards tuples unchanged; used for stateless source and sink
+// operators that only maintain inter-region connections (§III-D).
+type Passthrough struct {
+	Base
+}
+
+// NewPassthrough builds a Passthrough operator.
+func NewPassthrough(id string) *Passthrough {
+	return &Passthrough{Base: Base{Name: id}}
+}
+
+// Process implements Operator.
+func (*Passthrough) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+	return []Out{Emit(t)}, nil
+}

@@ -1,0 +1,194 @@
+// Package phone models the smartphone device: battery, GPS position, and
+// flash storage speed. Battery depletion and mobility are the paper's two
+// dominant causes of node failure and departure (§I, §III-E).
+package phone
+
+import (
+	"sync"
+	"time"
+
+	"mobistreams/internal/clock"
+	"mobistreams/internal/simnet"
+)
+
+// Position is a GPS fix in metres within a flat local frame.
+type Position struct {
+	X, Y float64
+}
+
+// DistanceSq returns the squared distance between two positions.
+func (p Position) DistanceSq(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Config parameterises a phone. Zero values get sensible defaults for an
+// iPhone-3GS-class device.
+type Config struct {
+	// BatteryJoules is the usable battery energy (default 20 kJ ~ a
+	// well-worn 1200 mAh pack).
+	BatteryJoules float64
+	// CPUWatts is power drawn per second of busy CPU (default 0.9 W).
+	CPUWatts float64
+	// TxJoulesPerMB is radio energy per megabyte sent (default 5 J/MB).
+	TxJoulesPerMB float64
+	// FlashWriteBps is local storage write bandwidth (default 10 MB/s).
+	FlashWriteBps float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.BatteryJoules <= 0 {
+		c.BatteryJoules = 20e3
+	}
+	if c.CPUWatts <= 0 {
+		c.CPUWatts = 0.9
+	}
+	if c.TxJoulesPerMB <= 0 {
+		c.TxJoulesPerMB = 5
+	}
+	if c.FlashWriteBps <= 0 {
+		c.FlashWriteBps = 10e6
+	}
+}
+
+// Phone is one device. It is safe for concurrent use.
+type Phone struct {
+	ID  simnet.NodeID
+	cfg Config
+
+	mu           sync.Mutex
+	energy       float64
+	pos          Position
+	dead         bool
+	cpuBusy      time.Duration // cumulative busy CPU time
+	cpuBusyUntil time.Duration // CPU reservation horizon (shared core)
+}
+
+// New creates a phone at the origin with a full battery.
+func New(id simnet.NodeID, cfg Config) *Phone {
+	cfg.applyDefaults()
+	return &Phone{ID: id, cfg: cfg, energy: cfg.BatteryJoules}
+}
+
+// Exec runs d of CPU work on the phone's single core: concurrent callers
+// (a primary node and a rep-2 standby sharing the device) serialise through
+// a busy-until reservation, so two 7-second jobs take 14 seconds of
+// simulated time, not 7. It returns false when the battery dies.
+func (p *Phone) Exec(clk clock.Clock, d time.Duration) bool {
+	if d <= 0 {
+		return !p.Dead()
+	}
+	p.mu.Lock()
+	now := clk.Now()
+	start := p.cpuBusyUntil
+	if now > start {
+		start = now
+	}
+	p.cpuBusyUntil = start + d
+	end := p.cpuBusyUntil
+	p.mu.Unlock()
+	if wait := end - now; wait > 0 {
+		clk.Sleep(wait)
+	}
+	return p.DrainCPU(d)
+}
+
+// DrainCPU charges d of busy CPU against the battery and returns whether
+// the phone is still alive.
+func (p *Phone) DrainCPU(d time.Duration) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cpuBusy += d
+	p.energy -= d.Seconds() * p.cfg.CPUWatts
+	if p.energy <= 0 {
+		p.dead = true
+	}
+	return !p.dead
+}
+
+// DrainTx charges radio energy for sending n bytes.
+func (p *Phone) DrainTx(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.energy -= float64(n) / 1e6 * p.cfg.TxJoulesPerMB
+	if p.energy <= 0 {
+		p.dead = true
+	}
+	return !p.dead
+}
+
+// BatteryFraction reports remaining battery in [0,1].
+func (p *Phone) BatteryFraction() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := p.energy / p.cfg.BatteryJoules
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// BatteryChronic reports whether battery is at the chronic level where the
+// phone proactively reports itself to the controller (§III-D).
+func (p *Phone) BatteryChronic() bool { return p.BatteryFraction() < 0.05 }
+
+// CPUBusy reports cumulative busy CPU time.
+func (p *Phone) CPUBusy() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cpuBusy
+}
+
+// Kill marks the phone failed (battery pulled, crash).
+func (p *Phone) Kill() {
+	p.mu.Lock()
+	p.dead = true
+	p.mu.Unlock()
+}
+
+// Revive resets a phone to alive with the given battery fraction, modelling
+// a recharged phone re-entering service.
+func (p *Phone) Revive(batteryFraction float64) {
+	p.mu.Lock()
+	p.dead = false
+	p.energy = batteryFraction * p.cfg.BatteryJoules
+	p.mu.Unlock()
+}
+
+// Dead reports whether the phone has failed.
+func (p *Phone) Dead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+// SetPosition updates the GPS fix.
+func (p *Phone) SetPosition(pos Position) {
+	p.mu.Lock()
+	p.pos = pos
+	p.mu.Unlock()
+}
+
+// Position returns the GPS fix.
+func (p *Phone) Position() Position {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pos
+}
+
+// InRange reports whether the phone is within radius metres of centre —
+// the region-membership test used at startup and by departure detection.
+func (p *Phone) InRange(centre Position, radius float64) bool {
+	return p.Position().DistanceSq(centre) <= radius*radius
+}
+
+// FlashWriteTime returns the simulated time to write n bytes to flash.
+func (p *Phone) FlashWriteTime(n int) time.Duration {
+	return time.Duration(float64(n) / p.cfg.FlashWriteBps * float64(time.Second))
+}
+
+// FlashReadTime returns the simulated time to read n bytes from flash
+// (reads run about twice as fast as writes on this class of device).
+func (p *Phone) FlashReadTime(n int) time.Duration {
+	return time.Duration(float64(n) / (2 * p.cfg.FlashWriteBps) * float64(time.Second))
+}

@@ -1,0 +1,129 @@
+package phone
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBatteryDrainsToDeath(t *testing.T) {
+	p := New("a", Config{BatteryJoules: 10, CPUWatts: 1})
+	if p.Dead() {
+		t.Fatal("new phone dead")
+	}
+	if !p.DrainCPU(5 * time.Second) {
+		t.Fatal("died too early")
+	}
+	if got := p.BatteryFraction(); got < 0.45 || got > 0.55 {
+		t.Fatalf("battery = %v, want ~0.5", got)
+	}
+	if p.DrainCPU(6 * time.Second) {
+		t.Fatal("should be dead after 11J of 10J")
+	}
+	if !p.Dead() {
+		t.Fatal("Dead() false after depletion")
+	}
+	if p.BatteryFraction() != 0 {
+		t.Fatal("battery fraction should clamp to 0")
+	}
+}
+
+func TestTxDrain(t *testing.T) {
+	p := New("a", Config{BatteryJoules: 10, TxJoulesPerMB: 5})
+	p.DrainTx(1 << 20) // ~1MB -> ~5J
+	if f := p.BatteryFraction(); f > 0.55 || f < 0.40 {
+		t.Fatalf("battery after 1MB tx = %v", f)
+	}
+}
+
+func TestChronicThreshold(t *testing.T) {
+	p := New("a", Config{BatteryJoules: 100, CPUWatts: 1})
+	if p.BatteryChronic() {
+		t.Fatal("full battery chronic")
+	}
+	p.DrainCPU(96 * time.Second)
+	if !p.BatteryChronic() {
+		t.Fatalf("4%% battery not chronic (frac=%v)", p.BatteryFraction())
+	}
+}
+
+func TestKillAndRevive(t *testing.T) {
+	p := New("a", Config{})
+	p.Kill()
+	if !p.Dead() {
+		t.Fatal("kill did not work")
+	}
+	p.Revive(0.8)
+	if p.Dead() {
+		t.Fatal("revive did not work")
+	}
+	if f := p.BatteryFraction(); f < 0.79 || f > 0.81 {
+		t.Fatalf("revived battery = %v", f)
+	}
+}
+
+func TestPositionAndRange(t *testing.T) {
+	p := New("a", Config{})
+	p.SetPosition(Position{X: 3, Y: 4})
+	if !p.InRange(Position{}, 5.01) {
+		t.Fatal("should be in 5m range")
+	}
+	if p.InRange(Position{}, 4.99) {
+		t.Fatal("should be out of 5m range")
+	}
+}
+
+func TestFlashWriteTime(t *testing.T) {
+	p := New("a", Config{FlashWriteBps: 1e6})
+	if got := p.FlashWriteTime(1e6); got != time.Second {
+		t.Fatalf("write time = %v, want 1s", got)
+	}
+}
+
+func TestCPUBusyAccumulates(t *testing.T) {
+	p := New("a", Config{})
+	p.DrainCPU(time.Second)
+	p.DrainCPU(2 * time.Second)
+	if p.CPUBusy() != 3*time.Second {
+		t.Fatalf("busy = %v", p.CPUBusy())
+	}
+}
+
+// Property: battery fraction is monotonically non-increasing under drains.
+func TestBatteryMonotoneProperty(t *testing.T) {
+	f := func(drains []uint16) bool {
+		p := New("x", Config{BatteryJoules: 1000})
+		prev := p.BatteryFraction()
+		for _, d := range drains {
+			p.DrainCPU(time.Duration(d) * time.Millisecond)
+			p.DrainTx(int(d))
+			cur := p.BatteryFraction()
+			if cur > prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance is symmetric and zero iff identical.
+func TestDistanceProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := Position{X: float64(ax), Y: float64(ay)}
+		b := Position{X: float64(bx), Y: float64(by)}
+		if a.DistanceSq(b) != b.DistanceSq(a) {
+			return false
+		}
+		if a == b {
+			return a.DistanceSq(b) == 0
+		}
+		return a.DistanceSq(b) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

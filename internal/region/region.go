@@ -1,0 +1,694 @@
+// Package region implements one region's cluster runtime (Fig. 4, low
+// level): the phones in WiFi range, the placement of slots onto phones, the
+// per-region metrics, and the fault hooks (failure, departure) that the
+// controller reacts to.
+package region
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobistreams/internal/broadcast"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/graph"
+	"mobistreams/internal/metrics"
+	"mobistreams/internal/node"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/phone"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/storage"
+	"mobistreams/internal/tuple"
+)
+
+// Config assembles a region.
+type Config struct {
+	// ID names the region ("bus-stop-1").
+	ID string
+	// Graph is the query network computed in this region.
+	Graph *graph.Graph
+	// Registry builds the graph's operators ("the code" the controller
+	// ships to phones).
+	Registry operator.Registry
+	// Scheme is the fault-tolerance scheme.
+	Scheme ft.Scheme
+	// Phones is the number of phones in the region; must cover the
+	// graph's slots (plus one per slot for rep-2 standbys).
+	Phones int
+	Clock  clock.Clock
+	// WiFi configures the region's shared medium.
+	WiFi simnet.WiFiConfig
+	// Cell is the (shared) cellular network; may be nil for isolated
+	// single-region tests.
+	Cell         *simnet.Cellular
+	ControllerID simnet.NodeID
+	PhoneCfg     phone.Config
+	Broadcast    broadcast.Config
+	// PreserveBroadcast replicates source logs region-wide (MobiStreams).
+	PreserveBroadcast bool
+	// OnSinkOutput publishes deduplicated sink results beyond the region
+	// (inter-region cascading); may be nil.
+	OnSinkOutput func(publisher simnet.NodeID, t *tuple.Tuple)
+	Logf         func(string, ...interface{})
+}
+
+// Region is a running cluster of phones.
+type Region struct {
+	cfg  Config
+	clk  clock.Clock
+	wifi *simnet.WiFi
+	logf func(string, ...interface{})
+
+	mu sync.Mutex
+	// phones are physical devices, keyed by phone ID. nodes/endpoints/
+	// stores are keyed by endpoint ID: a phone's primary endpoint shares
+	// the phone's ID, while a rep-2 standby on that phone gets its own
+	// endpoint identity (standbyKey) so the two inboxes never race.
+	phones       map[simnet.NodeID]*phone.Phone
+	nodes        map[simnet.NodeID]*node.Node
+	stores       map[simnet.NodeID]*storage.Store
+	endpoints    map[simnet.NodeID]*simnet.Endpoint
+	placement    map[string]simnet.NodeID // slot -> endpoint ID
+	standby      map[string]simnet.NodeID // slot -> standby endpoint ID
+	standbyPhone map[string]simnet.NodeID // slot -> standby's phone ID
+	idle         []simnet.NodeID
+	departed     map[simnet.NodeID]bool
+	failed       map[simnet.NodeID]bool
+	srcSeq       map[string]*uint64
+	stopped      bool
+
+	outMu      sync.Mutex
+	seenOutput map[string]map[uint64]bool
+	Latency    metrics.Latency
+	Throughput metrics.Throughput
+	duplicates int64
+}
+
+// New builds a region: phones p1..pN, slots placed in sorted order onto the
+// first phones, rep-2 standbys rotated one phone ahead, the rest idle.
+func New(cfg Config) (*Region, error) {
+	slots := cfg.Graph.Slots()
+	need := len(slots)
+	if cfg.Scheme.Replicated() && cfg.Phones < need {
+		return nil, fmt.Errorf("region %s: rep-2 needs at least %d phones", cfg.ID, need)
+	}
+	if cfg.Phones < need {
+		return nil, fmt.Errorf("region %s: %d phones cannot host %d slots", cfg.ID, cfg.Phones, need)
+	}
+	r := &Region{
+		cfg:          cfg,
+		clk:          cfg.Clock,
+		wifi:         simnet.NewWiFi(cfg.Clock, cfg.WiFi),
+		phones:       make(map[simnet.NodeID]*phone.Phone),
+		nodes:        make(map[simnet.NodeID]*node.Node),
+		stores:       make(map[simnet.NodeID]*storage.Store),
+		endpoints:    make(map[simnet.NodeID]*simnet.Endpoint),
+		placement:    make(map[string]simnet.NodeID),
+		standby:      make(map[string]simnet.NodeID),
+		standbyPhone: make(map[string]simnet.NodeID),
+		departed:     make(map[simnet.NodeID]bool),
+		failed:       make(map[simnet.NodeID]bool),
+		srcSeq:       make(map[string]*uint64),
+		seenOutput:   make(map[string]map[uint64]bool),
+	}
+	r.logf = cfg.Logf
+	if r.logf == nil {
+		r.logf = func(string, ...interface{}) {}
+	}
+	for _, src := range cfg.Graph.Sources() {
+		var z uint64
+		r.srcSeq[src] = &z
+	}
+
+	ids := make([]simnet.NodeID, cfg.Phones)
+	for i := range ids {
+		ids[i] = simnet.NodeID(fmt.Sprintf("%s/p%d", cfg.ID, i+1))
+	}
+	for i, slot := range slots {
+		r.placement[slot] = ids[i]
+		if cfg.Scheme.Replicated() {
+			sbPhone := ids[(i+1)%cfg.Phones]
+			r.standbyPhone[slot] = sbPhone
+			r.standby[slot] = simnet.NodeID(standbyKey(sbPhone, slot))
+		}
+	}
+	hosted := make(map[simnet.NodeID]bool)
+	for _, p := range r.placement {
+		hosted[p] = true
+	}
+	for _, p := range r.standbyPhone {
+		hosted[p] = true
+	}
+	for _, id := range ids {
+		if !hosted[id] {
+			r.idle = append(r.idle, id)
+		}
+	}
+
+	for _, id := range ids {
+		ph := phone.New(id, cfg.PhoneCfg)
+		ep := simnet.NewEndpoint(id, 1<<14)
+		st := storage.New()
+		r.phones[id] = ph
+		r.endpoints[id] = ep
+		r.stores[id] = st
+		r.wifi.Join(ep)
+		if cfg.Cell != nil {
+			cfg.Cell.Attach(ep)
+		}
+	}
+	// Build nodes: primaries, standbys, idles. A phone hosting both a
+	// primary and a standby runs two node objects that contend for the
+	// same physical phone's CPU and battery, each with its own endpoint.
+	for _, slot := range slots {
+		pid := r.placement[slot]
+		r.nodes[pid] = r.buildNode(pid, slot, node.RolePrimary)
+	}
+	if cfg.Scheme.Replicated() {
+		for _, slot := range slots {
+			r.buildStandby(slot)
+		}
+	}
+	for _, id := range r.idle {
+		r.nodes[id] = r.buildNode(id, "", node.RoleIdle)
+	}
+	return r, nil
+}
+
+func standbyKey(phoneID simnet.NodeID, slot string) string {
+	return string(phoneID) + "#sb#" + slot
+}
+
+// buildNode constructs the node runtime for a phone hosting slot (or idle).
+func (r *Region) buildNode(id simnet.NodeID, slot string, role node.Role) *node.Node {
+	var opIDs []string
+	if slot != "" {
+		opIDs = r.cfg.Graph.OpsOnSlot(slot)
+	}
+	return node.New(node.Config{
+		Phone:             r.phones[id],
+		Slot:              slot,
+		Role:              role,
+		Registry:          r.cfg.Registry,
+		OpIDs:             opIDs,
+		Graph:             r.cfg.Graph,
+		Scheme:            r.cfg.Scheme,
+		Clock:             r.clk,
+		WiFi:              r.wifi,
+		Cell:              r.cfg.Cell,
+		Endpoint:          r.endpoints[id],
+		Store:             r.stores[id],
+		Resolver:          (*resolver)(r),
+		ControllerID:      r.cfg.ControllerID,
+		Peers:             func() []simnet.NodeID { return r.LivePeers(id) },
+		DistPeers:         r.distPeersFor(slot),
+		Broadcast:         r.cfg.Broadcast,
+		PreserveBroadcast: r.cfg.PreserveBroadcast,
+		OnSinkOutput:      func(t *tuple.Tuple) { r.onSink(id, t) },
+		OnIngest:          func(srcOp string, v interface{}, size int, kind string) { r.Ingest(srcOp, v, size, kind) },
+		Logf:              r.logf,
+	})
+}
+
+// buildStandby constructs a rep-2 standby node for a slot. It runs on the
+// standby phone (sharing its CPU and battery) but has its own endpoint
+// identity, so replication traffic is addressed to it directly.
+func (r *Region) buildStandby(slot string) {
+	sbPhone := r.standbyPhone[slot]
+	sbID := r.standby[slot]
+	ep := simnet.NewEndpoint(sbID, 1<<14)
+	st := storage.New()
+	r.endpoints[sbID] = ep
+	r.stores[sbID] = st
+	r.wifi.Join(ep)
+	if r.cfg.Cell != nil {
+		r.cfg.Cell.Attach(ep)
+	}
+	// The node's network identity matches its endpoint; the physical
+	// device (battery, CPU) is the standby phone's.
+	n := node.New(node.Config{
+		ID:           sbID,
+		Phone:        r.phones[sbPhone],
+		Slot:         slot,
+		Role:         node.RoleStandby,
+		Registry:     r.cfg.Registry,
+		OpIDs:        r.cfg.Graph.OpsOnSlot(slot),
+		Graph:        r.cfg.Graph,
+		Scheme:       r.cfg.Scheme,
+		Clock:        r.clk,
+		WiFi:         r.wifi,
+		Cell:         r.cfg.Cell,
+		Endpoint:     ep,
+		Store:        st,
+		Resolver:     (*resolver)(r),
+		ControllerID: r.cfg.ControllerID,
+		OnSinkOutput: func(t *tuple.Tuple) { r.onSink(sbID, t) },
+		Logf:         r.logf,
+	})
+	r.nodes[sbID] = n
+}
+
+// resolver adapts the region's placement maps to the node.Resolver
+// interface.
+type resolver Region
+
+// Primary implements node.Resolver.
+func (rs *resolver) Primary(slot string) (simnet.NodeID, bool) {
+	r := (*Region)(rs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.placement[slot]
+	return id, ok
+}
+
+// Standby implements node.Resolver.
+func (rs *resolver) Standby(slot string) (simnet.NodeID, bool) {
+	r := (*Region)(rs)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.standby[slot]
+	return id, ok
+}
+
+// distPeersFor assigns the n unicast persistence targets for a slot under
+// dist-n: the next n phones in ring order.
+func (r *Region) distPeersFor(slot string) []simnet.NodeID {
+	if r.cfg.Scheme.Kind != ft.DistN || slot == "" {
+		return nil
+	}
+	slots := r.cfg.Graph.Slots()
+	idx := sort.SearchStrings(slots, slot)
+	var ids []simnet.NodeID
+	all := r.allPhoneIDs()
+	self := r.placement[slot]
+	for i := 1; len(ids) < r.cfg.Scheme.N && i <= len(all); i++ {
+		cand := all[(idx+i)%len(all)]
+		if cand != self {
+			ids = append(ids, cand)
+		}
+	}
+	return ids
+}
+
+func (r *Region) allPhoneIDs() []simnet.NodeID {
+	ids := make([]simnet.NodeID, 0, len(r.phones))
+	for id := range r.phones {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Start launches every node.
+func (r *Region) Start() {
+	r.mu.Lock()
+	nodes := make([]*node.Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+	for _, n := range nodes {
+		n.Start()
+	}
+	r.Throughput.Start(r.clk.Now())
+}
+
+// Stop shuts all nodes down.
+func (r *Region) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	nodes := make([]*node.Node, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+	for _, n := range nodes {
+		if !n.Failed() {
+			n.Stop()
+		}
+	}
+}
+
+// Ingest admits one external tuple at the named source operator, assigning
+// its per-source sequence number and timestamp. The workload driver and the
+// inter-region path both enter here.
+func (r *Region) Ingest(srcOp string, value interface{}, size int, kind string) {
+	r.mu.Lock()
+	seqp, ok := r.srcSeq[srcOp]
+	if !ok || r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	*seqp++
+	seq := *seqp
+	slot := r.cfg.Graph.SlotOf(srcOp)
+	pid, placed := r.placement[slot]
+	n := r.nodes[pid]
+	r.mu.Unlock()
+	if !placed || n == nil {
+		return
+	}
+	t := &tuple.Tuple{
+		Seq:     seq,
+		Source:  srcOp,
+		Kind:    kind,
+		Created: r.clk.Now(),
+		Size:    size,
+		Value:   value,
+	}
+	n.IngestExternal(srcOp, t)
+}
+
+// onSink receives one published sink result: deduplicate (recovery replays
+// and rep-2 failovers can duplicate), record metrics, cascade onward.
+func (r *Region) onSink(publisher simnet.NodeID, t *tuple.Tuple) {
+	r.outMu.Lock()
+	seen, ok := r.seenOutput[t.Source]
+	if !ok {
+		seen = make(map[uint64]bool)
+		r.seenOutput[t.Source] = seen
+	}
+	if seen[t.Seq] {
+		r.duplicates++
+		r.outMu.Unlock()
+		return
+	}
+	seen[t.Seq] = true
+	r.outMu.Unlock()
+	now := r.clk.Now()
+	r.Latency.Add(now - t.Created)
+	r.Throughput.Tick(now)
+	if r.cfg.OnSinkOutput != nil {
+		r.cfg.OnSinkOutput(publisher, t)
+	}
+}
+
+// DuplicateOutputs reports how many duplicate sink results were suppressed.
+func (r *Region) DuplicateOutputs() int64 {
+	r.outMu.Lock()
+	defer r.outMu.Unlock()
+	return r.duplicates
+}
+
+// WiFi exposes the region's medium (byte counters for Fig. 10b).
+func (r *Region) WiFi() *simnet.WiFi { return r.wifi }
+
+// Graph returns the region's query network.
+func (r *Region) Graph() *graph.Graph { return r.cfg.Graph }
+
+// Scheme returns the region's fault-tolerance scheme.
+func (r *Region) Scheme() ft.Scheme { return r.cfg.Scheme }
+
+// ID returns the region name.
+func (r *Region) ID() string { return r.cfg.ID }
+
+// Node returns the node object currently hosting a phone ID.
+func (r *Region) Node(id simnet.NodeID) *node.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nodes[id]
+}
+
+// StandbyNode returns the standby node object for a slot (rep-2).
+func (r *Region) StandbyNode(slot string) *node.Node {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sid, ok := r.standby[slot]
+	if !ok {
+		return nil
+	}
+	return r.nodes[sid]
+}
+
+// Placement returns the phone currently hosting a slot.
+func (r *Region) Placement(slot string) (simnet.NodeID, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id, ok := r.placement[slot]
+	return id, ok
+}
+
+// SetPlacement points a slot at a new phone (recovery/mobility).
+func (r *Region) SetPlacement(slot string, id simnet.NodeID) {
+	r.mu.Lock()
+	r.placement[slot] = id
+	r.mu.Unlock()
+}
+
+// PromoteStandby makes the standby the primary for a slot (rep-2 failover)
+// and returns the promoted node, or nil.
+func (r *Region) PromoteStandby(slot string) *node.Node {
+	r.mu.Lock()
+	sid, ok := r.standby[slot]
+	if !ok {
+		r.mu.Unlock()
+		return nil
+	}
+	n := r.nodes[sid]
+	r.placement[slot] = sid
+	delete(r.standby, slot)
+	delete(r.standbyPhone, slot)
+	r.mu.Unlock()
+	if n != nil {
+		n.Promote()
+	}
+	return n
+}
+
+// ActiveSlots returns all slots with a current placement, sorted.
+func (r *Region) ActiveSlots() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slots := make([]string, 0, len(r.placement))
+	for s := range r.placement {
+		slots = append(slots, s)
+	}
+	sort.Strings(slots)
+	return slots
+}
+
+// SlotsOn returns the slots whose primary is the given phone.
+func (r *Region) SlotsOn(id simnet.NodeID) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var slots []string
+	for s, p := range r.placement {
+		if p == id {
+			slots = append(slots, s)
+		}
+	}
+	sort.Strings(slots)
+	return slots
+}
+
+// TakeIdle removes and returns an idle phone for use as a replacement, or
+// "" when none remain.
+func (r *Region) TakeIdle() simnet.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.idle) > 0 {
+		id := r.idle[0]
+		r.idle = r.idle[1:]
+		if !r.failed[id] && !r.departed[id] {
+			return id
+		}
+	}
+	return ""
+}
+
+// IdleCount reports available replacement phones.
+func (r *Region) IdleCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, id := range r.idle {
+		if !r.failed[id] && !r.departed[id] {
+			n++
+		}
+	}
+	return n
+}
+
+// LivePeers lists phones other than `self` that are present in the region
+// (broadcast dissemination targets).
+func (r *Region) LivePeers(self simnet.NodeID) []simnet.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []simnet.NodeID
+	for id := range r.phones {
+		if id != self && !r.failed[id] && !r.departed[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// FailPhone crashes a phone: its node dies, its endpoint seals, its storage
+// is lost, and it leaves the WiFi medium. Detection happens through the
+// protocol (upstream send failures, controller pings), not this call.
+func (r *Region) FailPhone(id simnet.NodeID) {
+	r.mu.Lock()
+	if r.failed[id] {
+		r.mu.Unlock()
+		return
+	}
+	r.failed[id] = true
+	n := r.nodes[id]
+	var standbys []*node.Node
+	var standbyIDs []simnet.NodeID
+	for slot, sbPhone := range r.standbyPhone {
+		if sbPhone == id {
+			sid := r.standby[slot]
+			standbys = append(standbys, r.nodes[sid])
+			standbyIDs = append(standbyIDs, sid)
+		}
+	}
+	r.mu.Unlock()
+	if n != nil {
+		n.Fail()
+	}
+	for i, sb := range standbys {
+		if sb != nil {
+			sb.Fail()
+		}
+		r.wifi.SetPresent(standbyIDs[i], false)
+	}
+	r.wifi.SetPresent(id, false)
+}
+
+// DepartPhone moves a phone out of WiFi range; it keeps running and stays
+// reachable over cellular (§III-E).
+func (r *Region) DepartPhone(id simnet.NodeID) {
+	r.mu.Lock()
+	r.departed[id] = true
+	if ph := r.phones[id]; ph != nil {
+		ph.SetPosition(phone.Position{X: 1e6, Y: 1e6})
+	}
+	r.mu.Unlock()
+	r.wifi.SetPresent(id, false)
+}
+
+// Failed reports whether a phone has failed.
+func (r *Region) Failed(id simnet.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failed[id]
+}
+
+// FailedPhoneCount reports how many phones have failed so far — the burst
+// size a scheme's tolerance is judged against.
+func (r *Region) FailedPhoneCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.failed)
+}
+
+// Departed reports whether a phone has departed.
+func (r *Region) Departed(id simnet.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.departed[id]
+}
+
+// Unregister removes a departed/failed phone from the region entirely.
+func (r *Region) Unregister(id simnet.NodeID) {
+	r.mu.Lock()
+	delete(r.phones, id)
+	delete(r.nodes, id)
+	r.wifi.Remove(id)
+	r.mu.Unlock()
+}
+
+// ActivateReplacement turns an idle phone's node into the host for slot.
+func (r *Region) ActivateReplacement(id simnet.NodeID, slot string) {
+	r.mu.Lock()
+	n := r.nodes[id]
+	r.mu.Unlock()
+	if n != nil {
+		n.Activate(slot)
+	}
+	r.SetPlacement(slot, id)
+}
+
+// PreservedBytes sums the region's preservation storage (Fig. 10a): source
+// logs counted once at their owners plus edge retention at every node.
+func (r *Region) PreservedBytes() (source, edge int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, st := range r.stores {
+		s, e := st.CumulativePreservedBytes()
+		source += s
+		edge += e
+	}
+	return source, edge
+}
+
+// Store returns a phone's storage (tests, recovery planning).
+func (r *Region) Store(id simnet.NodeID) *storage.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stores[id]
+}
+
+// Phone returns a phone device.
+func (r *Region) Phone(id simnet.NodeID) *phone.Phone {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.phones[id]
+}
+
+// AlivePhones lists phones that have neither failed nor departed.
+func (r *Region) AlivePhones() []simnet.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []simnet.NodeID
+	for id := range r.phones {
+		if !r.failed[id] && !r.departed[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// BlobHolders returns alive phones whose store holds the blob for
+// (version, slot) — recovery planning for dist-n.
+func (r *Region) BlobHolders(version uint64, slot string) []simnet.NodeID {
+	var holders []simnet.NodeID
+	for _, id := range r.AlivePhones() {
+		st := r.Store(id)
+		if st == nil || st.Lost() {
+			continue
+		}
+		if _, ok := st.Blob(version, slot); ok {
+			holders = append(holders, id)
+		}
+	}
+	return holders
+}
+
+// Report summarises the region's metrics at simulated time now.
+func (r *Region) Report(now time.Duration) metrics.Report {
+	src, edge := r.PreservedBytes()
+	return metrics.Report{
+		Scheme:         r.cfg.Scheme.String(),
+		Tuples:         r.Throughput.Count(),
+		ThroughputTPS:  r.Throughput.PerSecond(now),
+		MeanLatency:    r.Latency.Mean(),
+		P95Latency:     r.Latency.Percentile(95),
+		DataBytes:      r.wifi.Counters.Bytes(simnet.ClassData),
+		CheckpointNet:  r.wifi.Counters.Bytes(simnet.ClassCheckpoint) + r.wifi.Counters.Bytes(simnet.ClassBitmap),
+		ReplicationNet: r.wifi.Counters.Bytes(simnet.ClassReplication),
+		PreservedBytes: src + edge,
+	}
+}
+
+var _ = atomic.AddInt64 // reserved for future lock-free counters

@@ -1,0 +1,322 @@
+package region_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mobistreams/internal/broadcast"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/controller"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/graph"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/region"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/tuple"
+)
+
+// diamondGraph is Fig. 5's five-node region: A -> B -> {C, D} -> E, where E
+// joins the two branches by sequence number, so each input yields exactly
+// one output.
+func diamondGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	var b graph.Builder
+	b.AddOperator("A", "n1").AddOperator("B", "n2").AddOperator("C", "n3").
+		AddOperator("D", "n4").AddOperator("E", "n5")
+	b.Connect("A", "B").Connect("B", "C").Connect("B", "D").
+		Connect("C", "E").Connect("D", "E")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func diamondRegistry() operator.Registry {
+	clone := func(in *tuple.Tuple) *tuple.Tuple { return in.Clone() }
+	return operator.Registry{
+		"A": func() operator.Operator { return operator.NewPassthrough("A") },
+		"B": func() operator.Operator { return operator.NewPassthrough("B") },
+		"C": func() operator.Operator { return operator.NewMap("C", clone) },
+		"D": func() operator.Operator { return operator.NewMap("D", clone) },
+		"E": func() operator.Operator {
+			return operator.NewJoin("E", "C", "D", func(l, r *tuple.Tuple) *tuple.Tuple { return l.Clone() })
+		},
+	}
+}
+
+type harness struct {
+	clk  *clock.Scaled
+	cell *simnet.Cellular
+	ctrl *controller.Controller
+	r    *region.Region
+}
+
+func newHarness(t testing.TB, scheme ft.Scheme, phones int) *harness {
+	t.Helper()
+	clk := clock.NewScaled(2000)
+	cell := simnet.NewCellular(clk, simnet.CellularConfig{
+		UpBitsPerSecond:   8e6,
+		DownBitsPerSecond: 8e6,
+	})
+	ctrl := controller.New(controller.Config{
+		Clock:            clk,
+		Cell:             cell,
+		CheckpointPeriod: time.Hour, // tests trigger checkpoints explicitly
+		PingInterval:     30 * time.Second,
+		PingTimeout:      10 * time.Second,
+		DebounceWindow:   2 * time.Second,
+	})
+	r, err := region.New(region.Config{
+		ID:                "r1",
+		Graph:             diamondGraph(t),
+		Registry:          diamondRegistry(),
+		Scheme:            scheme,
+		Phones:            phones,
+		Clock:             clk,
+		WiFi:              simnet.WiFiConfig{BitsPerSecond: 100e6},
+		Cell:              cell,
+		ControllerID:      ctrl.ID(),
+		Broadcast:         broadcast.Config{BlockSize: 1024},
+		PreserveBroadcast: scheme.Kind == ft.MS,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.AddRegion(r)
+	r.Start()
+	ctrl.Start()
+	t.Cleanup(func() {
+		r.Stop()
+		ctrl.Stop()
+	})
+	return &harness{clk: clk, cell: cell, ctrl: ctrl, r: r}
+}
+
+func (h *harness) ingest(n int) {
+	for i := 0; i < n; i++ {
+		h.r.Ingest("A", fmt.Sprintf("v%d", i), 1024, "test")
+	}
+}
+
+// waitCount polls until the region has produced at least want unique
+// outputs or the wall deadline expires.
+func (h *harness) waitCount(t testing.TB, want int64, wall time.Duration) int64 {
+	t.Helper()
+	deadline := time.Now().Add(wall)
+	for time.Now().Before(deadline) {
+		if got := h.r.Throughput.Count(); got >= want {
+			return got
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return h.r.Throughput.Count()
+}
+
+func (h *harness) waitCommitted(t testing.TB, v uint64, wall time.Duration) bool {
+	t.Helper()
+	deadline := time.Now().Add(wall)
+	for time.Now().Before(deadline) {
+		if h.ctrl.Committed("r1") >= v {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+func TestPipelineFlowsBase(t *testing.T) {
+	h := newHarness(t, ft.BaseScheme, 5)
+	h.ingest(20)
+	if got := h.waitCount(t, 20, 10*time.Second); got != 20 {
+		t.Fatalf("outputs = %d, want 20", got)
+	}
+	if d := h.r.DuplicateOutputs(); d != 0 {
+		t.Fatalf("duplicates = %d", d)
+	}
+}
+
+func TestTokenCheckpointCommitsMS(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 6)
+	h.ingest(10)
+	if got := h.waitCount(t, 10, 10*time.Second); got != 10 {
+		t.Fatalf("outputs = %d, want 10", got)
+	}
+	v := h.ctrl.TriggerCheckpoint("r1")
+	if v == 0 {
+		t.Fatal("checkpoint did not start")
+	}
+	if !h.waitCommitted(t, v, 15*time.Second) {
+		t.Fatalf("v%d never committed", v)
+	}
+	// Every alive phone must hold every slot's blob (§III-B: saved on
+	// every node, including idle ones).
+	slots := h.r.Graph().Slots()
+	for _, id := range h.r.AlivePhones() {
+		if !h.r.Store(id).HasAllBlobs(v, slots) {
+			t.Fatalf("phone %s missing blobs for v%d", id, v)
+		}
+	}
+}
+
+func TestFailureRecoveryMS(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 7)
+	h.ingest(15)
+	if got := h.waitCount(t, 15, 10*time.Second); got != 15 {
+		t.Fatalf("pre-checkpoint outputs = %d, want 15", got)
+	}
+	v := h.ctrl.TriggerCheckpoint("r1")
+	if !h.waitCommitted(t, v, 15*time.Second) {
+		t.Fatal("checkpoint never committed")
+	}
+	h.ingest(15)
+	h.waitCount(t, 30, 10*time.Second)
+
+	// Crash the phone hosting slot n3 (operator C).
+	victim, ok := h.r.Placement("n3")
+	if !ok {
+		t.Fatal("no placement for n3")
+	}
+	h.r.FailPhone(victim)
+	// Keep data flowing so the upstream detects the failure.
+	h.ingest(15)
+	deadline := time.Now().Add(20 * time.Second)
+	for h.ctrl.Recoveries("r1") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h.ctrl.Recoveries("r1") == 0 {
+		t.Fatal("recovery never triggered")
+	}
+	h.ingest(15)
+	// Batches 1, 2 and 4 (45 tuples) must be published exactly once.
+	// Batch 3 flowed while the victim was dead: its results are
+	// regenerated during catch-up, and the paper's sinks discard all
+	// catch-up output (§III-D) — so those outputs are legitimately
+	// dropped unless they were queued as fresh input during the pause.
+	got := h.waitCount(t, 45, 30*time.Second)
+	if got < 45 || got > 60 {
+		t.Fatalf("outputs after recovery = %d, want 45..60", got)
+	}
+	// The replacement must host n3 now.
+	repl, _ := h.r.Placement("n3")
+	if repl == victim {
+		t.Fatalf("slot n3 still on failed phone %s", victim)
+	}
+}
+
+func TestRep2Failover(t *testing.T) {
+	h := newHarness(t, ft.Rep2Scheme, 5)
+	h.ingest(10)
+	if got := h.waitCount(t, 10, 10*time.Second); got != 10 {
+		t.Fatalf("outputs = %d, want 10", got)
+	}
+	victim, _ := h.r.Placement("n3")
+	h.r.FailPhone(victim)
+	h.ingest(10)
+	deadline := time.Now().Add(20 * time.Second)
+	for h.ctrl.Recoveries("r1") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.ingest(10)
+	got := h.waitCount(t, 25, 20*time.Second)
+	if got < 25 {
+		t.Fatalf("outputs after failover = %d, want >= 25", got)
+	}
+	repl, _ := h.r.Placement("n3")
+	if repl == victim {
+		t.Fatal("placement still on failed phone")
+	}
+}
+
+func TestDistRecoveryExactlyOnce(t *testing.T) {
+	h := newHarness(t, ft.Dist(1), 7)
+	h.ingest(10)
+	if got := h.waitCount(t, 10, 10*time.Second); got != 10 {
+		t.Fatalf("outputs = %d, want 10", got)
+	}
+	v := h.ctrl.TriggerCheckpoint("r1")
+	if !h.waitCommitted(t, v, 15*time.Second) {
+		t.Fatal("checkpoint never committed")
+	}
+	h.ingest(10)
+	h.waitCount(t, 20, 10*time.Second)
+	victim, _ := h.r.Placement("n3")
+	h.r.FailPhone(victim)
+	h.ingest(10)
+	deadline := time.Now().Add(20 * time.Second)
+	for h.ctrl.Recoveries("r1") == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.ingest(10)
+	// dist-1 with a single non-sink failure is exactly-once: upstream
+	// retention covers the gap and edge sequences dedup the overlap.
+	got := h.waitCount(t, 40, 30*time.Second)
+	if got != 40 {
+		t.Fatalf("outputs = %d, want exactly 40", got)
+	}
+}
+
+func TestDepartureHandoffMS(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 7)
+	h.ingest(10)
+	if got := h.waitCount(t, 10, 10*time.Second); got != 10 {
+		t.Fatalf("outputs = %d, want 10", got)
+	}
+	v := h.ctrl.TriggerCheckpoint("r1")
+	if !h.waitCommitted(t, v, 15*time.Second) {
+		t.Fatal("checkpoint never committed")
+	}
+	victim, _ := h.r.Placement("n3")
+	h.r.DepartPhone(victim)
+	h.ctrl.NotifyDeparture("r1", victim)
+	// Data keeps flowing through urgent mode and then the replacement.
+	h.ingest(20)
+	got := h.waitCount(t, 30, 30*time.Second)
+	if got != 30 {
+		t.Fatalf("outputs after departure = %d, want 30", got)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if repl, _ := h.r.Placement("n3"); repl != victim {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("slot never moved off the departed phone")
+}
+
+func TestRegionReportAndPreservation(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 6)
+	h.ingest(10)
+	h.waitCount(t, 10, 10*time.Second)
+	src, edge := h.r.PreservedBytes()
+	if src != 10*1024 {
+		t.Fatalf("source preservation = %d, want %d", src, 10*1024)
+	}
+	if edge != 0 {
+		t.Fatalf("edge preservation = %d, want 0 under ms", edge)
+	}
+	rep := h.r.Report(h.clk.Now())
+	if rep.Tuples != 10 || rep.Scheme != "ms" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.DataBytes == 0 {
+		t.Fatal("no data bytes counted")
+	}
+}
+
+func TestEdgePreservationUnderDist(t *testing.T) {
+	h := newHarness(t, ft.Dist(2), 7)
+	h.ingest(10)
+	h.waitCount(t, 10, 10*time.Second)
+	src, edge := h.r.PreservedBytes()
+	if src != 0 {
+		t.Fatalf("source preservation = %d, want 0 under dist", src)
+	}
+	// Edges crossing slots: A->B, B->C, B->D, C->E, D->E = 5 edges x 10
+	// tuples x 1 KB.
+	if edge != 5*10*1024 {
+		t.Fatalf("edge preservation = %d, want %d", edge, 5*10*1024)
+	}
+}

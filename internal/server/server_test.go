@@ -1,0 +1,101 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"mobistreams/internal/clock"
+)
+
+func deployment(up float64) (*Deployment, *clock.Scaled) {
+	clk := clock.NewScaled(2000)
+	d := New(Config{
+		Clock:        clk,
+		UplinkBps:    up,
+		DownlinkBps:  0.7e6,
+		PipelineCost: 8 * time.Second,
+		QueueCap:     4,
+	})
+	return d, clk
+}
+
+func TestUplinkBoundThroughput(t *testing.T) {
+	d, clk := deployment(0.32e6) // 40 KB/s
+	d.Start()
+	defer d.Stop()
+	// 180 KB tuples: ~4.5 s per upload; offer one per 2 s -> uplink bound.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-clk.After(2 * time.Second):
+				d.Offer(180 << 10)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	clk.Sleep(200 * time.Second)
+	close(stop)
+	rate := d.Throughput.PerSecond(clk.Now())
+	// Uplink capacity: 40960 B/s / 184320 B = 0.222 t/s.
+	if rate < 0.15 || rate > 0.3 {
+		t.Fatalf("rate = %.3f t/s, want ~0.22 (uplink-bound)", rate)
+	}
+	if d.Dropped() == 0 {
+		t.Fatal("overloaded queue should drop stale frames")
+	}
+}
+
+func TestFastUplinkIsComputeOrArrivalBound(t *testing.T) {
+	clk := clock.NewScaled(500)
+	d := New(Config{
+		Clock:         clk,
+		UplinkBps:     80e6,
+		DownlinkBps:   80e6,
+		PipelineCost:  8 * time.Second,
+		ServerSpeedup: 20, // 0.4 s per tuple on the server
+	})
+	d.Start()
+	defer d.Stop()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-clk.After(1 * time.Second):
+				d.Offer(180 << 10)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	clk.Sleep(60 * time.Second)
+	close(stop)
+	rate := d.Throughput.PerSecond(clk.Now())
+	if rate < 0.6 {
+		t.Fatalf("fast-uplink rate = %.3f, want ~1 t/s (arrival bound)", rate)
+	}
+	if d.Dropped() != 0 {
+		t.Fatalf("fast uplink dropped %d", d.Dropped())
+	}
+}
+
+func TestLatencyIncludesQueueing(t *testing.T) {
+	d, clk := deployment(0.016e6) // 2 KB/s: ~90 s per 180 KB tuple
+	d.Start()
+	defer d.Stop()
+	for i := 0; i < 4; i++ {
+		d.Offer(180 << 10)
+	}
+	clk.Sleep(500 * time.Second)
+	if got := d.Latency.Count(); got == 0 {
+		t.Fatal("nothing processed")
+	}
+	if mean := d.Latency.Mean(); mean < 60*time.Second {
+		t.Fatalf("mean latency = %v, want >= 60s on a 2 KB/s uplink", mean)
+	}
+	rep := d.Report(clk.Now())
+	if rep.Scheme != "server" || rep.Tuples == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}

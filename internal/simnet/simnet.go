@@ -1,0 +1,198 @@
+// Package simnet simulates the two networks a MobiStreams deployment runs
+// on: the per-region ad-hoc WiFi (a single shared-airtime broadcast medium
+// with lossy UDP and reliable TCP-like unicast) and the cellular network
+// (asymmetric per-device uplink/downlink).
+//
+// The WiFi medium is the performance-critical substrate: the paper's central
+// claims (dist-n checkpointing congesting the region, UDP broadcast
+// amortising checkpoint persistence across all peers) are consequences of
+// every transmission in a region sharing the same 1–5 Mbps of airtime. The
+// medium is modelled with a busy-until reservation: a transmission of B
+// bytes reserves B/bandwidth of airtime starting at max(now, busyUntil), and
+// the sender sleeps (in simulated time) until its reservation completes.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// NodeID identifies a phone, a server, or the controller.
+type NodeID string
+
+// Class tags traffic so experiments can account bytes by purpose (Fig. 10b).
+type Class int
+
+const (
+	// ClassData is application tuples flowing along graph edges.
+	ClassData Class = iota
+	// ClassReplication is duplicated tuples sent to standby replicas
+	// (rep-2 scheme).
+	ClassReplication
+	// ClassCheckpoint is checkpoint state blocks (broadcast or unicast).
+	ClassCheckpoint
+	// ClassBitmap is broadcast bitmap queries and responses.
+	ClassBitmap
+	// ClassControl is controller traffic: pings, registrations, reports.
+	ClassControl
+	// ClassRecovery is recovery-time traffic: state reloads, replays.
+	ClassRecovery
+	// ClassCode is operator code shipped by the controller at placement
+	// and recovery time.
+	ClassCode
+	// ClassTransfer is departure-time state transfer over cellular.
+	ClassTransfer
+	// ClassPreserve is source-preservation replication: sources
+	// broadcasting admitted input so every node holds the replay log.
+	ClassPreserve
+
+	numClasses
+)
+
+var classNames = [...]string{"data", "replication", "checkpoint", "bitmap", "control", "recovery", "code", "transfer", "preserve"}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// ErrUnreachable is returned when the destination has failed, departed the
+// region, or was never attached. Upstream neighbours use it to detect
+// downstream failures (§III-D).
+var ErrUnreachable = errors.New("simnet: destination unreachable")
+
+// Message is what endpoints receive.
+type Message struct {
+	From, To NodeID
+	Class    Class
+	Size     int
+	Payload  interface{}
+	// Reply, when non-nil, is where the receiver should deliver its
+	// response (via the network's Respond, which charges airtime).
+	Reply chan Message
+}
+
+// Endpoint is a node's network attachment point. One endpoint serves both
+// WiFi and cellular: handlers dispatch on Message.Class.
+type Endpoint struct {
+	ID    NodeID
+	inbox chan Message
+
+	mu     sync.Mutex
+	sealed bool
+}
+
+// NewEndpoint creates an endpoint with the given inbox capacity.
+func NewEndpoint(id NodeID, capacity int) *Endpoint {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Endpoint{ID: id, inbox: make(chan Message, capacity)}
+}
+
+// Inbox returns the receive channel.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// Seal marks the endpoint dead: subsequent deliveries fail. Used when a
+// phone fails; pending messages remain readable so in-flight goroutines can
+// drain before shutdown.
+func (e *Endpoint) Seal() {
+	e.mu.Lock()
+	e.sealed = true
+	e.mu.Unlock()
+}
+
+// Unseal revives a sealed endpoint (a replacement phone reusing an ID in
+// tests, or a region restart).
+func (e *Endpoint) Unseal() {
+	e.mu.Lock()
+	e.sealed = false
+	e.mu.Unlock()
+}
+
+// Sealed reports whether the endpoint is dead.
+func (e *Endpoint) Sealed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sealed
+}
+
+// deliver places m into the inbox. If block is false and the inbox is full
+// the message is dropped (UDP semantics) and deliver reports false.
+func (e *Endpoint) deliver(m Message, block bool) bool {
+	if e.Sealed() {
+		return false
+	}
+	if block {
+		e.inbox <- m
+		return true
+	}
+	select {
+	case e.inbox <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// Counters accumulates bytes and message counts by traffic class.
+type Counters struct {
+	mu    sync.Mutex
+	bytes [numClasses]int64
+	msgs  [numClasses]int64
+}
+
+// Add records one message of the given class and size.
+func (c *Counters) Add(class Class, size int) {
+	c.mu.Lock()
+	c.bytes[class] += int64(size)
+	c.msgs[class]++
+	c.mu.Unlock()
+}
+
+// Bytes reports accumulated bytes for a class.
+func (c *Counters) Bytes(class Class) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes[class]
+}
+
+// Messages reports accumulated message count for a class.
+func (c *Counters) Messages(class Class) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs[class]
+}
+
+// TotalBytes reports bytes summed over all classes.
+func (c *Counters) TotalBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var t int64
+	for _, b := range c.bytes {
+		t += b
+	}
+	return t
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	c.bytes = [numClasses]int64{}
+	c.msgs = [numClasses]int64{}
+	c.mu.Unlock()
+}
+
+// Snapshot returns a copy of per-class byte counts keyed by class name.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := make(map[string]int64, numClasses)
+	for i := Class(0); i < numClasses; i++ {
+		m[i.String()] = c.bytes[i]
+	}
+	return m
+}

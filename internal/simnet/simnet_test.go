@@ -1,0 +1,324 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mobistreams/internal/clock"
+)
+
+func testClock() clock.Clock { return clock.NewScaled(20000) }
+
+func newTestWiFi(t *testing.T, cfg WiFiConfig) (*WiFi, map[NodeID]*Endpoint) {
+	t.Helper()
+	w := NewWiFi(testClock(), cfg)
+	eps := make(map[NodeID]*Endpoint)
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		ep := NewEndpoint(id, 1<<14)
+		w.Join(ep)
+		eps[id] = ep
+	}
+	return w, eps
+}
+
+func TestWiFiUnicastDelivers(t *testing.T) {
+	w, eps := newTestWiFi(t, WiFiConfig{BitsPerSecond: 8e6})
+	if err := w.Unicast("a", "b", ClassData, 1000, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-eps["b"].Inbox():
+		if m.From != "a" || m.Payload != "hello" || m.Size != 1000 {
+			t.Fatalf("bad message: %+v", m)
+		}
+	default:
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestWiFiUnicastUnreachable(t *testing.T) {
+	w, eps := newTestWiFi(t, WiFiConfig{BitsPerSecond: 8e6})
+	if err := w.Unicast("a", "zz", ClassData, 10, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	w.SetPresent("b", false)
+	if err := w.Unicast("a", "b", ClassData, 10, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("departed member should be unreachable, got %v", err)
+	}
+	eps["c"].Seal()
+	if err := w.Unicast("a", "c", ClassData, 10, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("sealed endpoint should be unreachable, got %v", err)
+	}
+}
+
+func TestWiFiAirtimeSerialises(t *testing.T) {
+	clk := clock.NewScaled(300)
+	w := NewWiFi(clk, WiFiConfig{BitsPerSecond: 1e6}) // 125 KB/s
+	a, b := NewEndpoint("a", 16), NewEndpoint("b", 16)
+	w.Join(a)
+	w.Join(b)
+	start := clk.Now()
+	// Two back-to-back 125 KB transfers should take ~2 simulated seconds.
+	if err := w.Unicast("a", "b", ClassData, 125000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Unicast("a", "b", ClassData, 125000, nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now() - start
+	if elapsed < 1800*time.Millisecond || elapsed > 8*time.Second {
+		t.Fatalf("two 1s transfers took %v of simulated time", elapsed)
+	}
+}
+
+func TestWiFiBroadcastReachesAllPresent(t *testing.T) {
+	w, eps := newTestWiFi(t, WiFiConfig{BitsPerSecond: 8e6})
+	w.SetPresent("d", false)
+	n := w.Broadcast("a", ClassCheckpoint, 1024, "blk")
+	if n != 2 {
+		t.Fatalf("broadcast receivers = %d, want 2 (b and c)", n)
+	}
+	for _, id := range []NodeID{"b", "c"} {
+		select {
+		case m := <-eps[id].Inbox():
+			if m.Payload != "blk" {
+				t.Fatalf("bad payload on %s: %v", id, m.Payload)
+			}
+		default:
+			t.Fatalf("no datagram on %s", id)
+		}
+	}
+	select {
+	case <-eps["d"].Inbox():
+		t.Fatal("absent member received broadcast")
+	default:
+	}
+}
+
+func TestWiFiBroadcastLoss(t *testing.T) {
+	w, _ := newTestWiFi(t, WiFiConfig{BitsPerSecond: 8e6, LossProb: 0.5, Seed: 42})
+	grams := make([]Datagram, 400)
+	for i := range grams {
+		grams[i] = Datagram{Size: 100, Payload: i}
+	}
+	counts := w.BroadcastBatch("a", ClassCheckpoint, grams)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	// 400 datagrams x 3 receivers x 50% ~= 600 expected deliveries.
+	if total < 450 || total > 750 {
+		t.Fatalf("deliveries = %d, want ~600 under 50%% loss", total)
+	}
+}
+
+func TestWiFiBroadcastChargesAirtimeOnce(t *testing.T) {
+	clk := clock.NewScaled(2000)
+	w := NewWiFi(clk, WiFiConfig{BitsPerSecond: 1e6})
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		w.Join(NewEndpoint(id, 1<<12))
+	}
+	start := clk.Now()
+	w.Broadcast("a", ClassCheckpoint, 125000, nil) // 1 simulated second
+	elapsed := clk.Now() - start
+	// Three receivers, but airtime is one second, not three.
+	if elapsed > 4*time.Second {
+		t.Fatalf("broadcast took %v simulated, want ~1s (airtime charged once)", elapsed)
+	}
+	if got := w.Counters.Bytes(ClassCheckpoint); got != 125000 {
+		t.Fatalf("checkpoint bytes = %d, want 125000", got)
+	}
+}
+
+func TestWiFiRequestRespond(t *testing.T) {
+	w, eps := newTestWiFi(t, WiFiConfig{BitsPerSecond: 8e6})
+	go func() {
+		m := <-eps["b"].Inbox()
+		w.Respond(m, "b", ClassBitmap, 128, "bitmap")
+	}()
+	reply, err := w.Request("a", "b", ClassBitmap, 64, "query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-reply:
+		if m.Payload != "bitmap" || m.From != "b" {
+			t.Fatalf("bad reply: %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply")
+	}
+	if w.Counters.Bytes(ClassBitmap) != 64+128 {
+		t.Fatalf("bitmap bytes = %d, want 192", w.Counters.Bytes(ClassBitmap))
+	}
+}
+
+func TestWiFiSealedReceiverDuringTransfer(t *testing.T) {
+	w, eps := newTestWiFi(t, WiFiConfig{BitsPerSecond: 8e6})
+	eps["b"].Seal()
+	if err := w.Unicast("a", "b", ClassData, 100, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestCountersAccumulateByClass(t *testing.T) {
+	var c Counters
+	c.Add(ClassData, 100)
+	c.Add(ClassData, 50)
+	c.Add(ClassCheckpoint, 9)
+	if c.Bytes(ClassData) != 150 || c.Messages(ClassData) != 2 {
+		t.Fatalf("data = %d bytes / %d msgs", c.Bytes(ClassData), c.Messages(ClassData))
+	}
+	if c.TotalBytes() != 159 {
+		t.Fatalf("total = %d, want 159", c.TotalBytes())
+	}
+	snap := c.Snapshot()
+	if snap["checkpoint"] != 9 {
+		t.Fatalf("snapshot checkpoint = %d", snap["checkpoint"])
+	}
+	c.Reset()
+	if c.TotalBytes() != 0 {
+		t.Fatal("reset did not zero counters")
+	}
+}
+
+func TestCellularSendAndRates(t *testing.T) {
+	clk := clock.NewScaled(2000)
+	cell := NewCellular(clk, CellularConfig{UpBitsPerSecond: 0.08e6, DownBitsPerSecond: 0.8e6})
+	a, b := NewEndpoint("a", 64), NewEndpoint("b", 64)
+	cell.Attach(a)
+	cell.Attach(b)
+	start := clk.Now()
+	// 10 KB at 10 KB/s uplink ~= 1 simulated second (downlink 10x faster).
+	if err := cell.Send("a", "b", ClassData, 10000, "x"); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now() - start
+	if elapsed < 700*time.Millisecond || elapsed > 6*time.Second {
+		t.Fatalf("uplink-bound transfer took %v, want ~1s", elapsed)
+	}
+	select {
+	case m := <-b.Inbox():
+		if m.Payload != "x" {
+			t.Fatalf("bad payload %v", m.Payload)
+		}
+	default:
+		t.Fatal("not delivered")
+	}
+}
+
+func TestCellularUnreachable(t *testing.T) {
+	cell := NewCellular(testClock(), CellularConfig{})
+	a := NewEndpoint("a", 4)
+	cell.Attach(a)
+	if err := cell.Send("a", "nope", ClassControl, 10, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+	b := NewEndpoint("b", 4)
+	cell.Attach(b)
+	b.Seal()
+	if err := cell.Send("a", "b", ClassControl, 10, nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("sealed: want ErrUnreachable, got %v", err)
+	}
+	cell.Detach("b")
+	if cell.Attached("b") {
+		t.Fatal("detach did not remove device")
+	}
+}
+
+func TestCellularRequestRespond(t *testing.T) {
+	cell := NewCellular(testClock(), CellularConfig{UpBitsPerSecond: 8e6, DownBitsPerSecond: 8e6})
+	a, b := NewEndpoint("a", 8), NewEndpoint("b", 8)
+	cell.Attach(a)
+	cell.Attach(b)
+	go func() {
+		m := <-b.Inbox()
+		cell.Respond(m, "b", ClassControl, 32, "pong")
+	}()
+	reply, err := cell.Request("a", "b", ClassControl, 16, "ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-reply:
+		if m.Payload != "pong" {
+			t.Fatalf("bad reply %v", m.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no reply")
+	}
+}
+
+func TestCellularSharedUplinkContention(t *testing.T) {
+	clk := clock.NewScaled(2000)
+	cell := NewCellular(clk, CellularConfig{UpBitsPerSecond: 0.08e6, DownBitsPerSecond: 8e6})
+	a, b := NewEndpoint("a", 64), NewEndpoint("b", 64)
+	cell.Attach(a)
+	cell.Attach(b)
+	done := make(chan time.Duration, 2)
+	start := clk.Now()
+	for i := 0; i < 2; i++ {
+		go func() {
+			cell.Send("a", "b", ClassData, 10000, nil)
+			done <- clk.Now() - start
+		}()
+	}
+	var last time.Duration
+	for i := 0; i < 2; i++ {
+		select {
+		case d := <-done:
+			if d > last {
+				last = d
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("transfers did not complete")
+		}
+	}
+	// Two 1-second transfers share one uplink: the last must finish
+	// around 2 simulated seconds, not 1.
+	if last < 1600*time.Millisecond {
+		t.Fatalf("shared uplink finished too fast: %v", last)
+	}
+}
+
+func TestEndpointSealUnseal(t *testing.T) {
+	ep := NewEndpoint("x", 2)
+	if ep.Sealed() {
+		t.Fatal("new endpoint sealed")
+	}
+	ep.Seal()
+	if !ep.Sealed() {
+		t.Fatal("seal did not stick")
+	}
+	if ep.deliver(Message{}, false) {
+		t.Fatal("delivered to sealed endpoint")
+	}
+	ep.Unseal()
+	if !ep.deliver(Message{}, false) {
+		t.Fatal("unsealed endpoint rejected delivery")
+	}
+}
+
+func TestWiFiMembersAndRemove(t *testing.T) {
+	w, _ := newTestWiFi(t, WiFiConfig{})
+	if len(w.Members()) != 4 {
+		t.Fatalf("members = %d, want 4", len(w.Members()))
+	}
+	w.Remove("d")
+	if len(w.Members()) != 3 {
+		t.Fatalf("members = %d after remove, want 3", len(w.Members()))
+	}
+	if w.Present("d") {
+		t.Fatal("removed member still present")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassData.String() != "data" || ClassTransfer.String() != "transfer" {
+		t.Fatal("class names wrong")
+	}
+	if Class(99).String() != "class(99)" {
+		t.Fatal("unknown class name wrong")
+	}
+}

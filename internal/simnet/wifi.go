@@ -1,0 +1,289 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mobistreams/internal/clock"
+)
+
+// WiFiConfig parameterises a region's ad-hoc WiFi.
+type WiFiConfig struct {
+	// BitsPerSecond is the shared medium capacity (paper: 1–5 Mbps).
+	BitsPerSecond float64
+	// LossProb is the independent per-receiver probability that a UDP
+	// datagram is lost.
+	LossProb float64
+	// PropDelay is per-hop propagation/processing delay added after the
+	// airtime completes.
+	PropDelay time.Duration
+	// ChunkBytes bounds a single airtime reservation; bulk sends are
+	// split into chunks so concurrent flows interleave (default 64 KB).
+	ChunkBytes int
+	// Seed seeds the loss process for reproducibility.
+	Seed int64
+}
+
+func (c *WiFiConfig) applyDefaults() {
+	if c.BitsPerSecond <= 0 {
+		c.BitsPerSecond = 3e6
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 64 << 10
+	}
+	if c.PropDelay < 0 {
+		c.PropDelay = 0
+	}
+}
+
+// WiFi is one region's shared-airtime broadcast medium.
+type WiFi struct {
+	cfg WiFiConfig
+	clk clock.Clock
+
+	Counters Counters
+
+	mu        sync.Mutex
+	busyUntil time.Duration
+	rng       *rand.Rand
+	members   map[NodeID]*Endpoint
+	present   map[NodeID]bool
+}
+
+// NewWiFi creates a WiFi medium.
+func NewWiFi(clk clock.Clock, cfg WiFiConfig) *WiFi {
+	cfg.applyDefaults()
+	return &WiFi{
+		cfg:     cfg,
+		clk:     clk,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		members: make(map[NodeID]*Endpoint),
+		present: make(map[NodeID]bool),
+	}
+}
+
+// Join attaches an endpoint to the medium and marks it present.
+func (w *WiFi) Join(ep *Endpoint) {
+	w.mu.Lock()
+	w.members[ep.ID] = ep
+	w.present[ep.ID] = true
+	w.mu.Unlock()
+}
+
+// SetPresent marks a member in or out of radio range. A departed phone
+// (out of range) keeps its endpoint — it stays reachable over cellular.
+func (w *WiFi) SetPresent(id NodeID, present bool) {
+	w.mu.Lock()
+	if _, ok := w.members[id]; ok {
+		w.present[id] = present
+	}
+	w.mu.Unlock()
+}
+
+// Present reports whether the member is in radio range.
+func (w *WiFi) Present(id NodeID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.present[id]
+}
+
+// Remove detaches an endpoint entirely (phone unregistered).
+func (w *WiFi) Remove(id NodeID) {
+	w.mu.Lock()
+	delete(w.members, id)
+	delete(w.present, id)
+	w.mu.Unlock()
+}
+
+// Members returns the IDs currently attached (present or not), in
+// unspecified order.
+func (w *WiFi) Members() []NodeID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]NodeID, 0, len(w.members))
+	for id := range w.members {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// occupy reserves airtime for size bytes, sleeping in simulated time until
+// the reservation completes. It splits nothing — callers chunk bulk sends.
+func (w *WiFi) occupy(size int) {
+	dur := time.Duration(float64(size*8) / w.cfg.BitsPerSecond * float64(time.Second))
+	w.mu.Lock()
+	now := w.clk.Now()
+	start := w.busyUntil
+	if now > start {
+		start = now
+	}
+	w.busyUntil = start + dur
+	end := w.busyUntil
+	w.mu.Unlock()
+	if wait := end - now; wait > 0 {
+		w.clk.Sleep(wait)
+	}
+}
+
+// lost samples the per-receiver UDP loss process.
+func (w *WiFi) lost() bool {
+	if w.cfg.LossProb <= 0 {
+		return false
+	}
+	w.mu.Lock()
+	l := w.rng.Float64() < w.cfg.LossProb
+	w.mu.Unlock()
+	return l
+}
+
+// Unicast sends reliably (TCP-like) to one present member. The airtime is
+// inflated by the loss rate to account for retransmissions. It blocks until
+// the message is delivered and returns ErrUnreachable if the destination is
+// absent, sealed, or detached.
+func (w *WiFi) Unicast(from, to NodeID, class Class, size int, payload interface{}) error {
+	return w.send(from, to, class, size, payload, nil)
+}
+
+// Request sends reliably like Unicast and arranges for the response to be
+// delivered on the returned channel.
+func (w *WiFi) Request(from, to NodeID, class Class, size int, payload interface{}) (chan Message, error) {
+	reply := make(chan Message, 1)
+	if err := w.send(from, to, class, size, payload, reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Respond answers a Request: it charges airtime for the response and
+// delivers it directly to the requester's reply channel.
+func (w *WiFi) Respond(req Message, from NodeID, class Class, size int, payload interface{}) {
+	if req.Reply == nil {
+		return
+	}
+	eff := size
+	if w.cfg.LossProb > 0 && w.cfg.LossProb < 1 {
+		eff = int(float64(size) / (1 - w.cfg.LossProb))
+	}
+	w.occupy(eff)
+	w.Counters.Add(class, size)
+	if w.cfg.PropDelay > 0 {
+		w.clk.Sleep(w.cfg.PropDelay)
+	}
+	req.Reply <- Message{From: from, To: req.From, Class: class, Size: size, Payload: payload}
+}
+
+func (w *WiFi) send(from, to NodeID, class Class, size int, payload interface{}, reply chan Message) error {
+	w.mu.Lock()
+	ep, ok := w.members[to]
+	present := w.present[to] && w.present[from]
+	w.mu.Unlock()
+	if !ok || !present || ep.Sealed() {
+		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	// Reliable transfer over a lossy medium costs extra airtime for
+	// retransmissions: effective bytes = size / (1 - loss).
+	eff := size
+	if w.cfg.LossProb > 0 && w.cfg.LossProb < 1 {
+		eff = int(float64(size) / (1 - w.cfg.LossProb))
+	}
+	remaining := eff
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > w.cfg.ChunkBytes {
+			chunk = w.cfg.ChunkBytes
+		}
+		w.occupy(chunk)
+		remaining -= chunk
+	}
+	w.Counters.Add(class, size)
+	if w.cfg.PropDelay > 0 {
+		w.clk.Sleep(w.cfg.PropDelay)
+	}
+	// Re-check reachability after airtime: the destination may have
+	// failed while the transfer was queued.
+	w.mu.Lock()
+	present = w.present[to]
+	w.mu.Unlock()
+	if !present || ep.Sealed() {
+		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	if !ep.deliver(Message{From: from, To: to, Class: class, Size: size, Payload: payload, Reply: reply}, true) {
+		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
+	}
+	return nil
+}
+
+// Datagram is one UDP payload for BroadcastBatch.
+type Datagram struct {
+	Size    int
+	Payload interface{}
+}
+
+// Broadcast sends one UDP datagram to every present member except the
+// sender. Delivery is best-effort: each receiver independently loses the
+// datagram with LossProb, and a full inbox drops it. The airtime is charged
+// once regardless of receiver count — this is the broadcast amortisation
+// MobiStreams exploits (§III-C). It returns the number of members that
+// received the datagram.
+func (w *WiFi) Broadcast(from NodeID, class Class, size int, payload interface{}) int {
+	res := w.BroadcastBatch(from, class, []Datagram{{Size: size, Payload: payload}})
+	return res[0]
+}
+
+// BroadcastBatch sends a burst of UDP datagrams back-to-back, reserving
+// airtime in chunks so concurrent flows interleave with the burst. It
+// returns, per datagram, how many members received it.
+func (w *WiFi) BroadcastBatch(from NodeID, class Class, grams []Datagram) []int {
+	counts := make([]int, len(grams))
+	if len(grams) == 0 {
+		return counts
+	}
+	w.mu.Lock()
+	if !w.present[from] {
+		w.mu.Unlock()
+		return counts
+	}
+	type target struct {
+		id NodeID
+		ep *Endpoint
+	}
+	targets := make([]target, 0, len(w.members))
+	for id, ep := range w.members {
+		if id != from && w.present[id] {
+			targets = append(targets, target{id, ep})
+		}
+	}
+	w.mu.Unlock()
+
+	// Reserve airtime one chunk of datagrams at a time so concurrent
+	// unicast flows interleave with a long burst, then deliver the
+	// chunk's datagrams. Per-datagram timing below chunk resolution is
+	// irrelevant to the protocol.
+	for start := 0; start < len(grams); {
+		end, bytes := start, 0
+		for end < len(grams) && (bytes == 0 || bytes+grams[end].Size <= w.cfg.ChunkBytes) {
+			bytes += grams[end].Size
+			end++
+		}
+		w.occupy(bytes)
+		for i := start; i < end; i++ {
+			g := grams[i]
+			w.Counters.Add(class, g.Size)
+			for _, tg := range targets {
+				if w.lost() {
+					continue
+				}
+				if tg.ep.deliver(Message{From: from, To: tg.id, Class: class, Size: g.Size, Payload: g.Payload}, false) {
+					counts[i]++
+				}
+			}
+		}
+		start = end
+	}
+	return counts
+}
+
+// Config returns the medium's configuration.
+func (w *WiFi) Config() WiFiConfig { return w.cfg }

@@ -1,0 +1,130 @@
+package svm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// separable generates a linearly separable 2D set: label = sign(x0 - x1).
+func separable(n int, seed int64, gap float64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		if a > b {
+			a += gap
+			y[i] = 1
+		} else {
+			b += gap
+			y[i] = -1
+		}
+		x[i] = []float64{a, b}
+	}
+	return x, y
+}
+
+func TestTrainSeparable(t *testing.T) {
+	x, y := separable(200, 1, 1.0)
+	m, err := Train(x, y, Config{Epochs: 120, Lambda: 0.01, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(x, y); acc < 0.97 {
+		t.Fatalf("training accuracy = %v, want >= 0.97", acc)
+	}
+	// Generalisation on a fresh sample.
+	xt, yt := separable(100, 99, 1.0)
+	if acc := m.Accuracy(xt, yt); acc < 0.95 {
+		t.Fatalf("test accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, Config{}); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{0.5}, Config{}); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, -1}, Config{}); err == nil {
+		t.Fatal("ragged features accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, -1}, Config{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPredictIsSignOfMargin(t *testing.T) {
+	m := &Model{W: []float64{1, -1}, B: 0}
+	if m.Predict([]float64{2, 1}) != 1 {
+		t.Fatal("positive side misclassified")
+	}
+	if m.Predict([]float64{1, 2}) != -1 {
+		t.Fatal("negative side misclassified")
+	}
+	if m.Bytes() != 24 {
+		t.Fatalf("bytes = %d, want 24", m.Bytes())
+	}
+}
+
+// Property: prediction is invariant to positive scaling of (W, B).
+func TestScaleInvarianceProperty(t *testing.T) {
+	f := func(w1, w2, b, x1, x2 int8, scale uint8) bool {
+		s := float64(scale%50) + 1
+		m := &Model{W: []float64{float64(w1), float64(w2)}, B: float64(b)}
+		ms := &Model{W: []float64{float64(w1) * s, float64(w2) * s}, B: float64(b) * s}
+		x := []float64{float64(x1), float64(x2)}
+		return m.Predict(x) == ms.Predict(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseEstimator(t *testing.T) {
+	var p PhaseEstimator
+	if got := p.MeanDuration(0, 30); got != 30 {
+		t.Fatalf("fallback mean = %v", got)
+	}
+	for i := 0; i < 10; i++ {
+		p.Observe(0, 40)
+		p.Observe(2, 25)
+	}
+	if got := p.MeanDuration(0, 30); got != 40 {
+		t.Fatalf("red mean = %v, want 40", got)
+	}
+	if got := p.TimeToChange(0, 15, 30); got != 25 {
+		t.Fatalf("time to change = %v, want 25", got)
+	}
+	if got := p.TimeToChange(0, 100, 30); got != 0 {
+		t.Fatalf("elapsed past mean should clamp to 0, got %v", got)
+	}
+	if p.Observations(0) != 10 || p.Observations(1) != 0 {
+		t.Fatal("observation counts wrong")
+	}
+	p.Observe(9, 1) // out of range must not panic
+	if p.Observations(9) != 0 {
+		t.Fatal("out-of-range colour recorded")
+	}
+}
+
+func TestPhaseEstimatorWindowBound(t *testing.T) {
+	var p PhaseEstimator
+	for i := 0; i < 200; i++ {
+		p.Observe(1, float64(i))
+	}
+	if got := p.Observations(1); got != 64 {
+		t.Fatalf("window = %d, want 64", got)
+	}
+}
+
+func BenchmarkTrain(b *testing.B) {
+	x, y := separable(200, 1, 1.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(x, y, Config{Epochs: 10, Seed: 2})
+	}
+}

@@ -1,0 +1,85 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCloneIsIndependent(t *testing.T) {
+	orig := &Tuple{Seq: 7, Source: "s1", Kind: "image", Size: 1024, Created: time.Second}
+	c := orig.Clone()
+	if *c != *orig {
+		t.Fatalf("clone differs: %+v vs %+v", c, orig)
+	}
+	c.Seq = 8
+	c.Replay = true
+	if orig.Seq != 7 || orig.Replay {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestItemWireSize(t *testing.T) {
+	d := DataItem(&Tuple{Size: 4096})
+	if d.WireSize() != 4096 {
+		t.Fatalf("data wire size = %d, want 4096", d.WireSize())
+	}
+	m := MarkerItem(Marker{Kind: MarkerToken, Version: 3})
+	if m.WireSize() != TokenSize {
+		t.Fatalf("marker wire size = %d, want %d", m.WireSize(), TokenSize)
+	}
+	if m.Marker == nil || m.Marker.Version != 3 {
+		t.Fatal("marker payload lost")
+	}
+}
+
+func TestMarkerStrings(t *testing.T) {
+	if got := (Marker{Kind: MarkerToken, Version: 5}).String(); got != "token(v5)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Marker{Kind: MarkerReplayEnd, Version: 2}).String(); got != "replay-end(v2)" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := MarkerKind(99).String(); got != "marker(99)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	tp := &Tuple{Seq: 3, Source: "cam", Kind: "image", Size: 2}
+	if got := tp.String(); got != "tuple{cam#3 image 2B}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Clone always yields an equal value whose mutation never leaks
+// back into the original.
+func TestCloneProperty(t *testing.T) {
+	f := func(seq uint64, src string, size int, replay bool) bool {
+		orig := &Tuple{Seq: seq, Source: src, Size: size, Replay: replay}
+		c := orig.Clone()
+		if *c != *orig {
+			return false
+		}
+		c.Seq++
+		c.Replay = !c.Replay
+		return orig.Seq == seq && orig.Replay == replay
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a marker's wire size is constant and independent of version.
+func TestMarkerWireSizeProperty(t *testing.T) {
+	f := func(version uint64, kind bool) bool {
+		k := MarkerToken
+		if kind {
+			k = MarkerReplayEnd
+		}
+		return MarkerItem(Marker{Kind: k, Version: version}).WireSize() == TokenSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

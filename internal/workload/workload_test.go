@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mobistreams/internal/apps/bcp"
+	"mobistreams/internal/apps/signalguru"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/vision"
+)
+
+type capture struct {
+	mu    sync.Mutex
+	items []struct {
+		src  string
+		kind string
+		size int
+		val  interface{}
+	}
+}
+
+func (c *capture) push(src string, v interface{}, size int, kind string) {
+	c.mu.Lock()
+	c.items = append(c.items, struct {
+		src  string
+		kind string
+		size int
+		val  interface{}
+	}{src, kind, size, v})
+	c.mu.Unlock()
+}
+
+func (c *capture) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func TestBCPCameraFeed(t *testing.T) {
+	clk := clock.NewScaled(500)
+	g := NewGenerator(clk)
+	var c capture
+	g.StartBCPCamera(c.push, BCPCameraConfig{Period: time.Second, Seed: 1})
+	clk.Sleep(12 * time.Second)
+	g.Stop()
+	n := c.count()
+	if n < 7 || n > 13 {
+		t.Fatalf("frames in 12s at 1/s = %d", n)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, it := range c.items {
+		if it.src != "S1" || it.kind != "image" {
+			t.Fatalf("bad item: %+v", it)
+		}
+		if it.size != 180<<10 {
+			t.Fatalf("wire size = %d", it.size)
+		}
+		f, ok := it.val.(bcp.Frame)
+		if !ok {
+			t.Fatalf("payload %T", it.val)
+		}
+		if f.Image != nil {
+			t.Fatal("real images off by default")
+		}
+	}
+}
+
+func TestBCPCameraRealImages(t *testing.T) {
+	clk := clock.NewScaled(500)
+	g := NewGenerator(clk)
+	var c capture
+	g.StartBCPCamera(c.push, BCPCameraConfig{Period: time.Second, RealImages: true, Seed: 2})
+	clk.Sleep(3 * time.Second)
+	g.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.items) == 0 {
+		t.Fatal("no frames")
+	}
+	f := c.items[0].val.(bcp.Frame)
+	if f.Image == nil {
+		t.Fatal("no image rendered")
+	}
+	if got := vision.CountFaces(f.Image); got != f.Planted {
+		t.Fatalf("vision count %d != planted %d", got, f.Planted)
+	}
+}
+
+func TestBCPBusCorruption(t *testing.T) {
+	clk := clock.NewScaled(500)
+	g := NewGenerator(clk)
+	var c capture
+	g.StartBCPBus(c.push, BCPBusConfig{Period: time.Second, CorruptEvery: 3, Seed: 3})
+	clk.Sleep(10 * time.Second)
+	g.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	corrupt := 0
+	for _, it := range c.items {
+		if it.val.(bcp.BusInfo).Corrupt {
+			corrupt++
+		}
+	}
+	if corrupt == 0 {
+		t.Fatal("no corrupt readings injected")
+	}
+	if corrupt*2 > len(c.items) {
+		t.Fatalf("too many corrupt: %d of %d", corrupt, len(c.items))
+	}
+}
+
+func TestSGCameraPhases(t *testing.T) {
+	clk := clock.NewScaled(500)
+	g := NewGenerator(clk)
+	var c capture
+	g.StartSGCamera(c.push, SGCameraConfig{Period: time.Second, PhaseLen: 3, Seed: 4})
+	clk.Sleep(20 * time.Second)
+	g.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.items) < 12 {
+		t.Fatalf("frames = %d", len(c.items))
+	}
+	// The colour must cycle red -> green -> yellow every 3 frames.
+	seen := map[vision.LightColor]bool{}
+	for i, it := range c.items {
+		f := it.val.(signalguru.Frame)
+		want := []vision.LightColor{vision.Red, vision.Green, vision.Yellow}[(i/3)%3]
+		if f.Truth != want {
+			t.Fatalf("frame %d colour = %v, want %v", i, f.Truth, want)
+		}
+		seen[f.Truth] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("colours seen = %v", seen)
+	}
+}
+
+func TestSGUpstreamFeed(t *testing.T) {
+	clk := clock.NewScaled(500)
+	g := NewGenerator(clk)
+	var c capture
+	g.StartSGUpstream(c.push, SGUpstreamConfig{Period: time.Second, Seed: 5})
+	clk.Sleep(5 * time.Second)
+	g.Stop()
+	if c.count() == 0 {
+		t.Fatal("no advisories")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[0].val.(signalguru.Advisory); !ok {
+		t.Fatalf("payload %T", c.items[0].val)
+	}
+}
+
+func TestGeneratorStopIsIdempotent(t *testing.T) {
+	g := NewGenerator(clock.NewScaled(500))
+	g.Stop()
+	g.Stop()
+}

@@ -1,0 +1,337 @@
+// Package mobistreams is a reliable distributed stream processing system
+// for mobile devices, reproducing Wang & Peh, "MobiStreams" (IPDPS 2014).
+//
+// A MobiStreams deployment is a set of regions — clusters of phones in
+// ad-hoc WiFi range running one DSPS each — cascaded over the cellular
+// network and coordinated by a lightweight controller. Fault tolerance
+// comes from token-triggered checkpointing (source-coordinated consistent
+// snapshots with source preservation) and broadcast-based checkpointing
+// (multi-phase UDP dissemination of state to every phone), so a region
+// survives burst failures and phone departures.
+//
+// Quick start:
+//
+//	sys := mobistreams.NewSystem(mobistreams.SystemConfig{Speedup: 50})
+//	g, _ := mobistreams.NewGraphBuilder().
+//		AddOperator("src", "n1").AddOperator("work", "n2").AddOperator("out", "n3").
+//		Chain("src", "work", "out").Build()
+//	region, _ := sys.AddRegion(mobistreams.RegionSpec{
+//		ID: "demo", Graph: g, Registry: registry, Scheme: mobistreams.MS, Phones: 5,
+//	})
+//	sys.Start()
+//	region.Ingest("src", payload, 1024, "reading")
+//
+// The internal packages implement the substrates: simulated WiFi/cellular
+// networks, the phone model, the node/region/controller runtimes, the two
+// driving applications (bus capacity prediction, SignalGuru) and the
+// benchmark harness that regenerates the paper's tables and figures.
+package mobistreams
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mobistreams/internal/broadcast"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/controller"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/graph"
+	"mobistreams/internal/metrics"
+	"mobistreams/internal/node"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/region"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/tuple"
+)
+
+// Re-exported building blocks: applications define operators and graphs
+// with these.
+type (
+	// Operator is the unit of work placed on a phone; see
+	// internal/operator for the contract.
+	Operator = operator.Operator
+	// OperatorBase provides defaults for stateless operators.
+	OperatorBase = operator.Base
+	// Out is one operator emission.
+	Out = operator.Out
+	// Registry maps operator IDs to factories ("the code" the
+	// controller ships to phones).
+	Registry = operator.Registry
+	// Tuple is the unit of data in a stream.
+	Tuple = tuple.Tuple
+	// Graph is a validated query network.
+	Graph = graph.Graph
+	// GraphBuilder accumulates operators and edges.
+	GraphBuilder = graph.Builder
+	// Scheme selects a fault-tolerance scheme.
+	Scheme = ft.Scheme
+	// Report summarises a region's metrics.
+	Report = metrics.Report
+)
+
+// Fault-tolerance schemes (§IV-B).
+var (
+	// Base runs without fault tolerance.
+	Base = ft.BaseScheme
+	// Rep2 is active standby replication.
+	Rep2 = ft.Rep2Scheme
+	// Local checkpoints to local storage only (upper bound baseline).
+	Local = ft.LocalScheme
+	// MS is MobiStreams: token-triggered + broadcast-based checkpointing.
+	MS = ft.MSScheme
+)
+
+// Dist returns the dist-n distributed checkpointing scheme.
+func Dist(n int) Scheme { return ft.Dist(n) }
+
+// ParseScheme parses "base", "rep-2", "local", "dist-3" or "ms".
+func ParseScheme(s string) (Scheme, error) { return ft.Parse(s) }
+
+// Emit builds a fan-out emission; EmitTo a routed one.
+func Emit(t *Tuple) Out              { return operator.Emit(t) }
+func EmitTo(to string, t *Tuple) Out { return operator.EmitTo(to, t) }
+
+// NewGraphBuilder returns an empty query-network builder.
+func NewGraphBuilder() *GraphBuilder { return &graph.Builder{} }
+
+// SystemConfig parameterises a deployment.
+type SystemConfig struct {
+	// Speedup scales simulated time against wall time (default 1: real
+	// time; experiments use hundreds).
+	Speedup float64
+	// CheckpointPeriod is the controller's checkpoint interval (§IV:
+	// 5 minutes; default 5 minutes).
+	CheckpointPeriod time.Duration
+	// PingInterval/PingTimeout drive failure detection (defaults 30 s /
+	// 10 s, §IV).
+	PingInterval time.Duration
+	PingTimeout  time.Duration
+	// Cellular configures the wide-area network (defaults to the
+	// paper's measured 3G rates).
+	Cellular simnet.CellularConfig
+	// Logf receives debug logging; nil disables.
+	Logf func(string, ...interface{})
+}
+
+// RegionSpec declares one region.
+type RegionSpec struct {
+	ID       string
+	Graph    *Graph
+	Registry Registry
+	Scheme   Scheme
+	// Phones is the region population (slots plus idle spares).
+	Phones int
+	// WiFiBps is the shared-airtime capacity (default 3 Mbps); WiFiLoss
+	// the UDP loss probability (default 2%).
+	WiFiBps  float64
+	WiFiLoss float64
+	Seed     int64
+	// OnOutput receives every deduplicated sink result; may be nil.
+	OnOutput func(t *Tuple)
+}
+
+// System is a running MobiStreams deployment.
+type System struct {
+	cfg  SystemConfig
+	clk  *clock.Scaled
+	cell *simnet.Cellular
+	ctrl *controller.Controller
+
+	mu      sync.Mutex
+	regions map[string]*Region
+	started bool
+}
+
+// Region wraps one region's runtime.
+type Region struct {
+	sys *System
+	r   *region.Region
+
+	mu         sync.Mutex
+	downstream []cascade
+	onOutput   func(t *Tuple)
+}
+
+type cascade struct {
+	to    *Region
+	srcOp string
+}
+
+// NewSystem creates a deployment skeleton: clock, cellular network and
+// controller.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Speedup <= 0 {
+		cfg.Speedup = 1
+	}
+	clk := clock.NewScaled(cfg.Speedup)
+	cfg.Cellular.ChunkBytes = 0 // defaults applied by simnet
+	cell := simnet.NewCellular(clk, cfg.Cellular)
+	ctrl := controller.New(controller.Config{
+		Clock:            clk,
+		Cell:             cell,
+		CheckpointPeriod: cfg.CheckpointPeriod,
+		PingInterval:     cfg.PingInterval,
+		PingTimeout:      cfg.PingTimeout,
+		Logf:             cfg.Logf,
+	})
+	return &System{cfg: cfg, clk: clk, cell: cell, ctrl: ctrl, regions: make(map[string]*Region)}
+}
+
+// Clock returns the system clock; Sleep and Now operate in simulated time.
+func (s *System) Clock() *clock.Scaled { return s.clk }
+
+// AddRegion builds a region. Call before Start.
+func (s *System) AddRegion(spec RegionSpec) (*Region, error) {
+	if spec.Graph == nil || spec.Registry == nil {
+		return nil, fmt.Errorf("mobistreams: region %q needs a graph and a registry", spec.ID)
+	}
+	if spec.WiFiBps <= 0 {
+		spec.WiFiBps = 3e6
+	}
+	if spec.WiFiLoss == 0 {
+		spec.WiFiLoss = 0.02
+	}
+	wrapped := &Region{sys: s, onOutput: spec.OnOutput}
+	r, err := region.New(region.Config{
+		ID:                spec.ID,
+		Graph:             spec.Graph,
+		Registry:          spec.Registry,
+		Scheme:            spec.Scheme,
+		Phones:            spec.Phones,
+		Clock:             s.clk,
+		WiFi:              simnet.WiFiConfig{BitsPerSecond: spec.WiFiBps, LossProb: spec.WiFiLoss, Seed: spec.Seed},
+		Cell:              s.cell,
+		ControllerID:      s.ctrl.ID(),
+		Broadcast:         broadcast.Config{BlockSize: 1024},
+		PreserveBroadcast: spec.Scheme.Kind == ft.MS,
+		OnSinkOutput:      wrapped.publish,
+		Logf:              s.cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	wrapped.r = r
+	s.ctrl.AddRegion(r)
+	s.mu.Lock()
+	s.regions[spec.ID] = wrapped
+	s.mu.Unlock()
+	return wrapped, nil
+}
+
+// Connect cascades one region's results into a downstream region's source
+// operator over the cellular network (Fig. 4's inter-region arrows).
+func (s *System) Connect(from, to *Region, srcOp string) {
+	from.mu.Lock()
+	from.downstream = append(from.downstream, cascade{to: to, srcOp: srcOp})
+	from.mu.Unlock()
+}
+
+// Start launches every region and the controller.
+func (s *System) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	regions := make([]*Region, 0, len(s.regions))
+	for _, r := range s.regions {
+		regions = append(regions, r)
+	}
+	s.mu.Unlock()
+	for _, r := range regions {
+		r.r.Start()
+	}
+	s.ctrl.Start()
+}
+
+// Stop shuts the deployment down.
+func (s *System) Stop() {
+	s.mu.Lock()
+	regions := make([]*Region, 0, len(s.regions))
+	for _, r := range s.regions {
+		regions = append(regions, r)
+	}
+	s.mu.Unlock()
+	for _, r := range regions {
+		r.r.Stop()
+	}
+	s.ctrl.Stop()
+}
+
+// publish handles one deduplicated sink result: the app callback runs
+// first, then the result cascades to downstream regions over cellular.
+func (rg *Region) publish(publisher simnet.NodeID, t *tuple.Tuple) {
+	rg.mu.Lock()
+	cb := rg.onOutput
+	downs := append([]cascade(nil), rg.downstream...)
+	rg.mu.Unlock()
+	if cb != nil {
+		cb(t)
+	}
+	for _, d := range downs {
+		slot := d.to.r.Graph().SlotOf(d.srcOp)
+		target, ok := d.to.r.Placement(slot)
+		if !ok {
+			continue
+		}
+		msg := node.InterRegionMsg{SrcOp: d.srcOp, Kind: t.Kind, Size: t.Size, Value: t.Value}
+		rg.sys.cell.Send(publisher, target, simnet.ClassData, t.Size, msg)
+	}
+}
+
+// Ingest admits one externally sensed tuple at a source operator.
+func (rg *Region) Ingest(srcOp string, value interface{}, size int, kind string) {
+	rg.r.Ingest(srcOp, value, size, kind)
+}
+
+// Report summarises the region's metrics so far.
+func (rg *Region) Report() Report {
+	return rg.r.Report(rg.sys.clk.Now())
+}
+
+// Outputs reports how many unique results the region has published.
+func (rg *Region) Outputs() int64 { return rg.r.Throughput.Count() }
+
+// MeanLatency reports the mean end-to-end latency in simulated time.
+func (rg *Region) MeanLatency() time.Duration { return rg.r.Latency.Mean() }
+
+// InjectFailure crashes the phone currently hosting a slot (fault
+// injection for tests and demos). Detection and recovery happen through
+// the protocol.
+func (rg *Region) InjectFailure(slot string) error {
+	pid, ok := rg.r.Placement(slot)
+	if !ok {
+		return fmt.Errorf("mobistreams: no placement for slot %q", slot)
+	}
+	rg.r.FailPhone(pid)
+	return nil
+}
+
+// InjectDeparture makes the phone hosting a slot leave the region (GPS
+// notifies the controller, §III-E).
+func (rg *Region) InjectDeparture(slot string) error {
+	pid, ok := rg.r.Placement(slot)
+	if !ok {
+		return fmt.Errorf("mobistreams: no placement for slot %q", slot)
+	}
+	rg.r.DepartPhone(pid)
+	rg.sys.ctrl.NotifyDeparture(rg.r.ID(), pid)
+	return nil
+}
+
+// Recoveries reports how many recoveries the region has undergone.
+func (rg *Region) Recoveries() int { return rg.sys.ctrl.Recoveries(rg.r.ID()) }
+
+// Committed reports the latest committed checkpoint version.
+func (rg *Region) Committed() uint64 { return rg.sys.ctrl.Committed(rg.r.ID()) }
+
+// TriggerCheckpoint starts a checkpoint round immediately (the periodic
+// loop runs regardless).
+func (rg *Region) TriggerCheckpoint() uint64 {
+	return rg.sys.ctrl.TriggerCheckpoint(rg.r.ID())
+}
+
+// Dead reports whether the region was stopped and bypassed.
+func (rg *Region) Dead() bool { return rg.sys.ctrl.RegionDead(rg.r.ID()) }

@@ -1,0 +1,155 @@
+package mobistreams
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobistreams/internal/operator"
+	"mobistreams/internal/tuple"
+)
+
+func demoGraph(t testing.TB) *Graph {
+	t.Helper()
+	g, err := NewGraphBuilder().
+		AddOperator("src", "n1").AddOperator("work", "n2").AddOperator("out", "n3").
+		Chain("src", "work", "out").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func demoRegistry() Registry {
+	return Registry{
+		"src": func() Operator { return operator.NewPassthrough("src") },
+		"work": func() Operator {
+			return operator.NewMap("work", func(in *tuple.Tuple) *tuple.Tuple { return in.Clone() })
+		},
+		"out": func() Operator { return operator.NewPassthrough("out") },
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	var got atomic.Int64
+	sys := NewSystem(SystemConfig{Speedup: 2000, CheckpointPeriod: time.Hour})
+	r, err := sys.AddRegion(RegionSpec{
+		ID: "r1", Graph: demoGraph(t), Registry: demoRegistry(),
+		Scheme: MS, Phones: 5, WiFiBps: 50e6,
+		OnOutput: func(*Tuple) { got.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	for i := 0; i < 10; i++ {
+		r.Ingest("src", i, 1024, "x")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for got.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got.Load() != 10 {
+		t.Fatalf("outputs = %d, want 10", got.Load())
+	}
+	if r.Outputs() != 10 {
+		t.Fatalf("region outputs = %d", r.Outputs())
+	}
+	if r.Dead() {
+		t.Fatal("region dead")
+	}
+}
+
+func TestSystemCheckpointAndFailure(t *testing.T) {
+	sys := NewSystem(SystemConfig{Speedup: 2000, CheckpointPeriod: time.Hour})
+	r, err := sys.AddRegion(RegionSpec{
+		ID: "r1", Graph: demoGraph(t), Registry: demoRegistry(),
+		Scheme: MS, Phones: 5, WiFiBps: 50e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	for i := 0; i < 5; i++ {
+		r.Ingest("src", i, 1024, "x")
+	}
+	v := r.TriggerCheckpoint()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Committed() < v && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if r.Committed() < v {
+		t.Fatal("checkpoint never committed")
+	}
+	if err := r.InjectFailure("n2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 15; i++ {
+		r.Ingest("src", i, 1024, "x")
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for r.Recoveries() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if r.Recoveries() == 0 {
+		t.Fatal("no recovery")
+	}
+	if r.Dead() {
+		t.Fatal("region should survive a single failure")
+	}
+}
+
+func TestSystemCascade(t *testing.T) {
+	var downstream atomic.Int64
+	sys := NewSystem(SystemConfig{
+		Speedup:          2000,
+		CheckpointPeriod: time.Hour,
+	})
+	r2, err := sys.AddRegion(RegionSpec{
+		ID: "r2", Graph: demoGraph(t), Registry: demoRegistry(),
+		Scheme: Base, Phones: 3, WiFiBps: 50e6,
+		OnOutput: func(*Tuple) { downstream.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sys.AddRegion(RegionSpec{
+		ID: "r1", Graph: demoGraph(t), Registry: demoRegistry(),
+		Scheme: Base, Phones: 3, WiFiBps: 50e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Connect(r1, r2, "src")
+	sys.Start()
+	defer sys.Stop()
+	for i := 0; i < 5; i++ {
+		r1.Ingest("src", i, 1024, "x")
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for downstream.Load() < 5 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if downstream.Load() != 5 {
+		t.Fatalf("cascaded outputs = %d, want 5", downstream.Load())
+	}
+}
+
+func TestParseSchemeFacade(t *testing.T) {
+	s, err := ParseScheme("dist-2")
+	if err != nil || s != Dist(2) {
+		t.Fatalf("parse: %v %v", s, err)
+	}
+	if _, err := ParseScheme("junk"); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestAddRegionValidation(t *testing.T) {
+	sys := NewSystem(SystemConfig{Speedup: 100})
+	if _, err := sys.AddRegion(RegionSpec{ID: "bad"}); err == nil {
+		t.Fatal("region without graph accepted")
+	}
+}
