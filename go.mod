@@ -1,0 +1,3 @@
+module mobistreams
+
+go 1.21

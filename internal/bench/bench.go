@@ -16,6 +16,7 @@ import (
 	"mobistreams/internal/ft"
 	"mobistreams/internal/graph"
 	"mobistreams/internal/metrics"
+	"mobistreams/internal/node"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/region"
 	"mobistreams/internal/simnet"
@@ -77,6 +78,9 @@ type Scenario struct {
 	// PreserveBroadcast replicates source logs region-wide under MS
 	// (default true).
 	NoPreserveBroadcast bool
+	// Batch bounds edge-level tuple batching (zero value: enabled with
+	// defaults; set Batch.Disable to measure the unbatched path).
+	Batch node.BatchConfig
 }
 
 func (s *Scenario) applyDefaults() {
@@ -184,6 +188,7 @@ func Run(s Scenario) (Outcome, error) {
 		ControllerID:      ctrl.ID(),
 		Broadcast:         broadcast.Config{BlockSize: 1024},
 		PreserveBroadcast: s.Scheme.Kind == ft.MS && !s.NoPreserveBroadcast,
+		Batch:             s.Batch,
 	})
 	if err != nil {
 		return Outcome{}, err

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+
+	"mobistreams/internal/node"
+	"mobistreams/internal/tuple"
+)
+
+// TestIngressBatchingThroughput is the tentpole acceptance check: with
+// edge batching on, the single-edge pipeline must sustain at least 2x the
+// unbatched tuple throughput in simulated time (per-frame medium overhead
+// amortised across coalesced sends), delivering every tuple in order.
+func TestIngressBatchingThroughput(t *testing.T) {
+	const n = 400
+	base, err := RunIngress(IngressConfig{Tuples: n, Batch: node.BatchConfig{Disable: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	batched, err := RunIngress(IngressConfig{
+		Tuples:   n,
+		OnOutput: func(tp *tuple.Tuple) { seqs = append(seqs, tp.Seq) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Delivered != n || batched.Delivered != n {
+		t.Fatalf("delivered base=%d batched=%d, want %d", base.Delivered, batched.Delivered, n)
+	}
+	if len(seqs) != n {
+		t.Fatalf("observed %d outputs, want %d", len(seqs), n)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("output %d has seq %d: batching broke edge FIFO order", i, s)
+		}
+	}
+	if batched.MeanBatch < 2 {
+		t.Fatalf("mean batch = %.1f, batching never coalesced", batched.MeanBatch)
+	}
+	ratio := batched.SimTuplesPerSec / base.SimTuplesPerSec
+	t.Logf("unbatched %.0f t/s, batched %.0f t/s (%.2fx, mean batch %.1f)",
+		base.SimTuplesPerSec, batched.SimTuplesPerSec, ratio, batched.MeanBatch)
+	// Race instrumentation inflates the scaled clock's sleep overshoot,
+	// which leaks wall time into the simulated results; keep the hard
+	// ratio for uninstrumented builds only.
+	want := 2.0
+	if raceEnabled {
+		want = 1.2
+	}
+	if ratio < want {
+		t.Fatalf("batched/unbatched throughput = %.2fx, want >= %.1fx", ratio, want)
+	}
+}
+
+func benchIngress(b *testing.B, batch node.BatchConfig) {
+	b.Helper()
+	res, err := RunIngress(IngressConfig{Tuples: b.N, Batch: batch})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.SimTuplesPerSec, "sim_tuples/s")
+	if res.Flushes > 0 {
+		b.ReportMetric(res.MeanBatch, "msgs/batch")
+	}
+}
+
+// BenchmarkIngressUnbatched measures the per-message delivery path: every
+// emission is its own network send.
+func BenchmarkIngressUnbatched(b *testing.B) {
+	benchIngress(b, node.BatchConfig{Disable: true})
+}
+
+// BenchmarkIngressBatched measures the coalesced delivery path (default
+// batching bounds).
+func BenchmarkIngressBatched(b *testing.B) {
+	benchIngress(b, node.BatchConfig{})
+}

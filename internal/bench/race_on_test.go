@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// wall-clock-sensitive simulated-time assertions relax under it.
+const raceEnabled = true

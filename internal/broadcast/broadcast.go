@@ -155,9 +155,14 @@ func Disseminate(m Medium, w Waiter, from simnet.NodeID, peers []simnet.NodeID, 
 		toSend[i] = i
 	}
 
+	// grams is reused across phases; BroadcastBatch reserves airtime one
+	// chunk at a time, so long block bursts interleave with concurrent
+	// data-batch unicasts instead of monopolising the medium.
+	grams := make([]simnet.Datagram, 0, total)
+
 	for phase := 1; phase <= cfg.MaxUDPPhases && len(toSend) > 0 && len(reachable) > 0; phase++ {
 		st.UDPPhases = phase
-		grams := make([]simnet.Datagram, len(toSend))
+		grams = grams[:len(toSend)]
 		sent := int64(0)
 		for gi, bi := range toSend {
 			sz := blockBytes(blob.Size, cfg.BlockSize, bi)

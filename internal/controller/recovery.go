@@ -206,8 +206,39 @@ func (c *Controller) recoverMS(m *managed, failedSlots []string) {
 			c.send(pid, node.Command{Op: node.CmdReplay, Version: v, Epoch: epoch})
 		}
 	}
-	for _, pid := range phones {
-		c.send(pid, node.Command{Op: node.CmdResume})
+	// Resume downstream-first, acknowledged: a restored node drops stream
+	// arrivals until its resume, so every consumer must be open before
+	// any upstream starts pushing replay traffic.
+	c.resumeDownstreamFirst(m)
+}
+
+// resumeDownstreamFirst resumes the region sinks-first in reverse slot
+// topological order, waiting for each node's acknowledgement before
+// resuming its upstreams.
+func (c *Controller) resumeDownstreamFirst(m *managed) {
+	g := m.r.Graph()
+	ops, err := g.TopoOrder()
+	var slots []string
+	if err == nil {
+		seenSlot := make(map[string]bool)
+		for _, op := range ops {
+			if s := g.SlotOf(op); !seenSlot[s] {
+				seenSlot[s] = true
+				slots = append(slots, s)
+			}
+		}
+	} else {
+		slots = m.r.ActiveSlots()
+	}
+	seen := make(map[simnet.NodeID]bool)
+	for i := len(slots) - 1; i >= 0; i-- {
+		if pid, ok := m.r.Placement(slots[i]); ok && !seen[pid] {
+			seen[pid] = true
+			// The timeout is generous: proceeding to an upstream while a
+			// consumer's resume is still in flight reopens the window
+			// where replay traffic hits a still-closed stream path.
+			c.request(pid, node.Command{Op: node.CmdResume}, 120*time.Second)
+		}
 	}
 }
 

@@ -130,6 +130,64 @@ func (t *Throughput) PerSecond(now time.Duration) float64 {
 	return float64(t.count) / window.Seconds()
 }
 
+// BatchSizes tracks edge-batching effectiveness: how many stream messages
+// each flushed network batch carried. It is safe for concurrent use.
+type BatchSizes struct {
+	mu      sync.Mutex
+	flushes int64
+	msgs    int64
+	max     int
+}
+
+// Observe records one flushed batch of n messages.
+func (b *BatchSizes) Observe(n int) {
+	b.mu.Lock()
+	b.flushes++
+	b.msgs += int64(n)
+	if n > b.max {
+		b.max = n
+	}
+	b.mu.Unlock()
+}
+
+// Flushes reports how many batches were sent.
+func (b *BatchSizes) Flushes() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushes
+}
+
+// Msgs reports the total messages carried across all batches.
+func (b *BatchSizes) Msgs() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.msgs
+}
+
+// Mean reports the mean batch size, or 0 before the first flush.
+func (b *BatchSizes) Mean() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.flushes == 0 {
+		return 0
+	}
+	return float64(b.msgs) / float64(b.flushes)
+}
+
+// Max reports the largest batch sent.
+func (b *BatchSizes) Max() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.max
+}
+
+// Reset zeroes the accumulator.
+func (b *BatchSizes) Reset() {
+	b.mu.Lock()
+	b.flushes, b.msgs, b.max = 0, 0, 0
+	b.mu.Unlock()
+}
+
 // Report is the summary of one experiment run.
 type Report struct {
 	Scheme         string
@@ -144,4 +202,9 @@ type Report struct {
 	ReplicationNet int64 // duplicated-tuple bytes on the network
 	PreservedBytes int64 // source + edge preservation bytes stored
 	Recovered      bool  // whether the run survived its fault injection
+
+	// BatchFlushes and MeanBatch summarise edge batching: network sends
+	// of coalesced data tuples and the mean messages per send.
+	BatchFlushes int64
+	MeanBatch    float64
 }

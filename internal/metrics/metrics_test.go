@@ -80,3 +80,26 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBatchSizes(t *testing.T) {
+	var b BatchSizes
+	if b.Mean() != 0 || b.Flushes() != 0 || b.Max() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	b.Observe(4)
+	b.Observe(8)
+	b.Observe(12)
+	if b.Flushes() != 3 || b.Msgs() != 24 {
+		t.Fatalf("flushes=%d msgs=%d, want 3/24", b.Flushes(), b.Msgs())
+	}
+	if b.Mean() != 8 {
+		t.Fatalf("mean = %v, want 8", b.Mean())
+	}
+	if b.Max() != 12 {
+		t.Fatalf("max = %d, want 12", b.Max())
+	}
+	b.Reset()
+	if b.Flushes() != 0 || b.Msgs() != 0 || b.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,214 @@
+package node
+
+import (
+	"sync"
+	"time"
+
+	"mobistreams/internal/simnet"
+)
+
+// BatchConfig bounds edge-level tuple batching. Emissions to the same
+// destination slot are coalesced into one network send, cutting the
+// per-message medium, lock and channel overhead on the ingress hot path.
+// A batch flushes when it reaches MaxMsgs messages or MaxBytes payload
+// bytes, when an in-band marker joins it (markers must not be delayed —
+// checkpoint alignment depends on their timing), or when FlushInterval of
+// simulated time passes with the batch still partial.
+type BatchConfig struct {
+	// MaxMsgs flushes a batch at this many messages (default 32).
+	MaxMsgs int
+	// MaxBytes flushes a batch at this many payload bytes (default 64 KB,
+	// one WiFi airtime chunk, so a batch never monopolises the medium
+	// against interleaving checkpoint traffic).
+	MaxBytes int
+	// FlushInterval bounds how long a partial batch may wait, in
+	// simulated time (default 20 ms).
+	FlushInterval time.Duration
+	// Disable sends every message individually (the pre-batching path).
+	Disable bool
+}
+
+func (c *BatchConfig) applyDefaults() {
+	if c.MaxMsgs <= 0 {
+		c.MaxMsgs = 32
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 10
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 20 * time.Millisecond
+	}
+}
+
+// batchSlicePool recycles the []StreamMsg backing arrays batches are
+// assembled in and shipped with, so the steady-state emission path does
+// not allocate per batch.
+var batchSlicePool = sync.Pool{
+	New: func() interface{} { return make([]StreamMsg, 0, 64) },
+}
+
+func takeBatchSlice() []StreamMsg {
+	return batchSlicePool.Get().([]StreamMsg)[:0]
+}
+
+// recycleBatchSlice zeroes and returns a batch slice to the pool. Callers
+// must have copied out every field they keep; tuple payloads are reached
+// through pointers, which survive the zeroing.
+func recycleBatchSlice(s []StreamMsg) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = StreamMsg{}
+	}
+	batchSlicePool.Put(s[:0]) //nolint:staticcheck // slice reuse is the point
+}
+
+// batcher coalesces a node's cross-slot emissions per destination slot.
+//
+// Concurrency: the executor appends under mu; flushes (size-triggered from
+// the executor, latency-triggered from the flush loop) serialise through
+// sendMu, and a flush extracts the pending batch only after acquiring
+// sendMu — so batches leave in exactly the order they were cut, and edge
+// FIFO order survives concurrent flushers.
+type batcher struct {
+	n   *Node
+	cfg BatchConfig
+
+	mu      sync.Mutex
+	pending map[string]*edgeBatch
+
+	// kick wakes the flush loop when a partial batch starts waiting.
+	kick chan struct{}
+
+	sendMu sync.Mutex
+}
+
+// edgeBatch is the pending batch for one destination slot.
+type edgeBatch struct {
+	msgs  []StreamMsg
+	bytes int
+}
+
+func newBatcher(n *Node, cfg BatchConfig) *batcher {
+	cfg.applyDefaults()
+	return &batcher{
+		n:       n,
+		cfg:     cfg,
+		pending: make(map[string]*edgeBatch),
+		kick:    make(chan struct{}, 1),
+	}
+}
+
+// add appends one emission to its destination's pending batch, flushing
+// immediately when a bound is hit or the message is an in-band marker.
+func (b *batcher) add(toSlot string, msg StreamMsg) {
+	if b.cfg.Disable {
+		b.sendMu.Lock()
+		s := takeBatchSlice()
+		s = append(s, msg)
+		b.n.sendBatch(toSlot, s, msg.Item.WireSize(), simnet.ClassData)
+		b.sendMu.Unlock()
+		return
+	}
+	b.mu.Lock()
+	eb := b.pending[toSlot]
+	if eb == nil {
+		eb = &edgeBatch{msgs: takeBatchSlice()}
+		b.pending[toSlot] = eb
+	}
+	eb.msgs = append(eb.msgs, msg)
+	eb.bytes += msg.Item.WireSize()
+	urgent := msg.Item.Marker != nil
+	full := len(eb.msgs) >= b.cfg.MaxMsgs || eb.bytes >= b.cfg.MaxBytes
+	b.mu.Unlock()
+	if urgent || full {
+		b.flushSlot(toSlot)
+		return
+	}
+	select {
+	case b.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flushSlot sends the destination's pending batch, if any.
+func (b *batcher) flushSlot(toSlot string) {
+	b.sendMu.Lock()
+	defer b.sendMu.Unlock()
+	b.mu.Lock()
+	eb := b.pending[toSlot]
+	if eb == nil || len(eb.msgs) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.pending, toSlot)
+	b.mu.Unlock()
+	b.n.sendBatch(toSlot, eb.msgs, eb.bytes, simnet.ClassData)
+}
+
+// flushAll drains every pending batch (latency-bound flush, handoff).
+func (b *batcher) flushAll() {
+	b.sendMu.Lock()
+	defer b.sendMu.Unlock()
+	for {
+		b.mu.Lock()
+		var slot string
+		var eb *edgeBatch
+		for s, p := range b.pending {
+			slot, eb = s, p
+			break
+		}
+		if eb == nil {
+			b.mu.Unlock()
+			return
+		}
+		delete(b.pending, slot)
+		b.mu.Unlock()
+		b.n.sendBatch(slot, eb.msgs, eb.bytes, simnet.ClassData)
+	}
+}
+
+// discardAll drops every pending batch without sending (restore rewound
+// the emission sequences; the replay regenerates this output). It takes
+// only the pending lock, so a flusher blocked in a delivery retry cannot
+// stall a restore.
+func (b *batcher) discardAll() {
+	b.mu.Lock()
+	for slot, eb := range b.pending {
+		delete(b.pending, slot)
+		recycleBatchSlice(eb.msgs)
+	}
+	b.mu.Unlock()
+}
+
+// pendingSlots reports how many destinations have a partial batch waiting.
+func (b *batcher) pendingSlots() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// flushLoop is the latency bound: while partial batches are pending it
+// flushes them every FlushInterval of simulated time, then parks until the
+// next emission kicks it. Size- and marker-triggered flushes happen inline
+// on the executor, so correctness never waits on this loop.
+func (n *Node) flushLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.batch.kick:
+		}
+		for n.batch.pendingSlots() > 0 {
+			select {
+			case <-n.stopCh:
+				return
+			case <-n.clk.After(n.batch.cfg.FlushInterval):
+				n.batch.flushAll()
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mobistreams/internal/clock"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/metrics"
+	"mobistreams/internal/phone"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/tuple"
+)
+
+// mapResolver is a static slot-to-phone map for wiring a sender without a
+// region.
+type mapResolver map[string]simnet.NodeID
+
+func (r mapResolver) Primary(slot string) (simnet.NodeID, bool) {
+	id, ok := r[slot]
+	return id, ok
+}
+
+func (mapResolver) Standby(string) (simnet.NodeID, bool) { return "", false }
+
+// newBatchHarness wires one sending node to a receiving endpoint over a
+// fast WiFi medium, without starting any goroutines: flushes are driven
+// explicitly by the tests.
+func newBatchHarness(t *testing.T, batch BatchConfig) (*Node, *simnet.Endpoint) {
+	t.Helper()
+	clk := clock.NewScaled(1e6)
+	w := simnet.NewWiFi(clk, simnet.WiFiConfig{BitsPerSecond: 1e12})
+	tx := simnet.NewEndpoint("tx", 1024)
+	rx := simnet.NewEndpoint("rx", 1024)
+	w.Join(tx)
+	w.Join(rx)
+	n := New(Config{
+		Phone:    phone.New("tx", phone.Config{}),
+		Scheme:   ft.BaseScheme,
+		Clock:    clk,
+		WiFi:     w,
+		Endpoint: tx,
+		Resolver: mapResolver{"down": "rx"},
+		Batch:    batch,
+	})
+	return n, rx
+}
+
+func streamMsg(seq uint64) StreamMsg {
+	return StreamMsg{FromSlot: "up", ToSlot: "down", ToOp: "op", EdgeSeq: seq,
+		Item: tuple.DataItem(&tuple.Tuple{Seq: seq, Size: 100})}
+}
+
+func recvPayloads(rx *simnet.Endpoint) []interface{} {
+	var out []interface{}
+	for {
+		select {
+		case m := <-rx.Inbox():
+			out = append(out, m.Payload)
+		default:
+			return out
+		}
+	}
+}
+
+func TestBatcherCoalescesInOrder(t *testing.T) {
+	n, rx := newBatchHarness(t, BatchConfig{MaxMsgs: 100})
+	for seq := uint64(1); seq <= 5; seq++ {
+		n.batch.add("down", streamMsg(seq))
+	}
+	if got := recvPayloads(rx); len(got) != 0 {
+		t.Fatalf("sent %d payloads before any flush", len(got))
+	}
+	n.batch.flushAll()
+	got := recvPayloads(rx)
+	if len(got) != 1 {
+		t.Fatalf("payloads = %d, want one batch", len(got))
+	}
+	bm, ok := got[0].(BatchMsg)
+	if !ok {
+		t.Fatalf("payload is %T, want BatchMsg", got[0])
+	}
+	if len(bm.Msgs) != 5 {
+		t.Fatalf("batch carries %d msgs, want 5", len(bm.Msgs))
+	}
+	for i, m := range bm.Msgs {
+		if m.EdgeSeq != uint64(i+1) {
+			t.Fatalf("batch order broken: %d at position %d", m.EdgeSeq, i)
+		}
+	}
+	if bm.WireSize() != 500 {
+		t.Fatalf("wire size = %d, want 500", bm.WireSize())
+	}
+}
+
+func TestBatcherFlushesAtMaxMsgs(t *testing.T) {
+	n, rx := newBatchHarness(t, BatchConfig{MaxMsgs: 3})
+	for seq := uint64(1); seq <= 7; seq++ {
+		n.batch.add("down", streamMsg(seq))
+	}
+	got := recvPayloads(rx)
+	if len(got) != 2 {
+		t.Fatalf("payloads = %d, want 2 full batches (7th message still pending)", len(got))
+	}
+	if n.batch.pendingSlots() != 1 {
+		t.Fatalf("pending slots = %d, want 1", n.batch.pendingSlots())
+	}
+}
+
+func TestBatcherFlushesAtMaxBytes(t *testing.T) {
+	n, rx := newBatchHarness(t, BatchConfig{MaxMsgs: 100, MaxBytes: 250})
+	n.batch.add("down", streamMsg(1))
+	n.batch.add("down", streamMsg(2))
+	if got := recvPayloads(rx); len(got) != 0 {
+		t.Fatal("flushed below the byte bound")
+	}
+	n.batch.add("down", streamMsg(3)) // 300 bytes >= 250
+	if got := recvPayloads(rx); len(got) != 1 {
+		t.Fatalf("payloads = %d, want 1 byte-bound flush", len(got))
+	}
+}
+
+func TestBatcherMarkerFlushesImmediately(t *testing.T) {
+	n, rx := newBatchHarness(t, BatchConfig{MaxMsgs: 100})
+	n.batch.add("down", streamMsg(1))
+	n.batch.add("down", streamMsg(2))
+	marker := StreamMsg{FromSlot: "up", ToSlot: "down", EdgeSeq: 3,
+		Item: tuple.MarkerItem(tuple.Marker{Kind: tuple.MarkerToken, Version: 7})}
+	n.batch.add("down", marker)
+	got := recvPayloads(rx)
+	if len(got) != 1 {
+		t.Fatalf("payloads = %d, want 1 (marker must not wait on the latency bound)", len(got))
+	}
+	bm := got[0].(BatchMsg)
+	if len(bm.Msgs) != 3 || bm.Msgs[2].Item.Marker == nil {
+		t.Fatalf("marker batch wrong: %d msgs, last marker %v", len(bm.Msgs), bm.Msgs[2].Item.Marker)
+	}
+	if bm.Msgs[0].EdgeSeq != 1 || bm.Msgs[1].EdgeSeq != 2 {
+		t.Fatal("tuples before the marker were reordered")
+	}
+}
+
+func TestBatcherDisabledSendsSingles(t *testing.T) {
+	n, rx := newBatchHarness(t, BatchConfig{Disable: true})
+	n.batch.add("down", streamMsg(1))
+	n.batch.add("down", streamMsg(2))
+	got := recvPayloads(rx)
+	if len(got) != 2 {
+		t.Fatalf("payloads = %d, want 2 singles", len(got))
+	}
+	for i, p := range got {
+		if _, ok := p.(StreamMsg); !ok {
+			t.Fatalf("payload %d is %T, want the unbatched StreamMsg wire format", i, p)
+		}
+	}
+}
+
+func TestBatcherDiscardAll(t *testing.T) {
+	n, rx := newBatchHarness(t, BatchConfig{MaxMsgs: 100})
+	n.batch.add("down", streamMsg(1))
+	n.batch.discardAll()
+	n.batch.flushAll()
+	if got := recvPayloads(rx); len(got) != 0 {
+		t.Fatalf("discarded batch was sent: %d payloads", len(got))
+	}
+	if n.batch.pendingSlots() != 0 {
+		t.Fatal("pending not cleared")
+	}
+}
+
+func TestBatcherObservesStats(t *testing.T) {
+	var stats metrics.BatchSizes
+	clk := clock.NewScaled(1e6)
+	w := simnet.NewWiFi(clk, simnet.WiFiConfig{BitsPerSecond: 1e12})
+	tx, rx := simnet.NewEndpoint("tx", 64), simnet.NewEndpoint("rx", 64)
+	w.Join(tx)
+	w.Join(rx)
+	n := New(Config{
+		Phone: phone.New("tx", phone.Config{}), Scheme: ft.BaseScheme, Clock: clk,
+		WiFi: w, Endpoint: tx, Resolver: mapResolver{"down": "rx"},
+		Batch: BatchConfig{MaxMsgs: 4}, BatchStats: &stats,
+	})
+	for seq := uint64(1); seq <= 8; seq++ {
+		n.batch.add("down", streamMsg(seq))
+	}
+	if stats.Flushes() != 2 || stats.Msgs() != 8 || stats.Mean() != 4 || stats.Max() != 4 {
+		t.Fatalf("stats = %d flushes / %d msgs / %.1f mean / %d max",
+			stats.Flushes(), stats.Msgs(), stats.Mean(), stats.Max())
+	}
+	_ = rx
+}
+
+// TestEnqueueStreamBatchUnbatches checks the receive half: a BatchMsg is
+// unbatched into the upstream queue in order under one lock.
+func TestEnqueueStreamBatchUnbatches(t *testing.T) {
+	n := &Node{
+		queues: map[string]*upQueue{"up": {}},
+		slot:   "s",
+		logf:   func(string, ...interface{}) {},
+	}
+	n.cond = sync.NewCond(&n.mu)
+	msgs := takeBatchSlice()
+	for seq := uint64(1); seq <= 4; seq++ {
+		msgs = append(msgs, streamMsg(seq))
+	}
+	msgs = append(msgs, streamMsg(4)) // in-window duplicate: dropped
+	n.enqueueStreamBatch(BatchMsg{ToSlot: "s", Msgs: msgs})
+	q := n.queues["up"]
+	if q.len() != 4 {
+		t.Fatalf("queue has %d items, want 4", q.len())
+	}
+	for want := uint64(1); want <= 4; want++ {
+		if got := q.pop().edgeSeq; got != want {
+			t.Fatalf("popped %d, want %d", got, want)
+		}
+	}
+}
+
+// TestBatcherConcurrentFlushKeepsFIFO hammers add/flush from two
+// goroutines and checks the receiver observes strictly increasing edge
+// sequences — the sendMu ordering contract.
+func TestBatcherConcurrentFlushKeepsFIFO(t *testing.T) {
+	n, rx := newBatchHarness(t, BatchConfig{MaxMsgs: 8})
+	const total = 400
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			n.batch.flushAll()
+			time.Sleep(time.Microsecond)
+		}
+	}()
+	for seq := uint64(1); seq <= total; seq++ {
+		n.batch.add("down", streamMsg(seq))
+	}
+	<-done
+	n.batch.flushAll()
+	var last uint64
+	count := 0
+	for _, p := range recvPayloads(rx) {
+		var batch []StreamMsg
+		switch m := p.(type) {
+		case StreamMsg:
+			batch = []StreamMsg{m}
+		case BatchMsg:
+			batch = m.Msgs
+		}
+		for _, m := range batch {
+			if m.EdgeSeq <= last {
+				t.Fatalf("sequence %d arrived after %d", m.EdgeSeq, last)
+			}
+			last = m.EdgeSeq
+			count++
+		}
+	}
+	if count != total {
+		t.Fatalf("received %d msgs, want %d", count, total)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"mobistreams/internal/broadcast"
@@ -39,6 +40,8 @@ func (n *Node) dispatch(m simnet.Message) {
 		switch p := m.Payload.(type) {
 		case StreamMsg:
 			n.enqueueStream(p)
+		case BatchMsg:
+			n.enqueueStreamBatch(p)
 		case InterRegionMsg:
 			if n.cfg.OnIngest != nil {
 				n.cfg.OnIngest(p.SrcOp, p.Value, p.Size, p.Kind)
@@ -134,6 +137,7 @@ func (n *Node) handleCommand(m simnet.Message, c Command) {
 		n.respondOK(m)
 	case CmdResume:
 		n.ResumeExec()
+		n.respondOK(m)
 	case CmdRestore:
 		err := n.RestoreTo(c.Version)
 		n.mu.Lock()
@@ -255,10 +259,12 @@ func (n *Node) PauseExec() {
 	n.mu.Unlock()
 }
 
-// ResumeExec restarts the executor.
+// ResumeExec restarts the executor and reopens the stream path after a
+// controller-driven restore.
 func (n *Node) ResumeExec() {
 	n.mu.Lock()
 	n.paused = false
+	n.dropStream = false
 	n.mu.Unlock()
 	n.cond.Broadcast()
 }
@@ -295,12 +301,24 @@ func (n *Node) RestoreTo(v uint64) error {
 		n.clk.Sleep(n.cfg.Phone.FlashReadTime(blob.Size))
 		n.mu.Lock()
 	}
-	return n.installBlobLocked(blob)
+	err := n.installBlobLocked(blob)
+	// Until the controller resumes the region, every peer is paused: any
+	// stream arrival in this window is stale pre-failure traffic from a
+	// sender that has not yet restored, and would poison the reset dedup
+	// state against the upcoming replay. Drop it at the door.
+	n.dropStream = true
+	return err
 }
 
 // installBlobLocked rebuilds operators and runtime state from a blob (nil
 // means initial state). Caller holds n.mu.
 func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
+	// Output emitted before the rewind is invalid after it: the restored
+	// outSeq re-emits those edge sequences, so pending batches are
+	// discarded and in-flight delivery retries observe the generation
+	// bump and abort rather than landing stale.
+	atomic.AddUint64(&n.sendGen, 1)
+	n.batch.discardAll()
 	fresh := make([]operator.Operator, 0, len(n.opIDs))
 	for _, id := range n.opIDs {
 		fresh = append(fresh, n.cfg.Registry.New(id))
@@ -448,6 +466,9 @@ func (n *Node) fetchSlot() string {
 // cellular network and demotes this node to idle (§III-E).
 func (n *Node) HandoffTo(target simnet.NodeID) {
 	n.PauseExec()
+	// Ship any coalesced emissions still waiting on the latency bound:
+	// after the handoff this node no longer owns their edge sequences.
+	n.batch.flushAll()
 	n.mu.Lock()
 	slot := n.slot
 	n.mu.Unlock()

@@ -18,6 +18,24 @@ type StreamMsg struct {
 	Item     tuple.Item
 }
 
+// BatchMsg coalesces several StreamMsgs bound for the same destination
+// slot into one network send, amortising the per-message medium, lock and
+// channel overhead of the ingress hot path. Messages appear in emission
+// order; the receiver unbatches them into upstream queues under one lock.
+type BatchMsg struct {
+	ToSlot string
+	Msgs   []StreamMsg
+}
+
+// WireSize sums the payload bytes the network charges for the batch.
+func (b BatchMsg) WireSize() int {
+	total := 0
+	for i := range b.Msgs {
+		total += b.Msgs[i].Item.WireSize()
+	}
+	return total
+}
+
 // PreserveMsg replicates one admitted source tuple to every phone in the
 // region (UDP best-effort), so the replay log survives source failures.
 type PreserveMsg struct {

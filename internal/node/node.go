@@ -16,6 +16,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobistreams/internal/broadcast"
@@ -23,6 +24,7 @@ import (
 	"mobistreams/internal/clock"
 	"mobistreams/internal/ft"
 	"mobistreams/internal/graph"
+	"mobistreams/internal/metrics"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/phone"
 	"mobistreams/internal/simnet"
@@ -81,6 +83,10 @@ type Config struct {
 	// PreserveBroadcast replicates admitted source input to all peers
 	// (UDP best-effort) so replay logs survive source failures.
 	PreserveBroadcast bool
+	// Batch bounds edge-level tuple batching on the emission hot path.
+	Batch BatchConfig
+	// BatchStats, when non-nil, accumulates per-flush batch sizes.
+	BatchStats *metrics.BatchSizes
 	// OnSinkOutput receives externally published results.
 	OnSinkOutput func(*tuple.Tuple)
 	// OnIngest admits an inter-region tuple arriving over cellular into
@@ -105,47 +111,64 @@ type queued struct {
 // emissions, so out-of-order arrivals park until the gap fills. The park
 // has an overflow valve — an unfillable gap (edge log lost to a second
 // failure) degrades to tuple loss rather than deadlock.
+//
+// Unordered queues (schemes without edge preservation) only suppress
+// duplicates, within a bounded window of recently seen sequences: a late
+// arrival that simply overtook its neighbours on the network is still
+// legitimate input and must not be dropped.
 type upQueue struct {
 	items   []queued
 	head    int
 	stalled bool
 	lastEnq uint64
 	ordered bool
-	park    map[uint64]queued
+	// park is a min-heap on edgeSeq of out-of-order arrivals waiting for
+	// their gap to fill; parked tracks membership for duplicate drops.
+	park   []queued
+	parked map[uint64]struct{}
+	// recent is the unordered queues' dedup window: the last dedupWindow
+	// sequences accepted, evicted FIFO through recentRing.
+	recent     map[uint64]struct{}
+	recentRing []uint64
+	recentPos  int
 }
 
 // parkLimit bounds out-of-order buffering before the gap is abandoned.
 const parkLimit = 1024
 
+// dedupWindow bounds how many recently accepted sequences an unordered
+// queue remembers for duplicate suppression.
+const dedupWindow = 1024
+
 // enqueue applies the queue's ordering discipline to a sequenced arrival
 // and reports whether anything became deliverable.
 func (q *upQueue) enqueue(it queued) bool {
-	if it.edgeSeq <= q.lastEnq {
-		return false // duplicate
-	}
 	if !q.ordered {
-		q.lastEnq = it.edgeSeq
+		if q.seenRecently(it.edgeSeq) {
+			return false // duplicate
+		}
+		if it.edgeSeq > q.lastEnq {
+			q.lastEnq = it.edgeSeq
+		}
 		q.push(it)
 		return true
+	}
+	if it.edgeSeq <= q.lastEnq {
+		return false // duplicate below the delivery watermark
 	}
 	if it.edgeSeq == q.lastEnq+1 {
 		q.lastEnq = it.edgeSeq
 		q.push(it)
-		for {
-			next, ok := q.park[q.lastEnq+1]
-			if !ok {
-				break
-			}
-			delete(q.park, q.lastEnq+1)
+		for len(q.park) > 0 && q.park[0].edgeSeq == q.lastEnq+1 {
 			q.lastEnq++
-			q.push(next)
+			q.push(q.parkPop())
 		}
 		return true
 	}
-	if q.park == nil {
-		q.park = make(map[uint64]queued)
+	if _, dup := q.parked[it.edgeSeq]; dup {
+		return false
 	}
-	q.park[it.edgeSeq] = it
+	q.parkPush(it)
 	if len(q.park) > parkLimit {
 		q.flushPark()
 		return true
@@ -153,24 +176,76 @@ func (q *upQueue) enqueue(it queued) bool {
 	return false
 }
 
+// seenRecently reports whether seq is inside the dedup window, recording it
+// if not. The window is bounded: a duplicate arriving more than dedupWindow
+// accepted sequences later slips through and is caught by sink-side dedup.
+func (q *upQueue) seenRecently(seq uint64) bool {
+	if _, ok := q.recent[seq]; ok {
+		return true
+	}
+	if q.recent == nil {
+		q.recent = make(map[uint64]struct{}, dedupWindow)
+	}
+	if len(q.recentRing) < dedupWindow {
+		q.recentRing = append(q.recentRing, seq)
+	} else {
+		delete(q.recent, q.recentRing[q.recentPos])
+		q.recentRing[q.recentPos] = seq
+		q.recentPos = (q.recentPos + 1) % dedupWindow
+	}
+	q.recent[seq] = struct{}{}
+	return false
+}
+
+// parkPush inserts an out-of-order arrival into the park heap.
+func (q *upQueue) parkPush(it queued) {
+	if q.parked == nil {
+		q.parked = make(map[uint64]struct{})
+	}
+	q.parked[it.edgeSeq] = struct{}{}
+	q.park = append(q.park, it)
+	for i := len(q.park) - 1; i > 0; {
+		p := (i - 1) / 2
+		if q.park[p].edgeSeq <= q.park[i].edgeSeq {
+			break
+		}
+		q.park[p], q.park[i] = q.park[i], q.park[p]
+		i = p
+	}
+}
+
+// parkPop removes and returns the lowest-sequence parked item.
+func (q *upQueue) parkPop() queued {
+	top := q.park[0]
+	delete(q.parked, top.edgeSeq)
+	last := len(q.park) - 1
+	q.park[0] = q.park[last]
+	q.park[last] = queued{}
+	q.park = q.park[:last]
+	for i := 0; ; {
+		s := i
+		if l := 2*i + 1; l < len(q.park) && q.park[l].edgeSeq < q.park[s].edgeSeq {
+			s = l
+		}
+		if r := 2*i + 2; r < len(q.park) && q.park[r].edgeSeq < q.park[s].edgeSeq {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q.park[i], q.park[s] = q.park[s], q.park[i]
+		i = s
+	}
+	return top
+}
+
 // flushPark abandons an unfillable gap: parked items are delivered in
-// sequence order and the watermark jumps past them.
+// sequence order and the watermark jumps past them. Heap pops make the
+// whole flush O(n log n) in the park size.
 func (q *upQueue) flushPark() {
-	for {
-		var min uint64
-		found := false
-		for s := range q.park {
-			if !found || s < min {
-				min = s
-				found = true
-			}
-		}
-		if !found {
-			return
-		}
-		it := q.park[min]
-		delete(q.park, min)
-		q.lastEnq = min
+	for len(q.park) > 0 {
+		it := q.parkPop()
+		q.lastEnq = it.edgeSeq
 		q.push(it)
 	}
 }
@@ -184,7 +259,13 @@ func (q *upQueue) pop() queued {
 	q.items[q.head] = queued{}
 	q.head++
 	if q.head > 256 && q.head*2 >= len(q.items) {
-		q.items = append([]queued(nil), q.items[q.head:]...)
+		// Compact in place: slide the live suffix down and truncate, so
+		// the drain path reuses one backing array instead of allocating.
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = queued{}
+		}
+		q.items = q.items[:n]
 		q.head = 0
 	}
 	return it
@@ -195,6 +276,10 @@ func (q *upQueue) reset() {
 	q.head = 0
 	q.stalled = false
 	q.park = nil
+	q.parked = nil
+	q.recent = nil
+	q.recentRing = nil
+	q.recentPos = 0
 }
 
 // execCmd is a high-priority executor command.
@@ -245,9 +330,24 @@ type Node struct {
 	unreachable     map[simnet.NodeID]bool
 	urgentReported  map[string]bool
 	chronicReported bool
-	extFwdSeq       uint64
-	forwardTo       simnet.NodeID // post-handoff relay target (§III-E)
-	preBuf          []StreamMsg   // stream arrivals before activation
+	// sendGen invalidates in-flight deliveries across a restore: output
+	// emitted before a rewind must not land after it (the rewound outSeq
+	// reuses those edge sequences, and a late stale delivery would poison
+	// the receiver's dedup state against the re-emissions). Read
+	// atomically by retry loops; bumped under mu by installBlobLocked.
+	sendGen uint64
+	// dropStream discards stream arrivals between a controller-driven
+	// restore and the matching resume. During region-wide recovery every
+	// sender is paused, so nothing legitimate flows in that window — only
+	// stale pre-failure messages from peers that have not yet restored
+	// (and thus not yet aborted their own in-flight retries), which would
+	// poison the freshly reset dedup state.
+	dropStream bool
+	extFwdSeq  uint64
+	forwardTo  simnet.NodeID // post-handoff relay target (§III-E)
+	preBuf     []StreamMsg   // stream arrivals before activation
+
+	batch *batcher
 
 	ctrl      chan simnet.Message
 	persistCh chan *checkpoint.Blob
@@ -289,6 +389,7 @@ func New(cfg Config) *Node {
 		stopCh:         make(chan struct{}),
 	}
 	n.cond = sync.NewCond(&n.mu)
+	n.batch = newBatcher(n, cfg.Batch)
 	n.logf = cfg.Logf
 	if n.logf == nil {
 		n.logf = func(string, ...interface{}) {}
@@ -371,12 +472,21 @@ func (n *Node) Start() {
 		n.wg.Add(1)
 		go n.persistLoop()
 	}
+	if !n.batch.cfg.Disable {
+		n.wg.Add(1)
+		go n.flushLoop()
+	}
 }
 
 // Stop shuts the node down gracefully and waits for its goroutines.
 func (n *Node) Stop() {
 	n.shutdown(false)
 	n.wg.Wait()
+	// With every loop stopped, deliver the emissions still waiting on
+	// the latency bound: the unbatched path sent each emission before
+	// returning, and a graceful stop keeps that guarantee. (A crash
+	// goes through Fail, which rightly loses them.)
+	n.batch.flushAll()
 }
 
 // Fail crashes the phone: goroutines stop, the endpoint is sealed, local
@@ -424,6 +534,10 @@ func (n *Node) IngestExternal(srcOp string, t *tuple.Tuple) {
 // that has handed its slot off relays stragglers to the replacement.
 func (n *Node) enqueueStream(m StreamMsg) {
 	n.mu.Lock()
+	if n.dropStream {
+		n.mu.Unlock()
+		return
+	}
 	q, ok := n.queues[m.FromSlot]
 	if !ok {
 		fwd := n.forwardTo
@@ -450,6 +564,62 @@ func (n *Node) enqueueStream(m StreamMsg) {
 	if q.enqueue(queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item}) {
 		n.cond.Signal()
 	}
+}
+
+// enqueueStreamBatch unbatches a coalesced delivery into its upstream
+// queues under one lock acquisition — the receive half of edge batching.
+// The relay and pre-activation cases mirror enqueueStream, acting on the
+// batch as a whole (every message in a batch shares one origin slot).
+func (n *Node) enqueueStreamBatch(bm BatchMsg) {
+	if len(bm.Msgs) == 0 {
+		return
+	}
+	n.mu.Lock()
+	if n.dropStream {
+		n.mu.Unlock()
+		recycleBatchSlice(bm.Msgs)
+		return
+	}
+	if _, ok := n.queues[bm.Msgs[0].FromSlot]; !ok {
+		fwd := n.forwardTo
+		if fwd == "" && n.slot == "" {
+			for _, m := range bm.Msgs {
+				if len(n.preBuf) < 4096 {
+					n.preBuf = append(n.preBuf, m)
+				}
+			}
+			n.mu.Unlock()
+			recycleBatchSlice(bm.Msgs)
+			return
+		}
+		n.mu.Unlock()
+		if fwd != "" {
+			size := bm.WireSize()
+			if err := n.cfg.WiFi.Unicast(n.id, fwd, simnet.ClassData, size, bm); err != nil && n.cfg.Cell != nil {
+				n.cfg.Cell.Send(n.id, fwd, simnet.ClassData, size, bm)
+			}
+			return
+		}
+		n.logf("%s: stream batch from unexpected slot %s", n.id, bm.Msgs[0].FromSlot)
+		return
+	}
+	woke := false
+	for i := range bm.Msgs {
+		m := &bm.Msgs[i]
+		q, ok := n.queues[m.FromSlot]
+		if !ok {
+			n.logf("%s: stream from unexpected slot %s", n.id, m.FromSlot)
+			continue
+		}
+		if q.enqueue(queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item}) {
+			woke = true
+		}
+	}
+	n.mu.Unlock()
+	if woke {
+		n.cond.Signal()
+	}
+	recycleBatchSlice(bm.Msgs)
 }
 
 // injectCmd queues a high-priority executor command.
@@ -498,6 +668,17 @@ func (n *Node) execLoop() {
 				if have {
 					break
 				}
+			}
+			// Out of runnable work: opportunistically ship any partial
+			// batches before parking, so a low-rate stream's delivery is
+			// as prompt as the unbatched path instead of waiting on the
+			// flush timer. Size- and marker-bound flushes already happen
+			// inline; this covers the trickle case.
+			if n.batch.pendingSlots() > 0 {
+				n.mu.Unlock()
+				n.batch.flushAll()
+				n.mu.Lock()
+				continue // arrivals during the flush re-enter the checks
 			}
 			n.execParked = true
 			n.cond.Broadcast()
@@ -670,8 +851,10 @@ func (n *Node) emitExternal(t *tuple.Tuple) {
 	}
 }
 
-// sendCross ships one item to an operator on another slot, with urgent-mode
-// cellular fallback and failure reporting (§III-D, §III-E).
+// sendCross ships one item to an operator on another slot. Emissions are
+// coalesced per destination slot by the batcher, which flushes on size,
+// latency, or an in-band marker, and delivers with urgent-mode cellular
+// fallback and failure reporting (§III-D, §III-E).
 func (n *Node) sendCross(toSlot, toOp, fromOp string, item tuple.Item) {
 	n.mu.Lock()
 	if n.role == RoleStandby {
@@ -691,60 +874,120 @@ func (n *Node) sendCross(toSlot, toOp, fromOp string, item tuple.Item) {
 		n.cfg.Store.AppendEdge(toSlot, seq, fromOp, toOp, item.Tuple)
 		n.clk.Sleep(n.cfg.Phone.FlashWriteTime(item.Tuple.Size))
 	}
-	msg := StreamMsg{FromSlot: fromSlot, FromOp: fromOp, ToSlot: toSlot, ToOp: toOp, EdgeSeq: seq, Item: item}
-	n.deliverData(toSlot, msg, simnet.ClassData)
+	n.batch.add(toSlot, StreamMsg{FromSlot: fromSlot, FromOp: fromOp, ToSlot: toSlot, ToOp: toOp, EdgeSeq: seq, Item: item})
+}
 
-	if n.cfg.Scheme.Replicated() {
-		if standby, ok := n.cfg.Resolver.Standby(toSlot); ok {
-			size := item.WireSize()
-			if err := n.cfg.WiFi.Unicast(n.id, standby, simnet.ClassReplication, size, msg); err == nil {
-				n.cfg.Phone.DrainTx(size)
-			}
+// sendBatch ships one flushed batch to the destination slot's primary and,
+// for fresh data under rep-2, a replica copy to its standby. A batch of one
+// travels as a plain StreamMsg so the unbatched wire format is unchanged.
+// Callers hold the batcher's send mutex, which keeps edge FIFO order across
+// concurrent flushers.
+func (n *Node) sendBatch(toSlot string, msgs []StreamMsg, bytes int, class simnet.Class) {
+	if len(msgs) == 0 {
+		return
+	}
+	if n.cfg.BatchStats != nil {
+		n.cfg.BatchStats.Observe(len(msgs))
+	}
+	var payload interface{}
+	single := len(msgs) == 1
+	if single {
+		payload = msgs[0]
+	} else {
+		payload = BatchMsg{ToSlot: toSlot, Msgs: msgs}
+	}
+	// The standby's copy must be cut before the primary send: the primary
+	// dispatcher recycles the slice it unbatches, so sharing one backing
+	// array — or copying from it after delivery — races with the zeroing.
+	var replica interface{}
+	if class == simnet.ClassData && n.cfg.Scheme.Replicated() {
+		if single {
+			replica = payload
+		} else {
+			replica = BatchMsg{ToSlot: toSlot, Msgs: append(takeBatchSlice(), msgs...)}
 		}
+	}
+	n.deliverData(toSlot, bytes, payload, class)
+	if replica != nil {
+		if standby, ok := n.cfg.Resolver.Standby(toSlot); ok {
+			if err := n.cfg.WiFi.Unicast(n.id, standby, simnet.ClassReplication, bytes, replica); err == nil {
+				n.cfg.Phone.DrainTx(bytes)
+			}
+		} else if bm, ok := replica.(BatchMsg); ok {
+			recycleBatchSlice(bm.Msgs) // standby gone (promoted): copy unused
+		}
+	}
+	if single {
+		// Multi-message slices are recycled by the receiver after
+		// unbatching; a single message was copied into the payload.
+		recycleBatchSlice(msgs)
 	}
 }
 
+// reportAfterAttempts failed delivery attempts trigger the failure report
+// that starts controller-side recovery (§III-D); delivery keeps retrying
+// afterwards.
+const reportAfterAttempts = 3
+
+// maxDeliveryAttempts bounds the full retry horizon (~6 s of simulated
+// time at 200 ms per attempt). A coalesced batch carries many tuples, so
+// it must not be dropped wholesale on the first sign of trouble: the
+// resolver is re-consulted every attempt, and once recovery re-points the
+// slot (promotion, replacement) the batch lands at the new primary.
+const maxDeliveryAttempts = 30
+
 // deliverData resolves the destination slot's phone and sends reliably,
 // falling back to the cellular network (urgent mode) when the WiFi path is
-// broken, and reporting the destination failed after bounded retries.
-func (n *Node) deliverData(toSlot string, msg StreamMsg, class simnet.Class) {
-	size := msg.Item.WireSize()
-	const attempts = 3
+// broken. After reportAfterAttempts failures it reports the destination
+// failed — kicking off recovery — and keeps retrying while the region
+// re-points the slot, giving up only past the full retry horizon.
+func (n *Node) deliverData(toSlot string, size int, payload interface{}, class simnet.Class) {
+	gen := atomic.LoadUint64(&n.sendGen)
 	var target simnet.NodeID
-	for i := 0; i < attempts; i++ {
-		var ok bool
-		target, ok = n.cfg.Resolver.Primary(toSlot)
-		if !ok {
+	for i := 0; i < maxDeliveryAttempts; i++ {
+		if i > 0 {
 			n.clk.Sleep(200 * time.Millisecond)
-			continue
 		}
-		if err := n.cfg.WiFi.Unicast(n.id, target, class, size, msg); err == nil {
-			n.cfg.Phone.DrainTx(size)
+		if atomic.LoadUint64(&n.sendGen) != gen {
+			// The node restored mid-retry: this payload predates the
+			// rewind, and its edge sequences will be re-emitted. A late
+			// stale delivery would poison the receiver's dedup state
+			// against those re-emissions.
+			n.logf("%s: dropped %d stale bytes for %s across restore", n.id, size, toSlot)
 			return
 		}
-		// Urgent mode: detour over the cellular network (§III-E).
-		if n.cfg.Cell != nil && n.cfg.Cell.Attached(target) {
-			if err := n.cfg.Cell.Send(n.id, target, class, size, msg); err == nil {
+		var ok bool
+		if target, ok = n.cfg.Resolver.Primary(toSlot); ok {
+			if err := n.cfg.WiFi.Unicast(n.id, target, class, size, payload); err == nil {
 				n.cfg.Phone.DrainTx(size)
-				n.mu.Lock()
-				reported := n.urgentReported[toSlot]
-				n.urgentReported[toSlot] = true
-				n.mu.Unlock()
-				if !reported {
-					n.report(Report{Type: RepUrgent, Phone: n.id, Slot: toSlot, Observed: target})
-				}
 				return
 			}
+			// Urgent mode: detour over the cellular network (§III-E).
+			if n.cfg.Cell != nil && n.cfg.Cell.Attached(target) {
+				if err := n.cfg.Cell.Send(n.id, target, class, size, payload); err == nil {
+					n.cfg.Phone.DrainTx(size)
+					n.mu.Lock()
+					reported := n.urgentReported[toSlot]
+					n.urgentReported[toSlot] = true
+					n.mu.Unlock()
+					if !reported {
+						n.report(Report{Type: RepUrgent, Phone: n.id, Slot: toSlot, Observed: target})
+					}
+					return
+				}
+			}
 		}
-		n.clk.Sleep(200 * time.Millisecond)
+		if i == reportAfterAttempts-1 && target != "" {
+			n.mu.Lock()
+			already := n.unreachable[target]
+			n.unreachable[target] = true
+			n.mu.Unlock()
+			if !already {
+				n.report(Report{Type: RepFailure, Phone: n.id, Slot: toSlot, Observed: target})
+			}
+		}
 	}
-	n.mu.Lock()
-	already := n.unreachable[target]
-	n.unreachable[target] = true
-	n.mu.Unlock()
-	if !already && target != "" {
-		n.report(Report{Type: RepFailure, Phone: n.id, Slot: toSlot, Observed: target})
-	}
+	n.logf("%s: dropped %d bytes for %s: unreachable past retry horizon", n.id, size, toSlot)
 }
 
 // sendMarker forwards an in-band marker to every downstream slot.
@@ -903,17 +1146,40 @@ func (n *Node) snapshot(v uint64) (*checkpoint.Blob, error) {
 
 // doResend replays retained output for a recovered downstream (input
 // preservation, executed on the executor so ordering with fresh emissions
-// is exact).
+// is exact). The replay log is shipped in size-bounded batches over the
+// same serialised delivery path as fresh output.
 func (n *Node) doResend(downstream string, after uint64) {
 	entries := n.cfg.Store.EdgeLogSince(downstream, after)
 	n.mu.Lock()
 	fromSlot := n.slot
 	n.mu.Unlock()
-	for _, e := range entries {
-		msg := StreamMsg{FromSlot: fromSlot, FromOp: e.FromOp, ToSlot: downstream,
-			ToOp: e.ToOp, EdgeSeq: e.EdgeSeq, Item: tuple.DataItem(e.T)}
-		n.deliverData(downstream, msg, simnet.ClassRecovery)
+	maxMsgs, maxBytes := n.batch.cfg.MaxMsgs, n.batch.cfg.MaxBytes
+	if n.batch.cfg.Disable {
+		maxMsgs = 1
 	}
+	var msgs []StreamMsg
+	bytes := 0
+	flush := func() {
+		if len(msgs) == 0 {
+			return
+		}
+		n.batch.sendMu.Lock()
+		n.sendBatch(downstream, msgs, bytes, simnet.ClassRecovery)
+		n.batch.sendMu.Unlock()
+		msgs, bytes = nil, 0
+	}
+	for _, e := range entries {
+		if msgs == nil {
+			msgs = takeBatchSlice()
+		}
+		msgs = append(msgs, StreamMsg{FromSlot: fromSlot, FromOp: e.FromOp, ToSlot: downstream,
+			ToOp: e.ToOp, EdgeSeq: e.EdgeSeq, Item: tuple.DataItem(e.T)})
+		bytes += e.T.Size
+		if len(msgs) >= maxMsgs || bytes >= maxBytes {
+			flush()
+		}
+	}
+	flush()
 	n.logf("%s: resent %d retained tuples to %s after seq %d", n.id, len(entries), downstream, after)
 }
 

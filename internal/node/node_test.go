@@ -19,15 +19,16 @@ func drain(q *upQueue) []uint64 {
 	return seqs
 }
 
-func TestUnorderedQueueWatermarkDedup(t *testing.T) {
+func TestUnorderedQueueWindowDedup(t *testing.T) {
 	q := &upQueue{}
 	for _, seq := range []uint64{1, 2, 2, 1, 3, 5, 4} {
 		q.enqueue(item(seq))
 	}
-	// Watermark mode: duplicates and late arrivals below the watermark
-	// drop; gaps pass through (5 accepted, 4 dropped as stale).
+	// Dedup-window mode: repeats of recently seen sequences (2, 1) drop,
+	// but a genuine out-of-order arrival (4 after 5) is legitimate input
+	// and must be delivered, not mistaken for a duplicate.
 	got := drain(q)
-	want := []uint64{1, 2, 3, 5}
+	want := []uint64{1, 2, 3, 5, 4}
 	if len(got) != len(want) {
 		t.Fatalf("delivered %v, want %v", got, want)
 	}
@@ -35,6 +36,44 @@ func TestUnorderedQueueWatermarkDedup(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("delivered %v, want %v", got, want)
 		}
+	}
+}
+
+// Regression for out-of-order arrivals on unordered queues being dropped
+// as duplicates: any sequence below the high watermark used to be thrown
+// away, losing legitimate tuples that merely overtook each other on the
+// network.
+func TestUnorderedQueueOutOfOrderNotDropped(t *testing.T) {
+	q := &upQueue{}
+	q.enqueue(item(10))
+	q.enqueue(item(3)) // below watermark but never seen: keep
+	q.enqueue(item(3)) // true duplicate inside the window: drop
+	got := drain(q)
+	want := []uint64{10, 3}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	if q.lastEnq != 10 {
+		t.Fatalf("watermark = %d, want 10", q.lastEnq)
+	}
+}
+
+func TestUnorderedQueueDedupWindowBounded(t *testing.T) {
+	q := &upQueue{}
+	for seq := uint64(1); seq <= dedupWindow+10; seq++ {
+		q.enqueue(item(seq))
+	}
+	// Sequence 1 has been evicted from the window: a very late duplicate
+	// slips through here and is caught by sink-side dedup instead.
+	if !q.enqueue(item(1)) {
+		t.Fatal("evicted sequence wrongly treated as duplicate")
+	}
+	// A sequence still inside the window stays suppressed.
+	if q.enqueue(item(dedupWindow + 10)) {
+		t.Fatal("in-window duplicate delivered")
+	}
+	if len(q.recent) > dedupWindow {
+		t.Fatalf("window grew unbounded: %d", len(q.recent))
 	}
 }
 
@@ -143,7 +182,9 @@ func TestOrderedQueuePermutationProperty(t *testing.T) {
 		}
 		for i, seq := range perm {
 			q.enqueue(item(seq))
-			if dupEvery > 0 && i%int(dupEvery+1) == 0 {
+			// Widen before adding one: dupEvery=255 would overflow
+			// uint8 to 0 and panic on i%0.
+			if dupEvery > 0 && i%(int(dupEvery)+1) == 0 {
 				q.enqueue(item(seq)) // duplicate injection
 			}
 		}
@@ -159,6 +200,82 @@ func TestOrderedQueuePermutationProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the flushPark overflow valve delivers parked items in strictly
+// increasing sequence order and jumps the watermark past everything it
+// flushed, for any shuffled arrival order and any unfillable gap pattern —
+// including a second failure opening a second gap after the first flush.
+func TestOrderedQueueFlushValveProperty(t *testing.T) {
+	f := func(permSeed uint32, gapSeed uint32) bool {
+		q := &upQueue{ordered: true}
+		// Two bursts, each with gaps that never fill (lost edge logs).
+		// Burst sequences start at 2 so sequence 1 is a permanent gap.
+		total := parkLimit + 64
+		seqs := make([]uint64, 0, 2*total)
+		skip := func(s, seed uint64) bool { return (s*2654435761+seed)%17 == 0 }
+		for s := uint64(2); len(seqs) < total; s++ {
+			if !skip(s, uint64(gapSeed)) {
+				seqs = append(seqs, s)
+			}
+		}
+		// Second failure: another unfillable gap far past the first.
+		base := seqs[len(seqs)-1] + 100
+		for s := base; len(seqs) < 2*total; s++ {
+			if !skip(s, uint64(gapSeed)+1) {
+				seqs = append(seqs, s)
+			}
+		}
+		// Shuffle within each burst (bursts arrive in order).
+		r := permSeed
+		shuffle := func(part []uint64) {
+			for i := len(part) - 1; i > 0; i-- {
+				r = r*1664525 + 1013904223
+				j := int(r % uint32(i+1))
+				part[i], part[j] = part[j], part[i]
+			}
+		}
+		shuffle(seqs[:total])
+		shuffle(seqs[total:])
+		for _, s := range seqs {
+			q.enqueue(item(s))
+		}
+		q.flushPark() // drain any sub-limit remainder for inspection
+		got := drain(q)
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Logf("out of order at %d: %d after %d", i, got[i], got[i-1])
+				return false
+			}
+		}
+		// The valve degrades to bounded loss, never deadlock: everything
+		// parked at overflow time (at least parkLimit items) delivers,
+		// and arrivals after the watermark jump keep flowing. Stragglers
+		// below a jumped watermark are the designed loss.
+		if len(got) < parkLimit {
+			t.Logf("delivered only %d of %d", len(got), len(seqs))
+			return false
+		}
+		sent := make(map[uint64]bool, len(seqs))
+		for _, s := range seqs {
+			sent[s] = true
+		}
+		for _, s := range got {
+			if !sent[s] {
+				t.Logf("delivered %d was never sent", s)
+				return false
+			}
+		}
+		// The watermark jumped past the highest delivered sequence.
+		if q.lastEnq != got[len(got)-1] {
+			t.Logf("watermark %d, want %d", q.lastEnq, got[len(got)-1])
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -49,6 +49,9 @@ type Config struct {
 	Broadcast    broadcast.Config
 	// PreserveBroadcast replicates source logs region-wide (MobiStreams).
 	PreserveBroadcast bool
+	// Batch bounds edge-level tuple batching on every node's emission
+	// path; the zero value enables batching with defaults.
+	Batch node.BatchConfig
 	// OnSinkOutput publishes deduplicated sink results beyond the region
 	// (inter-region cascading); may be nil.
 	OnSinkOutput func(publisher simnet.NodeID, t *tuple.Tuple)
@@ -84,6 +87,7 @@ type Region struct {
 	seenOutput map[string]map[uint64]bool
 	Latency    metrics.Latency
 	Throughput metrics.Throughput
+	batchStats metrics.BatchSizes
 	duplicates int64
 }
 
@@ -207,6 +211,8 @@ func (r *Region) buildNode(id simnet.NodeID, slot string, role node.Role) *node.
 		DistPeers:         r.distPeersFor(slot),
 		Broadcast:         r.cfg.Broadcast,
 		PreserveBroadcast: r.cfg.PreserveBroadcast,
+		Batch:             r.cfg.Batch,
+		BatchStats:        &r.batchStats,
 		OnSinkOutput:      func(t *tuple.Tuple) { r.onSink(id, t) },
 		OnIngest:          func(srcOp string, v interface{}, size int, kind string) { r.Ingest(srcOp, v, size, kind) },
 		Logf:              r.logf,
@@ -245,6 +251,8 @@ func (r *Region) buildStandby(slot string) {
 		Store:        st,
 		Resolver:     (*resolver)(r),
 		ControllerID: r.cfg.ControllerID,
+		Batch:        r.cfg.Batch,
+		BatchStats:   &r.batchStats,
 		OnSinkOutput: func(t *tuple.Tuple) { r.onSink(sbID, t) },
 		Logf:         r.logf,
 	})
@@ -443,7 +451,10 @@ func (r *Region) SetPlacement(slot string, id simnet.NodeID) {
 }
 
 // PromoteStandby makes the standby the primary for a slot (rep-2 failover)
-// and returns the promoted node, or nil.
+// and returns the promoted node, or nil. The node's role flips before the
+// placement map points at it: the moment upstream retries resolve the new
+// primary, a whole in-flight batch may land and execute, and a node still
+// in standby role would suppress every emission in it.
 func (r *Region) PromoteStandby(slot string) *node.Node {
 	r.mu.Lock()
 	sid, ok := r.standby[slot]
@@ -452,13 +463,15 @@ func (r *Region) PromoteStandby(slot string) *node.Node {
 		return nil
 	}
 	n := r.nodes[sid]
-	r.placement[slot] = sid
-	delete(r.standby, slot)
-	delete(r.standbyPhone, slot)
 	r.mu.Unlock()
 	if n != nil {
 		n.Promote()
 	}
+	r.mu.Lock()
+	r.placement[slot] = sid
+	delete(r.standby, slot)
+	delete(r.standbyPhone, slot)
+	r.mu.Unlock()
 	return n
 }
 
@@ -675,6 +688,9 @@ func (r *Region) BlobHolders(version uint64, slot string) []simnet.NodeID {
 	return holders
 }
 
+// BatchStats exposes the region-wide edge-batching accumulator.
+func (r *Region) BatchStats() *metrics.BatchSizes { return &r.batchStats }
+
 // Report summarises the region's metrics at simulated time now.
 func (r *Region) Report(now time.Duration) metrics.Report {
 	src, edge := r.PreservedBytes()
@@ -688,6 +704,8 @@ func (r *Region) Report(now time.Duration) metrics.Report {
 		CheckpointNet:  r.wifi.Counters.Bytes(simnet.ClassCheckpoint) + r.wifi.Counters.Bytes(simnet.ClassBitmap),
 		ReplicationNet: r.wifi.Counters.Bytes(simnet.ClassReplication),
 		PreservedBytes: src + edge,
+		BatchFlushes:   r.batchStats.Flushes(),
+		MeanBatch:      r.batchStats.Mean(),
 	}
 }
 

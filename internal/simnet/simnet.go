@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a phone, a server, or the controller.
@@ -138,61 +139,52 @@ func (e *Endpoint) deliver(m Message, block bool) bool {
 	}
 }
 
-// Counters accumulates bytes and message counts by traffic class.
+// Counters accumulates bytes and message counts by traffic class. The
+// accumulators are lock-free: every data-plane send passes through Add, so
+// a shared mutex here becomes contention on the ingress hot path.
 type Counters struct {
-	mu    sync.Mutex
 	bytes [numClasses]int64
 	msgs  [numClasses]int64
 }
 
 // Add records one message of the given class and size.
 func (c *Counters) Add(class Class, size int) {
-	c.mu.Lock()
-	c.bytes[class] += int64(size)
-	c.msgs[class]++
-	c.mu.Unlock()
+	atomic.AddInt64(&c.bytes[class], int64(size))
+	atomic.AddInt64(&c.msgs[class], 1)
 }
 
 // Bytes reports accumulated bytes for a class.
 func (c *Counters) Bytes(class Class) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes[class]
+	return atomic.LoadInt64(&c.bytes[class])
 }
 
 // Messages reports accumulated message count for a class.
 func (c *Counters) Messages(class Class) int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.msgs[class]
+	return atomic.LoadInt64(&c.msgs[class])
 }
 
 // TotalBytes reports bytes summed over all classes.
 func (c *Counters) TotalBytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var t int64
-	for _, b := range c.bytes {
-		t += b
+	for i := range c.bytes {
+		t += atomic.LoadInt64(&c.bytes[i])
 	}
 	return t
 }
 
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
-	c.mu.Lock()
-	c.bytes = [numClasses]int64{}
-	c.msgs = [numClasses]int64{}
-	c.mu.Unlock()
+	for i := range c.bytes {
+		atomic.StoreInt64(&c.bytes[i], 0)
+		atomic.StoreInt64(&c.msgs[i], 0)
+	}
 }
 
 // Snapshot returns a copy of per-class byte counts keyed by class name.
 func (c *Counters) Snapshot() map[string]int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	m := make(map[string]int64, numClasses)
 	for i := Class(0); i < numClasses; i++ {
-		m[i.String()] = c.bytes[i]
+		m[i.String()] = c.Bytes(i)
 	}
 	return m
 }

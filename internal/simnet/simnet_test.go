@@ -322,3 +322,62 @@ func TestClassString(t *testing.T) {
 		t.Fatal("unknown class name wrong")
 	}
 }
+
+// TestUnicastChunksInterleave checks the airtime fairness that keeps
+// checkpoint traffic flowing between data batches: a long batched data
+// flow reserves the medium one chunk at a time, so a concurrent small
+// transfer (a checkpoint block burst) slots in between chunks instead of
+// waiting for the whole flow to drain.
+func TestUnicastChunksInterleave(t *testing.T) {
+	clk := clock.NewScaled(300)
+	w := NewWiFi(clk, WiFiConfig{BitsPerSecond: 1e6}) // 125 KB/s, 64 KB chunks
+	for _, id := range []NodeID{"a", "b", "c", "d"} {
+		w.Join(NewEndpoint(id, 64))
+	}
+	// 1 MB data flow = ~8.4 s of airtime in 64 KB chunks.
+	flowDone := make(chan time.Duration, 1)
+	go func() {
+		if err := w.Unicast("a", "b", ClassData, 1<<20, nil); err != nil {
+			flowDone <- -1
+			return
+		}
+		flowDone <- clk.Now()
+	}()
+	time.Sleep(3 * time.Millisecond) // ~0.9 s simulated: flow is mid-air
+	start := clk.Now()
+	if err := w.Unicast("c", "d", ClassCheckpoint, 64<<10, nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now() - start
+	if done := <-flowDone; done < 0 {
+		t.Fatal("data flow failed")
+	}
+	// The checkpoint transfer needs ~0.5 s of airtime; waiting behind the
+	// entire data flow would take over 7 s. Allow generous scheduler slack.
+	if elapsed > 4*time.Second {
+		t.Fatalf("checkpoint transfer waited %v behind the data flow; chunks did not interleave", elapsed)
+	}
+}
+
+// TestWiFiFrameOverheadChargesAirtime checks that the per-frame cost is
+// charged per transmission (what batching amortises) without inflating the
+// payload byte accounting.
+func TestWiFiFrameOverheadChargesAirtime(t *testing.T) {
+	clk := clock.NewScaled(300)
+	w := NewWiFi(clk, WiFiConfig{BitsPerSecond: 1e6, FrameOverhead: 125000})
+	w.Join(NewEndpoint("a", 16))
+	w.Join(NewEndpoint("b", 16))
+	start := clk.Now()
+	if err := w.Unicast("a", "b", ClassData, 125000, nil); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now() - start
+	// 125 KB payload + 125 KB frame overhead at 125 KB/s = ~2 s airtime
+	// (upper bound loose: scaled-clock sleeps overshoot under load).
+	if elapsed < 1800*time.Millisecond || elapsed > 10*time.Second {
+		t.Fatalf("airtime with frame overhead = %v, want ~2 s", elapsed)
+	}
+	if got := w.Counters.Bytes(ClassData); got != 125000 {
+		t.Fatalf("counted %d bytes, want payload-only 125000", got)
+	}
+}

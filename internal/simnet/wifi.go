@@ -22,6 +22,12 @@ type WiFiConfig struct {
 	// ChunkBytes bounds a single airtime reservation; bulk sends are
 	// split into chunks so concurrent flows interleave (default 64 KB).
 	ChunkBytes int
+	// FrameOverhead models the fixed per-transmission cost of the medium
+	// — MAC/PHY framing, contention, link-layer ACKs — in byte-equivalents
+	// of airtime charged once per unicast send or broadcast datagram
+	// regardless of payload size. It is what edge-level tuple batching
+	// amortises. Default 0 (payload-only accounting).
+	FrameOverhead int
 	// Seed seeds the loss process for reproducibility.
 	Seed int64
 }
@@ -162,9 +168,9 @@ func (w *WiFi) Respond(req Message, from NodeID, class Class, size int, payload 
 	if req.Reply == nil {
 		return
 	}
-	eff := size
+	eff := size + w.cfg.FrameOverhead
 	if w.cfg.LossProb > 0 && w.cfg.LossProb < 1 {
-		eff = int(float64(size) / (1 - w.cfg.LossProb))
+		eff = int(float64(eff) / (1 - w.cfg.LossProb))
 	}
 	w.occupy(eff)
 	w.Counters.Add(class, size)
@@ -183,10 +189,10 @@ func (w *WiFi) send(from, to NodeID, class Class, size int, payload interface{},
 		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
 	// Reliable transfer over a lossy medium costs extra airtime for
-	// retransmissions: effective bytes = size / (1 - loss).
-	eff := size
+	// retransmissions: effective bytes = (size + framing) / (1 - loss).
+	eff := size + w.cfg.FrameOverhead
 	if w.cfg.LossProb > 0 && w.cfg.LossProb < 1 {
-		eff = int(float64(size) / (1 - w.cfg.LossProb))
+		eff = int(float64(eff) / (1 - w.cfg.LossProb))
 	}
 	remaining := eff
 	for remaining > 0 {
@@ -264,7 +270,7 @@ func (w *WiFi) BroadcastBatch(from NodeID, class Class, grams []Datagram) []int 
 	for start := 0; start < len(grams); {
 		end, bytes := start, 0
 		for end < len(grams) && (bytes == 0 || bytes+grams[end].Size <= w.cfg.ChunkBytes) {
-			bytes += grams[end].Size
+			bytes += grams[end].Size + w.cfg.FrameOverhead
 			end++
 		}
 		w.occupy(bytes)

@@ -68,6 +68,8 @@ type (
 	Scheme = ft.Scheme
 	// Report summarises a region's metrics.
 	Report = metrics.Report
+	// BatchConfig bounds edge-level tuple batching.
+	BatchConfig = node.BatchConfig
 )
 
 // Fault-tolerance schemes (§IV-B).
@@ -127,6 +129,9 @@ type RegionSpec struct {
 	WiFiBps  float64
 	WiFiLoss float64
 	Seed     int64
+	// Batch bounds edge-level tuple batching on every node's emission
+	// path; the zero value enables batching with defaults.
+	Batch BatchConfig
 	// OnOutput receives every deduplicated sink result; may be nil.
 	OnOutput func(t *Tuple)
 }
@@ -205,6 +210,7 @@ func (s *System) AddRegion(spec RegionSpec) (*Region, error) {
 		ControllerID:      s.ctrl.ID(),
 		Broadcast:         broadcast.Config{BlockSize: 1024},
 		PreserveBroadcast: spec.Scheme.Kind == ft.MS,
+		Batch:             spec.Batch,
 		OnSinkOutput:      wrapped.publish,
 		Logf:              s.cfg.Logf,
 	})
