@@ -11,6 +11,10 @@
 //	msbench -exp fig10          # preservation / checkpoint data
 //	msbench -exp table1         # MobiStreams vs server-based DSPS
 //	msbench -exp fig6           # broadcast walk-through
+//	msbench -exp churn          # reactive recovery vs placement scheduler
+//
+// -churnout writes the churn comparison as machine-readable JSON
+// (BENCH_scheduler.json in CI) alongside the printed table.
 package main
 
 import (
@@ -24,8 +28,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
+	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
 	speedup := flag.Float64("speedup", 200, "simulated-to-wall clock ratio")
 	apps := flag.String("apps", "bcp,sg", "comma-separated apps: bcp,sg")
@@ -94,6 +99,28 @@ func main() {
 		run("table1", func() error {
 			_, err := bench.Table1(base, os.Stdout)
 			return err
+		})
+	}
+	if want("churn") {
+		run("churn", func() error {
+			churnBase := bench.ChurnScenario{Seed: *seed, Speedup: *speedup}
+			rows, err := bench.ChurnComparison(churnBase, bench.ChurnSchemes)
+			if err != nil {
+				return err
+			}
+			bench.WriteChurnTable(os.Stdout, rows)
+			if *churnOut != "" {
+				f, err := os.Create(*churnOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteChurnJSON(f, churnBase, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *churnOut)
+			}
+			return nil
 		})
 	}
 }

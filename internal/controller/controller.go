@@ -13,6 +13,7 @@ import (
 	"mobistreams/internal/clock"
 	"mobistreams/internal/node"
 	"mobistreams/internal/region"
+	"mobistreams/internal/scheduler"
 	"mobistreams/internal/simnet"
 )
 
@@ -30,6 +31,13 @@ type Config struct {
 	CodeBytes int
 	// DebounceWindow batches burst failure reports into one recovery.
 	DebounceWindow time.Duration
+	// Sched, when non-nil, enables adaptive placement: every ScheduleTick
+	// the controller polls region telemetry and executes the planned live
+	// migrations (proactive; the paper's reactive recovery still backstops
+	// anything the scheduler misses).
+	Sched *scheduler.Scheduler
+	// ScheduleTick is the telemetry/planning period (default 10 s).
+	ScheduleTick time.Duration
 	// OnRegionDead is called when a region can no longer run and is
 	// bypassed (§III-D); may be nil.
 	OnRegionDead func(regionID string)
@@ -55,6 +63,9 @@ func (c *Config) applyDefaults() {
 	if c.DebounceWindow <= 0 {
 		c.DebounceWindow = 2 * time.Second
 	}
+	if c.ScheduleTick <= 0 {
+		c.ScheduleTick = 10 * time.Second
+	}
 }
 
 // managed is the controller's per-region state.
@@ -77,6 +88,14 @@ type managed struct {
 	dead         bool
 	recoveries   int
 	departures   int
+	migrations   int
+	// migrating holds off checkpoint rounds while a live migration has a
+	// slot vacated: a token/snapshot command sent to the mid-flight slot
+	// would never be answered and the round could never commit.
+	migrating bool
+	// noMobilityWarned guards the once-per-region log line for departures
+	// under schemes with no mobility story.
+	noMobilityWarned bool
 }
 
 // Controller is the global coordinator.
@@ -150,6 +169,10 @@ func (c *Controller) Start() {
 		}
 		c.wg.Add(1)
 		go c.pingLoop(m)
+		if c.cfg.Sched != nil {
+			c.wg.Add(1)
+			go c.scheduleLoop(m)
+		}
 	}
 }
 
@@ -293,9 +316,17 @@ func (m *managed) isDead() bool {
 	return m.dead
 }
 
+func (m *managed) isMigrating() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migrating
+}
+
 func (c *Controller) startCheckpoint(m *managed) uint64 {
 	m.mu.Lock()
-	if m.recovering || m.dead {
+	if m.recovering || m.dead || m.migrating {
+		// A migration in flight has a slot vacated at its source: the
+		// round could never complete. Skip; the periodic loop retries.
 		m.mu.Unlock()
 		return 0
 	}
@@ -323,8 +354,13 @@ func (c *Controller) startCheckpoint(m *managed) uint64 {
 	return v
 }
 
-// pingLoop probes source nodes (§III-D): a source that misses the timeout
-// is deemed failed.
+// pingLoop probes every active slot's host (§III-D, extended from the
+// paper's source-only pings): the ping carries the slot, and only the
+// phone actually hosting it answers — so both a dead phone and a healthy
+// phone that lost the slot (stranded placement after a failed migration)
+// miss the timeout and trigger recovery. Rounds are skipped while a
+// migration is mid-flight, when one vacated-but-healthy source is the
+// expected transient state.
 func (c *Controller) pingLoop(m *managed) {
 	defer c.wg.Done()
 	for {
@@ -333,13 +369,20 @@ func (c *Controller) pingLoop(m *managed) {
 			if m.isDead() {
 				return
 			}
-			for _, slot := range m.r.Graph().SourceSlots() {
+			if m.isMigrating() {
+				continue
+			}
+			for _, slot := range m.r.ActiveSlots() {
 				pid, ok := m.r.Placement(slot)
 				if !ok {
 					continue
 				}
-				if !c.request(pid, node.Command{Op: node.CmdPing}, c.cfg.PingTimeout) {
-					c.noteFailure(m, pid)
+				if !c.request(pid, node.Command{Op: node.CmdPing, Slot: slot}, c.cfg.PingTimeout) {
+					// Re-resolve before reporting: a migration that
+					// started mid-round legitimately moved the slot.
+					if cur, ok := m.r.Placement(slot); ok && cur == pid {
+						c.noteFailure(m, pid)
+					}
 				}
 			}
 		case <-c.stopCh:

@@ -123,6 +123,14 @@ func (c *Controller) noteFailure(m *managed, phoneID simnet.NodeID) {
 	go func() {
 		defer c.wg.Done()
 		c.clk.Sleep(c.cfg.DebounceWindow)
+		// A live migration in flight has a slot vacated at its source and
+		// placement about to be repointed; recovering through that window
+		// would pause/restore against a placement mid-change. Migrations
+		// are bounded (transfer timeout), so wait them out. New migrations
+		// cannot start: m.recovering is already set.
+		for m.isMigrating() && !c.stopped() {
+			c.clk.Sleep(500 * time.Millisecond)
+		}
 		for {
 			m.mu.Lock()
 			batch := m.pendingFail
@@ -146,6 +154,13 @@ func (c *Controller) recover(m *managed, failed []simnet.NodeID) {
 	var failedSlots []string
 	for _, pid := range failed {
 		failedSlots = append(failedSlots, m.r.SlotsOn(pid)...)
+	}
+	if len(failedSlots) == 0 {
+		// The reported phones host nothing (an idle phone died, or a
+		// vacated migration source was reported): the stream is intact,
+		// so a region-wide pause/restore would be pure disruption.
+		c.logf("controller: %s: %d slotless phones reported failed; no recovery needed", m.r.ID(), len(failed))
+		return
 	}
 	m.mu.Lock()
 	m.recoveries++
@@ -368,15 +383,51 @@ func (c *Controller) NotifyDeparture(regionID string, phoneID simnet.NodeID) {
 		return
 	}
 	if !m.r.Scheme().HandlesDepartures() {
-		// Prior schemes have no mobility story: the region limps along
-		// in urgent mode (paper §IV-B runs departures only on
-		// MobiStreams).
+		// Prior schemes have no mobility story: the slot stays placed on
+		// the departed phone and the region limps along in urgent mode —
+		// permanently (paper §IV-B runs departures only on MobiStreams).
+		// Warn once per region; churny workloads would otherwise repeat
+		// this line on every departure.
+		m.mu.Lock()
+		warned := m.noMobilityWarned
+		m.noMobilityWarned = true
+		m.mu.Unlock()
+		if !warned {
+			c.logf("controller: region %s: scheme %s has no mobility story; departed phones keep their slots in urgent mode",
+				m.r.ID(), m.r.Scheme())
+		}
 		return
 	}
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		for _, slot := range slots {
+		// Serialise with live migrations: both paths vacate a slot with
+		// its state in flight, and two concurrent transfers of the same
+		// phone's slots would race each other's placement repoints. The
+		// flag also holds off checkpoint rounds across the handoff.
+		m.mu.Lock()
+		for m.migrating && !m.dead {
+			m.mu.Unlock()
+			if c.stopped() {
+				return
+			}
+			c.clk.Sleep(300 * time.Millisecond)
+			m.mu.Lock()
+		}
+		if m.dead {
+			m.mu.Unlock()
+			return
+		}
+		m.migrating = true
+		m.mu.Unlock()
+		defer func() {
+			m.mu.Lock()
+			m.migrating = false
+			m.mu.Unlock()
+		}()
+		// Re-read the slots under the interlock: a migration that just
+		// finished may already have moved some off the departing phone.
+		for _, slot := range m.r.SlotsOn(phoneID) {
 			repl := m.r.TakeIdle()
 			if repl == "" {
 				c.logf("controller: no replacement for departing %s; staying in urgent mode", phoneID)
@@ -385,6 +436,9 @@ func (c *Controller) NotifyDeparture(regionID string, phoneID simnet.NodeID) {
 			c.shipCode(repl)
 			// Order the departing phone to hand its state to the
 			// replacement over cellular (Fig. 7, instants 2-4).
+			m.mu.Lock()
+			delete(m.restored, repl)
+			m.mu.Unlock()
 			c.send(phoneID, node.Command{Op: node.CmdHandoff, Target: repl})
 			if c.awaitTransfer(m, repl, 120*time.Second) {
 				m.r.SetPlacement(slot, repl)

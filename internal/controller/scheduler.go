@@ -1,0 +1,150 @@
+package controller
+
+import (
+	"time"
+
+	"mobistreams/internal/node"
+	"mobistreams/internal/scheduler"
+	"mobistreams/internal/simnet"
+)
+
+// scheduleLoop runs the adaptive placement ticks for one region: poll
+// telemetry, let the scheduler plan, and execute each planned migration
+// sequentially. Planning is skipped while the region is recovering or mid-
+// checkpoint — a migration in either window would race the very machinery
+// it exists to spare.
+func (c *Controller) scheduleLoop(m *managed) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.clk.After(c.cfg.ScheduleTick):
+			if m.isDead() {
+				return
+			}
+			m.mu.Lock()
+			busy := m.recovering || m.pendingVer != 0
+			m.mu.Unlock()
+			if busy {
+				continue
+			}
+			for _, mig := range c.cfg.Sched.Plan(m.r.Telemetry()) {
+				if c.stopped() {
+					return
+				}
+				c.migrateSlot(m, mig)
+			}
+		case <-c.stopCh:
+			return
+		}
+	}
+}
+
+// migrateSlot executes one planned live migration: claim the target out of
+// the idle pool, ship operator code, order the at-risk host to transfer its
+// slot over WiFi (CmdMigrate), await the replacement's restore report, then
+// atomically repoint placement. In-flight batches drain to the new home
+// through the existing resolver-per-retry delivery path, and the vacated
+// host relays stragglers until senders observe the new placement.
+func (c *Controller) migrateSlot(m *managed, mig scheduler.Migration) bool {
+	if cur, ok := m.r.Placement(mig.Slot); !ok || cur != mig.From {
+		return false // placement changed under the plan (recovery won a race)
+	}
+	if !m.r.ClaimIdle(mig.To) {
+		return false
+	}
+	m.mu.Lock()
+	if m.recovering || m.dead || m.pendingVer != 0 || m.migrating {
+		// A recovery or checkpoint round started between the plan and
+		// now; stand down and return the claimed target untouched.
+		m.mu.Unlock()
+		m.r.ReleaseToIdle(mig.To)
+		return false
+	}
+	m.migrating = true
+	delete(m.restored, mig.To)
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.migrating = false
+		m.mu.Unlock()
+	}()
+
+	c.logf("controller: migrating %s off %s to %s (%s)", mig.Slot, mig.From, mig.To, mig.Reason)
+	c.shipCode(mig.To)
+	c.send(mig.From, node.Command{Op: node.CmdMigrate, Target: mig.To, Slot: mig.Slot})
+	if !c.awaitTransfer(m, mig.To, 60*time.Second) {
+		// The restore report never arrived. Inspect where the slot's
+		// state actually ended up before touching placement: the wrong
+		// guess either blackholes traffic into a never-activated idle
+		// node or strands the slot on a vacated source.
+		hosts := func(id simnet.NodeID) bool {
+			n := m.r.Node(id)
+			return n != nil && n.Slot() == mig.Slot
+		}
+		switch {
+		case hosts(mig.To):
+			// Transfer landed; only the report was lost. Repoint.
+			c.logf("controller: migration of %s to %s landed but went unreported; repointing", mig.Slot, mig.To)
+			m.r.SetPlacement(mig.Slot, mig.To)
+		case hosts(mig.From):
+			// CmdMigrate never took effect (lost command, source died
+			// first): nothing moved, return the target to the pool.
+			c.logf("controller: migration of %s to %s never started", mig.Slot, mig.To)
+			m.r.ReleaseToIdle(mig.To)
+		default:
+			// The source vacated but the state never installed at the
+			// target: the slot is dark. Point placement at the target
+			// and report it failed so reactive recovery rebuilds the
+			// slot from the last checkpoint.
+			c.logf("controller: migration of %s to %s lost the state in flight; invoking recovery", mig.Slot, mig.To)
+			m.r.SetPlacement(mig.Slot, mig.To)
+			c.noteFailure(m, mig.To)
+		}
+		return false
+	}
+	m.r.SetPlacement(mig.Slot, mig.To)
+	// A manual migration of a healthy phone returns the evacuated source
+	// to the idle pool once it hosts nothing; scheduler-planned sources
+	// were evacuated *because* they are dying or leaving, and must never
+	// be handed out as replacements.
+	if mig.Reason == "manual" && len(m.r.SlotsOn(mig.From)) == 0 {
+		m.r.ReleaseToIdle(mig.From)
+	}
+	m.r.NoteMigration()
+	m.mu.Lock()
+	m.migrations++
+	m.mu.Unlock()
+	return true
+}
+
+// Migrate executes one planned live migration immediately: move slot onto
+// the idle phone `to` (tests and operational tooling; the scheduler drives
+// the same path periodically). Unlike departure handoffs it works under
+// every scheme — proactive migration is precisely what gives the prior
+// schemes a mobility story they lack reactively.
+func (c *Controller) Migrate(regionID, slot string, to simnet.NodeID) bool {
+	c.mu.Lock()
+	m := c.regions[regionID]
+	c.mu.Unlock()
+	if m == nil || m.isDead() {
+		return false
+	}
+	from, ok := m.r.Placement(slot)
+	if !ok {
+		return false
+	}
+	return c.migrateSlot(m, scheduler.Migration{Slot: slot, From: from, To: to, Reason: "manual"})
+}
+
+// Migrations reports how many planned migrations a region has completed.
+func (c *Controller) Migrations(regionID string) int {
+	c.mu.Lock()
+	m := c.regions[regionID]
+	c.mu.Unlock()
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.migrations
+}

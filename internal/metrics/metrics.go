@@ -207,4 +207,8 @@ type Report struct {
 	// of coalesced data tuples and the mean messages per send.
 	BatchFlushes int64
 	MeanBatch    float64
+
+	// Migrations counts planned live migrations the scheduler completed —
+	// disruptions that would otherwise have been recoveries.
+	Migrations int64
 }

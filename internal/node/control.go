@@ -35,6 +35,15 @@ func (n *Node) dispatchLoop() {
 const ctrlBuffer = 4096
 
 func (n *Node) dispatch(m simnet.Message) {
+	// Every arrival costs receive energy (WiFi and cellular alike): a
+	// phone that mostly listens — checkpoint broadcasts, preserved source
+	// replicas, replicated tuples — still drains real battery, and the
+	// scheduler's risk telemetry depends on that drain being modelled.
+	if m.Size > 0 && !n.cfg.Phone.DrainRx(m.Size) {
+		n.logf("%s: battery dead on receive", n.id)
+		n.Fail()
+		return
+	}
 	switch m.Class {
 	case simnet.ClassData, simnet.ClassReplication, simnet.ClassRecovery:
 		switch p := m.Payload.(type) {
@@ -118,7 +127,7 @@ func (n *Node) handleControl(m simnet.Message) {
 	case TruncateMsg:
 		n.cfg.Store.TruncateEdge(p.Downstream, p.Upto)
 	case TransferMsg:
-		n.handleTransferIn(p)
+		n.handleTransferIn(m.From, p)
 	default:
 		n.logf("%s: unhandled control payload %T", n.id, m.Payload)
 	}
@@ -154,10 +163,18 @@ func (n *Node) handleCommand(m simnet.Message, c Command) {
 		n.Promote()
 	case CmdHandoff:
 		n.HandoffTo(c.Target)
+	case CmdMigrate:
+		n.MigrateTo(c.Target)
 	case CmdFetchRestore:
 		n.fetchRestore(c)
 	case CmdPing:
-		n.respondOK(m)
+		// A slot-carrying ping is only answered by the slot's actual
+		// host: a phone that vacated the slot (lost migration, stale
+		// placement) stays silent, which is what lets the controller
+		// detect a stranded slot and re-host it.
+		if c.Slot == "" || c.Slot == n.fetchSlot() {
+			n.respondOK(m)
+		}
 	default:
 		n.logf("%s: unknown command %v", n.id, c.Op)
 	}
@@ -462,9 +479,19 @@ func (n *Node) fetchSlot() string {
 	return n.slot
 }
 
-// HandoffTo transfers the node's live state to a replacement phone over the
-// cellular network and demotes this node to idle (§III-E).
-func (n *Node) HandoffTo(target simnet.NodeID) {
+// HandoffTo transfers the node's live state to a replacement phone and
+// demotes this node to idle (§III-E). For a departed phone the WiFi leg
+// fails instantly and the transfer rides cellular — the emergency path.
+func (n *Node) HandoffTo(target simnet.NodeID) { n.handoff(target) }
+
+// MigrateTo is the planned live-migration path: the scheduler moves the
+// slot off this (still in-range, still healthy) phone, so the state blob
+// ships over the cheap region WiFi, falling back to cellular only if the
+// medium fails mid-transfer. Mechanically it is the same pause → snapshot →
+// vacate → relay sequence as a departure handoff.
+func (n *Node) MigrateTo(target simnet.NodeID) { n.handoff(target) }
+
+func (n *Node) handoff(target simnet.NodeID) {
 	n.PauseExec()
 	// Ship any coalesced emissions still waiting on the latency bound:
 	// after the handoff this node no longer owns their edge sequences.
@@ -493,6 +520,14 @@ func (n *Node) HandoffTo(target simnet.NodeID) {
 			pending = append(pending, PendingItem{FromSlot: name, FromOp: it.fromOp, ToOp: it.toOp, EdgeSeq: it.edgeSeq, Item: it.item})
 			pendingBytes += it.item.WireSize()
 		}
+		// Parked out-of-order arrivals (edge-preserving schemes) travel
+		// too: they were already delivered by their upstream, which will
+		// never resend them. The receiver re-parks them until their gap
+		// fills from relayed stragglers.
+		for _, it := range q.park {
+			pending = append(pending, PendingItem{FromSlot: name, FromOp: it.fromOp, ToOp: it.toOp, EdgeSeq: it.edgeSeq, Item: it.item})
+			pendingBytes += it.item.WireSize()
+		}
 	}
 	n.slot = ""
 	n.ops = nil
@@ -504,18 +539,21 @@ func (n *Node) HandoffTo(target simnet.NodeID) {
 	n.forwardTo = target
 	n.mu.Unlock()
 	n.cond.Broadcast()
-	if n.cfg.Cell != nil {
-		size := blob.Size + pendingBytes
-		if err := n.cfg.Cell.Send(n.id, target, simnet.ClassTransfer, size, TransferMsg{Slot: slot, Blob: blob, Pending: pending}); err != nil {
-			n.logf("%s: handoff transfer failed: %v", n.id, err)
-		}
-		n.cfg.Phone.DrainTx(size)
-	}
+	size := blob.Size + pendingBytes
+	n.relay(target, simnet.ClassTransfer, size, TransferMsg{Slot: slot, Blob: blob, Pending: pending})
 	n.report(Report{Type: RepHandoffDone, Phone: n.id, Slot: slot})
 }
 
 // handleTransferIn activates an idle node with a departing peer's state.
-func (n *Node) handleTransferIn(msg TransferMsg) {
+// A transfer is honoured only while the region's placement still points at
+// the sender: if the controller has meanwhile given up on the migration and
+// re-hosted the slot through recovery, a late-arriving blob would activate
+// a second primary for a slot that already has one.
+func (n *Node) handleTransferIn(from simnet.NodeID, msg TransferMsg) {
+	if cur, ok := n.cfg.Resolver.Primary(msg.Slot); ok && cur != from && cur != n.id {
+		n.logf("%s: stale transfer of %s from %s (placement now %s)", n.id, msg.Slot, from, cur)
+		return
+	}
 	n.mu.Lock()
 	if n.slot != "" {
 		n.mu.Unlock()
@@ -528,15 +566,22 @@ func (n *Node) handleTransferIn(msg TransferMsg) {
 	// A handed-off node resumes mid-stream; it does not suppress.
 	n.suppress = false
 	// Re-queue the items the departing node had not yet processed.
+	// installBlobLocked just reset each ordered queue's watermark to the
+	// restored inHW, so routing the transferred items through the normal
+	// enqueue discipline re-parks any that sit above a sequence gap —
+	// relayed stragglers fill the gap instead of being dropped as
+	// duplicates below a prematurely bumped watermark. External-slot
+	// items bypass it (their sequence space is per-source, not per-edge).
 	for _, p := range msg.Pending {
 		q, ok := n.queues[p.FromSlot]
 		if !ok {
 			continue
 		}
-		q.push(queued{fromOp: p.FromOp, toOp: p.ToOp, edgeSeq: p.EdgeSeq, item: p.Item})
-		if p.EdgeSeq > q.lastEnq {
-			q.lastEnq = p.EdgeSeq
+		if p.FromSlot == externalSlot {
+			q.push(queued{fromOp: p.FromOp, toOp: p.ToOp, item: p.Item})
+			continue
 		}
+		q.enqueue(queued{fromOp: p.FromOp, toOp: p.ToOp, edgeSeq: p.EdgeSeq, item: p.Item})
 	}
 	buffered := n.preBuf
 	n.preBuf = nil

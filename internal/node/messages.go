@@ -138,10 +138,14 @@ const (
 	CmdFetchRestore
 	// CmdPing is the controller liveness probe (§III-D).
 	CmdPing
+	// CmdMigrate makes a still-healthy node transfer its slot to Target
+	// over the region WiFi — the scheduler's planned live migration.
+	CmdMigrate
 )
 
 var cmdNames = [...]string{"token", "snapshot", "commit", "pause", "resume",
-	"restore", "replay", "promote", "handoff", "fetch-restore", "ping"}
+	"restore", "replay", "promote", "handoff", "fetch-restore", "ping",
+	"migrate"}
 
 func (c CommandOp) String() string {
 	if int(c) < len(cmdNames) {

@@ -346,6 +346,9 @@ type Node struct {
 	extFwdSeq  uint64
 	forwardTo  simnet.NodeID // post-handoff relay target (§III-E)
 	preBuf     []StreamMsg   // stream arrivals before activation
+	// processed counts executed data tuples (telemetry: the scheduler's
+	// per-slot tuple rate). Read atomically off the executor.
+	processed uint64
 
 	batch *batcher
 
@@ -404,6 +407,11 @@ func New(cfg Config) *Node {
 // hold no lock (construction) or n.mu (activation of an idle node).
 func (n *Node) configureSlot(slot string, opIDs []string) {
 	n.slot = slot
+	// A node that previously handed a slot off and returned to the idle
+	// pool carries a stale relay target; hosting again must drop it, or
+	// pre-activation arrivals get relayed to the old slot's home instead
+	// of buffering in preBuf.
+	n.forwardTo = ""
 	n.opIDs = append([]string(nil), opIDs...)
 	n.ops = make([]operator.Operator, 0, len(opIDs))
 	n.opIdx = make(map[string]operator.Operator, len(opIDs))
@@ -458,6 +466,21 @@ func (n *Node) Role() Role {
 	defer n.mu.Unlock()
 	return n.role
 }
+
+// Backlog reports the queued-but-unprocessed stream items across all
+// upstream queues, including parked out-of-order arrivals (telemetry).
+func (n *Node) Backlog() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := 0
+	for _, q := range n.queues {
+		total += q.len() + len(q.park)
+	}
+	return total
+}
+
+// Processed reports the cumulative count of executed data tuples.
+func (n *Node) Processed() uint64 { return atomic.LoadUint64(&n.processed) }
 
 // Start launches the node's goroutines.
 func (n *Node) Start() {
@@ -518,15 +541,46 @@ func (n *Node) shutdown(failed bool) {
 
 // IngestExternal admits one externally sensed tuple on a source operator.
 // The workload driver calls this on the phone currently hosting the source.
+// A node that has handed its slot off relays the tuple to the replacement:
+// the region's placement map repoints only after the transfer lands, and
+// external input admitted in that window must reach the new home rather
+// than be dropped.
 func (n *Node) IngestExternal(srcOp string, t *tuple.Tuple) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	q, ok := n.queues[externalSlot]
 	if !ok || !n.running {
+		fwd := n.forwardTo
+		running := n.running
+		n.mu.Unlock()
+		if running && fwd != "" {
+			m := StreamMsg{FromSlot: externalSlot, ToOp: srcOp, EdgeSeq: t.Seq, Item: tuple.DataItem(t)}
+			n.relay(fwd, simnet.ClassData, t.Size, m)
+		}
 		return
 	}
 	q.push(queued{fromOp: "", toOp: srcOp, item: tuple.DataItem(t)})
 	n.cond.Signal()
+	n.mu.Unlock()
+}
+
+// relay ships a payload to a peer over the region WiFi, detouring over
+// cellular when the medium fails (a departed sender's WiFi attempt fails
+// instantly, so this covers both in-range and out-of-range senders),
+// charging transmit energy exactly when a send succeeds. Used by the
+// post-handoff straggler forwarding paths and the handoff transfer itself.
+func (n *Node) relay(to simnet.NodeID, class simnet.Class, size int, payload interface{}) bool {
+	if err := n.cfg.WiFi.Unicast(n.id, to, class, size, payload); err == nil {
+		n.cfg.Phone.DrainTx(size)
+		return true
+	}
+	if n.cfg.Cell != nil {
+		if err := n.cfg.Cell.Send(n.id, to, class, size, payload); err == nil {
+			n.cfg.Phone.DrainTx(size)
+			return true
+		}
+	}
+	n.logf("%s: relay of %d bytes to %s failed on both media", n.id, size, to)
+	return false
 }
 
 // enqueueStream delivers a cross-slot stream message into its upstream
@@ -552,15 +606,22 @@ func (n *Node) enqueueStream(m StreamMsg) {
 		}
 		n.mu.Unlock()
 		if fwd != "" {
-			if err := n.cfg.WiFi.Unicast(n.id, fwd, simnet.ClassData, m.Item.WireSize(), m); err != nil && n.cfg.Cell != nil {
-				n.cfg.Cell.Send(n.id, fwd, simnet.ClassData, m.Item.WireSize(), m)
-			}
+			n.relay(fwd, simnet.ClassData, m.Item.WireSize(), m)
 			return
 		}
 		n.logf("%s: stream from unexpected slot %s", n.id, m.FromSlot)
 		return
 	}
 	defer n.mu.Unlock()
+	if m.FromSlot == externalSlot {
+		// Relayed external input from a node that handed this slot off.
+		// External arrivals are admitted exactly once upstream (each relay
+		// is one reliable unicast), so they bypass edge-sequence dedup —
+		// their sequence space is per-source, not per-edge.
+		q.push(queued{fromOp: m.FromOp, toOp: m.ToOp, item: m.Item})
+		n.cond.Signal()
+		return
+	}
 	if q.enqueue(queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item}) {
 		n.cond.Signal()
 	}
@@ -594,10 +655,7 @@ func (n *Node) enqueueStreamBatch(bm BatchMsg) {
 		}
 		n.mu.Unlock()
 		if fwd != "" {
-			size := bm.WireSize()
-			if err := n.cfg.WiFi.Unicast(n.id, fwd, simnet.ClassData, size, bm); err != nil && n.cfg.Cell != nil {
-				n.cfg.Cell.Send(n.id, fwd, simnet.ClassData, size, bm)
-			}
+			n.relay(fwd, simnet.ClassData, bm.WireSize(), bm)
 			return
 		}
 		n.logf("%s: stream batch from unexpected slot %s", n.id, bm.Msgs[0].FromSlot)
@@ -724,6 +782,7 @@ func (n *Node) handleItem(from string, it queued) {
 		return
 	}
 	t := it.item.Tuple
+	atomic.AddUint64(&n.processed, 1)
 	if from != externalSlot {
 		n.mu.Lock()
 		if it.edgeSeq > n.inHW[from] {

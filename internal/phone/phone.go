@@ -32,6 +32,10 @@ type Config struct {
 	CPUWatts float64
 	// TxJoulesPerMB is radio energy per megabyte sent (default 5 J/MB).
 	TxJoulesPerMB float64
+	// RxJoulesPerMB is radio energy per megabyte received (default 3 J/MB):
+	// listening is cheaper than transmitting but far from free, and a phone
+	// that mostly consumes broadcasts drains real battery doing so.
+	RxJoulesPerMB float64
 	// FlashWriteBps is local storage write bandwidth (default 10 MB/s).
 	FlashWriteBps float64
 }
@@ -46,6 +50,9 @@ func (c *Config) applyDefaults() {
 	if c.TxJoulesPerMB <= 0 {
 		c.TxJoulesPerMB = 5
 	}
+	if c.RxJoulesPerMB <= 0 {
+		c.RxJoulesPerMB = 3
+	}
 	if c.FlashWriteBps <= 0 {
 		c.FlashWriteBps = 10e6
 	}
@@ -59,6 +66,7 @@ type Phone struct {
 	mu           sync.Mutex
 	energy       float64
 	pos          Position
+	velX, velY   float64 // metres per simulated second
 	dead         bool
 	cpuBusy      time.Duration // cumulative busy CPU time
 	cpuBusyUntil time.Duration // CPU reservation horizon (shared core)
@@ -115,6 +123,28 @@ func (p *Phone) DrainTx(n int) bool {
 		p.dead = true
 	}
 	return !p.dead
+}
+
+// DrainRx charges radio energy for receiving n bytes.
+func (p *Phone) DrainRx(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.energy -= float64(n) / 1e6 * p.cfg.RxJoulesPerMB
+	if p.energy <= 0 {
+		p.dead = true
+	}
+	return !p.dead
+}
+
+// EnergyJoules reports the remaining battery energy (telemetry; the
+// scheduler extrapolates time-to-death from successive readings).
+func (p *Phone) EnergyJoules() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.energy < 0 {
+		return 0
+	}
+	return p.energy
 }
 
 // BatteryFraction reports remaining battery in [0,1].
@@ -174,6 +204,23 @@ func (p *Phone) Position() Position {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.pos
+}
+
+// SetVelocity records the phone's ground velocity in metres per simulated
+// second. The scheduler extrapolates the GPS trajectory toward the WiFi
+// range boundary from position plus velocity (§III-E's departure feed,
+// turned predictive).
+func (p *Phone) SetVelocity(vx, vy float64) {
+	p.mu.Lock()
+	p.velX, p.velY = vx, vy
+	p.mu.Unlock()
+}
+
+// Velocity returns the last recorded ground velocity (m/s).
+func (p *Phone) Velocity() (vx, vy float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.velX, p.velY
 }
 
 // InRange reports whether the phone is within radius metres of centre —

@@ -127,3 +127,38 @@ func TestDistanceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDrainRxChargesReceiveEnergy(t *testing.T) {
+	p := New("x", Config{BatteryJoules: 100})
+	// Default RxJoulesPerMB is 3: receiving 10 MB costs 30 J.
+	if !p.DrainRx(10e6) {
+		t.Fatal("phone died receiving 10 MB on a 100 J battery")
+	}
+	if got := p.EnergyJoules(); got != 70 {
+		t.Fatalf("energy = %v, want 70", got)
+	}
+	// Receive is cheaper than transmit (3 vs 5 J/MB by default).
+	q := New("y", Config{BatteryJoules: 100})
+	q.DrainTx(10e6)
+	if q.EnergyJoules() >= p.EnergyJoules() {
+		t.Fatalf("tx (%v J left) should cost more than rx (%v J left)", q.EnergyJoules(), p.EnergyJoules())
+	}
+	// Draining through zero kills the phone.
+	if p.DrainRx(30e6) {
+		t.Fatal("phone survived draining past empty")
+	}
+	if !p.Dead() {
+		t.Fatal("phone not dead after rx drain to zero")
+	}
+}
+
+func TestVelocityRoundTrip(t *testing.T) {
+	p := New("x", Config{})
+	if vx, vy := p.Velocity(); vx != 0 || vy != 0 {
+		t.Fatalf("fresh phone velocity = (%v, %v), want (0, 0)", vx, vy)
+	}
+	p.SetVelocity(3, -4)
+	if vx, vy := p.Velocity(); vx != 3 || vy != -4 {
+		t.Fatalf("velocity = (%v, %v), want (3, -4)", vx, vy)
+	}
+}

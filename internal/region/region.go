@@ -49,6 +49,10 @@ type Config struct {
 	Broadcast    broadcast.Config
 	// PreserveBroadcast replicates source logs region-wide (MobiStreams).
 	PreserveBroadcast bool
+	// Centre and RadiusM describe the region's WiFi coverage disc for the
+	// scheduler's departure prediction; RadiusM 0 disables it.
+	Centre  phone.Position
+	RadiusM float64
 	// Batch bounds edge-level tuple batching on every node's emission
 	// path; the zero value enables batching with defaults.
 	Batch node.BatchConfig
@@ -81,7 +85,15 @@ type Region struct {
 	departed     map[simnet.NodeID]bool
 	failed       map[simnet.NodeID]bool
 	srcSeq       map[string]*uint64
+	started      bool
 	stopped      bool
+	joined       int // phones recruited after construction (ID allocation)
+	migrations   int64
+
+	// teleMu guards the previous-poll energy/processed readings the
+	// telemetry collector differentiates into drain and tuple rates.
+	teleMu   sync.Mutex
+	telePrev map[simnet.NodeID]telePoint
 
 	outMu      sync.Mutex
 	seenOutput map[string]map[uint64]bool
@@ -117,6 +129,7 @@ func New(cfg Config) (*Region, error) {
 		failed:       make(map[simnet.NodeID]bool),
 		srcSeq:       make(map[string]*uint64),
 		seenOutput:   make(map[string]map[uint64]bool),
+		telePrev:     make(map[simnet.NodeID]telePoint),
 	}
 	r.logf = cfg.Logf
 	if r.logf == nil {
@@ -313,6 +326,7 @@ func (r *Region) allPhoneIDs() []simnet.NodeID {
 // Start launches every node.
 func (r *Region) Start() {
 	r.mu.Lock()
+	r.started = true
 	nodes := make([]*node.Node, 0, len(r.nodes))
 	for _, n := range r.nodes {
 		nodes = append(nodes, n)
@@ -516,6 +530,71 @@ func (r *Region) TakeIdle() simnet.NodeID {
 	return ""
 }
 
+// ClaimIdle removes a specific phone from the idle pool (the scheduler's
+// chosen migration target). It returns false when the phone is not idle or
+// no longer healthy.
+func (r *Region) ClaimIdle(id simnet.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, cand := range r.idle {
+		if cand != id {
+			continue
+		}
+		r.idle = append(r.idle[:i], r.idle[i+1:]...)
+		return !r.failed[id] && !r.departed[id]
+	}
+	return false
+}
+
+// ReleaseToIdle returns a phone to the idle pool (a claimed migration
+// target whose migration was abandoned, or an evacuated phone that turned
+// out healthy).
+func (r *Region) ReleaseToIdle(id simnet.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, cand := range r.idle {
+		if cand == id {
+			return
+		}
+	}
+	r.idle = append(r.idle, id)
+}
+
+// AddPhone recruits a brand-new phone into a (possibly running) region as
+// an idle member: it joins the WiFi medium and the cellular network, stores
+// checkpoint data, and stands by as a replacement or migration target —
+// the join half of churn.
+func (r *Region) AddPhone(cfg phone.Config) simnet.NodeID {
+	r.mu.Lock()
+	r.joined++
+	id := simnet.NodeID(fmt.Sprintf("%s/p%d", r.cfg.ID, r.cfg.Phones+r.joined))
+	ph := phone.New(id, cfg)
+	ep := simnet.NewEndpoint(id, 1<<14)
+	st := storage.New()
+	r.phones[id] = ph
+	r.endpoints[id] = ep
+	r.stores[id] = st
+	r.wifi.Join(ep)
+	if r.cfg.Cell != nil {
+		r.cfg.Cell.Attach(ep)
+	}
+	n := r.buildNode(id, "", node.RoleIdle)
+	r.nodes[id] = n
+	r.idle = append(r.idle, id)
+	started := r.started && !r.stopped
+	r.mu.Unlock()
+	if started {
+		n.Start()
+	}
+	return id
+}
+
+// NoteMigration records one completed planned migration.
+func (r *Region) NoteMigration() { atomic.AddInt64(&r.migrations, 1) }
+
+// Migrations reports completed planned migrations.
+func (r *Region) Migrations() int64 { return atomic.LoadInt64(&r.migrations) }
+
 // IdleCount reports available replacement phones.
 func (r *Region) IdleCount() int {
 	r.mu.Lock()
@@ -706,7 +785,6 @@ func (r *Region) Report(now time.Duration) metrics.Report {
 		PreservedBytes: src + edge,
 		BatchFlushes:   r.batchStats.Flushes(),
 		MeanBatch:      r.batchStats.Mean(),
+		Migrations:     r.Migrations(),
 	}
 }
-
-var _ = atomic.AddInt64 // reserved for future lock-free counters

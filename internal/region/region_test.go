@@ -2,6 +2,8 @@ package region_test
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -11,7 +13,9 @@ import (
 	"mobistreams/internal/ft"
 	"mobistreams/internal/graph"
 	"mobistreams/internal/operator"
+	"mobistreams/internal/phone"
 	"mobistreams/internal/region"
+	"mobistreams/internal/scheduler"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/tuple"
 )
@@ -55,6 +59,11 @@ type harness struct {
 
 func newHarness(t testing.TB, scheme ft.Scheme, phones int) *harness {
 	t.Helper()
+	return newHarnessLogf(t, scheme, phones, nil)
+}
+
+func newHarnessLogf(t testing.TB, scheme ft.Scheme, phones int, logf func(string, ...interface{})) *harness {
+	t.Helper()
 	clk := clock.NewScaled(2000)
 	cell := simnet.NewCellular(clk, simnet.CellularConfig{
 		UpBitsPerSecond:   8e6,
@@ -67,6 +76,7 @@ func newHarness(t testing.TB, scheme ft.Scheme, phones int) *harness {
 		PingInterval:     30 * time.Second,
 		PingTimeout:      10 * time.Second,
 		DebounceWindow:   2 * time.Second,
+		Logf:             logf,
 	})
 	r, err := region.New(region.Config{
 		ID:                "r1",
@@ -318,5 +328,348 @@ func TestEdgePreservationUnderDist(t *testing.T) {
 	// tuples x 1 KB.
 	if edge != 5*10*1024 {
 		t.Fatalf("edge preservation = %d, want %d", edge, 5*10*1024)
+	}
+}
+
+// TestPlannedMigrationExactlyOnce drives the scheduler's migration path by
+// hand: a live slot moves to an idle phone mid-stream, and every ingested
+// tuple is published exactly once — nothing dropped, nothing duplicated.
+// Both an interior slot and the source slot migrate (the source exercises
+// the external-ingest relay through the repoint window).
+func TestPlannedMigrationExactlyOnce(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 7)
+	h.ingest(10)
+	if got := h.waitCount(t, 10, 10*time.Second); got != 10 {
+		t.Fatalf("outputs = %d, want 10", got)
+	}
+
+	// Keep data flowing while the migrations run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			h.r.Ingest("A", fmt.Sprintf("m%d", i), 1024, "test")
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	if !h.ctrl.Migrate("r1", "n3", "r1/p6") {
+		t.Fatal("interior migration n3 -> p6 failed")
+	}
+	if !h.ctrl.Migrate("r1", "n1", "r1/p7") {
+		t.Fatal("source migration n1 -> p7 failed")
+	}
+	<-done
+	h.ingest(10)
+
+	if got := h.waitCount(t, 50, 30*time.Second); got != 50 {
+		t.Fatalf("outputs = %d, want exactly 50 (no loss)", got)
+	}
+	if d := h.r.DuplicateOutputs(); d != 0 {
+		t.Fatalf("duplicates = %d, want 0", d)
+	}
+	if pid, _ := h.r.Placement("n3"); pid != "r1/p6" {
+		t.Fatalf("n3 on %s, want r1/p6", pid)
+	}
+	if pid, _ := h.r.Placement("n1"); pid != "r1/p7" {
+		t.Fatalf("n1 on %s, want r1/p7", pid)
+	}
+	if got := h.ctrl.Migrations("r1"); got != 2 {
+		t.Fatalf("controller migrations = %d, want 2", got)
+	}
+	if got := h.r.Migrations(); got != 2 {
+		t.Fatalf("region migrations = %d, want 2", got)
+	}
+	// The migrated-off phones are intact: checkpointing still works.
+	v := h.ctrl.TriggerCheckpoint("r1")
+	if !h.waitCommitted(t, v, 15*time.Second) {
+		t.Fatal("post-migration checkpoint never committed")
+	}
+}
+
+// TestMigrateValidatesTarget pins the claim/validation edges of Migrate.
+func TestMigrateValidatesTarget(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 6)
+	if h.ctrl.Migrate("r1", "n3", "r1/p1") {
+		t.Fatal("migration onto a non-idle phone must fail")
+	}
+	if h.ctrl.Migrate("r1", "nope", "r1/p6") {
+		t.Fatal("migration of an unknown slot must fail")
+	}
+	if h.ctrl.Migrate("nope", "n3", "r1/p6") {
+		t.Fatal("migration in an unknown region must fail")
+	}
+	if got := h.ctrl.Migrations("r1"); got != 0 {
+		t.Fatalf("migrations = %d, want 0", got)
+	}
+}
+
+// TestConcurrentFailDepartUnregister races failure, departure and
+// unregistration of the same phone against membership reads: no panics, and
+// the phone ends up gone from every membership view.
+func TestConcurrentFailDepartUnregister(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 7)
+	victim := simnet.NodeID("r1/p7") // idle: the pipeline stays intact
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for _, fn := range []func(){
+		func() { h.r.FailPhone(victim) },
+		func() { h.r.DepartPhone(victim) },
+		func() { h.r.Unregister(victim) },
+		func() { h.ctrl.NotifyDeparture("r1", victim) },
+	} {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			<-start
+			fn()
+		}(fn)
+	}
+	// Concurrent readers of the membership views the fault paths mutate.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for j := 0; j < 50; j++ {
+				h.r.AlivePhones()
+				h.r.LivePeers("r1/p1")
+				h.r.IdleCount()
+				h.r.TakeIdle()
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	for _, id := range h.r.AlivePhones() {
+		if id == victim {
+			t.Fatal("unregistered phone still listed alive")
+		}
+	}
+	for _, id := range h.r.LivePeers("r1/p1") {
+		if id == victim {
+			t.Fatal("unregistered phone still listed as a live peer")
+		}
+	}
+	// The region keeps working after the membership churn.
+	h.ingest(10)
+	if got := h.waitCount(t, 10, 10*time.Second); got != 10 {
+		t.Fatalf("outputs = %d, want 10", got)
+	}
+}
+
+// TestDepartureWithoutMobilityStoryWarnsOnce pins the behaviour of
+// NotifyDeparture on schemes without HandlesDepartures: the slot stays on
+// the departed phone (urgent mode forever), the departure is counted, and
+// the controller logs the no-mobility warning exactly once per region no
+// matter how many phones depart.
+func TestDepartureWithoutMobilityStoryWarnsOnce(t *testing.T) {
+	var mu sync.Mutex
+	var warns []string
+	h := newHarnessLogf(t, ft.Rep2Scheme, 6, func(format string, args ...interface{}) {
+		mu.Lock()
+		warns = append(warns, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	})
+	h.ingest(5)
+	h.waitCount(t, 5, 10*time.Second)
+
+	for _, slot := range []string{"n3", "n4"} {
+		pid, ok := h.r.Placement(slot)
+		if !ok {
+			t.Fatalf("no placement for %s", slot)
+		}
+		h.r.DepartPhone(pid)
+		h.ctrl.NotifyDeparture("r1", pid)
+		// Urgent mode forever: the slot never moves off the departed phone.
+		if now, _ := h.r.Placement(slot); now != pid {
+			t.Fatalf("slot %s moved to %s under a scheme with no mobility story", slot, now)
+		}
+	}
+	if got := h.ctrl.Departures("r1"); got != 2 {
+		t.Fatalf("departures = %d, want 2", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	count := 0
+	for _, w := range warns {
+		if strings.Contains(w, "no mobility story") {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("no-mobility warning logged %d times, want exactly once (log spam guard); logs: %v", count, warns)
+	}
+}
+
+// TestTelemetryCollector checks the scheduler's inputs: membership, slot
+// assignment, idle flags, and rate estimation across polls.
+func TestTelemetryCollector(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 6)
+	h.ingest(10)
+	h.waitCount(t, 10, 10*time.Second)
+
+	first := h.r.Telemetry()
+	if first.Region != "r1" || len(first.Phones) != 6 {
+		t.Fatalf("telemetry = %s with %d phones, want r1 with 6", first.Region, len(first.Phones))
+	}
+	byID := func(rs []string, id string) bool {
+		for _, s := range rs {
+			if s == id {
+				return true
+			}
+		}
+		return false
+	}
+	var sawIdle, sawHost bool
+	for _, p := range first.Phones {
+		if p.Idle {
+			sawIdle = true
+			if len(p.Slots) != 0 {
+				t.Fatalf("idle phone %s lists slots %v", p.ID, p.Slots)
+			}
+		}
+		if p.ID == "r1/p3" && byID(p.Slots, "n3") {
+			sawHost = true
+		}
+		if p.BatteryJoules <= 0 || p.BatteryFraction <= 0 {
+			t.Fatalf("phone %s has no battery telemetry: %+v", p.ID, p)
+		}
+	}
+	if !sawIdle || !sawHost {
+		t.Fatalf("telemetry missing idle or host entries: %+v", first.Phones)
+	}
+
+	// A second poll after more work carries positive drain and tuple rate.
+	h.ingest(20)
+	h.waitCount(t, 30, 10*time.Second)
+	second := h.r.Telemetry()
+	var drained, rated bool
+	for _, p := range second.Phones {
+		if p.DrainWatts > 0 {
+			drained = true
+		}
+		if p.TupleRate > 0 {
+			rated = true
+		}
+	}
+	if !drained || !rated {
+		t.Fatalf("second poll has no rate estimates (drained=%v rated=%v): %+v", drained, rated, second.Phones)
+	}
+
+	// A failed phone drops out of the telemetry.
+	h.r.FailPhone("r1/p6")
+	third := h.r.Telemetry()
+	for _, p := range third.Phones {
+		if p.ID == "r1/p6" {
+			t.Fatal("failed phone still in telemetry")
+		}
+	}
+}
+
+// TestAddPhoneRecruitsIdleMember pins the join path: a recruited phone
+// becomes claimable and can host a migrated slot.
+func TestAddPhoneRecruitsIdleMember(t *testing.T) {
+	h := newHarness(t, ft.MSScheme, 5) // zero idle spares
+	h.ingest(5)
+	h.waitCount(t, 5, 10*time.Second)
+	if n := h.r.IdleCount(); n != 0 {
+		t.Fatalf("idle = %d, want 0", n)
+	}
+	id := h.r.AddPhone(phone.Config{})
+	if n := h.r.IdleCount(); n != 1 {
+		t.Fatalf("idle after join = %d, want 1", n)
+	}
+	if !h.ctrl.Migrate("r1", "n3", id) {
+		t.Fatalf("migration onto recruited phone %s failed", id)
+	}
+	h.ingest(10)
+	if got := h.waitCount(t, 15, 20*time.Second); got != 15 {
+		t.Fatalf("outputs = %d, want 15", got)
+	}
+	if pid, _ := h.r.Placement("n3"); pid != id {
+		t.Fatalf("n3 on %s, want %s", pid, id)
+	}
+}
+
+// TestSchedulerLoopEvacuatesLowBattery wires the scheduler into the
+// controller and checks the full loop: telemetry flags a phone whose
+// battery has cliffed, and its slot is live-migrated onto an idle phone
+// before any reactive machinery fires — with no output lost or duplicated.
+func TestSchedulerLoopEvacuatesLowBattery(t *testing.T) {
+	clk := clock.NewScaled(2000)
+	cell := simnet.NewCellular(clk, simnet.CellularConfig{
+		UpBitsPerSecond:   8e6,
+		DownBitsPerSecond: 8e6,
+	})
+	ctrl := controller.New(controller.Config{
+		Clock:            clk,
+		Cell:             cell,
+		CheckpointPeriod: time.Hour,
+		PingInterval:     time.Hour,
+		PingTimeout:      10 * time.Second,
+		Sched: scheduler.New(scheduler.Config{
+			Scorer:   &scheduler.HeuristicScorer{LowFraction: 0.15},
+			Cooldown: 5 * time.Second,
+		}),
+		ScheduleTick: 2 * time.Second,
+	})
+	r, err := region.New(region.Config{
+		ID:                "r1",
+		Graph:             diamondGraph(t),
+		Registry:          diamondRegistry(),
+		Scheme:            ft.MSScheme,
+		Phones:            7,
+		Clock:             clk,
+		WiFi:              simnet.WiFiConfig{BitsPerSecond: 100e6},
+		Cell:              cell,
+		ControllerID:      ctrl.ID(),
+		Broadcast:         broadcast.Config{BlockSize: 1024},
+		PreserveBroadcast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.AddRegion(r)
+	r.Start()
+	ctrl.Start()
+	t.Cleanup(func() {
+		r.Stop()
+		ctrl.Stop()
+	})
+
+	h := &harness{clk: clk, cell: cell, ctrl: ctrl, r: r}
+	h.ingest(10)
+	if got := h.waitCount(t, 10, 10*time.Second); got != 10 {
+		t.Fatalf("outputs = %d, want 10", got)
+	}
+
+	victim, _ := r.Placement("n3")
+	r.Phone(victim).Revive(0.08) // battery cliff: below the 0.15 risk line
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if pid, _ := r.Placement("n3"); pid != victim {
+			break
+		}
+		h.ingest(1)
+		time.Sleep(5 * time.Millisecond)
+	}
+	repl, _ := r.Placement("n3")
+	if repl == victim {
+		t.Fatalf("scheduler never evacuated n3 off low-battery %s", victim)
+	}
+	if ctrl.Migrations("r1") == 0 {
+		t.Fatal("no migration recorded")
+	}
+	if ctrl.Recoveries("r1") != 0 {
+		t.Fatal("reactive recovery fired; migration should have pre-empted it")
+	}
+	want := r.Throughput.Count() // whatever was ingested so far, delivered
+	h.ingest(10)
+	if got := h.waitCount(t, want+10, 20*time.Second); got < want+10 {
+		t.Fatalf("outputs after evacuation = %d, want >= %d", got, want+10)
+	}
+	if d := r.DuplicateOutputs(); d != 0 {
+		t.Fatalf("duplicates = %d, want 0", d)
 	}
 }

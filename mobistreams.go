@@ -41,6 +41,7 @@ import (
 	"mobistreams/internal/node"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/region"
+	"mobistreams/internal/scheduler"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/tuple"
 )
@@ -112,6 +113,15 @@ type SystemConfig struct {
 	// Cellular configures the wide-area network (defaults to the
 	// paper's measured 3G rates).
 	Cellular simnet.CellularConfig
+	// AdaptivePlacement enables the telemetry-driven placement scheduler:
+	// the controller polls every region's battery, backlog and trajectory
+	// telemetry each ScheduleTick and live-migrates slots off at-risk
+	// phones before they fail or depart (proactive, in addition to the
+	// paper's reactive recovery).
+	AdaptivePlacement bool
+	// ScheduleTick is the scheduler's telemetry/planning period (default
+	// 10 s; ignored unless AdaptivePlacement is set).
+	ScheduleTick time.Duration
 	// Logf receives debug logging; nil disables.
 	Logf func(string, ...interface{})
 }
@@ -172,14 +182,19 @@ func NewSystem(cfg SystemConfig) *System {
 	clk := clock.NewScaled(cfg.Speedup)
 	cfg.Cellular.ChunkBytes = 0 // defaults applied by simnet
 	cell := simnet.NewCellular(clk, cfg.Cellular)
-	ctrl := controller.New(controller.Config{
+	ctrlCfg := controller.Config{
 		Clock:            clk,
 		Cell:             cell,
 		CheckpointPeriod: cfg.CheckpointPeriod,
 		PingInterval:     cfg.PingInterval,
 		PingTimeout:      cfg.PingTimeout,
 		Logf:             cfg.Logf,
-	})
+	}
+	if cfg.AdaptivePlacement {
+		ctrlCfg.Sched = scheduler.New(scheduler.Config{})
+		ctrlCfg.ScheduleTick = cfg.ScheduleTick
+	}
+	ctrl := controller.New(ctrlCfg)
 	return &System{cfg: cfg, clk: clk, cell: cell, ctrl: ctrl, regions: make(map[string]*Region)}
 }
 
@@ -329,6 +344,10 @@ func (rg *Region) InjectDeparture(slot string) error {
 
 // Recoveries reports how many recoveries the region has undergone.
 func (rg *Region) Recoveries() int { return rg.sys.ctrl.Recoveries(rg.r.ID()) }
+
+// Migrations reports how many planned live migrations the scheduler has
+// completed for the region.
+func (rg *Region) Migrations() int { return rg.sys.ctrl.Migrations(rg.r.ID()) }
 
 // Committed reports the latest committed checkpoint version.
 func (rg *Region) Committed() uint64 { return rg.sys.ctrl.Committed(rg.r.ID()) }

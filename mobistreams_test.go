@@ -153,3 +153,36 @@ func TestAddRegionValidation(t *testing.T) {
 		t.Fatal("region without graph accepted")
 	}
 }
+
+func TestSystemAdaptivePlacement(t *testing.T) {
+	var got atomic.Int64
+	sys := NewSystem(SystemConfig{
+		Speedup:           2000,
+		CheckpointPeriod:  time.Hour,
+		AdaptivePlacement: true,
+		ScheduleTick:      2 * time.Second,
+	})
+	r, err := sys.AddRegion(RegionSpec{
+		ID: "r1", Graph: demoGraph(t), Registry: demoRegistry(),
+		Scheme: MS, Phones: 5, WiFiBps: 50e6,
+		OnOutput: func(*Tuple) { got.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	for i := 0; i < 20; i++ {
+		r.Ingest("src", i, 1024, "test")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for got.Load() < 20 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got.Load() != 20 {
+		t.Fatalf("outputs = %d, want 20", got.Load())
+	}
+	if r.Migrations() != 0 {
+		t.Fatalf("healthy region migrated %d slots", r.Migrations())
+	}
+}
