@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"mobistreams/internal/bench"
+)
+
+// Baseline is the committed reference the regression gate compares fresh
+// experiment results against (BENCH_baseline.json at the repo root).
+// Regenerate it with:
+//
+//	go run ./cmd/msbench -exp churn -seed 5 -churnout BENCH_scheduler.json
+//	go run ./cmd/msbench -exp checkpoint -seed 5 -ckptout BENCH_checkpoint.json
+//	then copy the summary numbers below from those files.
+type Baseline struct {
+	Comment string `json:"comment"`
+	// MaxSchedulerTupleLoss is the worst tuples_lost across the churn
+	// experiment's scheduler-on rows.
+	MaxSchedulerTupleLoss int64 `json:"max_scheduler_tuple_loss"`
+	// IncrPauseMeanMsLargest is the incremental pipeline's mean
+	// checkpoint pause (ms) at the largest state size.
+	IncrPauseMeanMsLargest float64 `json:"incr_pause_mean_ms_largest"`
+}
+
+// regressionFactor is the gate's threshold: a metric more than 20% worse
+// than baseline fails the build. Small absolute grace terms keep the gate
+// from tripping on simulation noise around tiny baselines.
+const (
+	regressionFactor = 1.20
+	lossGraceTuples  = 3
+	pauseGraceMs     = 5.0
+)
+
+func runCompare(baselinePath, churnPath, ckptPath string, w io.Writer) error {
+	var base Baseline
+	if err := readJSON(baselinePath, &base); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var churn bench.ChurnReport
+	if err := readJSON(churnPath, &churn); err != nil {
+		return fmt.Errorf("churn results: %w", err)
+	}
+	var ckpt bench.CkptReport
+	if err := readJSON(ckptPath, &ckpt); err != nil {
+		return fmt.Errorf("checkpoint results: %w", err)
+	}
+
+	var worstLoss int64
+	for _, row := range churn.Rows {
+		if row.Mode == "scheduler" && row.Lost > worstLoss {
+			worstLoss = row.Lost
+		}
+	}
+	var incrPause float64
+	largest := 0
+	for _, row := range ckpt.Rows {
+		if row.StateBytes > largest {
+			largest = row.StateBytes
+		}
+	}
+	for _, row := range ckpt.Rows {
+		if row.StateBytes == largest && row.Mode == "incremental" {
+			incrPause = row.PauseMeanMs
+		}
+	}
+
+	lossLimit := int64(float64(base.MaxSchedulerTupleLoss)*regressionFactor) + lossGraceTuples
+	pauseLimit := base.IncrPauseMeanMsLargest*regressionFactor + pauseGraceMs
+	fmt.Fprintf(w, "gate: scheduler tuple loss %d (baseline %d, limit %d)\n",
+		worstLoss, base.MaxSchedulerTupleLoss, lossLimit)
+	fmt.Fprintf(w, "gate: incremental pause at %d KB state %.2f ms (baseline %.2f ms, limit %.2f ms)\n",
+		largest/1024, incrPause, base.IncrPauseMeanMsLargest, pauseLimit)
+
+	var failures []string
+	if worstLoss > lossLimit {
+		failures = append(failures, fmt.Sprintf("tuple loss regressed: %d > %d", worstLoss, lossLimit))
+	}
+	if incrPause > pauseLimit {
+		failures = append(failures, fmt.Sprintf("checkpoint pause regressed: %.2f ms > %.2f ms", incrPause, pauseLimit))
+	}
+	if incrPause <= 0 {
+		failures = append(failures, "checkpoint results carry no incremental pause sample")
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(w, "FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d metric(s) regressed >20%% vs %s", len(failures), baselinePath)
+	}
+	fmt.Fprintln(w, "gate: no regressions")
+	return nil
+}
+
+func readJSON(path string, v interface{}) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewDecoder(f).Decode(v)
+}

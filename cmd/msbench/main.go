@@ -12,9 +12,16 @@
 //	msbench -exp table1         # MobiStreams vs server-based DSPS
 //	msbench -exp fig6           # broadcast walk-through
 //	msbench -exp churn          # reactive recovery vs placement scheduler
+//	msbench -exp checkpoint     # full-blob vs incremental-async pipeline
 //
-// -churnout writes the churn comparison as machine-readable JSON
-// (BENCH_scheduler.json in CI) alongside the printed table.
+// -churnout / -ckptout write the churn and checkpoint comparisons as
+// machine-readable JSON (BENCH_scheduler.json / BENCH_checkpoint.json in
+// CI) alongside the printed tables.
+//
+// -compare is the CI benchmark-regression gate: it reads the committed
+// baseline (BENCH_baseline.json) plus the fresh churn/checkpoint JSON and
+// exits non-zero when tuple loss or checkpoint pause regressed more than
+// 20% against the baseline.
 package main
 
 import (
@@ -28,13 +35,26 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
+	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
 	speedup := flag.Float64("speedup", 200, "simulated-to-wall clock ratio")
 	apps := flag.String("apps", "bcp,sg", "comma-separated apps: bcp,sg")
+	compare := flag.Bool("compare", false, "benchmark-regression gate: compare fresh results to the baseline and exit non-zero on regression")
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline metrics for -compare")
+	churnJSON := flag.String("churnjson", "BENCH_scheduler.json", "fresh churn results for -compare")
+	ckptJSON := flag.String("ckptjson", "BENCH_checkpoint.json", "fresh checkpoint results for -compare")
 	flag.Parse()
+
+	if *compare {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	base := bench.Scenario{Seed: *seed, Speedup: *speedup}
 	var appList []bench.App
@@ -99,6 +119,28 @@ func main() {
 		run("table1", func() error {
 			_, err := bench.Table1(base, os.Stdout)
 			return err
+		})
+	}
+	if want("checkpoint") {
+		run("checkpoint", func() error {
+			ckptBase := bench.CkptScenario{Seed: *seed, Speedup: *speedup}
+			rows, err := bench.CkptComparison(ckptBase, nil)
+			if err != nil {
+				return err
+			}
+			bench.WriteCkptTable(os.Stdout, rows)
+			if *ckptOut != "" {
+				f, err := os.Create(*ckptOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteCkptJSON(f, ckptBase, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *ckptOut)
+			}
+			return nil
 		})
 	}
 	if want("churn") {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"mobistreams/internal/operator"
@@ -36,9 +37,10 @@ func getF64(data []byte, off int) (float64, int, error) {
 // on-board count.
 type noiseFilter struct {
 	operator.Base
-	cost time.Duration
-	ewma float64
-	n    uint64
+	cost  time.Duration
+	ewma  float64
+	n     uint64
+	delta operator.DeltaTracker
 }
 
 func newNoiseFilter(p Params) *noiseFilter {
@@ -94,6 +96,7 @@ type arrivalModel struct {
 	lastSeen float64
 	interval float64
 	n        uint64
+	delta    operator.DeltaTracker
 }
 
 func newArrivalModel(p Params) *arrivalModel {
@@ -150,6 +153,7 @@ type alightModel struct {
 	operator.Base
 	cost     time.Duration
 	fraction float64
+	delta    operator.DeltaTracker
 }
 
 func newAlightModel(p Params) *alightModel {
@@ -190,6 +194,7 @@ type motionDetect struct {
 	real    bool
 	prevSig int64
 	dropped uint64
+	delta   operator.DeltaTracker
 }
 
 func newMotionDetect(p Params) *motionDetect {
@@ -261,6 +266,7 @@ type counter struct {
 	extra  int
 	hist   [32]uint64
 	frames uint64
+	delta  operator.DeltaTracker
 }
 
 func newCounter(id string, p Params) *counter {
@@ -323,6 +329,7 @@ type boardModel struct {
 	extra  int
 	window []float64
 	emit   uint64
+	delta  operator.DeltaTracker
 }
 
 func newBoardModel(p Params) *boardModel {
@@ -399,6 +406,7 @@ type latestJoin struct {
 	lastOn     float64
 	lastAlight float64
 	haveBus    bool
+	delta      operator.DeltaTracker
 }
 
 func newLatestJoin(p Params) *latestJoin {
@@ -463,18 +471,31 @@ func (o *latestJoin) Snapshot() ([]byte, error) {
 	buf = putF64(buf, float64(o.lastSeq))
 	buf = putF64(buf, o.lastOn)
 	buf = putF64(buf, o.lastAlight)
+	// Serialise both windows in ascending sequence order: deterministic
+	// bytes keep delta patches small and chain restores byte-comparable
+	// to full-blob restores.
 	buf = putF64(buf, float64(len(o.eta)))
-	for seq, t := range o.eta {
+	for _, seq := range sortedKeys(o.eta) {
 		buf = putF64(buf, float64(seq))
-		info, _ := t.Value.(BusInfo)
+		info, _ := o.eta[seq].Value.(BusInfo)
 		buf = putF64(buf, info.OnBoard)
 	}
 	buf = putF64(buf, float64(len(o.alight)))
-	for seq, v := range o.alight {
+	for _, seq := range sortedKeys(o.alight) {
 		buf = putF64(buf, float64(seq))
-		buf = putF64(buf, v)
+		buf = putF64(buf, o.alight[seq])
 	}
 	return buf, nil
+}
+
+// sortedKeys returns a map's sequence keys in ascending order.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	seqs := make([]uint64, 0, len(m))
+	for s := range m {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
 }
 
 func (o *latestJoin) Restore(data []byte) error {
@@ -538,8 +559,9 @@ func (o *latestJoin) StateSize() int { return 48 + 16*(len(o.eta)+len(o.alight))
 // minus alighting, clamped at zero.
 type capacityModel struct {
 	operator.Base
-	cost time.Duration
-	n    uint64
+	cost  time.Duration
+	n     uint64
+	delta operator.DeltaTracker
 }
 
 func newCapacityModel(p Params) *capacityModel {
@@ -577,3 +599,50 @@ func (o *capacityModel) Restore(data []byte) error {
 }
 
 func (*capacityModel) StateSize() int { return 8 }
+
+// Incremental checkpointing: every BCP operator exposes delta snapshots via
+// the serialised-state diff tracker. The model operators' states are a few
+// dozen bytes, so their deltas are near-free; the counter and board-model
+// windows carry modelled auxiliary state (CounterStateBytes/BoardStateBytes)
+// that is static between checkpoints and therefore absent from deltas —
+// exactly the saving incremental checkpointing exists for.
+
+func (o *noiseFilter) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *noiseFilter) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *arrivalModel) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *arrivalModel) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *alightModel) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *alightModel) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *motionDetect) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *motionDetect) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *counter) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *counter) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *boardModel) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *boardModel) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *latestJoin) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *latestJoin) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *capacityModel) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *capacityModel) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }

@@ -27,9 +27,10 @@ type blobsValue struct {
 // colorFilter (C0..C2) extracts signal-palette blobs.
 type colorFilter struct {
 	operator.Base
-	cost time.Duration
-	real bool
-	n    uint64
+	cost  time.Duration
+	real  bool
+	n     uint64
+	delta operator.DeltaTracker
 }
 
 func newColorFilter(id string, p Params) *colorFilter {
@@ -70,9 +71,10 @@ func (*colorFilter) StateSize() int              { return 8 }
 // shapeFilter (A0..A2) keeps circular blobs.
 type shapeFilter struct {
 	operator.Base
-	cost time.Duration
-	real bool
-	n    uint64
+	cost  time.Duration
+	real  bool
+	n     uint64
+	delta operator.DeltaTracker
 }
 
 func newShapeFilter(id string, p Params) *shapeFilter {
@@ -109,6 +111,7 @@ type motionFilter struct {
 	extra int
 	prev  []vision.Blob
 	n     uint64
+	delta operator.DeltaTracker
 }
 
 func newMotionFilter(id string, p Params) *motionFilter {
@@ -179,6 +182,7 @@ type voter struct {
 	cost   time.Duration
 	window []Observation
 	n      uint64
+	delta  operator.DeltaTracker
 }
 
 func newVoter(p Params) *voter {
@@ -262,6 +266,7 @@ type grouper struct {
 	current vision.LightColor
 	started float64
 	have    bool
+	delta   operator.DeltaTracker
 }
 
 func newGrouper(p Params) *grouper {
@@ -334,6 +339,7 @@ type predictor struct {
 	upstream float64
 	haveUp   bool
 	emitted  uint64
+	delta    operator.DeltaTracker
 }
 
 func newPredictor(p Params) *predictor {
@@ -447,3 +453,40 @@ func appendU32(buf []byte, v uint32) []byte {
 	binary.BigEndian.PutUint32(tmp[:], v)
 	return append(buf, tmp[:]...)
 }
+
+// Incremental checkpointing: every SignalGuru operator exposes delta
+// snapshots via the serialised-state diff tracker. The filter columns'
+// states are a handful of counters and blob centroids; the motion filter
+// and grouper carry modelled column/group state (ColumnStateBytes,
+// GroupStateBytes) that is static between checkpoints and therefore absent
+// from deltas.
+
+func (o *colorFilter) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *colorFilter) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *shapeFilter) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *shapeFilter) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *motionFilter) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *motionFilter) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *voter) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *voter) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *grouper) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *grouper) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }
+
+func (o *predictor) SnapshotDelta(since uint64) ([]byte, bool) {
+	return o.delta.Delta(since, o.Snapshot)
+}
+func (o *predictor) MarkSnapshot(v uint64) { o.delta.Mark(v, o.Snapshot) }

@@ -215,8 +215,8 @@ func RunChurn(s ChurnScenario) (ChurnOutcome, error) {
 		SharedBps:         2e6,
 	})
 	ctrlCfg := controller.Config{
-		Clock:            clk,
-		Cell:             cell,
+		Clock: clk,
+		Cell:  cell,
 		Logf: func(format string, args ...interface{}) {
 			if churnDebug != nil {
 				churnDebug("%8.1fs ctrl: "+format, append([]interface{}{clk.Now().Seconds()}, args...)...)
@@ -244,17 +244,17 @@ func RunChurn(s ChurnScenario) (ChurnOutcome, error) {
 	gaps := &gapTracker{allowance: 5 * s.SourcePeriod}
 	var measureEnd atomic.Int64 // simulated ns; 0 until known
 	r, err := region.New(region.Config{
-		ID:           "r1",
-		Graph:        g,
-		Registry:     churnRegistry(),
-		Scheme:       s.Scheme,
-		Phones:       s.Phones,
-		Clock:        clk,
-		WiFi:         simnet.WiFiConfig{BitsPerSecond: s.WiFiBps, LossProb: s.WiFiLoss, Seed: s.Seed},
-		Cell:         cell,
-		ControllerID: ctrl.ID(),
-		PhoneCfg:     phone.Config{BatteryJoules: s.BatteryJoules},
-		Broadcast:    broadcast.Config{BlockSize: 1024},
+		ID:                "r1",
+		Graph:             g,
+		Registry:          churnRegistry(),
+		Scheme:            s.Scheme,
+		Phones:            s.Phones,
+		Clock:             clk,
+		WiFi:              simnet.WiFiConfig{BitsPerSecond: s.WiFiBps, LossProb: s.WiFiLoss, Seed: s.Seed},
+		Cell:              cell,
+		ControllerID:      ctrl.ID(),
+		PhoneCfg:          phone.Config{BatteryJoules: s.BatteryJoules},
+		Broadcast:         broadcast.Config{BlockSize: 1024},
 		PreserveBroadcast: s.Scheme.Kind == ft.MS,
 		RadiusM:           s.RadiusM,
 		OnSinkOutput: func(_ simnet.NodeID, _ *tuple.Tuple) {

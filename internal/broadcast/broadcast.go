@@ -71,6 +71,11 @@ type BlockMsg struct {
 	Index   int
 	Total   int
 	Blob    *checkpoint.Blob
+	// CRC is the chunk checksum (checkpoint.ChunkCRC over the blob CRC and
+	// the index): a chunk spliced from a different blob or stream position
+	// fails verification at the receiver and is left for retransmission.
+	// Zero means the sender attached no checksum (legacy/test senders).
+	CRC uint32
 }
 
 // QueryMsg asks a receiver for its reception bitmap.
@@ -86,7 +91,10 @@ type FillMsg struct {
 	Version uint64
 	Total   int
 	Indices []int
-	Blob    *checkpoint.Blob
+	// CRCs carries one chunk checksum per entry of Indices (empty when the
+	// sender attached none).
+	CRCs []uint32
+	Blob *checkpoint.Blob
 	// Forward lists the remaining tree edges this node's subtree must
 	// relay; the live system's receivers relay on arrival, while the
 	// sender-orchestrated simulation performs the sends itself and
@@ -169,7 +177,8 @@ func Disseminate(m Medium, w Waiter, from simnet.NodeID, peers []simnet.NodeID, 
 			if sz <= 0 {
 				sz = 1
 			}
-			grams[gi] = simnet.Datagram{Size: sz, Payload: BlockMsg{Slot: blob.Slot, Version: blob.Version, Index: bi, Total: total, Blob: blob}}
+			grams[gi] = simnet.Datagram{Size: sz, Payload: BlockMsg{Slot: blob.Slot, Version: blob.Version, Index: bi, Total: total, Blob: blob,
+				CRC: checkpoint.ChunkCRC(blob.CRC, bi)}}
 			sent += int64(sz)
 		}
 		m.BroadcastBatch(from, simnet.ClassCheckpoint, grams)
@@ -325,8 +334,12 @@ func tcpFill(m Medium, from simnet.NodeID, peers []simnet.NodeID, bitmaps map[si
 				bytes += blockBytes(blob.Size, cfg.BlockSize, b)
 			}
 			sort.Ints(indices)
+			crcs := make([]uint32, len(indices))
+			for k, b := range indices {
+				crcs[k] = checkpoint.ChunkCRC(blob.CRC, b)
+			}
 			err := m.Unicast(e.parent, child, simnet.ClassCheckpoint, bytes,
-				FillMsg{Slot: blob.Slot, Version: blob.Version, Total: total, Indices: indices, Blob: blob})
+				FillMsg{Slot: blob.Slot, Version: blob.Version, Total: total, Indices: indices, CRCs: crcs, Blob: blob})
 			if err != nil {
 				dead[child] = true
 			} else {

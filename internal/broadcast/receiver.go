@@ -47,12 +47,17 @@ func (r *Receiver) assemblerFor(slot string, version uint64, total int, blob *ch
 }
 
 // OnBlock records one UDP block; it returns true when the blob just became
-// complete (at which point it has been persisted to the store).
+// complete (at which point it has been persisted to the store). A block
+// whose chunk CRC does not verify is not recorded: the next bitmap query
+// reports it missing and the sender retransmits it.
 func (r *Receiver) OnBlock(msg BlockMsg) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	a := r.assemblerFor(msg.Slot, msg.Version, msg.Total, msg.Blob)
 	if msg.Index < 0 || msg.Index >= len(a.got) || a.got[msg.Index] {
+		return false
+	}
+	if !chunkOK(a.blob, msg.Index, msg.CRC) {
 		return false
 	}
 	a.got[msg.Index] = true
@@ -61,22 +66,48 @@ func (r *Receiver) OnBlock(msg BlockMsg) bool {
 }
 
 // OnFill records a TCP fill of multiple blocks; it returns true when the
-// blob just became complete.
+// blob just became complete. Chunks failing CRC verification are skipped.
 func (r *Receiver) OnFill(msg FillMsg) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	a := r.assemblerFor(msg.Slot, msg.Version, msg.Total, msg.Blob)
-	for _, i := range msg.Indices {
-		if i >= 0 && i < len(a.got) && !a.got[i] {
-			a.got[i] = true
-			a.count++
+	for k, i := range msg.Indices {
+		if i < 0 || i >= len(a.got) || a.got[i] {
+			continue
 		}
+		if k < len(msg.CRCs) && !chunkOK(a.blob, i, msg.CRCs[k]) {
+			continue
+		}
+		a.got[i] = true
+		a.count++
 	}
 	return r.maybeComplete(a)
 }
 
+// chunkOK verifies a chunk checksum against the blob identity this
+// assembly committed to on its first chunk — not the chunk's own claimed
+// blob, which would make the check a tautology. A chunk spliced from a
+// different blob under the same (slot, version) key therefore fails and
+// is left for retransmission. A zero CRC means the sender attached none
+// (legacy/test senders) and passes.
+func chunkOK(blob *checkpoint.Blob, index int, crc uint32) bool {
+	if crc == 0 || blob == nil {
+		return true
+	}
+	return crc == checkpoint.ChunkCRC(blob.CRC, index)
+}
+
 func (r *Receiver) maybeComplete(a *assembler) bool {
 	if a.done || a.count != len(a.got) || a.blob == nil {
+		return false
+	}
+	// A sealed blob that no longer matches its CRC is a torn upload:
+	// discard the assembly rather than hand corrupted state to recovery.
+	// (The next dissemination or a TCP fill rebuilds it from scratch.)
+	if a.blob.CRC != 0 && !a.blob.VerifyCRC() {
+		a.got = make([]bool, len(a.got))
+		a.count = 0
+		a.blob = nil
 		return false
 	}
 	a.done = true

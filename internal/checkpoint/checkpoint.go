@@ -8,11 +8,21 @@
 // so no tuple that follows the token can corrupt the pre-token state; the
 // other channels keep flowing. With these cut semantics no tuple is saved
 // twice or missed across the region snapshot.
+//
+// Beyond the paper, blobs form versioned chains: a full base blob followed
+// by delta blobs whose operator entries are EncodePatch patches against the
+// previous link (operators opt in through operator.DeltaSnapshotter).
+// Restore materialises the chain back into a full blob; a CRC per blob (and
+// per transport chunk, ChunkCRC) lets recovery discard torn uploads and
+// pick the latest complete chain.
 package checkpoint
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
+	"sync"
 
 	"mobistreams/internal/operator"
 )
@@ -23,9 +33,69 @@ import (
 type Blob struct {
 	Slot    string
 	Version uint64
-	Ops     map[string][]byte
-	Runtime []byte
-	Size    int
+	// Base is the checkpoint version whose state this blob's delta entries
+	// patch; 0 means the blob is a self-contained full snapshot.
+	Base uint64
+	Ops  map[string][]byte
+	// DeltaOps marks which Ops entries are EncodePatch patches against the
+	// Base blob's bytes rather than full serialised snapshots.
+	DeltaOps map[string]bool
+	Runtime  []byte
+	Size     int
+	// FullSize is the modelled size of the full state at this version —
+	// what a restore reads from flash even when the blob itself travelled
+	// as a small delta.
+	FullSize int
+	// CRC is the IEEE CRC-32 of the blob's encoded state. Chunked
+	// transports derive per-chunk checksums from it (ChunkCRC); restores
+	// verify it so a torn or corrupted upload is discarded rather than
+	// replayed into an operator.
+	CRC uint32
+}
+
+// IsDelta reports whether the blob needs a base chain to restore.
+func (b *Blob) IsDelta() bool { return b.Base != 0 }
+
+// EncodeState renders the blob's state deterministically (operator entries
+// in sorted ID order, then runtime bytes) — the byte stream CRCs cover.
+func (b *Blob) EncodeState() []byte {
+	ids := make([]string, 0, len(b.Ops))
+	total := len(b.Runtime)
+	for id, data := range b.Ops {
+		ids = append(ids, id)
+		total += 8 + len(id) + len(data)
+	}
+	sort.Strings(ids)
+	out := make([]byte, 0, total)
+	var tmp [4]byte
+	for _, id := range ids {
+		binary.BigEndian.PutUint32(tmp[:], uint32(len(id)))
+		out = append(out, tmp[:]...)
+		out = append(out, id...)
+		binary.BigEndian.PutUint32(tmp[:], uint32(len(b.Ops[id])))
+		out = append(out, tmp[:]...)
+		out = append(out, b.Ops[id]...)
+	}
+	return append(out, b.Runtime...)
+}
+
+// Seal records the blob's state CRC; builders call it automatically.
+func (b *Blob) Seal() { b.CRC = crc32.ChecksumIEEE(b.EncodeState()) }
+
+// VerifyCRC re-checks the sealed CRC against the blob's current state.
+func (b *Blob) VerifyCRC() bool {
+	return b.CRC == crc32.ChecksumIEEE(b.EncodeState())
+}
+
+// ChunkCRC derives the checksum a chunked transport attaches to chunk
+// `index` of a blob: receivers recompute it from the blob identity they
+// assembled, so a chunk spliced from a different blob or stream position is
+// rejected and retransmitted instead of completing a torn upload.
+func ChunkCRC(blobCRC uint32, index int) uint32 {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:4], blobCRC)
+	binary.BigEndian.PutUint32(buf[4:8], uint32(index))
+	return crc32.ChecksumIEEE(buf[:])
 }
 
 // BuildBlob snapshots the given operators into a blob. extra is opaque
@@ -47,13 +117,125 @@ func BuildBlob(slot string, version uint64, ops []operator.Operator, extra []byt
 		size += s
 	}
 	b.Size = size
+	b.FullSize = size
+	b.Seal()
 	return b, nil
+}
+
+// BuildDeltaBlob snapshots the operators incrementally against the chain
+// link at version base: operators implementing DeltaSnapshotter with a
+// baseline for base contribute an EncodePatch patch; the rest fall back to
+// full snapshots. Size counts only the bytes that actually travel — patch
+// bytes plus full-entry bytes plus runtime — which is incremental
+// checkpointing's entire saving; FullSize still records the modelled full
+// state for restore-time flash accounting. If no operator produced a delta
+// the blob degenerates to a self-contained full snapshot (Base 0).
+func BuildDeltaBlob(slot string, version, base uint64, ops []operator.Operator, extra []byte) (*Blob, error) {
+	b := &Blob{
+		Slot: slot, Version: version, Base: base,
+		Ops:      make(map[string][]byte, len(ops)),
+		DeltaOps: make(map[string]bool, len(ops)),
+		Runtime:  extra,
+	}
+	size, fullSize, deltas := len(extra), len(extra), 0
+	for _, op := range ops {
+		full := op.StateSize()
+		var patch []byte
+		ok := false
+		if ds, isDS := op.(operator.DeltaSnapshotter); isDS {
+			patch, ok = ds.SnapshotDelta(base)
+		}
+		if ok {
+			b.Ops[op.ID()] = patch
+			b.DeltaOps[op.ID()] = true
+			size += len(patch)
+			deltas++
+		} else {
+			data, err := op.Snapshot()
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: snapshot %s: %w", op.ID(), err)
+			}
+			b.Ops[op.ID()] = data
+			if len(data) > full {
+				full = len(data)
+			}
+			size += full
+		}
+		fullSize += full
+	}
+	b.Size = size
+	b.FullSize = fullSize
+	if deltas == 0 {
+		b.Base = 0
+		b.DeltaOps = nil
+	}
+	b.Seal()
+	return b, nil
+}
+
+// MaterializeChain replays a base-first chain of blobs into one full blob
+// at the last link's version. It validates the chain shape (full base,
+// contiguous Base pointers) and every link's CRC; any violation is a torn
+// chain and returns an error.
+func MaterializeChain(chain []*Blob) (*Blob, error) {
+	if len(chain) == 0 {
+		return nil, fmt.Errorf("checkpoint: empty chain")
+	}
+	if chain[0].IsDelta() {
+		return nil, fmt.Errorf("checkpoint: chain for %s starts at delta v%d (base v%d missing)",
+			chain[0].Slot, chain[0].Version, chain[0].Base)
+	}
+	for i, b := range chain {
+		if !b.VerifyCRC() {
+			return nil, fmt.Errorf("checkpoint: %s v%d failed CRC (torn upload)", b.Slot, b.Version)
+		}
+		if i > 0 && b.Base != chain[i-1].Version {
+			return nil, fmt.Errorf("checkpoint: %s v%d chains to v%d, not predecessor v%d",
+				b.Slot, b.Version, b.Base, chain[i-1].Version)
+		}
+	}
+	state := make(map[string][]byte, len(chain[0].Ops))
+	for id, data := range chain[0].Ops {
+		state[id] = data
+	}
+	for _, b := range chain[1:] {
+		if len(b.Ops) != len(state) {
+			return nil, fmt.Errorf("checkpoint: %s v%d has %d operators, chain has %d",
+				b.Slot, b.Version, len(b.Ops), len(state))
+		}
+		for id, data := range b.Ops {
+			if !b.DeltaOps[id] {
+				state[id] = data
+				continue
+			}
+			old, ok := state[id]
+			if !ok {
+				return nil, fmt.Errorf("checkpoint: %s v%d patches unknown operator %s", b.Slot, b.Version, id)
+			}
+			patched, err := operator.ApplyPatch(old, data)
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint: %s v%d operator %s: %w", b.Slot, b.Version, id, err)
+			}
+			state[id] = patched
+		}
+	}
+	last := chain[len(chain)-1]
+	out := &Blob{
+		Slot: last.Slot, Version: last.Version,
+		Ops: state, Runtime: last.Runtime,
+		Size: last.FullSize, FullSize: last.FullSize,
+	}
+	out.Seal()
+	return out, nil
 }
 
 // RestoreBlob loads a blob into freshly instantiated operators. Operators
 // present in the blob but not in ops (or vice versa) indicate a wiring bug
 // and return an error.
 func RestoreBlob(b *Blob, ops []operator.Operator) error {
+	if b.IsDelta() {
+		return fmt.Errorf("checkpoint: cannot restore delta blob %s v%d directly; materialise its chain first", b.Slot, b.Version)
+	}
 	if len(ops) != len(b.Ops) {
 		return fmt.Errorf("checkpoint: blob has %d operators, node has %d", len(b.Ops), len(ops))
 	}
@@ -70,8 +252,11 @@ func RestoreBlob(b *Blob, ops []operator.Operator) error {
 }
 
 // Alignment tracks token arrival for one node across checkpoint versions.
-// It is not safe for concurrent use; the node's executor owns it.
+// It is safe for concurrent use: the node's executor owns the token flow,
+// but recovery paths running off other goroutines Abort mid-alignment, and
+// telemetry reads Aligning/Stalled concurrently.
 type Alignment struct {
+	mu        sync.Mutex
 	upstreams []string
 	version   uint64 // version currently aligning; 0 = idle
 	seen      map[string]bool
@@ -101,6 +286,8 @@ type Status struct {
 // mismatch with an alignment in progress (checkpoint periods are far longer
 // than alignment, so overlapping versions indicate a bug or a lost abort).
 func (a *Alignment) OnToken(from string, version uint64) (Status, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if !a.knows(from) {
 		return Status{}, fmt.Errorf("checkpoint: token from unknown upstream %q", from)
 	}
@@ -122,6 +309,8 @@ func (a *Alignment) OnToken(from string, version uint64) (Status, error) {
 
 // Stalled reports the upstreams currently stalled by a pending alignment.
 func (a *Alignment) Stalled() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.version == 0 {
 		return nil
 	}
@@ -129,11 +318,19 @@ func (a *Alignment) Stalled() []string {
 }
 
 // Aligning reports the version being aligned, or 0 when idle.
-func (a *Alignment) Aligning() uint64 { return a.version }
+func (a *Alignment) Aligning() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.version
+}
 
 // Abort cancels an in-progress alignment (failure during checkpoint: the
 // partial checkpoint is discarded, §III-D).
-func (a *Alignment) Abort() { a.reset() }
+func (a *Alignment) Abort() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reset()
+}
 
 func (a *Alignment) reset() {
 	a.version = 0

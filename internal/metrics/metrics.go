@@ -188,6 +188,111 @@ func (b *BatchSizes) Reset() {
 	b.mu.Unlock()
 }
 
+// CheckpointStats accumulates the checkpoint pipeline's cost metrics: the
+// executor's stop-the-world pause per checkpoint, the bytes that actually
+// travelled (delta blobs shrink these), and the modelled full-state bytes
+// they stand for. It is safe for concurrent use (one writer per node, read
+// by the region report).
+type CheckpointStats struct {
+	mu         sync.Mutex
+	pauses     []time.Duration
+	blobBytes  int64
+	fullBytes  int64
+	deltaBlobs int64
+	fullBlobs  int64
+}
+
+// Observe records one checkpoint: the executor pause it cost, the bytes the
+// blob put on flash/network, the full-state bytes it represents, and
+// whether it travelled as a delta.
+func (c *CheckpointStats) Observe(pause time.Duration, blobBytes, fullBytes int, delta bool) {
+	c.mu.Lock()
+	c.pauses = append(c.pauses, pause)
+	c.blobBytes += int64(blobBytes)
+	c.fullBytes += int64(fullBytes)
+	if delta {
+		c.deltaBlobs++
+	} else {
+		c.fullBlobs++
+	}
+	c.mu.Unlock()
+}
+
+// Count reports how many checkpoints were observed.
+func (c *CheckpointStats) Count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deltaBlobs + c.fullBlobs
+}
+
+// DeltaBlobs and FullBlobs report the blob-kind split.
+func (c *CheckpointStats) DeltaBlobs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deltaBlobs
+}
+
+// FullBlobs reports how many checkpoints travelled as full base blobs.
+func (c *CheckpointStats) FullBlobs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fullBlobs
+}
+
+// PauseMean reports the mean stop-the-world pause, or 0 with no samples.
+func (c *CheckpointStats) PauseMean() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pauses) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, p := range c.pauses {
+		sum += p
+	}
+	return sum / time.Duration(len(c.pauses))
+}
+
+// PauseMax reports the largest stop-the-world pause.
+func (c *CheckpointStats) PauseMax() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var m time.Duration
+	for _, p := range c.pauses {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Bytes reports travelled blob bytes and the modelled full-state bytes they
+// stand for.
+func (c *CheckpointStats) Bytes() (blob, full int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blobBytes, c.fullBytes
+}
+
+// DeltaRatio reports travelled bytes over full-state bytes: 1.0 means every
+// checkpoint shipped its whole state, lower is the incremental saving.
+func (c *CheckpointStats) DeltaRatio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fullBytes == 0 {
+		return 0
+	}
+	return float64(c.blobBytes) / float64(c.fullBytes)
+}
+
+// Reset zeroes the accumulator.
+func (c *CheckpointStats) Reset() {
+	c.mu.Lock()
+	c.pauses = c.pauses[:0]
+	c.blobBytes, c.fullBytes, c.deltaBlobs, c.fullBlobs = 0, 0, 0, 0
+	c.mu.Unlock()
+}
+
 // Report is the summary of one experiment run.
 type Report struct {
 	Scheme         string
@@ -211,4 +316,15 @@ type Report struct {
 	// Migrations counts planned live migrations the scheduler completed —
 	// disruptions that would otherwise have been recoveries.
 	Migrations int64
+
+	// Checkpoint-pipeline metrics: the executor's stop-the-world pause,
+	// the bytes checkpoints put on flash/network versus the full state
+	// they represent, and the delta/full blob split.
+	CkptPauseMean  time.Duration
+	CkptPauseMax   time.Duration
+	CkptBlobBytes  int64
+	CkptFullBytes  int64
+	CkptDeltaRatio float64
+	CkptDeltaBlobs int64
+	CkptFullBlobs  int64
 }

@@ -1,0 +1,160 @@
+package node
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/simnet"
+)
+
+// CheckpointConfig parameterises the node's checkpoint pipeline.
+//
+// The default (incremental-async) pipeline stops the executor only for the
+// in-memory state copy: the blob is built as a delta against the previous
+// checkpoint where operators support it, and the flash write plus the
+// chunked WiFi upload happen on the persist goroutine while tuples flow
+// again. FullOnly restores the paper's worst case — every checkpoint
+// serialises the whole state and writes it to flash inside the executor's
+// stop-the-world window — which is what the `msbench -exp checkpoint`
+// experiment compares against.
+type CheckpointConfig struct {
+	// FullOnly disables delta chains and moves the flash write into the
+	// executor's critical section (synchronous full-blob checkpointing).
+	FullOnly bool
+	// RebaseEvery bounds the delta chain: every RebaseEvery-th checkpoint
+	// is a self-contained full base blob (default 4), so restore replays
+	// at most RebaseEvery links and a lost base dooms at most that many
+	// versions.
+	RebaseEvery int
+	// MemCopyBps models the in-memory copy bandwidth of the short
+	// stop-the-world window (default 400 MB/s — DRAM-speed serialisation
+	// versus the ~10 MB/s flash the synchronous path stalls on).
+	MemCopyBps float64
+}
+
+func (c CheckpointConfig) rebaseEvery() int {
+	if c.RebaseEvery > 0 {
+		return c.RebaseEvery
+	}
+	return 4
+}
+
+// copyTime is the modelled executor pause for copying n state bytes out of
+// the operators at the tuple boundary.
+func (c CheckpointConfig) copyTime(n int) time.Duration {
+	bps := c.MemCopyBps
+	if bps <= 0 {
+		bps = 400e6
+	}
+	return time.Duration(float64(n) / bps * float64(time.Second))
+}
+
+// snapshotParts collects everything a checkpoint needs under one lock
+// acquisition: the slot, the operator set, the encoded runtime state, and
+// the delta-chain position.
+func (n *Node) snapshotParts() (slot string, ops []operator.Operator, extra []byte, base uint64, chainLen int, err error) {
+	n.mu.Lock()
+	rt := runtimeState{
+		OutSeq:     make(map[string]uint64, len(n.outSeq)),
+		InHW:       make(map[string]uint64, len(n.inHW)),
+		LogVersion: n.logVersion,
+	}
+	for k, val := range n.outSeq {
+		rt.OutSeq[k] = val
+	}
+	for k, val := range n.inHW {
+		rt.InHW[k] = val
+	}
+	slot = n.slot
+	ops = append([]operator.Operator(nil), n.ops...)
+	base = n.ckptBase
+	chainLen = n.ckptChainLen
+	n.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rt); err != nil {
+		return "", nil, nil, 0, 0, fmt.Errorf("node %s: encode runtime: %w", n.id, err)
+	}
+	return slot, ops, buf.Bytes(), base, chainLen, nil
+}
+
+// snapshot builds a self-contained full checkpoint blob (periodic
+// dist-n/local checkpoints and handoff transfers).
+func (n *Node) snapshot(v uint64) (*checkpoint.Blob, error) {
+	slot, ops, extra, _, _, err := n.snapshotParts()
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.BuildBlob(slot, v, ops, extra)
+}
+
+// buildCheckpoint builds the token-checkpoint blob: a delta against the
+// previous checkpoint when the pipeline is incremental, the chain is under
+// its rebase threshold and a prior basis exists; a full base blob
+// otherwise. It advances the node's chain position and re-marks every
+// delta-capable operator's baseline at v.
+func (n *Node) buildCheckpoint(v uint64) (*checkpoint.Blob, error) {
+	slot, ops, extra, base, chainLen, err := n.snapshotParts()
+	if err != nil {
+		return nil, err
+	}
+	ck := n.cfg.Checkpoint
+	var blob *checkpoint.Blob
+	if !ck.FullOnly && base != 0 && chainLen < ck.rebaseEvery()-1 {
+		blob, err = checkpoint.BuildDeltaBlob(slot, v, base, ops, extra)
+	} else {
+		blob, err = checkpoint.BuildBlob(slot, v, ops, extra)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !ck.FullOnly {
+		for _, op := range ops {
+			if ds, ok := op.(operator.DeltaSnapshotter); ok {
+				ds.MarkSnapshot(v)
+			}
+		}
+	}
+	n.mu.Lock()
+	n.ckptBase = v
+	if blob.IsDelta() {
+		n.ckptChainLen = chainLen + 1
+	} else {
+		n.ckptChainLen = 0
+	}
+	n.mu.Unlock()
+	return blob, nil
+}
+
+// loadRestoreBlob materialises the full state for (v, slot): from the local
+// chain when it is complete, otherwise from a live peer — a torn local
+// chain (interrupted upload, missed dissemination) must not doom the
+// restore while a peer holds a complete one.
+func (n *Node) loadRestoreBlob(v uint64, slot string) *checkpoint.Blob {
+	if blob, err := n.cfg.Store.MaterializeBlob(v, slot); err == nil {
+		// Restoration reads the chain from local flash (§III-D: each node
+		// reads state from local storage, in parallel across nodes). The
+		// materialised blob's size is the full state size.
+		n.clk.Sleep(n.cfg.Phone.FlashReadTime(blob.Size))
+		return blob
+	} else if v > 0 {
+		n.logf("%s: local chain for %s v%d unusable: %v", n.id, slot, v, err)
+	}
+	for _, peer := range n.livePeers() {
+		reply, err := n.cfg.WiFi.Request(n.id, peer, simnet.ClassRecovery, 32, FetchBlobReq{Slot: slot, Version: v})
+		if err != nil {
+			continue
+		}
+		select {
+		case msg := <-reply:
+			if b, ok := msg.Payload.(*checkpoint.Blob); ok && b != nil {
+				return b
+			}
+		case <-n.clk.After(30 * time.Second):
+		}
+	}
+	return nil
+}

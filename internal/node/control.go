@@ -217,14 +217,16 @@ func (n *Node) handleCommit(v uint64) {
 	}
 }
 
-// handleFetchBlob serves a peer's recovery request for a checkpoint blob
-// (dist-n/local). The response is charged at the blob's full size.
+// handleFetchBlob serves a peer's recovery request for a checkpoint blob.
+// The served blob is the materialised full state — a requester must not
+// depend on holding this store's chain links — and the response is charged
+// at that full size.
 func (n *Node) handleFetchBlob(m simnet.Message, req FetchBlobReq) {
-	blob, ok := n.cfg.Store.Blob(req.Version, req.Slot)
+	blob, err := n.cfg.Store.MaterializeBlob(req.Version, req.Slot)
 	if m.Reply == nil {
 		return
 	}
-	if !ok {
+	if err != nil {
 		n.cfg.WiFi.Respond(m, n.id, simnet.ClassRecovery, 16, nil)
 		return
 	}
@@ -239,7 +241,12 @@ func (n *Node) persistLoop() {
 	for {
 		select {
 		case blob := <-n.persistCh:
-			n.clk.Sleep(n.cfg.Phone.FlashWriteTime(blob.Size))
+			if !n.cfg.Checkpoint.FullOnly {
+				// Incremental-async: the flash write rides this goroutine,
+				// outside the executor's stop-the-world window. (FullOnly
+				// already charged it inside the pause.)
+				n.clk.Sleep(n.cfg.Phone.FlashWriteTime(blob.Size))
+			}
 			if n.cfg.Scheme.Kind == ft.MS {
 				peers := n.livePeers()
 				st := broadcast.Disseminate(n.cfg.WiFi, n.clk, n.id, peers, blob, n.bcfg)
@@ -298,25 +305,27 @@ func (n *Node) Promote() {
 // RestoreTo reloads the node's operators from the local copy of version v
 // (v = 0 resets to initial state). The executor must be paused. This is
 // the parallel, local-read restoration that makes MobiStreams recovery
-// scale (§III-D).
+// scale (§III-D). A delta checkpoint restores by materialising its chain
+// (base + patches); a torn local chain falls back to fetching the
+// materialised state from a live peer.
 func (n *Node) RestoreTo(v uint64) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.slot == "" {
+	slot := n.slot
+	n.mu.Unlock()
+	if slot == "" {
 		return fmt.Errorf("node %s: restore on idle node", n.id)
 	}
 	var blob *checkpoint.Blob
 	if v > 0 {
-		var ok bool
-		blob, ok = n.cfg.Store.Blob(v, n.slot)
-		if !ok {
-			return fmt.Errorf("node %s: no local blob for %s v%d", n.id, n.slot, v)
-		}
-		// Restoration reads the MRC from local flash (§III-D: each node
-		// reads state from local storage, in parallel across nodes).
-		n.mu.Unlock()
-		n.clk.Sleep(n.cfg.Phone.FlashReadTime(blob.Size))
-		n.mu.Lock()
+		blob = n.loadRestoreBlob(v, slot)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if v > 0 && blob == nil {
+		// Still close the stream door: the region-wide restore proceeds on
+		// the peers, and stale pre-failure traffic must not leak in.
+		n.dropStream = true
+		return fmt.Errorf("node %s: no usable chain for %s v%d", n.id, slot, v)
 	}
 	err := n.installBlobLocked(blob)
 	// Until the controller resumes the region, every peer is paused: any
@@ -386,6 +395,10 @@ func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
 		q.lastEnq = n.inHW[name]
 	}
 	n.cmds = nil
+	// The freshly built operators carry no delta baselines, so the next
+	// checkpoint must be a full base blob.
+	n.ckptBase = 0
+	n.ckptChainLen = 0
 	n.align = checkpoint.NewAlignment(n.alignUpstreams)
 	n.replaySeen = make(map[uint64]map[string]bool)
 	n.suppress = n.isSink
@@ -425,8 +438,7 @@ func (n *Node) fetchRestore(c Command) {
 	n.PauseExec()
 	var blob *checkpoint.Blob
 	if c.Target == n.id {
-		b, ok := n.cfg.Store.Blob(c.Version, n.slot)
-		if ok {
+		if b, err := n.cfg.Store.MaterializeBlob(c.Version, n.fetchSlot()); err == nil {
 			blob = b
 		}
 	} else if c.Version > 0 {

@@ -12,9 +12,6 @@
 package node
 
 import (
-	"bytes"
-	"encoding/gob"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -87,6 +84,12 @@ type Config struct {
 	Batch BatchConfig
 	// BatchStats, when non-nil, accumulates per-flush batch sizes.
 	BatchStats *metrics.BatchSizes
+	// Checkpoint configures the snapshot pipeline (incremental-async by
+	// default; FullOnly restores synchronous full-blob checkpointing).
+	Checkpoint CheckpointConfig
+	// CkptStats, when non-nil, accumulates checkpoint pause and blob-size
+	// observations.
+	CkptStats *metrics.CheckpointStats
 	// OnSinkOutput receives externally published results.
 	OnSinkOutput func(*tuple.Tuple)
 	// OnIngest admits an inter-region tuple arriving over cellular into
@@ -349,6 +352,13 @@ type Node struct {
 	// processed counts executed data tuples (telemetry: the scheduler's
 	// per-slot tuple rate). Read atomically off the executor.
 	processed uint64
+
+	// ckptBase is the version the next delta checkpoint patches against
+	// (0 = none: first checkpoint, or freshly restored); ckptChainLen
+	// counts the delta links since the last full base blob. Written by
+	// the executor's checkpoint path and installBlobLocked under mu.
+	ckptBase     uint64
+	ckptChainLen int
 
 	batch *batcher
 
@@ -995,6 +1005,30 @@ const reportAfterAttempts = 3
 // slot (promotion, replacement) the batch lands at the new primary.
 const maxDeliveryAttempts = 30
 
+// markerDeliveryAttempts is the longer horizon (~60 s simulated) for
+// deliveries carrying an in-band marker. Markers gate the alignment
+// protocols — a dropped token stalls the checkpoint round, and a dropped
+// replay-end marker leaves a suppressing sink wedged forever — so they
+// keep retrying across a recovery window that would exhaust the data
+// horizon.
+const markerDeliveryAttempts = 300
+
+// payloadCarriesMarker reports whether a delivery payload contains an
+// in-band marker (alone or coalesced into a batch).
+func payloadCarriesMarker(payload interface{}) bool {
+	switch p := payload.(type) {
+	case StreamMsg:
+		return p.Item.Marker != nil
+	case BatchMsg:
+		for i := range p.Msgs {
+			if p.Msgs[i].Item.Marker != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // deliverData resolves the destination slot's phone and sends reliably,
 // falling back to the cellular network (urgent mode) when the WiFi path is
 // broken. After reportAfterAttempts failures it reports the destination
@@ -1002,8 +1036,12 @@ const maxDeliveryAttempts = 30
 // re-points the slot, giving up only past the full retry horizon.
 func (n *Node) deliverData(toSlot string, size int, payload interface{}, class simnet.Class) {
 	gen := atomic.LoadUint64(&n.sendGen)
+	attempts := maxDeliveryAttempts
+	if payloadCarriesMarker(payload) {
+		attempts = markerDeliveryAttempts
+	}
 	var target simnet.NodeID
-	for i := 0; i < maxDeliveryAttempts; i++ {
+	for i := 0; i < attempts; i++ {
 		if i > 0 {
 			n.clk.Sleep(200 * time.Millisecond)
 		}
@@ -1129,13 +1167,27 @@ func (n *Node) onReplayEnd(from string, epoch uint64) {
 
 // doTokenCheckpoint snapshots the node (MobiStreams path), hands the blob
 // to the async persist worker, and forwards the token (§III-B step 2).
+//
+// The executor's stop-the-world window covers only what the pipeline mode
+// demands: the in-memory state copy under incremental-async (the flash
+// write and chunked upload ride the persist goroutine), or the copy plus
+// the synchronous flash write under FullOnly — the full-blob baseline whose
+// pause grows with state size.
 func (n *Node) doTokenCheckpoint(v uint64) {
-	blob, err := n.snapshot(v)
+	start := n.clk.Now()
+	blob, err := n.buildCheckpoint(v)
 	if err != nil {
 		n.logf("%s: checkpoint v%d: %v", n.id, v, err)
 		return
 	}
+	n.clk.Sleep(n.cfg.Checkpoint.copyTime(blob.FullSize))
+	if n.cfg.Checkpoint.FullOnly {
+		n.clk.Sleep(n.cfg.Phone.FlashWriteTime(blob.Size))
+	}
 	n.cfg.Store.PutBlob(blob)
+	if n.cfg.CkptStats != nil {
+		n.cfg.CkptStats.Observe(n.clk.Now()-start, blob.Size, blob.FullSize, blob.IsDelta())
+	}
 	n.report(Report{Type: RepCheckpointed, Phone: n.id, Slot: blob.Slot, Version: v})
 	select {
 	case n.persistCh <- blob:
@@ -1152,6 +1204,7 @@ func (n *Node) doTokenCheckpoint(v uint64) {
 // (Cooperative HA's HAU pause), which is the overhead the paper's Fig. 8
 // exposes as n grows.
 func (n *Node) doPeriodicSnapshot(v uint64) {
+	start := n.clk.Now()
 	blob, err := n.snapshot(v)
 	if err != nil {
 		n.logf("%s: snapshot v%d: %v", n.id, v, err)
@@ -1176,31 +1229,12 @@ func (n *Node) doPeriodicSnapshot(v uint64) {
 			}
 		}
 	}
+	if n.cfg.CkptStats != nil {
+		// The classic schemes stall the executor through the flash write
+		// and the peer shipping — their whole checkpoint is the pause.
+		n.cfg.CkptStats.Observe(n.clk.Now()-start, blob.Size, blob.FullSize, false)
+	}
 	n.report(Report{Type: RepPersisted, Phone: n.id, Slot: blob.Slot, Version: v, Replicas: replicas})
-}
-
-// snapshot builds this node's checkpoint blob.
-func (n *Node) snapshot(v uint64) (*checkpoint.Blob, error) {
-	n.mu.Lock()
-	rt := runtimeState{
-		OutSeq:     make(map[string]uint64, len(n.outSeq)),
-		InHW:       make(map[string]uint64, len(n.inHW)),
-		LogVersion: n.logVersion,
-	}
-	for k, val := range n.outSeq {
-		rt.OutSeq[k] = val
-	}
-	for k, val := range n.inHW {
-		rt.InHW[k] = val
-	}
-	slot := n.slot
-	ops := append([]operator.Operator(nil), n.ops...)
-	n.mu.Unlock()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rt); err != nil {
-		return nil, fmt.Errorf("node %s: encode runtime: %w", n.id, err)
-	}
-	return checkpoint.BuildBlob(slot, v, ops, buf.Bytes())
 }
 
 // doResend replays retained output for a recovered downstream (input

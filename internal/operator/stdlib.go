@@ -3,6 +3,8 @@ package operator
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"mobistreams/internal/tuple"
@@ -21,6 +23,7 @@ type Map struct {
 	CostFn  func(*tuple.Tuple) time.Duration
 	SizeFn  func() int // modelled state size; nil means stateless
 	counter uint64     // processed-tuple count, part of checkpointed state
+	delta   DeltaTracker
 }
 
 // NewMap builds a Map operator.
@@ -70,6 +73,12 @@ func (m *Map) StateSize() int {
 	return m.SizeFn()
 }
 
+// SnapshotDelta implements DeltaSnapshotter.
+func (m *Map) SnapshotDelta(since uint64) ([]byte, bool) { return m.delta.Delta(since, m.Snapshot) }
+
+// MarkSnapshot implements DeltaSnapshotter.
+func (m *Map) MarkSnapshot(v uint64) { m.delta.Mark(v, m.Snapshot) }
+
 // Count reports how many tuples the operator has processed (for tests).
 func (m *Map) Count() uint64 { return m.counter }
 
@@ -80,6 +89,7 @@ type Filter struct {
 	CostFn  func(*tuple.Tuple) time.Duration
 	dropped uint64
 	passed  uint64
+	delta   DeltaTracker
 }
 
 // NewFilter builds a Filter operator.
@@ -126,12 +136,19 @@ func (f *Filter) Restore(data []byte) error {
 // StateSize implements Operator.
 func (*Filter) StateSize() int { return 16 }
 
+// SnapshotDelta implements DeltaSnapshotter.
+func (f *Filter) SnapshotDelta(since uint64) ([]byte, bool) { return f.delta.Delta(since, f.Snapshot) }
+
+// MarkSnapshot implements DeltaSnapshotter.
+func (f *Filter) MarkSnapshot(v uint64) { f.delta.Mark(v, f.Snapshot) }
+
 // RoundRobin routes each input tuple to one of its targets in rotation —
 // BCP's dispatcher D spreading images across the parallel counters.
 type RoundRobin struct {
 	Base
 	Targets []string
 	next    uint64
+	delta   DeltaTracker
 }
 
 // NewRoundRobin builds a dispatcher over the given target operators.
@@ -168,6 +185,14 @@ func (r *RoundRobin) Restore(data []byte) error {
 // StateSize implements Operator.
 func (*RoundRobin) StateSize() int { return 8 }
 
+// SnapshotDelta implements DeltaSnapshotter.
+func (r *RoundRobin) SnapshotDelta(since uint64) ([]byte, bool) {
+	return r.delta.Delta(since, r.Snapshot)
+}
+
+// MarkSnapshot implements DeltaSnapshotter.
+func (r *RoundRobin) MarkSnapshot(v uint64) { r.delta.Mark(v, r.Snapshot) }
+
 // Join pairs tuples from two upstream operators by sequence number: the
 // paper's J operator joining boarding/alighting predictions for the same
 // bus arrival. Unmatched tuples wait in per-side windows that are part of
@@ -181,6 +206,7 @@ type Join struct {
 	ExtraState int
 	left       map[uint64]*tuple.Tuple
 	right      map[uint64]*tuple.Tuple
+	delta      DeltaTracker
 }
 
 // NewJoin builds a Join keyed by tuple sequence number.
@@ -229,9 +255,10 @@ func (j *Join) Cost(t *tuple.Tuple) time.Duration {
 }
 
 // Snapshot implements Operator. The window contents are serialised as
-// (seq, size) pairs per side; payloads of windowed tuples are modelled by
-// size only, which is what recovery fidelity requires for the simulated
-// applications.
+// (seq, size) pairs per side in ascending sequence order — deterministic
+// bytes keep delta patches minimal and make chain-vs-full restores
+// byte-comparable. Payloads of windowed tuples are modelled by size only,
+// which is what recovery fidelity requires for the simulated applications.
 func (j *Join) Snapshot() ([]byte, error) {
 	buf := make([]byte, 0, 16+16*(len(j.left)+len(j.right)))
 	var tmp [8]byte
@@ -239,15 +266,17 @@ func (j *Join) Snapshot() ([]byte, error) {
 		binary.BigEndian.PutUint64(tmp[:], v)
 		buf = append(buf, tmp[:]...)
 	}
-	put(uint64(len(j.left)))
-	for seq, t := range j.left {
-		put(seq)
-		put(uint64(t.Size))
-	}
-	put(uint64(len(j.right)))
-	for seq, t := range j.right {
-		put(seq)
-		put(uint64(t.Size))
+	for _, side := range []map[uint64]*tuple.Tuple{j.left, j.right} {
+		put(uint64(len(side)))
+		seqs := make([]uint64, 0, len(side))
+		for seq := range side {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+		for _, seq := range seqs {
+			put(seq)
+			put(uint64(side[seq].Size))
+		}
 	}
 	return buf, nil
 }
@@ -297,6 +326,14 @@ func (j *Join) StateSize() int {
 	return 16 + live + j.ExtraState
 }
 
+// SnapshotDelta implements DeltaSnapshotter: the per-side windows churn a
+// few entries per checkpoint period, so the patch covers only the inserted
+// and removed pairs rather than the whole window.
+func (j *Join) SnapshotDelta(since uint64) ([]byte, bool) { return j.delta.Delta(since, j.Snapshot) }
+
+// MarkSnapshot implements DeltaSnapshotter.
+func (j *Join) MarkSnapshot(v uint64) { j.delta.Mark(v, j.Snapshot) }
+
 // Pending reports how many tuples wait unmatched (for tests).
 func (j *Join) Pending() int { return len(j.left) + len(j.right) }
 
@@ -315,3 +352,223 @@ func NewPassthrough(id string) *Passthrough {
 func (*Passthrough) Process(_ string, t *tuple.Tuple) ([]Out, error) {
 	return []Out{Emit(t)}, nil
 }
+
+// Window is a count-based sliding window: it keeps the last N numeric
+// values and emits their running mean with every input. The window contents
+// are checkpointed state; the window is append-mostly, so SnapshotDelta
+// patches cover only the rotated tail rather than the whole buffer —
+// the canonical big-state beneficiary of incremental checkpointing.
+type Window struct {
+	Base
+	// N bounds the window (default 16 when zero).
+	N      int
+	CostFn func(*tuple.Tuple) time.Duration
+	// ExtraBytes models auxiliary window storage (pre-aggregation panes,
+	// spill buffers) beyond the live values — it inflates StateSize but,
+	// being static, never appears in a delta.
+	ExtraBytes int
+	vals       []float64
+	count      uint64
+	delta      DeltaTracker
+}
+
+// NewWindow builds a sliding window over the last n values.
+func NewWindow(id string, n int) *Window {
+	return &Window{Base: Base{Name: id}, N: n}
+}
+
+// Process implements Operator: non-numeric payloads contribute their wire
+// size, so the window is usable on any stream.
+func (w *Window) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+	v, ok := t.Value.(float64)
+	if !ok {
+		v = float64(t.Size)
+	}
+	n := w.N
+	if n <= 0 {
+		n = 16
+	}
+	w.vals = append(w.vals, v)
+	if len(w.vals) > n {
+		w.vals = w.vals[1:]
+	}
+	w.count++
+	var sum float64
+	for _, x := range w.vals {
+		sum += x
+	}
+	out := t.Clone()
+	out.Value = sum / float64(len(w.vals))
+	return []Out{Emit(out)}, nil
+}
+
+// Cost implements Operator.
+func (w *Window) Cost(t *tuple.Tuple) time.Duration {
+	if w.CostFn == nil {
+		return 0
+	}
+	return w.CostFn(t)
+}
+
+// Snapshot implements Operator.
+func (w *Window) Snapshot() ([]byte, error) {
+	buf := make([]byte, 0, 16+8*len(w.vals))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], w.count)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(len(w.vals)))
+	buf = append(buf, tmp[:]...)
+	for _, v := range w.vals {
+		binary.BigEndian.PutUint64(tmp[:], math.Float64bits(v))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf, nil
+}
+
+// Restore implements Operator.
+func (w *Window) Restore(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("window %s: short state", w.Name)
+	}
+	w.count = binary.BigEndian.Uint64(data)
+	n := int(binary.BigEndian.Uint64(data[8:]))
+	if len(data) < 16+8*n {
+		return fmt.Errorf("window %s: short window state", w.Name)
+	}
+	w.vals = w.vals[:0]
+	for i := 0; i < n; i++ {
+		w.vals = append(w.vals, math.Float64frombits(binary.BigEndian.Uint64(data[16+8*i:])))
+	}
+	return nil
+}
+
+// StateSize implements Operator.
+func (w *Window) StateSize() int { return 16 + 8*len(w.vals) + w.ExtraBytes }
+
+// SnapshotDelta implements DeltaSnapshotter.
+func (w *Window) SnapshotDelta(since uint64) ([]byte, bool) { return w.delta.Delta(since, w.Snapshot) }
+
+// MarkSnapshot implements DeltaSnapshotter.
+func (w *Window) MarkSnapshot(v uint64) { w.delta.Mark(v, w.Snapshot) }
+
+// Count reports processed tuples (tests).
+func (w *Window) Count() uint64 { return w.count }
+
+// Aggregate maintains keyed running sums and counts, emitting the updated
+// aggregate for the input's key. Keys are taken from the tuple's Kind
+// unless KeyFn overrides. The key table is checkpointed state, serialised
+// in sorted key order so deltas touch only the keys that changed.
+type Aggregate struct {
+	Base
+	KeyFn  func(*tuple.Tuple) string
+	CostFn func(*tuple.Tuple) time.Duration
+	// ExtraBytes models auxiliary aggregation state (sketches, dictionaries).
+	ExtraBytes int
+	sums       map[string]float64
+	counts     map[string]uint64
+	delta      DeltaTracker
+}
+
+// NewAggregate builds a keyed running aggregate.
+func NewAggregate(id string) *Aggregate {
+	return &Aggregate{Base: Base{Name: id}, sums: make(map[string]float64), counts: make(map[string]uint64)}
+}
+
+func (a *Aggregate) key(t *tuple.Tuple) string {
+	if a.KeyFn != nil {
+		return a.KeyFn(t)
+	}
+	return t.Kind
+}
+
+// Process implements Operator.
+func (a *Aggregate) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+	v, ok := t.Value.(float64)
+	if !ok {
+		v = float64(t.Size)
+	}
+	k := a.key(t)
+	a.sums[k] += v
+	a.counts[k]++
+	out := t.Clone()
+	out.Value = a.sums[k] / float64(a.counts[k])
+	return []Out{Emit(out)}, nil
+}
+
+// Cost implements Operator.
+func (a *Aggregate) Cost(t *tuple.Tuple) time.Duration {
+	if a.CostFn == nil {
+		return 0
+	}
+	return a.CostFn(t)
+}
+
+// Snapshot implements Operator.
+func (a *Aggregate) Snapshot() ([]byte, error) {
+	keys := make([]string, 0, len(a.sums))
+	for k := range a.sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, 8+24*len(keys))
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(len(keys)))
+	for _, k := range keys {
+		put(uint64(len(k)))
+		buf = append(buf, k...)
+		put(math.Float64bits(a.sums[k]))
+		put(a.counts[k])
+	}
+	return buf, nil
+}
+
+// Restore implements Operator.
+func (a *Aggregate) Restore(data []byte) error {
+	a.sums = make(map[string]float64)
+	a.counts = make(map[string]uint64)
+	if len(data) < 8 {
+		return fmt.Errorf("aggregate %s: short state", a.Name)
+	}
+	n := int(binary.BigEndian.Uint64(data))
+	off := 8
+	for i := 0; i < n; i++ {
+		if off+8 > len(data) {
+			return fmt.Errorf("aggregate %s: short key header", a.Name)
+		}
+		kl := int(binary.BigEndian.Uint64(data[off:]))
+		off += 8
+		if off+kl+16 > len(data) {
+			return fmt.Errorf("aggregate %s: short key entry", a.Name)
+		}
+		k := string(data[off : off+kl])
+		off += kl
+		a.sums[k] = math.Float64frombits(binary.BigEndian.Uint64(data[off:]))
+		a.counts[k] = binary.BigEndian.Uint64(data[off+8:])
+		off += 16
+	}
+	return nil
+}
+
+// StateSize implements Operator.
+func (a *Aggregate) StateSize() int {
+	size := 8 + a.ExtraBytes
+	for k := range a.sums {
+		size += 24 + len(k)
+	}
+	return size
+}
+
+// SnapshotDelta implements DeltaSnapshotter.
+func (a *Aggregate) SnapshotDelta(since uint64) ([]byte, bool) {
+	return a.delta.Delta(since, a.Snapshot)
+}
+
+// MarkSnapshot implements DeltaSnapshotter.
+func (a *Aggregate) MarkSnapshot(v uint64) { a.delta.Mark(v, a.Snapshot) }
+
+// Keys reports how many keys the aggregate tracks (tests).
+func (a *Aggregate) Keys() int { return len(a.sums) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package region_test
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package region_test
+
+// raceEnabled reports that the race detector is instrumenting this build.
+// The harness slows its simulated clock under it: the detector's ~10x
+// execution slowdown otherwise starves the recovery protocol's
+// simulated-time deadlines of real work.
+const raceEnabled = true

@@ -56,6 +56,9 @@ type Config struct {
 	// Batch bounds edge-level tuple batching on every node's emission
 	// path; the zero value enables batching with defaults.
 	Batch node.BatchConfig
+	// Checkpoint configures every node's snapshot pipeline (the zero
+	// value is incremental-async with default chain/copy parameters).
+	Checkpoint node.CheckpointConfig
 	// OnSinkOutput publishes deduplicated sink results beyond the region
 	// (inter-region cascading); may be nil.
 	OnSinkOutput func(publisher simnet.NodeID, t *tuple.Tuple)
@@ -100,6 +103,7 @@ type Region struct {
 	Latency    metrics.Latency
 	Throughput metrics.Throughput
 	batchStats metrics.BatchSizes
+	ckptStats  metrics.CheckpointStats
 	duplicates int64
 }
 
@@ -226,6 +230,8 @@ func (r *Region) buildNode(id simnet.NodeID, slot string, role node.Role) *node.
 		PreserveBroadcast: r.cfg.PreserveBroadcast,
 		Batch:             r.cfg.Batch,
 		BatchStats:        &r.batchStats,
+		Checkpoint:        r.cfg.Checkpoint,
+		CkptStats:         &r.ckptStats,
 		OnSinkOutput:      func(t *tuple.Tuple) { r.onSink(id, t) },
 		OnIngest:          func(srcOp string, v interface{}, size int, kind string) { r.Ingest(srcOp, v, size, kind) },
 		Logf:              r.logf,
@@ -751,8 +757,10 @@ func (r *Region) AlivePhones() []simnet.NodeID {
 	return ids
 }
 
-// BlobHolders returns alive phones whose store holds the blob for
-// (version, slot) — recovery planning for dist-n.
+// BlobHolders returns alive phones whose store can restore (version, slot)
+// — recovery planning for dist-n. A phone holding a delta link without its
+// base chain cannot serve the restore, so only complete chains count;
+// torn uploads are discarded from planning.
 func (r *Region) BlobHolders(version uint64, slot string) []simnet.NodeID {
 	var holders []simnet.NodeID
 	for _, id := range r.AlivePhones() {
@@ -760,12 +768,15 @@ func (r *Region) BlobHolders(version uint64, slot string) []simnet.NodeID {
 		if st == nil || st.Lost() {
 			continue
 		}
-		if _, ok := st.Blob(version, slot); ok {
+		if st.HasChain(version, slot) {
 			holders = append(holders, id)
 		}
 	}
 	return holders
 }
+
+// CkptStats exposes the region-wide checkpoint-pipeline accumulator.
+func (r *Region) CkptStats() *metrics.CheckpointStats { return &r.ckptStats }
 
 // BatchStats exposes the region-wide edge-batching accumulator.
 func (r *Region) BatchStats() *metrics.BatchSizes { return &r.batchStats }
@@ -773,6 +784,7 @@ func (r *Region) BatchStats() *metrics.BatchSizes { return &r.batchStats }
 // Report summarises the region's metrics at simulated time now.
 func (r *Region) Report(now time.Duration) metrics.Report {
 	src, edge := r.PreservedBytes()
+	ckptBlob, ckptFull := r.ckptStats.Bytes()
 	return metrics.Report{
 		Scheme:         r.cfg.Scheme.String(),
 		Tuples:         r.Throughput.Count(),
@@ -786,5 +798,12 @@ func (r *Region) Report(now time.Duration) metrics.Report {
 		BatchFlushes:   r.batchStats.Flushes(),
 		MeanBatch:      r.batchStats.Mean(),
 		Migrations:     r.Migrations(),
+		CkptPauseMean:  r.ckptStats.PauseMean(),
+		CkptPauseMax:   r.ckptStats.PauseMax(),
+		CkptDeltaRatio: r.ckptStats.DeltaRatio(),
+		CkptBlobBytes:  ckptBlob,
+		CkptFullBytes:  ckptFull,
+		CkptDeltaBlobs: r.ckptStats.DeltaBlobs(),
+		CkptFullBlobs:  r.ckptStats.FullBlobs(),
 	}
 }

@@ -5,6 +5,7 @@
 package storage
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -94,17 +95,66 @@ func (s *Store) Blob(version uint64, slot string) (*checkpoint.Blob, bool) {
 	return b, ok
 }
 
-// HasAllBlobs reports whether the store holds blobs for every given slot at
-// a version — the recoverability condition for a MobiStreams replacement.
+// HasAllBlobs reports whether the store can restore every given slot at a
+// version — the recoverability condition for a MobiStreams replacement.
+// With delta chains this means a complete chain per slot, not just the
+// version's own blob.
 func (s *Store) HasAllBlobs(version uint64, slots []string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, slot := range slots {
-		if _, ok := s.states[version][slot]; !ok {
+		if _, err := s.chainLinksLocked(version, slot); err != nil {
 			return false
 		}
 	}
 	return true
+}
+
+// HasChain reports whether the store holds a complete base-to-version blob
+// chain for (version, slot).
+func (s *Store) HasChain(version uint64, slot string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.chainLinksLocked(version, slot)
+	return err == nil
+}
+
+// chainLinksLocked walks the Base pointers from (version, slot) down to the
+// full base blob and returns the chain base-first. Caller holds s.mu.
+func (s *Store) chainLinksLocked(version uint64, slot string) ([]*checkpoint.Blob, error) {
+	var links []*checkpoint.Blob
+	v := version
+	for {
+		b, ok := s.states[v][slot]
+		if !ok {
+			return nil, fmt.Errorf("storage: missing chain link %s v%d (torn chain from v%d)", slot, v, version)
+		}
+		links = append(links, b)
+		if !b.IsDelta() {
+			break
+		}
+		if b.Base >= v {
+			return nil, fmt.Errorf("storage: %s v%d chains forward to v%d", slot, v, b.Base)
+		}
+		v = b.Base
+	}
+	for i, j := 0, len(links)-1; i < j; i, j = i+1, j-1 {
+		links[i], links[j] = links[j], links[i]
+	}
+	return links, nil
+}
+
+// MaterializeBlob rebuilds the full state blob for (version, slot) by
+// replaying its delta chain; every link's CRC is verified, so a torn or
+// corrupted upload surfaces as an error rather than bad operator state.
+func (s *Store) MaterializeBlob(version uint64, slot string) (*checkpoint.Blob, error) {
+	s.mu.Lock()
+	links, err := s.chainLinksLocked(version, slot)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return checkpoint.MaterializeChain(links)
 }
 
 // AppendSource preserves one admitted input tuple for a version's log.
@@ -217,9 +267,11 @@ func (s *Store) TruncateEdge(downstreamSlot string, upto uint64) {
 	s.edgeLogs[downstreamSlot] = append([]EdgeEntry(nil), log[i:]...)
 }
 
-// Commit marks a version fully committed and garbage-collects all older
+// Commit marks a version fully committed and garbage-collects older
 // versions' blobs and source logs. The committed version's own artifacts
-// are retained: they are what recovery restores.
+// are retained — they are what recovery restores — and so is every older
+// blob its delta chains still reference: collecting a base link out from
+// under a committed delta would tear the chain recovery replays.
 func (s *Store) Commit(version uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -227,8 +279,31 @@ func (s *Store) Commit(version uint64) {
 		return
 	}
 	s.committed = version
-	for v := range s.states {
-		if v < version {
+	type slotVer struct {
+		v    uint64
+		slot string
+	}
+	keep := make(map[slotVer]bool)
+	for slot, b := range s.states[version] {
+		for b.IsDelta() && b.Base < b.Version {
+			base, ok := s.states[b.Base][slot]
+			if !ok {
+				break
+			}
+			keep[slotVer{b.Base, slot}] = true
+			b = base
+		}
+	}
+	for v, m := range s.states {
+		if v >= version {
+			continue
+		}
+		for slot := range m {
+			if !keep[slotVer{v, slot}] {
+				delete(m, slot)
+			}
+		}
+		if len(m) == 0 {
 			delete(s.states, v)
 		}
 	}
