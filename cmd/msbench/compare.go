@@ -15,6 +15,7 @@ import (
 //
 //	go run ./cmd/msbench -exp churn -seed 5 -churnout BENCH_scheduler.json
 //	go run ./cmd/msbench -exp checkpoint -seed 5 -ckptout BENCH_checkpoint.json
+//	go run ./cmd/msbench -exp scale -seed 5 -scaleout BENCH_scale.json
 //	then copy the summary numbers below from those files.
 type Baseline struct {
 	Comment string `json:"comment"`
@@ -24,6 +25,11 @@ type Baseline struct {
 	// IncrPauseMeanMsLargest is the incremental pipeline's mean
 	// checkpoint pause (ms) at the largest state size.
 	IncrPauseMeanMsLargest float64 `json:"incr_pause_mean_ms_largest"`
+	// ScaleTPSLargest is the overhauled data plane's best tuples/sec at
+	// the largest swept region size (tuned rows, best channel count).
+	// Saturated runs are airtime-bound, so the number is stable across
+	// machines.
+	ScaleTPSLargest float64 `json:"scale_tps_largest"`
 }
 
 // regressionFactor is the gate's threshold: a metric more than 20% worse
@@ -33,9 +39,10 @@ const (
 	regressionFactor = 1.20
 	lossGraceTuples  = 3
 	pauseGraceMs     = 5.0
+	scaleGraceTPS    = 5.0
 )
 
-func runCompare(baselinePath, churnPath, ckptPath string, w io.Writer) error {
+func runCompare(baselinePath, churnPath, ckptPath, scalePath string, w io.Writer) error {
 	var base Baseline
 	if err := readJSON(baselinePath, &base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -47,6 +54,10 @@ func runCompare(baselinePath, churnPath, ckptPath string, w io.Writer) error {
 	var ckpt bench.CkptReport
 	if err := readJSON(ckptPath, &ckpt); err != nil {
 		return fmt.Errorf("checkpoint results: %w", err)
+	}
+	var scale bench.ScaleReport
+	if err := readJSON(scalePath, &scale); err != nil {
+		return fmt.Errorf("scale results: %w", err)
 	}
 
 	var worstLoss int64
@@ -68,12 +79,30 @@ func runCompare(baselinePath, churnPath, ckptPath string, w io.Writer) error {
 		}
 	}
 
+	// Largest swept region size, best tuned throughput across channel
+	// counts: a >20% drop there means the data-plane overhaul regressed.
+	largestPhones := 0
+	for _, row := range scale.Rows {
+		if row.Mode == "tuned" && row.Phones > largestPhones {
+			largestPhones = row.Phones
+		}
+	}
+	var scaleTPS float64
+	for _, row := range scale.Rows {
+		if row.Mode == "tuned" && row.Phones == largestPhones && row.TPS > scaleTPS {
+			scaleTPS = row.TPS
+		}
+	}
+
 	lossLimit := int64(float64(base.MaxSchedulerTupleLoss)*regressionFactor) + lossGraceTuples
 	pauseLimit := base.IncrPauseMeanMsLargest*regressionFactor + pauseGraceMs
+	scaleLimit := base.ScaleTPSLargest/regressionFactor - scaleGraceTPS
 	fmt.Fprintf(w, "gate: scheduler tuple loss %d (baseline %d, limit %d)\n",
 		worstLoss, base.MaxSchedulerTupleLoss, lossLimit)
 	fmt.Fprintf(w, "gate: incremental pause at %d KB state %.2f ms (baseline %.2f ms, limit %.2f ms)\n",
 		largest/1024, incrPause, base.IncrPauseMeanMsLargest, pauseLimit)
+	fmt.Fprintf(w, "gate: scale throughput at %d phones %.1f tuples/s (baseline %.1f, limit %.1f)\n",
+		largestPhones, scaleTPS, base.ScaleTPSLargest, scaleLimit)
 
 	var failures []string
 	if worstLoss > lossLimit {
@@ -84,6 +113,12 @@ func runCompare(baselinePath, churnPath, ckptPath string, w io.Writer) error {
 	}
 	if incrPause <= 0 {
 		failures = append(failures, "checkpoint results carry no incremental pause sample")
+	}
+	if scaleTPS < scaleLimit {
+		failures = append(failures, fmt.Sprintf("scale throughput regressed: %.1f < %.1f tuples/s", scaleTPS, scaleLimit))
+	}
+	if scaleTPS <= 0 {
+		failures = append(failures, "scale results carry no tuned throughput sample")
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

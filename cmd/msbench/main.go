@@ -13,21 +13,29 @@
 //	msbench -exp fig6           # broadcast walk-through
 //	msbench -exp churn          # reactive recovery vs placement scheduler
 //	msbench -exp checkpoint     # full-blob vs incremental-async pipeline
+//	msbench -exp scale          # region size × WiFi channels throughput sweep
 //
-// -churnout / -ckptout write the churn and checkpoint comparisons as
-// machine-readable JSON (BENCH_scheduler.json / BENCH_checkpoint.json in
-// CI) alongside the printed tables.
+// -churnout / -ckptout / -scaleout write the churn, checkpoint and scale
+// comparisons as machine-readable JSON (BENCH_scheduler.json /
+// BENCH_checkpoint.json / BENCH_scale.json in CI) alongside the printed
+// tables.
 //
 // -compare is the CI benchmark-regression gate: it reads the committed
-// baseline (BENCH_baseline.json) plus the fresh churn/checkpoint JSON and
-// exits non-zero when tuple loss or checkpoint pause regressed more than
-// 20% against the baseline.
+// baseline (BENCH_baseline.json) plus the fresh churn/checkpoint/scale
+// JSON and exits non-zero when tuple loss, checkpoint pause, or largest-
+// region throughput regressed more than 20% against the baseline.
+//
+// -cpuprofile / -memprofile write pprof profiles so hot-path regressions
+// caught by the gate are diagnosable straight from CI artifacts.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,10 +43,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
+	scaleOut := flag.String("scaleout", "", "write scale sweep JSON to this path")
+	scaleMax := flag.Int("scalemax", 64, "largest region size for the scale sweep (8..128)")
+	scaleChannels := flag.String("scalechannels", "1,4", "comma-separated WiFi channel counts for tuned scale rows")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
 	speedup := flag.Float64("speedup", 200, "simulated-to-wall clock ratio")
 	apps := flag.String("apps", "bcp,sg", "comma-separated apps: bcp,sg")
@@ -46,10 +57,41 @@ func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline metrics for -compare")
 	churnJSON := flag.String("churnjson", "BENCH_scheduler.json", "fresh churn results for -compare")
 	ckptJSON := flag.String("ckptjson", "BENCH_checkpoint.json", "fresh checkpoint results for -compare")
+	scaleJSON := flag.String("scalejson", "BENCH_scale.json", "fresh scale results for -compare")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *compare {
-		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, os.Stdout); err != nil {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
 			os.Exit(1)
 		}
@@ -139,6 +181,48 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *ckptOut)
+			}
+			return nil
+		})
+	}
+	if want("scale") {
+		run("scale", func() error {
+			if *scaleMax < bench.DefaultScaleSizes[0] || *scaleMax > 128 {
+				return fmt.Errorf("-scalemax %d out of range [%d,128]", *scaleMax, bench.DefaultScaleSizes[0])
+			}
+			var sizes []int
+			for _, s := range bench.DefaultScaleSizes {
+				if s <= *scaleMax {
+					sizes = append(sizes, s)
+				}
+			}
+			if *scaleMax > sizes[len(sizes)-1] {
+				sizes = append(sizes, *scaleMax)
+			}
+			var channels []int
+			for _, c := range strings.Split(*scaleChannels, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(c))
+				if err != nil || n < 1 {
+					return fmt.Errorf("bad -scalechannels entry %q", c)
+				}
+				channels = append(channels, n)
+			}
+			scaleBase := bench.ScaleScenario{Seed: *seed, Speedup: *speedup}
+			rows, err := bench.ScaleComparison(scaleBase, sizes, channels)
+			if err != nil {
+				return err
+			}
+			bench.WriteScaleTable(os.Stdout, rows)
+			if *scaleOut != "" {
+				f, err := os.Create(*scaleOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteScaleJSON(f, scaleBase, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *scaleOut)
 			}
 			return nil
 		})

@@ -62,7 +62,10 @@ type ChurnScenario struct {
 	CliffFraction float64
 	WiFiBps       float64
 	WiFiLoss      float64
-	Seed          int64
+	// NoRouteCache disables the nodes' epoch-stamped route cache (the
+	// pre-cache data plane, for equivalence regression tests).
+	NoRouteCache bool
+	Seed         int64
 }
 
 func (s *ChurnScenario) applyDefaults() {
@@ -256,6 +259,7 @@ func RunChurn(s ChurnScenario) (ChurnOutcome, error) {
 		PhoneCfg:          phone.Config{BatteryJoules: s.BatteryJoules},
 		Broadcast:         broadcast.Config{BlockSize: 1024},
 		PreserveBroadcast: s.Scheme.Kind == ft.MS,
+		NoRouteCache:      s.NoRouteCache,
 		RadiusM:           s.RadiusM,
 		OnSinkOutput: func(_ simnet.NodeID, _ *tuple.Tuple) {
 			gaps.tick(clk.Now(), time.Duration(measureEnd.Load()))

@@ -79,6 +79,46 @@ func TestChurnSchedulerGivesRep2AMobilityStory(t *testing.T) {
 	}
 }
 
+// TestChurnRouteCacheEquivalence pins the route cache's failover
+// correctness against the fixed-seed churn schedule: with the epoch cache
+// enabled (the default every experiment above runs with), planned
+// migrations and recoveries mid-stream must stay exactly-once — no
+// duplicate outputs, no worse loss — than the same schedule resolved
+// uncached on every send. Tuples in flight across a placement epoch bump
+// (failover mid-stream, migration mid-stream) land exactly once at the new
+// primary.
+func TestChurnRouteCacheEquivalence(t *testing.T) {
+	cached, err := RunChurn(ChurnScenario{Scheme: ft.MSScheme, SchedulerOn: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := RunChurn(ChurnScenario{Scheme: ft.MSScheme, SchedulerOn: true, Seed: 5, NoRouteCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cached:   %+v", cached)
+	t.Logf("uncached: %+v", uncached)
+	if cached.Migrations == 0 {
+		t.Fatal("cached run performed no migrations: epoch bumps never exercised")
+	}
+	if cached.Duplicates != 0 {
+		t.Fatalf("cached run published %d duplicate outputs: a stale route delivered twice", cached.Duplicates)
+	}
+	if uncached.Duplicates != 0 {
+		t.Fatalf("uncached reference published %d duplicate outputs", uncached.Duplicates)
+	}
+	if cached.Dead || uncached.Dead {
+		t.Fatal("a run killed the region")
+	}
+	// The cache must not change protocol outcomes, only resolution cost:
+	// identical schedule, equivalent loss (small absolute slack absorbs
+	// scaled-clock jitter between two wall-clock runs).
+	const slack = 5
+	if cached.Lost > uncached.Lost+slack {
+		t.Fatalf("cached run lost %d tuples vs uncached %d: cache worsened failover", cached.Lost, uncached.Lost)
+	}
+}
+
 func TestChurnJSONRoundTrips(t *testing.T) {
 	base := ChurnScenario{Seed: 5}
 	rows := []ChurnOutcome{

@@ -1,0 +1,401 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobistreams/internal/clock"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/graph"
+	"mobistreams/internal/metrics"
+	"mobistreams/internal/node"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/phone"
+	"mobistreams/internal/region"
+	"mobistreams/internal/simnet"
+)
+
+// ScaleScenario configures one region-scale throughput run: an aggregation
+// tree sized to the phone count (leaf source slots → fan-in-8 aggregator
+// slots → one sink slot), every leaf ingesting telemetry tuples at a fixed
+// period. Legacy mode (Channels 1, NoRouteCache) reproduces the pre-
+// overhaul data plane: one shared medium, a resolver round-trip per send.
+type ScaleScenario struct {
+	// Phones is the region population; the graph is sized to use every
+	// phone as a slot host (no idles — the data plane is under test).
+	Phones int
+	// Channels is the WiFi channel count (default 1).
+	Channels int
+	// NoRouteCache disables the epoch-stamped route cache.
+	NoRouteCache bool
+	// DisableBatch sends every emission individually.
+	DisableBatch bool
+	// TupleBytes is the leaf tuple payload size (default 1024).
+	TupleBytes int
+	// SourcePeriod is each leaf's ingest interval (default 125 ms, i.e.
+	// 8 tuples/s per leaf). At the default sizes the aggregate offered
+	// load exceeds one channel's capacity from ~32 phones on, which is
+	// the wall the sweep exposes.
+	SourcePeriod time.Duration
+	// Warmup runs before the measurement window (default 3 s).
+	Warmup time.Duration
+	// Measure is the measurement window (default 20 s).
+	Measure time.Duration
+	// Speedup is the clock scale (default 200).
+	Speedup float64
+	// WiFiBps is per-channel capacity (default 3 Mbps); WiFiLoss the UDP
+	// loss probability (default 2%); FrameOverhead the per-send framing
+	// cost in byte-equivalents (default 600, as in the ingress bench).
+	WiFiBps       float64
+	WiFiLoss      float64
+	FrameOverhead int
+	Seed          int64
+}
+
+func (s *ScaleScenario) applyDefaults() {
+	if s.Phones <= 0 {
+		s.Phones = 16
+	}
+	if s.Channels <= 0 {
+		s.Channels = 1
+	}
+	if s.TupleBytes <= 0 {
+		s.TupleBytes = 1024
+	}
+	if s.SourcePeriod <= 0 {
+		s.SourcePeriod = 125 * time.Millisecond
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = 3 * time.Second
+	}
+	if s.Measure <= 0 {
+		s.Measure = 20 * time.Second
+	}
+	if s.Speedup <= 0 {
+		s.Speedup = 200
+	}
+	if s.WiFiBps <= 0 {
+		s.WiFiBps = 3e6
+	}
+	if s.WiFiLoss == 0 {
+		s.WiFiLoss = 0.02
+	}
+	if s.FrameOverhead <= 0 {
+		s.FrameOverhead = 600
+	}
+}
+
+// scaleFanIn is the aggregation tree's fan-in: eight leaf slots feed one
+// aggregator slot.
+const scaleFanIn = 8
+
+// scaleLeaves solves the tree shape: the largest leaf count whose tree
+// (leaves + aggregators + sink) fits the phone budget.
+func scaleLeaves(phones int) int {
+	leaves := 1
+	for l := 1; l <= phones; l++ {
+		aggs := (l + scaleFanIn - 1) / scaleFanIn
+		if l+aggs+1 <= phones {
+			leaves = l
+		}
+	}
+	return leaves
+}
+
+// scaleGraph builds the aggregation tree for a phone budget and returns it
+// with its registry and leaf source operator IDs.
+func scaleGraph(phones int) (*graph.Graph, operator.Registry, []string, error) {
+	leaves := scaleLeaves(phones)
+	aggs := (leaves + scaleFanIn - 1) / scaleFanIn
+	var b graph.Builder
+	reg := operator.Registry{}
+	passthrough := func(id string) operator.Factory {
+		return func() operator.Operator { return operator.NewPassthrough(id) }
+	}
+	var srcOps []string
+	for i := 0; i < leaves; i++ {
+		src := fmt.Sprintf("S%d", i+1)
+		b.AddOperator(src, fmt.Sprintf("w%d", i+1))
+		reg[src] = passthrough(src)
+		srcOps = append(srcOps, src)
+	}
+	for j := 0; j < aggs; j++ {
+		agg := fmt.Sprintf("A%d", j+1)
+		b.AddOperator(agg, fmt.Sprintf("a%d", j+1))
+		reg[agg] = passthrough(agg)
+	}
+	b.AddOperator("K", "k0")
+	reg["K"] = passthrough("K")
+	for i := 0; i < leaves; i++ {
+		b.Connect(fmt.Sprintf("S%d", i+1), fmt.Sprintf("A%d", i/scaleFanIn+1))
+	}
+	for j := 0; j < aggs; j++ {
+		b.Connect(fmt.Sprintf("A%d", j+1), "K")
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return g, reg, srcOps, nil
+}
+
+// scaleChannelPlan assigns the tree's phones to WiFi channels the way a
+// deployment plans AP association: each aggregator and its leaf
+// neighbourhood share one cell (their fan-in stays in-cell, charged once),
+// neighbourhoods round-robin over all but the last channel, and the sink
+// gets the last channel to itself so the region-wide fan-in hop does not
+// contend with leaf traffic. With one channel everything maps to it, which
+// is the legacy single medium.
+//
+// The phone-to-slot mapping mirrors region.New's deterministic layout:
+// slots in sorted order onto phones regionID/p1..pN.
+func scaleChannelPlan(regionID string, g *graph.Graph, channels int) func(simnet.NodeID) int {
+	if channels <= 1 {
+		return nil
+	}
+	groupChannels := channels - 1
+	byPhone := make(map[simnet.NodeID]int)
+	for i, slot := range g.Slots() {
+		id := simnet.NodeID(fmt.Sprintf("%s/p%d", regionID, i+1))
+		var ch int
+		var n int
+		switch {
+		case len(slot) > 0 && slot[0] == 'w' && scanIndex(slot[1:], &n):
+			ch = ((n - 1) / scaleFanIn) % groupChannels
+		case len(slot) > 0 && slot[0] == 'a' && scanIndex(slot[1:], &n):
+			ch = (n - 1) % groupChannels
+		default: // sink slot k0
+			ch = channels - 1
+		}
+		byPhone[id] = ch
+	}
+	return func(id simnet.NodeID) int {
+		if ch, ok := byPhone[id]; ok {
+			return ch
+		}
+		return -1
+	}
+}
+
+// scanIndex parses a positive decimal suffix.
+func scanIndex(s string, out *int) bool {
+	if s == "" {
+		return false
+	}
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return n > 0
+}
+
+// ScaleRow is one scale run's result, JSON-tagged for the CI artifact.
+type ScaleRow struct {
+	Phones   int    `json:"phones"`
+	Leaves   int    `json:"leaves"`
+	Channels int    `json:"channels"`
+	Mode     string `json:"mode"` // "legacy" or "tuned"
+	Ingested int64  `json:"ingested"`
+	// Delivered counts sink outputs landing inside the measurement
+	// window; TPS divides it by the window. Warmup-admitted tuples still
+	// draining through the tree can nudge Delivered slightly above
+	// Ingested on unsaturated rows; saturated rows (the ones the CI gate
+	// reads) are airtime-capacity-bound either way.
+	Delivered      int64   `json:"delivered"`
+	TPS            float64 `json:"tuples_per_sec"`
+	P99Ms          float64 `json:"p99_latency_ms"`
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	WallMs         float64 `json:"wall_ms"`
+}
+
+// RunScale executes one scale scenario to completion.
+func RunScale(s ScaleScenario) (ScaleRow, error) {
+	s.applyDefaults()
+	g, reg, srcOps, err := scaleGraph(s.Phones)
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	slots := len(g.Slots())
+	clk := clock.NewScaled(s.Speedup)
+	r, err := region.New(region.Config{
+		ID:       "scale",
+		Graph:    g,
+		Registry: reg,
+		Scheme:   ft.BaseScheme,
+		Phones:   slots,
+		Clock:    clk,
+		WiFi: simnet.WiFiConfig{
+			BitsPerSecond: s.WiFiBps,
+			LossProb:      s.WiFiLoss,
+			FrameOverhead: s.FrameOverhead,
+			Channels:      s.Channels,
+			Assign:        scaleChannelPlan("scale", g, s.Channels),
+			Seed:          s.Seed,
+		},
+		// The flood outlives a stock battery; energy is not under test.
+		PhoneCfg:     phone.Config{BatteryJoules: 1e12},
+		Batch:        node.BatchConfig{Disable: s.DisableBatch},
+		NoRouteCache: s.NoRouteCache,
+	})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	r.Start()
+
+	// One driver goroutine multiplexes every leaf source on an absolute
+	// schedule (offset_i + k×period of simulated time): a single sleeper
+	// offers a deterministic load regardless of core count, and scaled-
+	// clock overshoot never accumulates into under-offered load.
+	var ingested int64
+	var measuring atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewSource(s.Seed))
+	next := make([]time.Duration, len(srcOps))
+	base := clk.Now()
+	for i := range srcOps {
+		next[i] = base + time.Duration(rng.Int63n(int64(s.SourcePeriod)))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			due := 0
+			for i := 1; i < len(next); i++ {
+				if next[i] < next[due] {
+					due = i
+				}
+			}
+			if wait := next[due] - clk.Now(); wait > 0 {
+				clk.Sleep(wait)
+			}
+			r.Ingest(srcOps[due], due, s.TupleBytes, "telemetry")
+			if measuring.Load() {
+				atomic.AddInt64(&ingested, 1)
+			}
+			next[due] += s.SourcePeriod
+		}
+	}()
+
+	clk.Sleep(s.Warmup)
+	wallStart := time.Now()
+	r.Throughput.Start(clk.Now())
+	r.Latency.Reset()
+	var allocs metrics.AllocMeter
+	allocs.Start()
+	measuring.Store(true)
+
+	clk.Sleep(s.Measure)
+
+	measuring.Store(false)
+	delivered := r.Throughput.Count()
+	row := ScaleRow{
+		Phones:    slots,
+		Leaves:    len(srcOps),
+		Channels:  s.Channels,
+		Mode:      "tuned",
+		Ingested:  atomic.LoadInt64(&ingested),
+		Delivered: delivered,
+		TPS:       float64(delivered) / s.Measure.Seconds(),
+		P99Ms:     float64(r.Latency.Percentile(99)) / float64(time.Millisecond),
+		WallMs:    float64(time.Since(wallStart)) / float64(time.Millisecond),
+	}
+	row.AllocsPerTuple, _ = allocs.PerUnit(delivered)
+	if s.NoRouteCache && s.Channels == 1 {
+		row.Mode = "legacy"
+	}
+	close(stop)
+	wg.Wait()
+	r.Stop()
+	return row, nil
+}
+
+// DefaultScaleSizes is the default region-size sweep. 128 is reachable
+// with msbench -scalemax 128; CI stops at 64 to bound wall time.
+var DefaultScaleSizes = []int{8, 16, 32, 64}
+
+// DefaultScaleChannels is the default channel-count sweep for tuned rows.
+var DefaultScaleChannels = []int{1, 4}
+
+// ScaleComparison sweeps region size × channel count. Every size runs once
+// in legacy mode (single channel, route cache off — the pre-overhaul data
+// plane) and once per channel count with the overhauled plane.
+func ScaleComparison(base ScaleScenario, sizes []int, channels []int) ([]ScaleRow, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultScaleSizes
+	}
+	if len(channels) == 0 {
+		channels = DefaultScaleChannels
+	}
+	var rows []ScaleRow
+	for _, phones := range sizes {
+		s := base
+		s.Phones = phones
+		s.Channels = 1
+		s.NoRouteCache = true
+		legacy, err := RunScale(s)
+		if err != nil {
+			return nil, fmt.Errorf("scale %d phones legacy: %w", phones, err)
+		}
+		rows = append(rows, legacy)
+		for _, ch := range channels {
+			s := base
+			s.Phones = phones
+			s.Channels = ch
+			tuned, err := RunScale(s)
+			if err != nil {
+				return nil, fmt.Errorf("scale %d phones %d channels: %w", phones, ch, err)
+			}
+			tuned.Mode = "tuned"
+			rows = append(rows, tuned)
+		}
+	}
+	return rows, nil
+}
+
+// ScaleReport is the machine-readable experiment artifact
+// (BENCH_scale.json in CI).
+type ScaleReport struct {
+	Experiment string     `json:"experiment"`
+	Seed       int64      `json:"seed"`
+	MeasureSec float64    `json:"measure_sec"`
+	Rows       []ScaleRow `json:"rows"`
+}
+
+// WriteScaleJSON emits the scale sweep as indented JSON.
+func WriteScaleJSON(w io.Writer, base ScaleScenario, rows []ScaleRow) error {
+	base.applyDefaults()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ScaleReport{
+		Experiment: "scale: region size × WiFi channels, legacy vs overhauled data plane",
+		Seed:       base.Seed,
+		MeasureSec: base.Measure.Seconds(),
+		Rows:       rows,
+	})
+}
+
+// WriteScaleTable renders the sweep for humans.
+func WriteScaleTable(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintln(w, "Scale — region size × WiFi channels (legacy = single channel, uncached routes)")
+	fmt.Fprintf(w, "%-7s %-7s %-9s %-7s %10s %10s %10s %10s %12s\n",
+		"phones", "leaves", "channels", "mode", "ingested", "delivered", "tuples/s", "p99 ms", "allocs/tuple")
+	for _, o := range rows {
+		fmt.Fprintf(w, "%-7d %-7d %-9d %-7s %10d %10d %10.1f %10.1f %12.1f\n",
+			o.Phones, o.Leaves, o.Channels, o.Mode, o.Ingested, o.Delivered, o.TPS, o.P99Ms, o.AllocsPerTuple)
+	}
+}

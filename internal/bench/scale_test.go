@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mobistreams/internal/simnet"
+)
+
+// TestScaleGraphShape pins the aggregation-tree sizing: the tree fills the
+// phone budget without exceeding it, every leaf feeds exactly one
+// aggregator, and every aggregator feeds the sink.
+func TestScaleGraphShape(t *testing.T) {
+	for _, phones := range []int{8, 16, 32, 64, 128} {
+		g, reg, srcOps, err := scaleGraph(phones)
+		if err != nil {
+			t.Fatalf("%d phones: %v", phones, err)
+		}
+		slots := len(g.Slots())
+		if slots > phones {
+			t.Fatalf("%d phones: tree needs %d slots", phones, slots)
+		}
+		if slots < phones-2 {
+			t.Fatalf("%d phones: tree uses only %d slots, wasting idles", phones, slots)
+		}
+		leaves := scaleLeaves(phones)
+		if len(srcOps) != leaves {
+			t.Fatalf("%d phones: %d source ops, want %d", phones, len(srcOps), leaves)
+		}
+		if len(reg) != slots {
+			t.Fatalf("%d phones: registry has %d ops, want one per slot", phones, len(reg))
+		}
+		for _, src := range srcOps {
+			if ds := g.Downstream(src); len(ds) != 1 || ds[0][0] != 'A' {
+				t.Fatalf("%d phones: leaf %s feeds %v", phones, src, ds)
+			}
+		}
+	}
+}
+
+// TestScaleChannelPlan pins the AP association: a fan-in neighbourhood
+// (aggregator + its leaves) shares one cell, and the sink holds the last
+// channel alone.
+func TestScaleChannelPlan(t *testing.T) {
+	g, _, _, err := scaleGraph(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const channels = 4
+	plan := scaleChannelPlan("scale", g, channels)
+	slots := g.Slots()
+	chOf := make(map[string]int, len(slots))
+	for i, slot := range slots {
+		chOf[slot] = plan(simnet.NodeID(fmt.Sprintf("scale/p%d", i+1)))
+	}
+	for slot, ch := range chOf {
+		if ch < 0 || ch >= channels {
+			t.Fatalf("slot %s assigned channel %d", slot, ch)
+		}
+		if slot == "k0" {
+			if ch != channels-1 {
+				t.Fatalf("sink on channel %d, want %d", ch, channels-1)
+			}
+			continue
+		}
+		if ch == channels-1 {
+			t.Fatalf("slot %s shares the sink's channel", slot)
+		}
+	}
+	// Leaves share their aggregator's cell: w1..w8 with a1, w9..w16 with
+	// a2, and so on.
+	for i := 1; i <= 16; i++ {
+		agg := fmt.Sprintf("a%d", (i-1)/scaleFanIn+1)
+		leaf := fmt.Sprintf("w%d", i)
+		if chOf[leaf] != chOf[agg] {
+			t.Fatalf("leaf %s on channel %d, its aggregator %s on %d", leaf, chOf[leaf], agg, chOf[agg])
+		}
+	}
+	if scaleChannelPlan("scale", g, 1) != nil {
+		t.Fatal("single-channel plan should be nil (round-robin is fine)")
+	}
+}
+
+// TestScaleOverhaulBeatsLegacy is the tentpole acceptance check in
+// miniature: at a region size past the single medium's saturation point,
+// the overhauled data plane (multi-channel, cached routes) must deliver
+// well more than the legacy plane under the identical offered load. The
+// full 64-phone sweep (≥2x, see README) runs via msbench -exp scale; the
+// test uses 32 phones and a shorter window to stay CI-cheap.
+func TestScaleOverhaulBeatsLegacy(t *testing.T) {
+	base := ScaleScenario{Phones: 32, Measure: 10 * time.Second, Seed: 3}
+	if raceEnabled {
+		// Race instrumentation inflates every wall step ~10x; slow the
+		// scaled clock correspondingly or the saturated runs starve.
+		base.Speedup = 50
+	}
+	legacy := base
+	legacy.Channels = 1
+	legacy.NoRouteCache = true
+	lrow, err := RunScale(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := base
+	tuned.Channels = 4
+	trow, err := RunScale(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("legacy:  %+v", lrow)
+	t.Logf("tuned:   %+v", trow)
+	if lrow.Delivered == 0 || trow.Delivered == 0 {
+		t.Fatal("a run delivered nothing")
+	}
+	if raceEnabled {
+		// Race instrumentation distorts the scaled clock far past the
+		// airtime model; the throughput comparison holds only on
+		// uninstrumented builds.
+		return
+	}
+	if ratio := trow.TPS / lrow.TPS; ratio < 1.3 {
+		t.Fatalf("tuned/legacy throughput = %.2fx at 32 phones, want >= 1.3x", ratio)
+	}
+}
+
+func TestScaleJSONRoundTrips(t *testing.T) {
+	rows := []ScaleRow{
+		{Phones: 64, Leaves: 56, Channels: 1, Mode: "legacy", Delivered: 1000, TPS: 50},
+		{Phones: 64, Leaves: 56, Channels: 4, Mode: "tuned", Delivered: 7000, TPS: 350},
+	}
+	var buf bytes.Buffer
+	if err := WriteScaleJSON(&buf, ScaleScenario{Seed: 1}, rows); err != nil {
+		t.Fatal(err)
+	}
+	var rep ScaleReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(rep.Rows) != 2 || rep.Rows[1].TPS != 350 || rep.Rows[0].Mode != "legacy" {
+		t.Fatalf("round-trip mismatch: %+v", rep)
+	}
+	if !strings.Contains(buf.String(), `"tuples_per_sec"`) {
+		t.Fatal("artifact missing tuples_per_sec field")
+	}
+}

@@ -23,12 +23,21 @@ type Edge struct {
 	From, To string
 }
 
-// Graph is a validated query network.
+// Graph is a validated query network. The slot-level projections every
+// node consults when compiling its pipeline (slots, per-slot operators,
+// upstream and downstream slots) are computed once at Build time, so
+// reconfiguration, restore and commit paths read cached slices instead of
+// re-deriving them from the edge lists.
 type Graph struct {
 	ops   map[string]OperatorSpec
 	order []string // insertion order, for deterministic iteration
 	out   map[string][]string
 	in    map[string][]string
+
+	slots     []string            // sorted slot names
+	opsOnSlot map[string][]string // slot -> operators, declaration order
+	slotUp    map[string][]string // slot -> distinct feeding slots, sorted
+	slotDown  map[string][]string // slot -> distinct fed slots, sorted
 }
 
 // Builder accumulates operators and edges; Build validates them.
@@ -104,7 +113,40 @@ func (b *Builder) Build() (*Graph, error) {
 	if len(g.Sinks()) == 0 {
 		return nil, fmt.Errorf("graph: no sink operators")
 	}
+	g.compileSlots()
 	return g, nil
+}
+
+// compileSlots derives the slot-level projections once, after validation.
+func (g *Graph) compileSlots() {
+	slotSet := make(map[string]bool)
+	g.opsOnSlot = make(map[string][]string)
+	for _, id := range g.order {
+		slot := g.ops[id].Slot
+		slotSet[slot] = true
+		g.opsOnSlot[slot] = append(g.opsOnSlot[slot], id)
+	}
+	g.slots = sortedKeys(slotSet)
+	g.slotUp = make(map[string][]string, len(g.slots))
+	g.slotDown = make(map[string][]string, len(g.slots))
+	for _, slot := range g.slots {
+		up := make(map[string]bool)
+		down := make(map[string]bool)
+		for _, id := range g.opsOnSlot[slot] {
+			for _, o := range g.in[id] {
+				if os := g.ops[o].Slot; os != slot {
+					up[os] = true
+				}
+			}
+			for _, o := range g.out[id] {
+				if os := g.ops[o].Slot; os != slot {
+					down[os] = true
+				}
+			}
+		}
+		g.slotUp[slot] = sortedKeys(up)
+		g.slotDown[slot] = sortedKeys(down)
+	}
 }
 
 // Operators returns operator IDs in declaration order.
@@ -153,59 +195,24 @@ func (g *Graph) Sinks() []string {
 	return s
 }
 
-// Slots returns all slot names, sorted.
-func (g *Graph) Slots() []string {
-	set := make(map[string]bool)
-	for _, s := range g.ops {
-		set[s.Slot] = true
-	}
-	slots := make([]string, 0, len(set))
-	for s := range set {
-		slots = append(slots, s)
-	}
-	sort.Strings(slots)
-	return slots
-}
+// Slots returns all slot names, sorted. The returned slice is cached and
+// shared: callers must not mutate it.
+func (g *Graph) Slots() []string { return g.slots }
 
 // OpsOnSlot returns the operators placed on a slot, in declaration order.
-func (g *Graph) OpsOnSlot(slot string) []string {
-	var ids []string
-	for _, id := range g.order {
-		if g.ops[id].Slot == slot {
-			ids = append(ids, id)
-		}
-	}
-	return ids
-}
+// The returned slice is cached and shared: callers must not mutate it.
+func (g *Graph) OpsOnSlot(slot string) []string { return g.opsOnSlot[slot] }
 
 // SlotUpstreams returns the distinct slots that feed operators on the given
 // slot from other slots, sorted. This is the node-level projection of
-// Fig. 1b: token alignment operates on these.
-func (g *Graph) SlotUpstreams(slot string) []string {
-	set := make(map[string]bool)
-	for _, id := range g.OpsOnSlot(slot) {
-		for _, up := range g.in[id] {
-			if us := g.ops[up].Slot; us != slot {
-				set[us] = true
-			}
-		}
-	}
-	return sortedKeys(set)
-}
+// Fig. 1b: token alignment operates on these. The returned slice is cached
+// and shared: callers must not mutate it.
+func (g *Graph) SlotUpstreams(slot string) []string { return g.slotUp[slot] }
 
 // SlotDownstreams returns the distinct slots fed by operators on the given
-// slot, excluding itself, sorted.
-func (g *Graph) SlotDownstreams(slot string) []string {
-	set := make(map[string]bool)
-	for _, id := range g.OpsOnSlot(slot) {
-		for _, dn := range g.out[id] {
-			if ds := g.ops[dn].Slot; ds != slot {
-				set[ds] = true
-			}
-		}
-	}
-	return sortedKeys(set)
-}
+// slot, excluding itself, sorted. The returned slice is cached and shared:
+// callers must not mutate it.
+func (g *Graph) SlotDownstreams(slot string) []string { return g.slotDown[slot] }
 
 // SourceSlots returns the slots hosting at least one source operator.
 func (g *Graph) SourceSlots() []string {

@@ -1,0 +1,37 @@
+package metrics
+
+import "runtime"
+
+// AllocMeter samples the Go runtime's cumulative allocation counters
+// around a measurement window. The scale experiments report its delta as
+// allocs/tuple: a whole-process number (workload drivers and control plane
+// included), comparable across data-plane configurations run in the same
+// harness rather than an absolute per-path count.
+type AllocMeter struct {
+	mallocs uint64
+	bytes   uint64
+}
+
+// Start opens the window at the current counters.
+func (a *AllocMeter) Start() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	a.mallocs, a.bytes = ms.Mallocs, ms.TotalAlloc
+}
+
+// Delta reports objects and bytes allocated since Start.
+func (a *AllocMeter) Delta() (mallocs, bytes uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs - a.mallocs, ms.TotalAlloc - a.bytes
+}
+
+// PerUnit reports allocations and bytes per processed unit since Start
+// (zero units yields zeros).
+func (a *AllocMeter) PerUnit(units int64) (allocs, bytes float64) {
+	m, b := a.Delta()
+	if units <= 0 {
+		return 0, 0
+	}
+	return float64(m) / float64(units), float64(b) / float64(units)
+}

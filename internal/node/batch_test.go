@@ -195,7 +195,7 @@ func TestBatcherObservesStats(t *testing.T) {
 // unbatched into the upstream queue in order under one lock.
 func TestEnqueueStreamBatchUnbatches(t *testing.T) {
 	n := &Node{
-		queues: map[string]*upQueue{"up": {}},
+		queues: map[string]*upQueue{"up": newStreamQueue(false)},
 		slot:   "s",
 		logf:   func(string, ...interface{}) {},
 	}

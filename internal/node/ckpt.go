@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 	"time"
 
 	"mobistreams/internal/checkpoint"
@@ -53,32 +54,44 @@ func (c CheckpointConfig) copyTime(n int) time.Duration {
 	return time.Duration(float64(n) / bps * float64(time.Second))
 }
 
-// snapshotParts collects everything a checkpoint needs under one lock
-// acquisition: the slot, the operator set, the encoded runtime state, and
-// the delta-chain position.
+// gobBufPool recycles the scratch buffers runtime state is gob-encoded
+// into: checkpoints run every period on every node, and the encoder's grown
+// backing array is worth keeping.
+var gobBufPool = sync.Pool{
+	New: func() interface{} { return new(bytes.Buffer) },
+}
+
+// snapshotParts collects everything a checkpoint needs: the slot, the
+// operator set and the edge counters from the compiled pipeline, the
+// encoded runtime state (through a pooled gob buffer), and the delta-chain
+// position.
 func (n *Node) snapshotParts() (slot string, ops []operator.Operator, extra []byte, base uint64, chainLen int, err error) {
-	n.mu.Lock()
+	p := n.pipe.Load()
+	if p == nil {
+		return "", nil, nil, 0, 0, fmt.Errorf("node %s: snapshot without a hosted slot", n.id)
+	}
 	rt := runtimeState{
-		OutSeq:     make(map[string]uint64, len(n.outSeq)),
-		InHW:       make(map[string]uint64, len(n.inHW)),
-		LogVersion: n.logVersion,
+		OutSeq:     p.outSeqMap(),
+		InHW:       p.inHWMap(),
+		LogVersion: n.logVersion.Load(),
 	}
-	for k, val := range n.outSeq {
-		rt.OutSeq[k] = val
-	}
-	for k, val := range n.inHW {
-		rt.InHW[k] = val
-	}
-	slot = n.slot
-	ops = append([]operator.Operator(nil), n.ops...)
+	slot = p.slot
+	ops = p.operators()
+	n.mu.Lock()
 	base = n.ckptBase
 	chainLen = n.ckptChainLen
 	n.mu.Unlock()
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(rt); err != nil {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(rt); err != nil {
+		gobBufPool.Put(buf)
 		return "", nil, nil, 0, 0, fmt.Errorf("node %s: encode runtime: %w", n.id, err)
 	}
-	return slot, ops, buf.Bytes(), base, chainLen, nil
+	// The blob retains the runtime bytes indefinitely, so copy them out of
+	// the pooled buffer at exact size before recycling it.
+	extra = append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+	gobBufPool.Put(buf)
+	return slot, ops, extra, base, chainLen, nil
 }
 
 // snapshot builds a self-contained full checkpoint blob (periodic

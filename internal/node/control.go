@@ -211,7 +211,7 @@ func (n *Node) handleCommit(v uint64) {
 		return
 	}
 	for _, up := range ups {
-		if target, ok := n.cfg.Resolver.Primary(up); ok {
+		if target, ok := n.resolvePrimary(up); ok {
 			n.cfg.WiFi.Unicast(n.id, target, simnet.ClassControl, 32, TruncateMsg{Downstream: slot, Upto: hw[up]})
 		}
 	}
@@ -295,11 +295,7 @@ func (n *Node) ResumeExec() {
 
 // Promote turns a rep-2 standby into the primary: it starts emitting.
 func (n *Node) Promote() {
-	n.mu.Lock()
-	if n.role == RoleStandby {
-		n.role = RolePrimary
-	}
-	n.mu.Unlock()
+	n.role.CompareAndSwap(int32(RoleStandby), int32(RolePrimary))
 }
 
 // RestoreTo reloads the node's operators from the local copy of version v
@@ -337,7 +333,8 @@ func (n *Node) RestoreTo(v uint64) error {
 }
 
 // installBlobLocked rebuilds operators and runtime state from a blob (nil
-// means initial state). Caller holds n.mu.
+// means initial state), compiling a fresh pipeline and swapping it in
+// atomically. Caller holds n.mu.
 func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
 	// Output emitted before the rewind is invalid after it: the restored
 	// outSeq re-emits those edge sequences, so pending batches are
@@ -360,20 +357,16 @@ func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
 			}
 		}
 	}
-	n.ops = fresh
-	n.opIdx = make(map[string]operator.Operator, len(fresh))
-	for i, id := range n.opIDs {
-		n.opIdx[id] = fresh[i]
+	if rt.OutSeq == nil {
+		rt.OutSeq = map[string]uint64{}
 	}
-	n.outSeq = rt.OutSeq
-	n.inHW = rt.InHW
-	if n.outSeq == nil {
-		n.outSeq = map[string]uint64{}
+	if rt.InHW == nil {
+		rt.InHW = map[string]uint64{}
 	}
-	if n.inHW == nil {
-		n.inHW = map[string]uint64{}
-	}
-	n.logVersion = rt.LogVersion
+	p := compilePipeline(n.graph, n.slot, n.opIDs, fresh)
+	p.setCounters(rt.OutSeq, rt.InHW)
+	n.pipe.Store(p)
+	n.logVersion.Store(rt.LogVersion)
 	for name, q := range n.queues {
 		if name == externalSlot {
 			// Fresh external input queued during the outage was never
@@ -392,7 +385,7 @@ func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
 			continue
 		}
 		q.reset()
-		q.lastEnq = n.inHW[name]
+		q.lastEnq = rt.InHW[name]
 	}
 	n.cmds = nil
 	// The freshly built operators carry no delta baselines, so the next
@@ -401,7 +394,7 @@ func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
 	n.ckptChainLen = 0
 	n.align = checkpoint.NewAlignment(n.alignUpstreams)
 	n.replaySeen = make(map[uint64]map[string]bool)
-	n.suppress = n.isSink
+	n.suppress.Store(n.isSink)
 	n.unreachable = make(map[simnet.NodeID]bool)
 	n.urgentReported = make(map[string]bool)
 	return nil
@@ -462,10 +455,10 @@ func (n *Node) fetchRestore(c Command) {
 	err := n.installBlobLocked(blob)
 	// Classic schemes have no catch-up suppression window; duplicates are
 	// handled by edge-sequence dedup instead.
-	n.suppress = false
-	hw := make(map[string]uint64, len(n.inHW))
-	for k, v := range n.inHW {
-		hw[k] = v
+	n.suppress.Store(false)
+	var hw map[string]uint64
+	if p := n.pipe.Load(); p != nil {
+		hw = p.inHWMap()
 	}
 	slot := n.slot
 	ups := append([]string(nil), n.graph.SlotUpstreams(slot)...)
@@ -476,7 +469,7 @@ func (n *Node) fetchRestore(c Command) {
 	}
 	n.report(r)
 	for _, up := range ups {
-		if target, ok := n.cfg.Resolver.Primary(up); ok {
+		if target, ok := n.resolvePrimary(up); ok {
 			n.cfg.WiFi.Unicast(n.id, target, simnet.ClassRecovery, 32, ResendReq{Downstream: slot, After: hw[up]})
 		}
 	}
@@ -542,11 +535,10 @@ func (n *Node) handoff(target simnet.NodeID) {
 		}
 	}
 	n.slot = ""
-	n.ops = nil
-	n.opIdx = nil
 	n.qOrder = nil
 	n.queues = make(map[string]*upQueue)
-	n.role = RoleIdle
+	n.pipe.Store((*pipeline)(nil))
+	n.role.Store(int32(RoleIdle))
 	n.paused = false
 	n.forwardTo = target
 	n.mu.Unlock()
@@ -562,7 +554,7 @@ func (n *Node) handoff(target simnet.NodeID) {
 // re-hosted the slot through recovery, a late-arriving blob would activate
 // a second primary for a slot that already has one.
 func (n *Node) handleTransferIn(from simnet.NodeID, msg TransferMsg) {
-	if cur, ok := n.cfg.Resolver.Primary(msg.Slot); ok && cur != from && cur != n.id {
+	if cur, ok := n.resolvePrimary(msg.Slot); ok && cur != from && cur != n.id {
 		n.logf("%s: stale transfer of %s from %s (placement now %s)", n.id, msg.Slot, from, cur)
 		return
 	}
@@ -573,10 +565,10 @@ func (n *Node) handleTransferIn(from simnet.NodeID, msg TransferMsg) {
 		return
 	}
 	n.configureSlot(msg.Slot, n.opIDsForSlot(msg.Slot))
-	n.role = RolePrimary
+	n.role.Store(int32(RolePrimary))
 	err := n.installBlobLocked(msg.Blob)
 	// A handed-off node resumes mid-stream; it does not suppress.
-	n.suppress = false
+	n.suppress.Store(false)
 	// Re-queue the items the departing node had not yet processed.
 	// installBlobLocked just reset each ordered queue's watermark to the
 	// restored inHW, so routing the transferred items through the normal
@@ -616,7 +608,7 @@ func (n *Node) handleTransferIn(from simnet.NodeID, msg TransferMsg) {
 func (n *Node) Activate(slot string) {
 	n.mu.Lock()
 	n.configureSlot(slot, n.opIDsForSlot(slot))
-	n.role = RolePrimary
+	n.role.Store(int32(RolePrimary))
 	buffered := n.preBuf
 	n.preBuf = nil
 	n.mu.Unlock()

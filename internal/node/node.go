@@ -9,6 +9,12 @@
 // control goroutine serves commands and peer requests, and one persist
 // goroutine disseminates checkpoint blobs so the executor never blocks on
 // checkpoint I/O (the paper's asynchronous checkpointing, §III-B).
+//
+// The steady-state tuple path — queue pop, operator execution, fan-out,
+// cross-slot send — runs against a compiled pipeline (see pipeline.go) and
+// an epoch-stamped route cache (see routecache.go): after the single queue
+// handshake under n.mu, no lock is taken and no map is consulted until the
+// emission reaches the batcher.
 package node
 
 import (
@@ -44,7 +50,8 @@ const (
 
 // Resolver maps slots to the phones currently hosting them. The region
 // owns the placement and updates it during recovery and mobility; nodes
-// resolve on every send.
+// resolve on every send (through the epoch-stamped route cache when the
+// resolver also implements EpochResolver).
 type Resolver interface {
 	Primary(slot string) (simnet.NodeID, bool)
 	Standby(slot string) (simnet.NodeID, bool)
@@ -68,6 +75,9 @@ type Config struct {
 	Endpoint *simnet.Endpoint
 	Store    *storage.Store
 	Resolver Resolver
+	// NoRouteCache disables the epoch-stamped Primary/Standby cache and
+	// consults the Resolver on every send (the pre-cache behaviour).
+	NoRouteCache bool
 	// ControllerID is the controller's network identity for reports.
 	ControllerID simnet.NodeID
 	// Peers returns the current region members (minus this phone) for
@@ -130,10 +140,24 @@ type upQueue struct {
 	park   []queued
 	parked map[uint64]struct{}
 	// recent is the unordered queues' dedup window: the last dedupWindow
-	// sequences accepted, evicted FIFO through recentRing.
+	// sequences accepted, evicted FIFO through recentRing. Allocated once
+	// at construction (newStreamQueue) so the enqueue path never pays a
+	// nil check or a map grow.
 	recent     map[uint64]struct{}
 	recentRing []uint64
 	recentPos  int
+}
+
+// newStreamQueue builds an upstream stream queue with its dedup window
+// pre-allocated (unordered queues only; ordered queues dedup by watermark
+// and park membership instead).
+func newStreamQueue(ordered bool) *upQueue {
+	q := &upQueue{ordered: ordered}
+	if !ordered {
+		q.recent = make(map[uint64]struct{}, dedupWindow)
+		q.recentRing = make([]uint64, 0, dedupWindow)
+	}
+	return q
 }
 
 // parkLimit bounds out-of-order buffering before the gap is abandoned.
@@ -182,12 +206,10 @@ func (q *upQueue) enqueue(it queued) bool {
 // seenRecently reports whether seq is inside the dedup window, recording it
 // if not. The window is bounded: a duplicate arriving more than dedupWindow
 // accepted sequences later slips through and is caught by sink-side dedup.
+// The map and ring are allocated once at construction.
 func (q *upQueue) seenRecently(seq uint64) bool {
 	if _, ok := q.recent[seq]; ok {
 		return true
-	}
-	if q.recent == nil {
-		q.recent = make(map[uint64]struct{}, dedupWindow)
 	}
 	if len(q.recentRing) < dedupWindow {
 		q.recentRing = append(q.recentRing, seq)
@@ -274,14 +296,19 @@ func (q *upQueue) pop() queued {
 	return it
 }
 
+// reset drops the queue's contents, keeping its pre-allocated dedup window
+// (cleared, not reallocated) so restores do not reintroduce the per-enqueue
+// allocation the constructor eliminated.
 func (q *upQueue) reset() {
 	q.items = nil
 	q.head = 0
 	q.stalled = false
 	q.park = nil
 	q.parked = nil
-	q.recent = nil
-	q.recentRing = nil
+	if q.recent != nil {
+		clear(q.recent)
+		q.recentRing = q.recentRing[:0]
+	}
 	q.recentPos = 0
 }
 
@@ -302,17 +329,25 @@ type Node struct {
 	recv  *broadcast.Receiver
 	graph *graph.Graph
 
+	// pipe is the compiled data plane for the hosted slot (nil when
+	// idle), swapped atomically on configuration, restore and handoff.
+	pipe atomic.Pointer[pipeline]
+	// routes is the epoch-stamped Primary/Standby cache (routecache.go).
+	routes   atomic.Pointer[routeSnapshot]
+	epochRes EpochResolver // non-nil when the resolver supports epochs
+
+	// role and suppress gate emission on the lock-free output path.
+	role     atomic.Int32
+	suppress atomic.Bool
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	running    bool
 	paused     bool
 	execParked bool
 	failed     bool
-	role       Role
 	slot       string
 	opIDs      []string
-	ops        []operator.Operator
-	opIdx      map[string]operator.Operator
 	queues     map[string]*upQueue
 	qOrder     []string
 	rr         int
@@ -321,10 +356,7 @@ type Node struct {
 	align          *checkpoint.Alignment
 	alignUpstreams []string
 	replaySeen     map[uint64]map[string]bool
-	suppress       bool
-	outSeq         map[string]uint64
-	inHW           map[string]uint64
-	logVersion     uint64
+	logVersion     atomic.Uint64
 	hwAt           map[uint64]map[string]uint64
 	isSource       bool
 	isSink         bool
@@ -346,7 +378,7 @@ type Node struct {
 	// (and thus not yet aborted their own in-flight retries), which would
 	// poison the freshly reset dedup state.
 	dropStream bool
-	extFwdSeq  uint64
+	extFwdSeq  atomic.Uint64
 	forwardTo  simnet.NodeID // post-handoff relay target (§III-E)
 	preBuf     []StreamMsg   // stream arrivals before activation
 	// processed counts executed data tuples (telemetry: the scheduler's
@@ -389,17 +421,20 @@ func New(cfg Config) *Node {
 		clk:            cfg.Clock,
 		bcfg:           cfg.Broadcast,
 		graph:          cfg.Graph,
-		role:           cfg.Role,
 		recv:           broadcast.NewReceiver(cfg.Store),
 		queues:         make(map[string]*upQueue),
 		replaySeen:     make(map[uint64]map[string]bool),
-		outSeq:         make(map[string]uint64),
-		inHW:           make(map[string]uint64),
 		hwAt:           make(map[uint64]map[string]uint64),
 		unreachable:    make(map[simnet.NodeID]bool),
 		urgentReported: make(map[string]bool),
 		persistCh:      make(chan *checkpoint.Blob, 64),
 		stopCh:         make(chan struct{}),
+	}
+	n.role.Store(int32(cfg.Role))
+	if !cfg.NoRouteCache {
+		if er, ok := cfg.Resolver.(EpochResolver); ok {
+			n.epochRes = er
+		}
 	}
 	n.cond = sync.NewCond(&n.mu)
 	n.batch = newBatcher(n, cfg.Batch)
@@ -413,8 +448,9 @@ func New(cfg Config) *Node {
 	return n
 }
 
-// configureSlot installs the slot's operators and queue topology. Callers
-// hold no lock (construction) or n.mu (activation of an idle node).
+// configureSlot installs the slot's operators and queue topology, compiling
+// the slot's pipeline and swapping it in atomically. Callers hold no lock
+// (construction) or n.mu (activation of an idle node).
 func (n *Node) configureSlot(slot string, opIDs []string) {
 	n.slot = slot
 	// A node that previously handed a slot off and returned to the idle
@@ -423,41 +459,27 @@ func (n *Node) configureSlot(slot string, opIDs []string) {
 	// of buffering in preBuf.
 	n.forwardTo = ""
 	n.opIDs = append([]string(nil), opIDs...)
-	n.ops = make([]operator.Operator, 0, len(opIDs))
-	n.opIdx = make(map[string]operator.Operator, len(opIDs))
+	ops := make([]operator.Operator, 0, len(opIDs))
 	for _, id := range opIDs {
-		op := n.cfg.Registry.New(id)
-		n.ops = append(n.ops, op)
-		n.opIdx[id] = op
+		ops = append(ops, n.cfg.Registry.New(id))
 	}
+	p := compilePipeline(n.graph, slot, n.opIDs, ops)
 	n.queues = make(map[string]*upQueue)
 	n.qOrder = nil
-	for _, up := range n.graph.SlotUpstreams(slot) {
-		n.queues[up] = &upQueue{ordered: n.cfg.Scheme.PreservesAtEdges()}
+	ordered := n.cfg.Scheme.PreservesAtEdges()
+	for _, up := range p.upstreams {
+		if up == externalSlot {
+			n.queues[up] = &upQueue{}
+		} else {
+			n.queues[up] = newStreamQueue(ordered)
+		}
 		n.qOrder = append(n.qOrder, up)
 	}
-	n.isSource, n.isSink = false, false
-	n.sourceOps = nil
-	for _, id := range n.graph.Sources() {
-		if n.graph.SlotOf(id) == slot {
-			n.isSource = true
-			n.sourceOps = append(n.sourceOps, id)
-		}
-	}
-	for _, id := range n.graph.Sinks() {
-		if n.graph.SlotOf(id) == slot {
-			n.isSink = true
-		}
-	}
-	if n.isSource {
-		n.queues[externalSlot] = &upQueue{}
-		n.qOrder = append(n.qOrder, externalSlot)
-	}
-	n.alignUpstreams = append([]string(nil), n.graph.SlotUpstreams(slot)...)
-	if n.isSource {
-		n.alignUpstreams = append(n.alignUpstreams, externalSlot)
-	}
+	n.isSource, n.isSink = p.isSource, p.isSink
+	n.sourceOps = append([]string(nil), p.sourceOps...)
+	n.alignUpstreams = append([]string(nil), p.upstreams...)
 	n.align = checkpoint.NewAlignment(n.alignUpstreams)
+	n.pipe.Store(p)
 }
 
 // ID returns the phone's network identity.
@@ -471,11 +493,7 @@ func (n *Node) Slot() string {
 }
 
 // Role returns the node's current role.
-func (n *Node) Role() Role {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.role
-}
+func (n *Node) Role() Role { return Role(n.role.Load()) }
 
 // Backlog reports the queued-but-unprocessed stream items across all
 // upstream queues, including parked out-of-order arrivals (telemetry).
@@ -718,6 +736,7 @@ func (n *Node) execLoop() {
 		n.mu.Lock()
 		var cmd *execCmd
 		var from string
+		var qi int
 		var it queued
 		var have bool
 		for {
@@ -732,7 +751,7 @@ func (n *Node) execLoop() {
 					cmd = &c
 					break
 				}
-				from, it, have = n.nextItemLocked()
+				from, qi, it, have = n.nextItemLocked()
 				if have {
 					break
 				}
@@ -761,31 +780,37 @@ func (n *Node) execLoop() {
 		case cmd != nil:
 			n.doPeriodicSnapshot(cmd.snapshot)
 		case have:
-			n.handleItem(from, it)
+			if p := n.pipe.Load(); p != nil {
+				n.handleItem(p, qi, from, it)
+			}
 		}
 	}
 }
 
-// nextItemLocked round-robins across unstalled non-empty queues.
-func (n *Node) nextItemLocked() (string, queued, bool) {
+// nextItemLocked round-robins across unstalled non-empty queues, returning
+// the queue's name and its pipeline upstream index.
+func (n *Node) nextItemLocked() (string, int, queued, bool) {
 	for i := 0; i < len(n.qOrder); i++ {
-		name := n.qOrder[(n.rr+i)%len(n.qOrder)]
+		qi := (n.rr + i) % len(n.qOrder)
+		name := n.qOrder[qi]
 		q := n.queues[name]
 		if q.stalled || q.len() == 0 {
 			continue
 		}
 		n.rr = (n.rr + i + 1) % len(n.qOrder)
-		return name, q.pop(), true
+		return name, qi, q.pop(), true
 	}
-	return "", queued{}, false
+	return "", -1, queued{}, false
 }
 
-// handleItem processes one stream item (tuple or marker).
-func (n *Node) handleItem(from string, it queued) {
+// handleItem processes one stream item (tuple or marker). The data path is
+// lock-free: watermarks advance on the pipeline's atomic counters and the
+// operator chain runs against the compiled routes.
+func (n *Node) handleItem(p *pipeline, qi int, from string, it queued) {
 	if it.item.Marker != nil {
 		switch it.item.Marker.Kind {
 		case tuple.MarkerToken:
-			n.onToken(from, it.item.Marker.Version, it.edgeSeq)
+			n.onToken(p, qi, from, it.item.Marker.Version, it.edgeSeq)
 		case tuple.MarkerReplayEnd:
 			n.onReplayEnd(from, it.item.Marker.Version)
 		}
@@ -794,39 +819,35 @@ func (n *Node) handleItem(from string, it queued) {
 	t := it.item.Tuple
 	atomic.AddUint64(&n.processed, 1)
 	if from != externalSlot {
-		n.mu.Lock()
-		if it.edgeSeq > n.inHW[from] {
-			n.inHW[from] = it.edgeSeq
-		}
-		n.mu.Unlock()
+		p.noteInHW(qi, it.edgeSeq)
 	} else {
 		n.preserveSourceInput(it.toOp, t)
-		n.forwardExternalToStandby(it.toOp, t)
+		n.forwardExternalToStandby(p, it.toOp, t)
 	}
-	n.runOp(it.toOp, it.fromOp, t)
+	idx := p.opIndex(it.toOp)
+	if idx < 0 {
+		n.logf("%s: tuple for unknown operator %s", n.id, it.toOp)
+		return
+	}
+	n.runOp(p, idx, it.fromOp, t)
 }
 
 // forwardExternalToStandby duplicates externally admitted input to the
 // slot's standby replica under rep-2, so both replicas build the same
 // state. This is part of the replication network overhead (Fig. 10b).
-func (n *Node) forwardExternalToStandby(srcOp string, t *tuple.Tuple) {
+func (n *Node) forwardExternalToStandby(p *pipeline, srcOp string, t *tuple.Tuple) {
 	if !n.cfg.Scheme.Replicated() {
 		return
 	}
-	n.mu.Lock()
-	if n.role != RolePrimary {
-		n.mu.Unlock()
+	if Role(n.role.Load()) != RolePrimary {
 		return
 	}
-	n.extFwdSeq++
-	seq := n.extFwdSeq
-	slot := n.slot
-	n.mu.Unlock()
-	standby, ok := n.cfg.Resolver.Standby(slot)
+	seq := n.extFwdSeq.Add(1)
+	standby, ok := n.resolveStandby(p.slot)
 	if !ok {
 		return
 	}
-	msg := StreamMsg{FromSlot: externalSlot, ToSlot: slot, ToOp: srcOp, EdgeSeq: seq, Item: tuple.DataItem(t)}
+	msg := StreamMsg{FromSlot: externalSlot, ToSlot: p.slot, ToOp: srcOp, EdgeSeq: seq, Item: tuple.DataItem(t)}
 	if err := n.cfg.WiFi.Unicast(n.id, standby, simnet.ClassReplication, t.Size, msg); err == nil {
 		n.cfg.Phone.DrainTx(t.Size)
 	}
@@ -839,9 +860,7 @@ func (n *Node) preserveSourceInput(srcOp string, t *tuple.Tuple) {
 	if !n.cfg.Scheme.PreservesAtSources() || t.Replay {
 		return
 	}
-	n.mu.Lock()
-	v := n.logVersion
-	n.mu.Unlock()
+	v := n.logVersion.Load()
 	n.cfg.Store.AppendSource(v, srcOp, t)
 	// The log append hits local flash on the data path.
 	n.clk.Sleep(n.cfg.Phone.FlashWriteTime(t.Size))
@@ -852,19 +871,13 @@ func (n *Node) preserveSourceInput(srcOp string, t *tuple.Tuple) {
 }
 
 // runOp executes one operator on a tuple, charging its service time, and
-// routes the emissions: in-slot targets recurse synchronously; cross-slot
-// targets are sent over the region network; targets with no downstream are
-// external sink output.
-func (n *Node) runOp(opID, fromOp string, t *tuple.Tuple) {
-	n.mu.Lock()
-	op, ok := n.opIdx[opID]
-	slot := n.slot
-	n.mu.Unlock()
-	if !ok {
-		n.logf("%s: tuple for unknown operator %s", n.id, opID)
-		return
-	}
-	if cost := op.Cost(t); cost > 0 {
+// routes the emissions along the compiled fan-out: in-slot targets recurse
+// synchronously; cross-slot targets are sent over the region network;
+// operators with no downstream publish external sink output. No lock is
+// taken and no map is consulted.
+func (n *Node) runOp(p *pipeline, idx int, fromOp string, t *tuple.Tuple) {
+	c := &p.ops[idx]
+	if cost := c.op.Cost(t); cost > 0 {
 		if !n.cfg.Phone.Exec(n.clk, cost) {
 			n.logf("%s: battery dead", n.id)
 			n.Fail()
@@ -872,30 +885,38 @@ func (n *Node) runOp(opID, fromOp string, t *tuple.Tuple) {
 		}
 		n.maybeReportChronic()
 	}
-	outs, err := op.Process(fromOp, t)
+	outs, err := c.op.Process(fromOp, t)
 	if err != nil {
-		n.logf("%s: operator %s: %v", n.id, opID, err)
+		n.logf("%s: operator %s: %v", n.id, c.id, err)
 		return
 	}
 	for _, out := range outs {
-		var targets []string
 		if out.To != "" {
-			targets = []string{out.To}
-		} else {
-			targets = n.graph.Downstream(opID)
+			r, ok := p.routeTo(out.To)
+			if !ok {
+				n.logf("%s: emission to unknown operator %s", n.id, out.To)
+				continue
+			}
+			n.followRoute(p, c.id, r, out.T)
+			continue
 		}
-		if len(targets) == 0 {
+		if c.external {
 			n.emitExternal(out.T)
 			continue
 		}
-		for _, tgt := range targets {
-			if n.graph.SlotOf(tgt) == slot {
-				n.runOp(tgt, opID, out.T)
-			} else {
-				n.sendCross(n.graph.SlotOf(tgt), tgt, opID, tuple.DataItem(out.T))
-			}
+		for _, r := range c.fanout {
+			n.followRoute(p, c.id, r, out.T)
 		}
 	}
+}
+
+// followRoute delivers one emission along a compiled route.
+func (n *Node) followRoute(p *pipeline, fromOp string, r route, t *tuple.Tuple) {
+	if r.local >= 0 {
+		n.runOp(p, r.local, fromOp, t)
+		return
+	}
+	n.sendCross(p, r.down, r.toOp, fromOp, tuple.DataItem(t))
 }
 
 func (n *Node) maybeReportChronic() {
@@ -909,10 +930,7 @@ func (n *Node) maybeReportChronic() {
 // emitExternal publishes a sink result unless the node is suppressing
 // catch-up output (§III-D).
 func (n *Node) emitExternal(t *tuple.Tuple) {
-	n.mu.Lock()
-	role, sup := n.role, n.suppress
-	n.mu.Unlock()
-	if role == RoleStandby || sup {
+	if Role(n.role.Load()) == RoleStandby || n.suppress.Load() {
 		return
 	}
 	if n.cfg.OnSinkOutput != nil {
@@ -924,18 +942,12 @@ func (n *Node) emitExternal(t *tuple.Tuple) {
 // coalesced per destination slot by the batcher, which flushes on size,
 // latency, or an in-band marker, and delivers with urgent-mode cellular
 // fallback and failure reporting (§III-D, §III-E).
-func (n *Node) sendCross(toSlot, toOp, fromOp string, item tuple.Item) {
-	n.mu.Lock()
-	if n.role == RoleStandby {
-		n.outSeq[toSlot]++ // keep sequences aligned with the primary
-		n.mu.Unlock()
-		return
+func (n *Node) sendCross(p *pipeline, down int, toOp, fromOp string, item tuple.Item) {
+	seq := p.nextOutSeq(down)
+	if Role(n.role.Load()) == RoleStandby {
+		return // sequence kept aligned with the primary, nothing sent
 	}
-	n.outSeq[toSlot]++
-	seq := n.outSeq[toSlot]
-	fromSlot := n.slot
-	n.mu.Unlock()
-
+	toSlot := p.downs[down]
 	if n.cfg.Scheme.PreservesAtEdges() && item.Tuple != nil {
 		// Classic input preservation writes every retained output to
 		// flash on the data path — part of local/dist-n's steady-state
@@ -943,7 +955,7 @@ func (n *Node) sendCross(toSlot, toOp, fromOp string, item tuple.Item) {
 		n.cfg.Store.AppendEdge(toSlot, seq, fromOp, toOp, item.Tuple)
 		n.clk.Sleep(n.cfg.Phone.FlashWriteTime(item.Tuple.Size))
 	}
-	n.batch.add(toSlot, StreamMsg{FromSlot: fromSlot, FromOp: fromOp, ToSlot: toSlot, ToOp: toOp, EdgeSeq: seq, Item: item})
+	n.batch.add(toSlot, StreamMsg{FromSlot: p.slot, FromOp: fromOp, ToSlot: toSlot, ToOp: toOp, EdgeSeq: seq, Item: item})
 }
 
 // sendBatch ships one flushed batch to the destination slot's primary and,
@@ -978,7 +990,7 @@ func (n *Node) sendBatch(toSlot string, msgs []StreamMsg, bytes int, class simne
 	}
 	n.deliverData(toSlot, bytes, payload, class)
 	if replica != nil {
-		if standby, ok := n.cfg.Resolver.Standby(toSlot); ok {
+		if standby, ok := n.resolveStandby(toSlot); ok {
 			if err := n.cfg.WiFi.Unicast(n.id, standby, simnet.ClassReplication, bytes, replica); err == nil {
 				n.cfg.Phone.DrainTx(bytes)
 			}
@@ -1033,7 +1045,10 @@ func payloadCarriesMarker(payload interface{}) bool {
 // falling back to the cellular network (urgent mode) when the WiFi path is
 // broken. After reportAfterAttempts failures it reports the destination
 // failed — kicking off recovery — and keeps retrying while the region
-// re-points the slot, giving up only past the full retry horizon.
+// re-points the slot, giving up only past the full retry horizon. The
+// resolution rides the epoch-stamped route cache: a placement change bumps
+// the region epoch, so retries observe re-points without paying the
+// resolver round-trip per attempt.
 func (n *Node) deliverData(toSlot string, size int, payload interface{}, class simnet.Class) {
 	gen := atomic.LoadUint64(&n.sendGen)
 	attempts := maxDeliveryAttempts
@@ -1054,7 +1069,7 @@ func (n *Node) deliverData(toSlot string, size int, payload interface{}, class s
 			return
 		}
 		var ok bool
-		if target, ok = n.cfg.Resolver.Primary(toSlot); ok {
+		if target, ok = n.resolvePrimary(toSlot); ok {
 			if err := n.cfg.WiFi.Unicast(n.id, target, class, size, payload); err == nil {
 				n.cfg.Phone.DrainTx(size)
 				return
@@ -1089,23 +1104,23 @@ func (n *Node) deliverData(toSlot string, size int, payload interface{}, class s
 
 // sendMarker forwards an in-band marker to every downstream slot.
 func (n *Node) sendMarker(m tuple.Marker) {
-	n.mu.Lock()
-	slot := n.slot
-	n.mu.Unlock()
-	for _, ds := range n.graph.SlotDownstreams(slot) {
-		n.sendCross(ds, "", "", tuple.MarkerItem(m))
+	p := n.pipe.Load()
+	if p == nil {
+		return
+	}
+	for down := range p.downs {
+		n.sendCross(p, down, "", "", tuple.MarkerItem(m))
 	}
 }
 
 // onToken runs the alignment step of token-triggered checkpointing.
-func (n *Node) onToken(from string, v uint64, edgeSeq uint64) {
+func (n *Node) onToken(p *pipeline, qi int, from string, v uint64, edgeSeq uint64) {
+	if from != externalSlot {
+		p.noteInHW(qi, edgeSeq)
+	} else {
+		n.logVersion.Store(v)
+	}
 	n.mu.Lock()
-	if from != externalSlot && edgeSeq > n.inHW[from] {
-		n.inHW[from] = edgeSeq
-	}
-	if from == externalSlot {
-		n.logVersion = v
-	}
 	st, err := n.align.OnToken(from, v)
 	if err != nil {
 		n.logf("%s: token: %v", n.id, err)
@@ -1152,7 +1167,7 @@ func (n *Node) onReplayEnd(from string, epoch uint64) {
 		q.stalled = false
 	}
 	if n.isSink {
-		n.suppress = false
+		n.suppress.Store(false)
 	}
 	isSink := n.isSink
 	slot := n.slot
@@ -1212,13 +1227,11 @@ func (n *Node) doPeriodicSnapshot(v uint64) {
 	}
 	n.cfg.Store.PutBlob(blob)
 	n.clk.Sleep(n.cfg.Phone.FlashWriteTime(blob.Size))
-	n.mu.Lock()
-	hw := make(map[string]uint64, len(n.inHW))
-	for k, val := range n.inHW {
-		hw[k] = val
+	if p := n.pipe.Load(); p != nil {
+		n.mu.Lock()
+		n.hwAt[v] = p.inHWMap()
+		n.mu.Unlock()
 	}
-	n.hwAt[v] = hw
-	n.mu.Unlock()
 	n.report(Report{Type: RepCheckpointed, Phone: n.id, Slot: blob.Slot, Version: v})
 	replicas := 0
 	if n.cfg.Scheme.Kind == ft.DistN {

@@ -20,7 +20,7 @@ func drain(q *upQueue) []uint64 {
 }
 
 func TestUnorderedQueueWindowDedup(t *testing.T) {
-	q := &upQueue{}
+	q := newStreamQueue(false)
 	for _, seq := range []uint64{1, 2, 2, 1, 3, 5, 4} {
 		q.enqueue(item(seq))
 	}
@@ -44,7 +44,7 @@ func TestUnorderedQueueWindowDedup(t *testing.T) {
 // away, losing legitimate tuples that merely overtook each other on the
 // network.
 func TestUnorderedQueueOutOfOrderNotDropped(t *testing.T) {
-	q := &upQueue{}
+	q := newStreamQueue(false)
 	q.enqueue(item(10))
 	q.enqueue(item(3)) // below watermark but never seen: keep
 	q.enqueue(item(3)) // true duplicate inside the window: drop
@@ -59,7 +59,7 @@ func TestUnorderedQueueOutOfOrderNotDropped(t *testing.T) {
 }
 
 func TestUnorderedQueueDedupWindowBounded(t *testing.T) {
-	q := &upQueue{}
+	q := newStreamQueue(false)
 	for seq := uint64(1); seq <= dedupWindow+10; seq++ {
 		q.enqueue(item(seq))
 	}
@@ -78,7 +78,7 @@ func TestUnorderedQueueDedupWindowBounded(t *testing.T) {
 }
 
 func TestOrderedQueueParksAndDrains(t *testing.T) {
-	q := &upQueue{ordered: true}
+	q := newStreamQueue(true)
 	// Fresh data overtakes a recovery resend: 4 and 5 park until 1..3
 	// arrive, then everything delivers in sequence order.
 	q.enqueue(item(4))
@@ -101,7 +101,7 @@ func TestOrderedQueueParksAndDrains(t *testing.T) {
 }
 
 func TestOrderedQueueDuplicateDrop(t *testing.T) {
-	q := &upQueue{ordered: true}
+	q := newStreamQueue(true)
 	q.enqueue(item(1))
 	q.enqueue(item(1))
 	q.enqueue(item(2))
@@ -112,7 +112,7 @@ func TestOrderedQueueDuplicateDrop(t *testing.T) {
 }
 
 func TestOrderedQueueFlushValve(t *testing.T) {
-	q := &upQueue{ordered: true}
+	q := newStreamQueue(true)
 	// An unfillable gap (seq 1 never arrives) must not deadlock: past
 	// the park limit, parked items flush in order.
 	for seq := uint64(2); seq <= uint64(parkLimit+3); seq++ {
@@ -133,7 +133,7 @@ func TestOrderedQueueFlushValve(t *testing.T) {
 }
 
 func TestQueuePopCompaction(t *testing.T) {
-	q := &upQueue{}
+	q := newStreamQueue(false)
 	for seq := uint64(1); seq <= 1000; seq++ {
 		q.enqueue(item(seq))
 	}
@@ -169,7 +169,7 @@ func TestCommandAndReportNames(t *testing.T) {
 func TestOrderedQueuePermutationProperty(t *testing.T) {
 	f := func(permSeed uint32, n uint8, dupEvery uint8) bool {
 		k := int(n%64) + 1
-		q := &upQueue{ordered: true}
+		q := newStreamQueue(true)
 		perm := make([]uint64, k)
 		for i := range perm {
 			perm[i] = uint64(i + 1)
@@ -210,7 +210,7 @@ func TestOrderedQueuePermutationProperty(t *testing.T) {
 // including a second failure opening a second gap after the first flush.
 func TestOrderedQueueFlushValveProperty(t *testing.T) {
 	f := func(permSeed uint32, gapSeed uint32) bool {
-		q := &upQueue{ordered: true}
+		q := newStreamQueue(true)
 		// Two bursts, each with gaps that never fill (lost edge logs).
 		// Burst sequences start at 2 so sequence 1 is a permanent gap.
 		total := parkLimit + 64

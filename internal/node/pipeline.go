@@ -1,0 +1,207 @@
+package node
+
+import (
+	"sync/atomic"
+
+	"mobistreams/internal/graph"
+	"mobistreams/internal/operator"
+)
+
+// pipeline is the compiled data plane for one slot: the operator chain,
+// every operator's fan-out routes and the slot's marker routes, resolved
+// once — at slot configuration, migration transfer-in or restore time —
+// into an immutable structure the executor reads without locks or map
+// lookups. A reconfiguration builds a fresh pipeline and swaps it in
+// atomically (Node.pipe), so the steady-state path never observes a
+// half-built topology.
+//
+// The outSeq/inHW counters are the only mutable state. They are owned by
+// the executor goroutine and accessed with atomics, so control-plane
+// snapshots taken while the executor is parked (pause, handoff) stay
+// race-clean even against an executor wedged in a delivery retry.
+type pipeline struct {
+	slot string
+	ops  []compiledOp
+	// directed resolves EmitTo targets (any downstream operator of this
+	// slot's operators, same- or cross-slot) without consulting the graph.
+	directed []route
+	// upstreams is the queue order: the slot's graph upstreams, then
+	// externalSlot for source slots. Matches Node.qOrder index-for-index.
+	upstreams []string
+	// downs is the sorted list of downstream slots (marker fan-out).
+	downs     []string
+	isSource  bool
+	isSink    bool
+	sourceOps []string
+
+	// outSeq is the per-downstream-slot emission sequence (parallel to
+	// downs); inHW the per-upstream processed watermark (parallel to
+	// upstreams). Executor-owned, atomically accessed.
+	outSeq []uint64
+	inHW   []uint64
+}
+
+// compiledOp is one operator with its precompiled emission routes.
+type compiledOp struct {
+	id string
+	op operator.Operator
+	// fanout lists the default (To == "") emission targets in graph
+	// declaration order, preserving the legacy interleaving of local
+	// recursion and cross-slot sends.
+	fanout []route
+	// external marks a sink operator: no downstream, emissions publish.
+	external bool
+}
+
+// route is one resolved emission target: a same-slot operator index, or a
+// cross-slot destination identified by its downs index.
+type route struct {
+	toOp  string
+	local int // >= 0: index into pipeline.ops; -1: cross-slot
+	down  int // index into pipeline.downs when local < 0
+}
+
+// compilePipeline resolves a slot's topology against the graph.
+func compilePipeline(g *graph.Graph, slot string, opIDs []string, ops []operator.Operator) *pipeline {
+	p := &pipeline{slot: slot}
+	p.downs = g.SlotDownstreams(slot)
+	downIdx := make(map[string]int, len(p.downs))
+	for i, d := range p.downs {
+		downIdx[d] = i
+	}
+	opPos := make(map[string]int, len(opIDs))
+	for i, id := range opIDs {
+		opPos[id] = i
+	}
+	resolve := func(to string) route {
+		if li, ok := opPos[to]; ok {
+			return route{toOp: to, local: li}
+		}
+		return route{toOp: to, local: -1, down: downIdx[g.SlotOf(to)]}
+	}
+	seen := make(map[string]bool)
+	for i, id := range opIDs {
+		c := compiledOp{id: id, op: ops[i]}
+		targets := g.Downstream(id)
+		if len(targets) == 0 {
+			c.external = true
+		}
+		for _, tgt := range targets {
+			r := resolve(tgt)
+			c.fanout = append(c.fanout, r)
+			if !seen[tgt] {
+				seen[tgt] = true
+				p.directed = append(p.directed, r)
+			}
+		}
+		p.ops = append(p.ops, c)
+	}
+	p.upstreams = append([]string(nil), g.SlotUpstreams(slot)...)
+	for _, id := range g.Sources() {
+		if g.SlotOf(id) == slot {
+			p.isSource = true
+			p.sourceOps = append(p.sourceOps, id)
+		}
+	}
+	for _, id := range g.Sinks() {
+		if g.SlotOf(id) == slot {
+			p.isSink = true
+		}
+	}
+	if p.isSource {
+		p.upstreams = append(p.upstreams, externalSlot)
+	}
+	p.outSeq = make([]uint64, len(p.downs))
+	p.inHW = make([]uint64, len(p.upstreams))
+	return p
+}
+
+// opIndex resolves an operator ID to its pipeline index. Slots host a
+// handful of operators, so a linear scan beats a map on the hot path.
+func (p *pipeline) opIndex(id string) int {
+	for i := range p.ops {
+		if p.ops[i].id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// routeTo resolves an EmitTo target.
+func (p *pipeline) routeTo(to string) (route, bool) {
+	for _, r := range p.directed {
+		if r.toOp == to {
+			return r, true
+		}
+	}
+	return route{}, false
+}
+
+// upstreamIndex resolves a queue name to its upstreams index, or -1.
+func (p *pipeline) upstreamIndex(name string) int {
+	for i, u := range p.upstreams {
+		if u == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// nextOutSeq assigns the next emission sequence on a downstream edge.
+func (p *pipeline) nextOutSeq(down int) uint64 {
+	return atomic.AddUint64(&p.outSeq[down], 1)
+}
+
+// noteInHW advances an upstream's processed watermark. The executor is the
+// only writer, so a load-compare-store suffices.
+func (p *pipeline) noteInHW(qi int, seq uint64) {
+	if qi >= 0 && seq > atomic.LoadUint64(&p.inHW[qi]) {
+		atomic.StoreUint64(&p.inHW[qi], seq)
+	}
+}
+
+// operators returns the pipeline's operator chain in slot order.
+func (p *pipeline) operators() []operator.Operator {
+	ops := make([]operator.Operator, len(p.ops))
+	for i := range p.ops {
+		ops[i] = p.ops[i].op
+	}
+	return ops
+}
+
+// outSeqMap exports the non-zero emission sequences (checkpoint runtime
+// state, wire-compatible with the pre-pipeline map representation).
+func (p *pipeline) outSeqMap() map[string]uint64 {
+	m := make(map[string]uint64, len(p.downs))
+	for i, d := range p.downs {
+		if v := atomic.LoadUint64(&p.outSeq[i]); v > 0 {
+			m[d] = v
+		}
+	}
+	return m
+}
+
+// inHWMap exports the non-zero processed watermarks, excluding the
+// external pseudo-upstream (never sequenced).
+func (p *pipeline) inHWMap() map[string]uint64 {
+	m := make(map[string]uint64, len(p.upstreams))
+	for i, u := range p.upstreams {
+		if u == externalSlot {
+			continue
+		}
+		if v := atomic.LoadUint64(&p.inHW[i]); v > 0 {
+			m[u] = v
+		}
+	}
+	return m
+}
+
+// setCounters initialises the mutable counters from restored runtime state.
+func (p *pipeline) setCounters(outSeq, inHW map[string]uint64) {
+	for i, d := range p.downs {
+		atomic.StoreUint64(&p.outSeq[i], outSeq[d])
+	}
+	for i, u := range p.upstreams {
+		atomic.StoreUint64(&p.inHW[i], inHW[u])
+	}
+}

@@ -9,7 +9,7 @@ import "testing"
 // flows — otherwise a restored node re-processes (and re-emits) tuples the
 // restored version already covers.
 func TestOrderedQueueRestoredWatermarkDropsCoveredSeqs(t *testing.T) {
-	q := &upQueue{ordered: true}
+	q := newStreamQueue(true)
 	q.reset()
 	q.lastEnq = 5 // restored inHW: the checkpoint covered seqs 1..5
 	for seq := uint64(1); seq <= 5; seq++ {
@@ -31,7 +31,7 @@ func TestOrderedQueueRestoredWatermarkDropsCoveredSeqs(t *testing.T) {
 // a park overflow must deliver them in order exactly once — never below
 // sequences the restored watermark already covered.
 func TestOrderedQueueRestoredParkFlushNoDuplicates(t *testing.T) {
-	q := &upQueue{ordered: true}
+	q := newStreamQueue(true)
 	q.reset()
 	q.lastEnq = 3 // restore covered 1..3
 	// Stale in-flight arrivals from before the failure land above the gap
@@ -63,7 +63,7 @@ func TestOrderedQueueRestoredParkFlushNoDuplicates(t *testing.T) {
 // catch-up re-emissions are accepted exactly once — the first copy flows,
 // the retry copy drops.
 func TestUnorderedQueueResetAcceptsReemissionsOnce(t *testing.T) {
-	q := &upQueue{}
+	q := newStreamQueue(false)
 	for seq := uint64(1); seq <= 3; seq++ {
 		q.enqueue(item(seq))
 	}

@@ -59,6 +59,10 @@ type Config struct {
 	// Checkpoint configures every node's snapshot pipeline (the zero
 	// value is incremental-async with default chain/copy parameters).
 	Checkpoint node.CheckpointConfig
+	// NoRouteCache makes every node consult the placement resolver on
+	// each send instead of the epoch-stamped route cache (the pre-cache
+	// data plane, kept for benchmarks and regression comparison).
+	NoRouteCache bool
 	// OnSinkOutput publishes deduplicated sink results beyond the region
 	// (inter-region cascading); may be nil.
 	OnSinkOutput func(publisher simnet.NodeID, t *tuple.Tuple)
@@ -71,6 +75,16 @@ type Region struct {
 	clk  clock.Clock
 	wifi *simnet.WiFi
 	logf func(string, ...interface{})
+
+	// placeEpoch counts placement/standby changes: every repoint bumps
+	// it, invalidating the nodes' route caches and this region's ingest
+	// snapshot. Read lock-free on every cached resolution.
+	placeEpoch uint64
+	// ingest is the epoch-stamped source-dispatch snapshot Ingest reads
+	// lock-free on the steady-state path.
+	ingest atomic.Pointer[ingestSnapshot]
+	// stopping mirrors `stopped` for the lock-free ingest path.
+	stopping atomic.Bool
 
 	mu sync.Mutex
 	// phones are physical devices, keyed by phone ID. nodes/endpoints/
@@ -223,6 +237,7 @@ func (r *Region) buildNode(id simnet.NodeID, slot string, role node.Role) *node.
 		Endpoint:          r.endpoints[id],
 		Store:             r.stores[id],
 		Resolver:          (*resolver)(r),
+		NoRouteCache:      r.cfg.NoRouteCache,
 		ControllerID:      r.cfg.ControllerID,
 		Peers:             func() []simnet.NodeID { return r.LivePeers(id) },
 		DistPeers:         r.distPeersFor(slot),
@@ -269,6 +284,7 @@ func (r *Region) buildStandby(slot string) {
 		Endpoint:     ep,
 		Store:        st,
 		Resolver:     (*resolver)(r),
+		NoRouteCache: r.cfg.NoRouteCache,
 		ControllerID: r.cfg.ControllerID,
 		Batch:        r.cfg.Batch,
 		BatchStats:   &r.batchStats,
@@ -278,8 +294,9 @@ func (r *Region) buildStandby(slot string) {
 	r.nodes[sbID] = n
 }
 
-// resolver adapts the region's placement maps to the node.Resolver
-// interface.
+// resolver adapts the region's placement maps to the node.EpochResolver
+// interface: nodes cache resolutions per slot and invalidate on epoch
+// bumps, so the region mutex leaves the per-tuple path.
 type resolver Region
 
 // Primary implements node.Resolver.
@@ -299,6 +316,15 @@ func (rs *resolver) Standby(slot string) (simnet.NodeID, bool) {
 	id, ok := r.standby[slot]
 	return id, ok
 }
+
+// Epoch implements node.EpochResolver.
+func (rs *resolver) Epoch() uint64 {
+	return atomic.LoadUint64(&(*Region)(rs).placeEpoch)
+}
+
+// bumpEpoch invalidates every cached resolution after a placement or
+// standby change.
+func (r *Region) bumpEpoch() { atomic.AddUint64(&r.placeEpoch, 1) }
 
 // distPeersFor assigns the n unicast persistence targets for a slot under
 // dist-n: the next n phones in ring order.
@@ -352,6 +378,7 @@ func (r *Region) Stop() {
 		return
 	}
 	r.stopped = true
+	r.stopping.Store(true)
 	nodes := make([]*node.Node, 0, len(r.nodes))
 	for _, n := range r.nodes {
 		nodes = append(nodes, n)
@@ -364,34 +391,73 @@ func (r *Region) Stop() {
 	}
 }
 
+// ingestSnapshot is the epoch-stamped dispatch table Ingest reads without
+// taking the region mutex: per source operator, its sequence counter (the
+// same allocation across epochs, advanced atomically) and the node
+// currently hosting its slot.
+type ingestSnapshot struct {
+	epoch   uint64
+	targets map[string]ingestTarget
+}
+
+type ingestTarget struct {
+	seq  *uint64
+	node *node.Node
+}
+
+// ingestTargetFor resolves the snapshot entry for a source, rebuilding the
+// snapshot under the mutex when the placement epoch moved.
+func (r *Region) ingestTargetFor(srcOp string) (ingestTarget, bool) {
+	epoch := atomic.LoadUint64(&r.placeEpoch)
+	if snap := r.ingest.Load(); snap != nil && snap.epoch == epoch {
+		tg, ok := snap.targets[srcOp]
+		return tg, ok
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Re-read the epoch under the mutex: placement writes bump it inside
+	// the same critical section, so the rebuilt snapshot is stamped with
+	// exactly the epoch of the maps it copies.
+	epoch = atomic.LoadUint64(&r.placeEpoch)
+	snap := &ingestSnapshot{epoch: epoch, targets: make(map[string]ingestTarget, len(r.srcSeq))}
+	for src, seqp := range r.srcSeq {
+		slot := r.cfg.Graph.SlotOf(src)
+		pid, placed := r.placement[slot]
+		if !placed {
+			continue
+		}
+		if n := r.nodes[pid]; n != nil {
+			snap.targets[src] = ingestTarget{seq: seqp, node: n}
+		}
+	}
+	r.ingest.Store(snap)
+	tg, ok := snap.targets[srcOp]
+	return tg, ok
+}
+
 // Ingest admits one external tuple at the named source operator, assigning
 // its per-source sequence number and timestamp. The workload driver and the
-// inter-region path both enter here.
+// inter-region path both enter here. The steady-state path is lock-free:
+// the dispatch table is cached per placement epoch and sequence numbers
+// advance atomically, so concurrent sources do not serialise on the region
+// mutex.
 func (r *Region) Ingest(srcOp string, value interface{}, size int, kind string) {
-	r.mu.Lock()
-	seqp, ok := r.srcSeq[srcOp]
-	if !ok || r.stopped {
-		r.mu.Unlock()
+	if r.stopping.Load() {
 		return
 	}
-	*seqp++
-	seq := *seqp
-	slot := r.cfg.Graph.SlotOf(srcOp)
-	pid, placed := r.placement[slot]
-	n := r.nodes[pid]
-	r.mu.Unlock()
-	if !placed || n == nil {
+	tg, ok := r.ingestTargetFor(srcOp)
+	if !ok || tg.node == nil {
 		return
 	}
 	t := &tuple.Tuple{
-		Seq:     seq,
+		Seq:     atomic.AddUint64(tg.seq, 1),
 		Source:  srcOp,
 		Kind:    kind,
 		Created: r.clk.Now(),
 		Size:    size,
 		Value:   value,
 	}
-	n.IngestExternal(srcOp, t)
+	tg.node.IngestExternal(srcOp, t)
 }
 
 // onSink receives one published sink result: deduplicate (recovery replays
@@ -463,10 +529,14 @@ func (r *Region) Placement(slot string) (simnet.NodeID, bool) {
 	return id, ok
 }
 
-// SetPlacement points a slot at a new phone (recovery/mobility).
+// SetPlacement points a slot at a new phone (recovery/mobility), bumping
+// the placement epoch so cached routes re-resolve. The bump happens under
+// the mutex so snapshot rebuilds that read the epoch under the same mutex
+// observe map and epoch consistently.
 func (r *Region) SetPlacement(slot string, id simnet.NodeID) {
 	r.mu.Lock()
 	r.placement[slot] = id
+	r.bumpEpoch()
 	r.mu.Unlock()
 }
 
@@ -491,6 +561,7 @@ func (r *Region) PromoteStandby(slot string) *node.Node {
 	r.placement[slot] = sid
 	delete(r.standby, slot)
 	delete(r.standbyPhone, slot)
+	r.bumpEpoch()
 	r.mu.Unlock()
 	return n
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobistreams/internal/clock"
@@ -11,7 +12,7 @@ import (
 
 // WiFiConfig parameterises a region's ad-hoc WiFi.
 type WiFiConfig struct {
-	// BitsPerSecond is the shared medium capacity (paper: 1–5 Mbps).
+	// BitsPerSecond is the per-channel medium capacity (paper: 1–5 Mbps).
 	BitsPerSecond float64
 	// LossProb is the independent per-receiver probability that a UDP
 	// datagram is lost.
@@ -28,6 +29,19 @@ type WiFiConfig struct {
 	// regardless of payload size. It is what edge-level tuple batching
 	// amortises. Default 0 (payload-only accounting).
 	FrameOverhead int
+	// Channels is the number of independent airtime channels (access
+	// points / spatial reuse). Members are assigned to channels
+	// round-robin in Join order; a unicast occupies the sender's and the
+	// receiver's channels (once when they share one), a broadcast
+	// occupies every channel. The default 1 reproduces the classic
+	// single shared medium exactly.
+	Channels int
+	// Assign, when non-nil, overrides round-robin channel assignment:
+	// it maps a joining member to a channel (taken modulo Channels;
+	// negative falls back to round-robin). This models deliberate AP
+	// association — placing a fan-in neighbourhood on one channel keeps
+	// its traffic in-cell instead of charging two cells per hop.
+	Assign func(NodeID) int
 	// Seed seeds the loss process for reproducibility.
 	Seed int64
 }
@@ -42,92 +56,233 @@ func (c *WiFiConfig) applyDefaults() {
 	if c.PropDelay < 0 {
 		c.PropDelay = 0
 	}
+	if c.Channels <= 0 {
+		c.Channels = 1
+	}
 }
 
-// WiFi is one region's shared-airtime broadcast medium.
+// wifiChannel is one independent airtime domain. Reservations are made with
+// a lock-free CAS on busyUntil: a transmission of B bytes reserves
+// B/bandwidth of airtime starting at max(now, busyUntil), identical to the
+// classic single-medium busy-until model.
+type wifiChannel struct {
+	// busyUntil is the simulated time the channel frees up (atomic ns).
+	busyUntil int64
+	// airtime accumulates every reserved duration (atomic ns): the exact
+	// bytes-over-bitrate cost charged to this channel, independent of
+	// idle gaps between reservations.
+	airtime int64
+}
+
+// reserve books dur of airtime starting at max(now, busyUntil) and returns
+// the reservation's end.
+func (c *wifiChannel) reserve(now, dur time.Duration) time.Duration {
+	atomic.AddInt64(&c.airtime, int64(dur))
+	for {
+		old := atomic.LoadInt64(&c.busyUntil)
+		start := int64(now)
+		if old > start {
+			start = old
+		}
+		end := start + int64(dur)
+		if atomic.CompareAndSwapInt64(&c.busyUntil, old, end) {
+			return time.Duration(end)
+		}
+	}
+}
+
+// wifiMember is one endpoint's attachment: its channel assignment and
+// whether it is in radio range. Guarded by its stripe's lock.
+type wifiMember struct {
+	ep      *Endpoint
+	channel int
+	present bool
+}
+
+// memberStripes shards the membership map so the per-send lookups of large
+// regions do not serialise on one mutex.
+const memberStripes = 16
+
+type memberStripe struct {
+	mu      sync.RWMutex
+	members map[NodeID]*wifiMember
+}
+
+// WiFi is one region's shared-airtime broadcast medium, optionally split
+// into several independent channels.
 type WiFi struct {
 	cfg WiFiConfig
 	clk clock.Clock
 
 	Counters Counters
 
-	mu        sync.Mutex
-	busyUntil time.Duration
-	rng       *rand.Rand
-	members   map[NodeID]*Endpoint
-	present   map[NodeID]bool
+	chans    []wifiChannel
+	stripes  [memberStripes]memberStripe
+	nextChan uint32 // round-robin channel assignment (atomic)
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 }
 
 // NewWiFi creates a WiFi medium.
 func NewWiFi(clk clock.Clock, cfg WiFiConfig) *WiFi {
 	cfg.applyDefaults()
-	return &WiFi{
-		cfg:     cfg,
-		clk:     clk,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		members: make(map[NodeID]*Endpoint),
-		present: make(map[NodeID]bool),
+	w := &WiFi{
+		cfg:   cfg,
+		clk:   clk,
+		chans: make([]wifiChannel, cfg.Channels),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	for i := range w.stripes {
+		w.stripes[i].members = make(map[NodeID]*wifiMember)
+	}
+	return w
 }
 
-// Join attaches an endpoint to the medium and marks it present.
+func (w *WiFi) stripe(id NodeID) *memberStripe {
+	// Inline FNV-1a over the string: hash.Hash32 plus a []byte
+	// conversion would put two heap allocations on every membership
+	// lookup of the send path.
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &w.stripes[h%memberStripes]
+}
+
+// Join attaches an endpoint to the medium and marks it present. Channel
+// assignment is round-robin in Join order, so a deterministic join sequence
+// yields a deterministic channel map.
 func (w *WiFi) Join(ep *Endpoint) {
-	w.mu.Lock()
-	w.members[ep.ID] = ep
-	w.present[ep.ID] = true
-	w.mu.Unlock()
+	ch := int(atomic.AddUint32(&w.nextChan, 1)-1) % len(w.chans)
+	if w.cfg.Assign != nil {
+		if a := w.cfg.Assign(ep.ID); a >= 0 {
+			ch = a % len(w.chans)
+		}
+	}
+	s := w.stripe(ep.ID)
+	s.mu.Lock()
+	if m, ok := s.members[ep.ID]; ok {
+		// Rejoining keeps the original channel assignment.
+		m.ep = ep
+		m.present = true
+	} else {
+		s.members[ep.ID] = &wifiMember{ep: ep, channel: ch, present: true}
+	}
+	s.mu.Unlock()
 }
 
 // SetPresent marks a member in or out of radio range. A departed phone
 // (out of range) keeps its endpoint — it stays reachable over cellular.
 func (w *WiFi) SetPresent(id NodeID, present bool) {
-	w.mu.Lock()
-	if _, ok := w.members[id]; ok {
-		w.present[id] = present
+	s := w.stripe(id)
+	s.mu.Lock()
+	if m, ok := s.members[id]; ok {
+		m.present = present
 	}
-	w.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // Present reports whether the member is in radio range.
 func (w *WiFi) Present(id NodeID) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.present[id]
+	s := w.stripe(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.members[id]
+	return ok && m.present
 }
 
 // Remove detaches an endpoint entirely (phone unregistered).
 func (w *WiFi) Remove(id NodeID) {
-	w.mu.Lock()
-	delete(w.members, id)
-	delete(w.present, id)
-	w.mu.Unlock()
+	s := w.stripe(id)
+	s.mu.Lock()
+	delete(s.members, id)
+	s.mu.Unlock()
 }
 
 // Members returns the IDs currently attached (present or not), in
 // unspecified order.
 func (w *WiFi) Members() []NodeID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ids := make([]NodeID, 0, len(w.members))
-	for id := range w.members {
-		ids = append(ids, id)
+	var ids []NodeID
+	for i := range w.stripes {
+		s := &w.stripes[i]
+		s.mu.RLock()
+		for id := range s.members {
+			ids = append(ids, id)
+		}
+		s.mu.RUnlock()
 	}
 	return ids
 }
 
-// occupy reserves airtime for size bytes, sleeping in simulated time until
-// the reservation completes. It splits nothing — callers chunk bulk sends.
-func (w *WiFi) occupy(size int) {
-	dur := time.Duration(float64(size*8) / w.cfg.BitsPerSecond * float64(time.Second))
-	w.mu.Lock()
-	now := w.clk.Now()
-	start := w.busyUntil
-	if now > start {
-		start = now
+// lookup snapshots one member's attachment state.
+func (w *WiFi) lookup(id NodeID) (ep *Endpoint, channel int, present, ok bool) {
+	s := w.stripe(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, found := s.members[id]
+	if !found {
+		return nil, 0, false, false
 	}
-	w.busyUntil = start + dur
-	end := w.busyUntil
-	w.mu.Unlock()
+	return m.ep, m.channel, m.present, true
+}
+
+// Channels reports the number of independent airtime channels.
+func (w *WiFi) Channels() int { return len(w.chans) }
+
+// ChannelOf reports a member's channel assignment.
+func (w *WiFi) ChannelOf(id NodeID) (int, bool) {
+	_, ch, _, ok := w.lookup(id)
+	return ch, ok
+}
+
+// ChannelAirtime reports the total airtime reserved on a channel: exactly
+// (effective bytes × 8 / BitsPerSecond) summed over every reservation the
+// channel carried, independent of idle gaps.
+func (w *WiFi) ChannelAirtime(i int) time.Duration {
+	return time.Duration(atomic.LoadInt64(&w.chans[i].airtime))
+}
+
+// ChannelBusyUntil reports the simulated time a channel frees up.
+func (w *WiFi) ChannelBusyUntil(i int) time.Duration {
+	return time.Duration(atomic.LoadInt64(&w.chans[i].busyUntil))
+}
+
+// airtimeFor converts an effective byte count into airtime.
+func (w *WiFi) airtimeFor(size int) time.Duration {
+	return time.Duration(float64(size*8) / w.cfg.BitsPerSecond * float64(time.Second))
+}
+
+// occupyPair reserves airtime for size bytes on channel a and, when
+// different, channel b (sender's and receiver's channels: both cells carry
+// the transmission), sleeping in simulated time until the later reservation
+// completes. It splits nothing — callers chunk bulk sends.
+func (w *WiFi) occupyPair(size, a, b int) {
+	dur := w.airtimeFor(size)
+	now := w.clk.Now()
+	end := w.chans[a].reserve(now, dur)
+	if b != a {
+		if e2 := w.chans[b].reserve(now, dur); e2 > end {
+			end = e2
+		}
+	}
+	if wait := end - now; wait > 0 {
+		w.clk.Sleep(wait)
+	}
+}
+
+// occupyAll reserves airtime for size bytes on every channel (broadcasts
+// reach all cells) and sleeps until the latest reservation completes.
+func (w *WiFi) occupyAll(size int) {
+	dur := w.airtimeFor(size)
+	now := w.clk.Now()
+	var end time.Duration
+	for i := range w.chans {
+		if e := w.chans[i].reserve(now, dur); e > end {
+			end = e
+		}
+	}
 	if wait := end - now; wait > 0 {
 		w.clk.Sleep(wait)
 	}
@@ -138,10 +293,20 @@ func (w *WiFi) lost() bool {
 	if w.cfg.LossProb <= 0 {
 		return false
 	}
-	w.mu.Lock()
+	w.rngMu.Lock()
 	l := w.rng.Float64() < w.cfg.LossProb
-	w.mu.Unlock()
+	w.rngMu.Unlock()
 	return l
+}
+
+// effectiveBytes inflates a payload by framing overhead and the
+// retransmissions a reliable transfer pays on a lossy medium.
+func (w *WiFi) effectiveBytes(size int) int {
+	eff := size + w.cfg.FrameOverhead
+	if w.cfg.LossProb > 0 && w.cfg.LossProb < 1 {
+		eff = int(float64(eff) / (1 - w.cfg.LossProb))
+	}
+	return eff
 }
 
 // Unicast sends reliably (TCP-like) to one present member. The airtime is
@@ -168,11 +333,15 @@ func (w *WiFi) Respond(req Message, from NodeID, class Class, size int, payload 
 	if req.Reply == nil {
 		return
 	}
-	eff := size + w.cfg.FrameOverhead
-	if w.cfg.LossProb > 0 && w.cfg.LossProb < 1 {
-		eff = int(float64(eff) / (1 - w.cfg.LossProb))
+	_, fromCh, _, fromOK := w.lookup(from)
+	_, toCh, _, toOK := w.lookup(req.From)
+	if !fromOK {
+		fromCh = 0
 	}
-	w.occupy(eff)
+	if !toOK {
+		toCh = fromCh
+	}
+	w.occupyPair(w.effectiveBytes(size), fromCh, toCh)
 	w.Counters.Add(class, size)
 	if w.cfg.PropDelay > 0 {
 		w.clk.Sleep(w.cfg.PropDelay)
@@ -181,26 +350,20 @@ func (w *WiFi) Respond(req Message, from NodeID, class Class, size int, payload 
 }
 
 func (w *WiFi) send(from, to NodeID, class Class, size int, payload interface{}, reply chan Message) error {
-	w.mu.Lock()
-	ep, ok := w.members[to]
-	present := w.present[to] && w.present[from]
-	w.mu.Unlock()
-	if !ok || !present || ep.Sealed() {
+	_, fromCh, fromPresent, fromOK := w.lookup(from)
+	ep, toCh, toPresent, toOK := w.lookup(to)
+	if !toOK || !toPresent || !fromOK || !fromPresent || ep.Sealed() {
 		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
 	// Reliable transfer over a lossy medium costs extra airtime for
 	// retransmissions: effective bytes = (size + framing) / (1 - loss).
-	eff := size + w.cfg.FrameOverhead
-	if w.cfg.LossProb > 0 && w.cfg.LossProb < 1 {
-		eff = int(float64(eff) / (1 - w.cfg.LossProb))
-	}
-	remaining := eff
+	remaining := w.effectiveBytes(size)
 	for remaining > 0 {
 		chunk := remaining
 		if chunk > w.cfg.ChunkBytes {
 			chunk = w.cfg.ChunkBytes
 		}
-		w.occupy(chunk)
+		w.occupyPair(chunk, fromCh, toCh)
 		remaining -= chunk
 	}
 	w.Counters.Add(class, size)
@@ -209,10 +372,7 @@ func (w *WiFi) send(from, to NodeID, class Class, size int, payload interface{},
 	}
 	// Re-check reachability after airtime: the destination may have
 	// failed while the transfer was queued.
-	w.mu.Lock()
-	present = w.present[to]
-	w.mu.Unlock()
-	if !present || ep.Sealed() {
+	if !w.Present(to) || ep.Sealed() {
 		return fmt.Errorf("%w: %s -> %s", ErrUnreachable, from, to)
 	}
 	if !ep.deliver(Message{From: from, To: to, Class: class, Size: size, Payload: payload, Reply: reply}, true) {
@@ -230,9 +390,9 @@ type Datagram struct {
 // Broadcast sends one UDP datagram to every present member except the
 // sender. Delivery is best-effort: each receiver independently loses the
 // datagram with LossProb, and a full inbox drops it. The airtime is charged
-// once regardless of receiver count — this is the broadcast amortisation
-// MobiStreams exploits (§III-C). It returns the number of members that
-// received the datagram.
+// once per channel regardless of receiver count — this is the broadcast
+// amortisation MobiStreams exploits (§III-C). It returns the number of
+// members that received the datagram.
 func (w *WiFi) Broadcast(from NodeID, class Class, size int, payload interface{}) int {
 	res := w.BroadcastBatch(from, class, []Datagram{{Size: size, Payload: payload}})
 	return res[0]
@@ -246,22 +406,24 @@ func (w *WiFi) BroadcastBatch(from NodeID, class Class, grams []Datagram) []int 
 	if len(grams) == 0 {
 		return counts
 	}
-	w.mu.Lock()
-	if !w.present[from] {
-		w.mu.Unlock()
+	if !w.Present(from) {
 		return counts
 	}
 	type target struct {
 		id NodeID
 		ep *Endpoint
 	}
-	targets := make([]target, 0, len(w.members))
-	for id, ep := range w.members {
-		if id != from && w.present[id] {
-			targets = append(targets, target{id, ep})
+	var targets []target
+	for i := range w.stripes {
+		s := &w.stripes[i]
+		s.mu.RLock()
+		for id, m := range s.members {
+			if id != from && m.present {
+				targets = append(targets, target{id, m.ep})
+			}
 		}
+		s.mu.RUnlock()
 	}
-	w.mu.Unlock()
 
 	// Reserve airtime one chunk of datagrams at a time so concurrent
 	// unicast flows interleave with a long burst, then deliver the
@@ -273,7 +435,7 @@ func (w *WiFi) BroadcastBatch(from NodeID, class Class, grams []Datagram) []int 
 			bytes += grams[end].Size + w.cfg.FrameOverhead
 			end++
 		}
-		w.occupy(bytes)
+		w.occupyAll(bytes)
 		for i := start; i < end; i++ {
 			g := grams[i]
 			w.Counters.Add(class, g.Size)
