@@ -30,6 +30,10 @@ type Baseline struct {
 	// Saturated runs are airtime-bound, so the number is stable across
 	// machines.
 	ScaleTPSLargest float64 `json:"scale_tps_largest"`
+	// EmitAllocsPerOp is the emit-context contract's steady-state
+	// allocations per tuple through the compiled pipeline — 0 by design,
+	// and machine-independent, so the gate pins it hard.
+	EmitAllocsPerOp float64 `json:"emit_allocs_per_op"`
 }
 
 // regressionFactor is the gate's threshold: a metric more than 20% worse
@@ -40,9 +44,13 @@ const (
 	lossGraceTuples  = 3
 	pauseGraceMs     = 5.0
 	scaleGraceTPS    = 5.0
+	// emitGraceAllocs absorbs measurement noise from unrelated background
+	// allocation (GC bookkeeping) without letting a real per-tuple
+	// allocation — the smallest possible regression is 1.0 — pass.
+	emitGraceAllocs = 0.1
 )
 
-func runCompare(baselinePath, churnPath, ckptPath, scalePath string, w io.Writer) error {
+func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath string, w io.Writer) error {
 	var base Baseline
 	if err := readJSON(baselinePath, &base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -58,6 +66,10 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath string, w io.Writer
 	var scale bench.ScaleReport
 	if err := readJSON(scalePath, &scale); err != nil {
 		return fmt.Errorf("scale results: %w", err)
+	}
+	var emit bench.EmitReport
+	if err := readJSON(emitPath, &emit); err != nil {
+		return fmt.Errorf("emit results: %w", err)
 	}
 
 	var worstLoss int64
@@ -94,17 +106,32 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath string, w io.Writer
 		}
 	}
 
+	emitAllocs, emitSeen := -1.0, false
+	for _, row := range emit.Rows {
+		if row.Mode == "context" {
+			emitAllocs, emitSeen = row.AllocsPerOp, true
+		}
+	}
+
 	lossLimit := int64(float64(base.MaxSchedulerTupleLoss)*regressionFactor) + lossGraceTuples
 	pauseLimit := base.IncrPauseMeanMsLargest*regressionFactor + pauseGraceMs
 	scaleLimit := base.ScaleTPSLargest/regressionFactor - scaleGraceTPS
+	emitLimit := base.EmitAllocsPerOp + emitGraceAllocs
 	fmt.Fprintf(w, "gate: scheduler tuple loss %d (baseline %d, limit %d)\n",
 		worstLoss, base.MaxSchedulerTupleLoss, lossLimit)
 	fmt.Fprintf(w, "gate: incremental pause at %d KB state %.2f ms (baseline %.2f ms, limit %.2f ms)\n",
 		largest/1024, incrPause, base.IncrPauseMeanMsLargest, pauseLimit)
 	fmt.Fprintf(w, "gate: scale throughput at %d phones %.1f tuples/s (baseline %.1f, limit %.1f)\n",
 		largestPhones, scaleTPS, base.ScaleTPSLargest, scaleLimit)
+	fmt.Fprintf(w, "gate: emit-path allocs/op %.3f (baseline %.3f, limit %.3f)\n",
+		emitAllocs, base.EmitAllocsPerOp, emitLimit)
 
 	var failures []string
+	if !emitSeen {
+		failures = append(failures, "emit results carry no context-contract row")
+	} else if emitAllocs > emitLimit {
+		failures = append(failures, fmt.Sprintf("emit-path allocs/op regressed: %.3f > %.3f", emitAllocs, emitLimit))
+	}
 	if worstLoss > lossLimit {
 		failures = append(failures, fmt.Sprintf("tuple loss regressed: %d > %d", worstLoss, lossLimit))
 	}

@@ -14,16 +14,18 @@
 //	msbench -exp churn          # reactive recovery vs placement scheduler
 //	msbench -exp checkpoint     # full-blob vs incremental-async pipeline
 //	msbench -exp scale          # region size × WiFi channels throughput sweep
+//	msbench -exp emit           # emit-context contract vs legacy []Out adapter
 //
-// -churnout / -ckptout / -scaleout write the churn, checkpoint and scale
-// comparisons as machine-readable JSON (BENCH_scheduler.json /
-// BENCH_checkpoint.json / BENCH_scale.json in CI) alongside the printed
-// tables.
+// -churnout / -ckptout / -scaleout / -emitout write the churn, checkpoint,
+// scale and emit comparisons as machine-readable JSON (BENCH_scheduler.json
+// / BENCH_checkpoint.json / BENCH_scale.json / BENCH_emit.json in CI)
+// alongside the printed tables.
 //
 // -compare is the CI benchmark-regression gate: it reads the committed
-// baseline (BENCH_baseline.json) plus the fresh churn/checkpoint/scale
-// JSON and exits non-zero when tuple loss, checkpoint pause, or largest-
-// region throughput regressed more than 20% against the baseline.
+// baseline (BENCH_baseline.json) plus the fresh churn/checkpoint/scale/
+// emit JSON and exits non-zero when tuple loss, checkpoint pause, or
+// largest-region throughput regressed more than 20% against the baseline,
+// or when the emit-context path allocates per tuple (pinned at 0).
 //
 // -cpuprofile / -memprofile write pprof profiles so hot-path regressions
 // caught by the gate are diagnosable straight from CI artifacts.
@@ -43,11 +45,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
 	scaleOut := flag.String("scaleout", "", "write scale sweep JSON to this path")
+	emitOut := flag.String("emitout", "", "write emit-path comparison JSON to this path")
+	emitIters := flag.Int("emititers", 200000, "tuples per emit-path measurement")
 	scaleMax := flag.Int("scalemax", 64, "largest region size for the scale sweep (8..128)")
 	scaleChannels := flag.String("scalechannels", "1,4", "comma-separated WiFi channel counts for tuned scale rows")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
@@ -58,6 +62,7 @@ func main() {
 	churnJSON := flag.String("churnjson", "BENCH_scheduler.json", "fresh churn results for -compare")
 	ckptJSON := flag.String("ckptjson", "BENCH_checkpoint.json", "fresh checkpoint results for -compare")
 	scaleJSON := flag.String("scalejson", "BENCH_scale.json", "fresh scale results for -compare")
+	emitJSON := flag.String("emitjson", "BENCH_emit.json", "fresh emit-path results for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
@@ -91,7 +96,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, os.Stdout); err != nil {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
 			os.Exit(1)
 		}
@@ -223,6 +228,23 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *scaleOut)
+			}
+			return nil
+		})
+	}
+	if want("emit") {
+		run("emit", func() error {
+			rep := bench.RunEmit(*emitIters, os.Stdout)
+			if *emitOut != "" {
+				f, err := os.Create(*emitOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteEmitJSON(f, rep); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *emitOut)
 			}
 			return nil
 		})

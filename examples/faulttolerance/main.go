@@ -12,38 +12,31 @@ import (
 	"mobistreams"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/tuple"
+	"mobistreams/stream"
 )
 
 func main() {
-	g, err := mobistreams.NewGraphBuilder().
-		AddOperator("A", "n1").AddOperator("B", "n2").
-		AddOperator("C", "n3").AddOperator("D", "n4").
-		AddOperator("E", "n5").
-		Connect("A", "B").Connect("B", "C").Connect("B", "D").
-		Connect("C", "E").Connect("D", "E").
-		Build()
+	// The Fig. 5 diamond, declared fluently: A -> B fans out to C and D,
+	// which Merge back into the join E. Each stage is pinned to its own
+	// slot (phone); the builder compiles the same graph + registry the
+	// hand-wired API used to assemble.
+	a := stream.From[int]("A", stream.On("n1"))
+	b := a.Via("B", func() operator.Operator { return operator.NewPassthrough("B") }, stream.On("n2"))
+	c := b.Map("C", func(v int) int { return v }, stream.On("n3"))
+	d := b.Map("D", func(v int) int { return v }, stream.On("n4"))
+	e := stream.Merge[int]("E", func() operator.Operator {
+		return operator.NewJoin("E", "C", "D", func(l, r *tuple.Tuple) *tuple.Tuple { return l.Clone() })
+	}, []stream.Upstream{c, d}, stream.On("n5"))
+	p, err := e.Build()
 	if err != nil {
 		panic(err)
-	}
-	clone := func(in *tuple.Tuple) *tuple.Tuple { return in.Clone() }
-	registry := mobistreams.Registry{
-		"A": func() mobistreams.Operator { return operator.NewPassthrough("A") },
-		"B": func() mobistreams.Operator { return operator.NewPassthrough("B") },
-		"C": func() mobistreams.Operator { return operator.NewMap("C", clone) },
-		"D": func() mobistreams.Operator { return operator.NewMap("D", clone) },
-		"E": func() mobistreams.Operator {
-			return operator.NewJoin("E", "C", "D", func(l, r *tuple.Tuple) *tuple.Tuple { return l.Clone() })
-		},
 	}
 
 	sys := mobistreams.NewSystem(mobistreams.SystemConfig{
 		Speedup:          200,
 		CheckpointPeriod: 45 * time.Second,
 	})
-	region, err := sys.AddRegion(mobistreams.RegionSpec{
-		ID: "r1", Graph: g, Registry: registry,
-		Scheme: mobistreams.MS, Phones: 10,
-	})
+	region, err := sys.AddRegion(mobistreams.PipelineSpec("r1", p, mobistreams.MS, 10))
 	if err != nil {
 		panic(err)
 	}

@@ -1,7 +1,8 @@
 // Quickstart: a three-operator pipeline (sensor source -> smoother -> sink)
-// on a five-phone region under MobiStreams fault tolerance. It ingests
-// readings, rides through a checkpoint, survives a mid-run phone failure
-// and prints the recovered output stream.
+// declared with the typed stream builder, on a five-phone region under
+// MobiStreams fault tolerance. It ingests readings on a workload schedule,
+// rides through a checkpoint, survives a mid-run phone failure and prints
+// the recovered output stream.
 package main
 
 import (
@@ -11,16 +12,20 @@ import (
 	"mobistreams"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/tuple"
+	"mobistreams/internal/workload"
+	"mobistreams/stream"
 )
 
-// smoother is a custom stateful operator: an exponential moving average.
+// smoother is a custom stateful operator on the emit-context contract: an
+// exponential moving average whose results are pushed straight into the
+// node's compiled pipeline — no per-tuple emission slice.
 type smoother struct {
 	operator.Base
 	ewma float64
 	n    uint64
 }
 
-func (s *smoother) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (s *smoother) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	v, _ := t.Value.(float64)
 	if s.n == 0 {
 		s.ewma = v
@@ -30,7 +35,8 @@ func (s *smoother) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
 	s.n++
 	out := t.Clone()
 	out.Value = s.ewma
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (s *smoother) Cost(*tuple.Tuple) time.Duration { return 50 * time.Millisecond }
@@ -47,32 +53,23 @@ func (s *smoother) Restore(data []byte) error {
 func (s *smoother) StateSize() int { return 16 }
 
 func main() {
-	g, err := mobistreams.NewGraphBuilder().
-		AddOperator("sensor", "n1").
-		AddOperator("smooth", "n2").
-		AddOperator("out", "n3").
-		Chain("sensor", "smooth", "out").
+	p, err := stream.From[float64]("sensor", stream.On("n1")).
+		Via("smooth", func() operator.Operator {
+			return &smoother{Base: operator.Base{Name: "smooth"}}
+		}, stream.On("n2")).
+		Sink("out", func(v float64) {
+			fmt.Printf("  -> smoothed reading %.2f\n", v)
+		}, stream.On("n3")).
 		Build()
 	if err != nil {
-		panic(err)
-	}
-	registry := mobistreams.Registry{
-		"sensor": func() mobistreams.Operator { return operator.NewPassthrough("sensor") },
-		"smooth": func() mobistreams.Operator { return &smoother{Base: operator.Base{Name: "smooth"}} },
-		"out":    func() mobistreams.Operator { return operator.NewPassthrough("out") },
+		panic(err) // wiring bugs surface here, at build time
 	}
 
 	sys := mobistreams.NewSystem(mobistreams.SystemConfig{
 		Speedup:          100, // 1 simulated minute ~ 0.6 s of wall time
 		CheckpointPeriod: 30 * time.Second,
 	})
-	region, err := sys.AddRegion(mobistreams.RegionSpec{
-		ID: "demo", Graph: g, Registry: registry,
-		Scheme: mobistreams.MS, Phones: 5,
-		OnOutput: func(t *mobistreams.Tuple) {
-			fmt.Printf("  -> reading #%d smoothed to %.2f\n", t.Seq, t.Value.(float64))
-		},
-	})
+	region, err := sys.AddRegion(mobistreams.PipelineSpec("demo", p, mobistreams.MS, 5))
 	if err != nil {
 		panic(err)
 	}
@@ -80,11 +77,14 @@ func main() {
 	defer sys.Stop()
 	clk := sys.Clock()
 
-	fmt.Println("ingesting 10 readings...")
-	for i := 0; i < 10; i++ {
-		region.Ingest("sensor", float64(20+i), 512, "reading")
-		clk.Sleep(2 * time.Second)
-	}
+	fmt.Println("ingesting readings every 2 simulated seconds...")
+	gen := workload.NewGenerator(clk)
+	defer gen.Stop()
+	gen.Every(2*time.Second, 1, func(i int) {
+		region.Ingest("sensor", float64(20+i%20), 512, "reading")
+	})
+
+	clk.Sleep(20 * time.Second)
 	fmt.Println("triggering a checkpoint...")
 	region.TriggerCheckpoint()
 	clk.Sleep(15 * time.Second)
@@ -94,11 +94,7 @@ func main() {
 	if err := region.InjectFailure("n2"); err != nil {
 		panic(err)
 	}
-	for i := 10; i < 20; i++ {
-		region.Ingest("sensor", float64(20+i), 512, "reading")
-		clk.Sleep(2 * time.Second)
-	}
-	clk.Sleep(60 * time.Second) // detection + recovery + catch-up
+	clk.Sleep(80 * time.Second) // detection + recovery + catch-up
 	fmt.Printf("recoveries: %d, unique outputs: %d, mean latency: %v\n",
 		region.Recoveries(), region.Outputs(), region.MeanLatency().Round(time.Millisecond))
 }

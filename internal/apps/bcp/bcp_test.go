@@ -46,15 +46,15 @@ func TestRegistryBuildsEveryOperator(t *testing.T) {
 
 func TestNoiseFilterDropsCorrupt(t *testing.T) {
 	n := newNoiseFilter(params())
-	outs, err := n.Process("S0", &tuple.Tuple{Value: BusInfo{OnBoard: 20, Corrupt: true}})
+	outs, err := operator.Run(n, "S0", &tuple.Tuple{Value: BusInfo{OnBoard: 20, Corrupt: true}})
 	if err != nil || len(outs) != 0 {
 		t.Fatalf("corrupt passed: %v %v", outs, err)
 	}
-	outs, err = n.Process("S0", &tuple.Tuple{Value: BusInfo{OnBoard: -3}})
+	outs, err = operator.Run(n, "S0", &tuple.Tuple{Value: BusInfo{OnBoard: -3}})
 	if err != nil || len(outs) != 0 {
 		t.Fatalf("negative passed: %v %v", outs, err)
 	}
-	outs, err = n.Process("S0", &tuple.Tuple{Value: BusInfo{OnBoard: 20}})
+	outs, err = operator.Run(n, "S0", &tuple.Tuple{Value: BusInfo{OnBoard: 20}})
 	if err != nil || len(outs) != 1 {
 		t.Fatal("clean reading dropped")
 	}
@@ -65,7 +65,7 @@ func TestNoiseFilterDropsCorrupt(t *testing.T) {
 
 func TestCounterUsesGroundTruthOrVision(t *testing.T) {
 	c := newCounter("C0", params())
-	outs, err := c.Process("D", &tuple.Tuple{Value: Frame{Planted: 3}})
+	outs, err := operator.Run(c, "D", &tuple.Tuple{Value: Frame{Planted: 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestCounterUsesGroundTruthOrVision(t *testing.T) {
 	p.RealCompute = true
 	cr := newCounter("C0", p)
 	im, _ := vision.GenerateFaces(vision.Scene{W: 160, H: 120, Noise: 25, Seed: 5}, 2)
-	outs, err = cr.Process("D", &tuple.Tuple{Value: Frame{Planted: 2, Image: im}})
+	outs, err = operator.Run(cr, "D", &tuple.Tuple{Value: Frame{Planted: 2, Image: im}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestCounterUsesGroundTruthOrVision(t *testing.T) {
 func TestCounterSnapshotRoundTrip(t *testing.T) {
 	c := newCounter("C1", params())
 	for i := 0; i < 5; i++ {
-		c.Process("D", &tuple.Tuple{Value: Frame{Planted: i}})
+		operator.Run(c, "D", &tuple.Tuple{Value: Frame{Planted: i}})
 	}
 	state, err := c.Snapshot()
 	if err != nil {
@@ -109,14 +109,14 @@ func TestCounterSnapshotRoundTrip(t *testing.T) {
 func TestLatestJoinCombinesPaths(t *testing.T) {
 	j := newLatestJoin(params())
 	// Boarding estimate arrives first (camera path is faster).
-	if _, err := j.Process("B", &tuple.Tuple{Seq: 99, Value: 4.0}); err != nil {
+	if _, err := operator.Run(j, "B", &tuple.Tuple{Seq: 99, Value: 4.0}); err != nil {
 		t.Fatal(err)
 	}
-	outs, err := j.Process("A", &tuple.Tuple{Seq: 1, Value: BusInfo{OnBoard: 12}})
+	outs, err := operator.Run(j, "A", &tuple.Tuple{Seq: 1, Value: BusInfo{OnBoard: 12}})
 	if err != nil || len(outs) != 0 {
 		t.Fatalf("half-joined emitted: %v %v", outs, err)
 	}
-	outs, err = j.Process("L", &tuple.Tuple{Seq: 1, Value: 3.0})
+	outs, err = operator.Run(j, "L", &tuple.Tuple{Seq: 1, Value: 3.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,16 +127,16 @@ func TestLatestJoinCombinesPaths(t *testing.T) {
 	if pred.OnBoard != 12 || pred.Board != 4 || pred.Alight != 3 {
 		t.Fatalf("prediction = %+v", pred)
 	}
-	if _, err := j.Process("X", &tuple.Tuple{}); err == nil {
+	if _, err := operator.Run(j, "X", &tuple.Tuple{}); err == nil {
 		t.Fatal("unknown upstream accepted")
 	}
 }
 
 func TestLatestJoinSnapshotRoundTrip(t *testing.T) {
 	j := newLatestJoin(params())
-	j.Process("B", &tuple.Tuple{Seq: 9, Value: 5.0})
-	j.Process("A", &tuple.Tuple{Seq: 2, Value: BusInfo{OnBoard: 7}})
-	j.Process("L", &tuple.Tuple{Seq: 3, Value: 2.0})
+	operator.Run(j, "B", &tuple.Tuple{Seq: 9, Value: 5.0})
+	operator.Run(j, "A", &tuple.Tuple{Seq: 2, Value: BusInfo{OnBoard: 7}})
+	operator.Run(j, "L", &tuple.Tuple{Seq: 3, Value: 2.0})
 	state, err := j.Snapshot()
 	if err != nil {
 		t.Fatal(err)
@@ -147,7 +147,7 @@ func TestLatestJoinSnapshotRoundTrip(t *testing.T) {
 	}
 	// Completing seq 2 against restored state must fire with the
 	// restored boarding estimate.
-	outs, err := j2.Process("L", &tuple.Tuple{Seq: 2, Value: 1.0})
+	outs, err := operator.Run(j2, "L", &tuple.Tuple{Seq: 2, Value: 1.0})
 	if err != nil || len(outs) != 1 {
 		t.Fatalf("restored join: %v %v", outs, err)
 	}
@@ -159,14 +159,14 @@ func TestLatestJoinSnapshotRoundTrip(t *testing.T) {
 
 func TestCapacityModelClamps(t *testing.T) {
 	p := newCapacityModel(params())
-	outs, err := p.Process("J", &tuple.Tuple{Value: Prediction{OnBoard: 2, Board: 1, Alight: 10}})
+	outs, err := operator.Run(p, "J", &tuple.Tuple{Value: Prediction{OnBoard: 2, Board: 1, Alight: 10}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := outs[0].T.Value.(Prediction).OnBoard; got != 0 {
 		t.Fatalf("clamped capacity = %v, want 0", got)
 	}
-	outs, _ = p.Process("J", &tuple.Tuple{Value: Prediction{OnBoard: 10, Board: 5, Alight: 3}})
+	outs, _ = operator.Run(p, "J", &tuple.Tuple{Value: Prediction{OnBoard: 10, Board: 5, Alight: 3}})
 	if got := outs[0].T.Value.(Prediction).OnBoard; got != 12 {
 		t.Fatalf("capacity = %v, want 12", got)
 	}
@@ -174,11 +174,11 @@ func TestCapacityModelClamps(t *testing.T) {
 
 func TestMotionDetectDropsEmptyFrames(t *testing.T) {
 	h := newMotionDetect(params())
-	outs, err := h.Process("S1", &tuple.Tuple{Value: Frame{Planted: 0}})
+	outs, err := operator.Run(h, "S1", &tuple.Tuple{Value: Frame{Planted: 0}})
 	if err != nil || len(outs) != 0 {
 		t.Fatal("empty frame passed")
 	}
-	outs, err = h.Process("S1", &tuple.Tuple{Value: Frame{Planted: 2}})
+	outs, err = operator.Run(h, "S1", &tuple.Tuple{Value: Frame{Planted: 2}})
 	if err != nil || len(outs) != 1 {
 		t.Fatal("occupied frame dropped")
 	}
@@ -194,13 +194,13 @@ func TestAllStatefulOperatorsRoundTrip(t *testing.T) {
 		// Push a plausible tuple through where the payload type allows.
 		switch id {
 		case "S0", "N":
-			op.Process("", in)
+			operator.Run(op, "", in)
 		case "A", "L":
-			op.Process("N", in)
+			operator.Run(op, "N", in)
 		case "S1", "H":
-			op.Process("", frame)
+			operator.Run(op, "", frame)
 		case "C0", "C1", "C2", "C3":
-			op.Process("D", frame)
+			operator.Run(op, "D", frame)
 		}
 		state, err := op.Snapshot()
 		if err != nil {

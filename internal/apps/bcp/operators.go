@@ -49,10 +49,10 @@ func newNoiseFilter(p Params) *noiseFilter {
 
 func (o *noiseFilter) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *noiseFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *noiseFilter) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	info, ok := t.Value.(BusInfo)
 	if !ok || info.Corrupt || info.OnBoard < 0 {
-		return nil, nil
+		return nil
 	}
 	if o.n == 0 {
 		o.ewma = info.OnBoard
@@ -63,7 +63,8 @@ func (o *noiseFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) 
 	out := t.Clone()
 	out.Size = busTupleBytes
 	out.Value = BusInfo{OnBoard: o.ewma}
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *noiseFilter) Snapshot() ([]byte, error) {
@@ -105,7 +106,7 @@ func newArrivalModel(p Params) *arrivalModel {
 
 func (o *arrivalModel) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *arrivalModel) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *arrivalModel) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	now := t.Created.Seconds()
 	if o.n > 0 {
 		gap := now - o.lastSeen
@@ -118,7 +119,8 @@ func (o *arrivalModel) Process(_ string, t *tuple.Tuple) ([]operator.Out, error)
 	out := t.Clone()
 	out.Size = busTupleBytes
 	out.Kind = "eta"
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *arrivalModel) Snapshot() ([]byte, error) {
@@ -162,14 +164,15 @@ func newAlightModel(p Params) *alightModel {
 
 func (o *alightModel) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *alightModel) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *alightModel) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	info, _ := t.Value.(BusInfo)
 	alight := o.fraction * info.OnBoard
 	out := t.Clone()
 	out.Size = busTupleBytes
 	out.Kind = "alight"
 	out.Value = alight
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *alightModel) Snapshot() ([]byte, error) { return putF64(nil, o.fraction), nil }
@@ -203,10 +206,10 @@ func newMotionDetect(p Params) *motionDetect {
 
 func (o *motionDetect) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *motionDetect) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *motionDetect) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	f, ok := t.Value.(Frame)
 	if !ok {
-		return nil, fmt.Errorf("H: unexpected payload %T", t.Value)
+		return fmt.Errorf("H: unexpected payload %T", t.Value)
 	}
 	occupied := f.Planted > 0
 	if o.real && f.Image != nil {
@@ -216,9 +219,10 @@ func (o *motionDetect) Process(_ string, t *tuple.Tuple) ([]operator.Out, error)
 	}
 	if !occupied {
 		o.dropped++
-		return nil, nil
+		return nil
 	}
-	return []operator.Out{operator.Emit(t)}, nil
+	ctx.Emit(t)
+	return nil
 }
 
 func (o *motionDetect) Snapshot() ([]byte, error) {
@@ -275,10 +279,10 @@ func newCounter(id string, p Params) *counter {
 
 func (o *counter) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *counter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *counter) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	f, ok := t.Value.(Frame)
 	if !ok {
-		return nil, fmt.Errorf("counter: unexpected payload %T", t.Value)
+		return fmt.Errorf("counter: unexpected payload %T", t.Value)
 	}
 	count := f.Planted
 	if o.real && f.Image != nil {
@@ -292,7 +296,8 @@ func (o *counter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
 	out.Kind = "count"
 	out.Size = countTupleBytes
 	out.Value = float64(count)
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *counter) Snapshot() ([]byte, error) {
@@ -338,7 +343,7 @@ func newBoardModel(p Params) *boardModel {
 
 func (o *boardModel) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *boardModel) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *boardModel) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	c, _ := t.Value.(float64)
 	o.window = append(o.window, c)
 	if len(o.window) > 16 {
@@ -353,7 +358,8 @@ func (o *boardModel) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
 	out.Kind = "board"
 	out.Size = countTupleBytes
 	out.Value = sum / float64(len(o.window))
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *boardModel) Snapshot() ([]byte, error) {
@@ -418,13 +424,13 @@ func newLatestJoin(p Params) *latestJoin {
 
 func (o *latestJoin) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *latestJoin) Process(from string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *latestJoin) Process(ctx *operator.Context, from string, t *tuple.Tuple) error {
 	switch from {
 	case "B":
 		o.latestBoard, _ = t.Value.(float64)
 		o.haveBoard = true
 		if !o.haveBus {
-			return nil, nil
+			return nil
 		}
 		// Frame-rate refresh: re-predict for the last known bus with
 		// the new boarding estimate. The output keeps the camera
@@ -434,18 +440,19 @@ func (o *latestJoin) Process(from string, t *tuple.Tuple) ([]operator.Out, error
 		out.Kind = "joined"
 		out.Size = predTupleBytes
 		out.Value = Prediction{BusSeq: o.lastSeq, OnBoard: o.lastOn, Board: o.latestBoard, Alight: o.lastAlight}
-		return []operator.Out{operator.Emit(out)}, nil
+		ctx.Emit(out)
+		return nil
 	case "A":
 		o.eta[t.Seq] = t
 	case "L":
 		o.alight[t.Seq], _ = t.Value.(float64)
 	default:
-		return nil, fmt.Errorf("J: unexpected upstream %q", from)
+		return fmt.Errorf("J: unexpected upstream %q", from)
 	}
 	etaT, okA := o.eta[t.Seq]
 	alight, okL := o.alight[t.Seq]
 	if !okA || !okL {
-		return nil, nil
+		return nil
 	}
 	delete(o.eta, t.Seq)
 	delete(o.alight, t.Seq)
@@ -455,7 +462,8 @@ func (o *latestJoin) Process(from string, t *tuple.Tuple) ([]operator.Out, error
 	out.Kind = "joined"
 	out.Size = predTupleBytes
 	out.Value = Prediction{BusSeq: t.Seq, OnBoard: info.OnBoard, Board: o.latestBoard, Alight: alight}
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *latestJoin) Snapshot() ([]byte, error) {
@@ -570,10 +578,10 @@ func newCapacityModel(p Params) *capacityModel {
 
 func (o *capacityModel) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *capacityModel) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *capacityModel) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	pred, ok := t.Value.(Prediction)
 	if !ok {
-		return nil, fmt.Errorf("P: unexpected payload %T", t.Value)
+		return fmt.Errorf("P: unexpected payload %T", t.Value)
 	}
 	pred.OnBoard = math.Max(0, pred.OnBoard+pred.Board-pred.Alight)
 	o.n++
@@ -581,7 +589,8 @@ func (o *capacityModel) Process(_ string, t *tuple.Tuple) ([]operator.Out, error
 	out.Kind = "prediction"
 	out.Size = predTupleBytes
 	out.Value = pred
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *capacityModel) Snapshot() ([]byte, error) {

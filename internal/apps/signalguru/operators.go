@@ -39,10 +39,10 @@ func newColorFilter(id string, p Params) *colorFilter {
 
 func (o *colorFilter) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *colorFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *colorFilter) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	f, ok := t.Value.(Frame)
 	if !ok {
-		return nil, fmt.Errorf("%s: unexpected payload %T", o.Name, t.Value)
+		return fmt.Errorf("%s: unexpected payload %T", o.Name, t.Value)
 	}
 	o.n++
 	var blobs []vision.Blob
@@ -56,7 +56,8 @@ func (o *colorFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) 
 	out.Kind = "blobs"
 	out.Size = obsTupleBytes
 	out.Value = blobsValue{frame: f, blobs: blobs}
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func truthBlob(c vision.LightColor) vision.Blob {
@@ -83,10 +84,10 @@ func newShapeFilter(id string, p Params) *shapeFilter {
 
 func (o *shapeFilter) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *shapeFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *shapeFilter) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	bv, ok := t.Value.(blobsValue)
 	if !ok {
-		return nil, fmt.Errorf("%s: unexpected payload %T", o.Name, t.Value)
+		return fmt.Errorf("%s: unexpected payload %T", o.Name, t.Value)
 	}
 	o.n++
 	if o.real {
@@ -95,7 +96,8 @@ func (o *shapeFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) 
 	out := t.Clone()
 	out.Size = obsTupleBytes
 	out.Value = bv
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *shapeFilter) Snapshot() ([]byte, error) { return u64(o.n), nil }
@@ -120,10 +122,10 @@ func newMotionFilter(id string, p Params) *motionFilter {
 
 func (o *motionFilter) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *motionFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *motionFilter) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	bv, ok := t.Value.(blobsValue)
 	if !ok {
-		return nil, fmt.Errorf("%s: unexpected payload %T", o.Name, t.Value)
+		return fmt.Errorf("%s: unexpected payload %T", o.Name, t.Value)
 	}
 	o.n++
 	kept := bv.blobs
@@ -138,7 +140,8 @@ func (o *motionFilter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error)
 	out.Kind = "observation"
 	out.Size = ctlTupleBytes
 	out.Value = Observation{Color: color, Valid: valid}
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *motionFilter) Snapshot() ([]byte, error) {
@@ -191,10 +194,10 @@ func newVoter(p Params) *voter {
 
 func (o *voter) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *voter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *voter) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	obs, ok := t.Value.(Observation)
 	if !ok {
-		return nil, fmt.Errorf("V: unexpected payload %T", t.Value)
+		return fmt.Errorf("V: unexpected payload %T", t.Value)
 	}
 	o.n++
 	if obs.Valid {
@@ -204,7 +207,7 @@ func (o *voter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
 		}
 	}
 	if len(o.window) == 0 {
-		return nil, nil
+		return nil
 	}
 	var counts [3]int
 	for _, w := range o.window {
@@ -220,7 +223,8 @@ func (o *voter) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
 	out.Kind = "vote"
 	out.Size = ctlTupleBytes
 	out.Value = Observation{Color: best, Valid: true}
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 // Aliases keep the vote loop readable.
@@ -275,15 +279,15 @@ func newGrouper(p Params) *grouper {
 
 func (o *grouper) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *grouper) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *grouper) Process(ctx *operator.Context, _ string, t *tuple.Tuple) error {
 	obs, ok := t.Value.(Observation)
 	if !ok {
-		return nil, fmt.Errorf("G: unexpected payload %T", t.Value)
+		return fmt.Errorf("G: unexpected payload %T", t.Value)
 	}
 	now := t.Created.Seconds()
 	if !o.have {
 		o.current, o.started, o.have = obs.Color, now, true
-		return nil, nil
+		return nil
 	}
 	if obs.Color == o.current {
 		// Frame-rate progress: drivers watch a live countdown, so every
@@ -292,7 +296,8 @@ func (o *grouper) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
 		out.Kind = "progress"
 		out.Size = ctlTupleBytes
 		out.Value = PhaseProgress{Color: o.current, Elapsed: now - o.started}
-		return []operator.Out{operator.Emit(out)}, nil
+		ctx.Emit(out)
+		return nil
 	}
 	change := PhaseChange{Color: o.current, Duration: now - o.started}
 	o.current, o.started = obs.Color, now
@@ -300,7 +305,8 @@ func (o *grouper) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
 	out.Kind = "phase"
 	out.Size = ctlTupleBytes
 	out.Value = change
-	return []operator.Out{operator.Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 func (o *grouper) Snapshot() ([]byte, error) {
@@ -348,13 +354,13 @@ func newPredictor(p Params) *predictor {
 
 func (o *predictor) Cost(*tuple.Tuple) time.Duration { return o.cost }
 
-func (o *predictor) Process(from string, t *tuple.Tuple) ([]operator.Out, error) {
+func (o *predictor) Process(ctx *operator.Context, from string, t *tuple.Tuple) error {
 	if from == "S0" {
 		if adv, ok := t.Value.(Advisory); ok {
 			o.upstream = adv.NextInSec
 			o.haveUp = true
 		}
-		return nil, nil
+		return nil
 	}
 	switch v := t.Value.(type) {
 	case PhaseProgress:
@@ -365,7 +371,8 @@ func (o *predictor) Process(from string, t *tuple.Tuple) ([]operator.Out, error)
 		out.Kind = "advisory"
 		out.Size = advTupleBytes
 		out.Value = Advisory{Color: v.Color, NextInSec: rem}
-		return []operator.Out{operator.Emit(out)}, nil
+		ctx.Emit(out)
+		return nil
 	case PhaseChange:
 		o.est.Observe(int(v.Color), v.Duration)
 		o.emitted++
@@ -379,9 +386,10 @@ func (o *predictor) Process(from string, t *tuple.Tuple) ([]operator.Out, error)
 		out.Kind = "advisory"
 		out.Size = advTupleBytes
 		out.Value = Advisory{Color: nextColor(v.Color), NextInSec: next}
-		return []operator.Out{operator.Emit(out)}, nil
+		ctx.Emit(out)
+		return nil
 	default:
-		return nil, fmt.Errorf("P: unexpected payload %T", t.Value)
+		return fmt.Errorf("P: unexpected payload %T", t.Value)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"mobistreams/internal/operator"
 	"mobistreams/internal/tuple"
 	"mobistreams/internal/vision"
 )
@@ -54,15 +55,15 @@ func TestColumnGroundTruthFlow(t *testing.T) {
 	a := newShapeFilter("A0", p)
 	m := newMotionFilter("M0", p)
 	in := &tuple.Tuple{Seq: 1, Value: Frame{Truth: vision.Green}}
-	outs, err := c.Process("S1", in)
+	outs, err := operator.Run(c, "S1", in)
 	if err != nil || len(outs) != 1 {
 		t.Fatalf("color: %v %v", outs, err)
 	}
-	outs, err = a.Process("C0", outs[0].T)
+	outs, err = operator.Run(a, "C0", outs[0].T)
 	if err != nil || len(outs) != 1 {
 		t.Fatalf("shape: %v %v", outs, err)
 	}
-	outs, err = m.Process("A0", outs[0].T)
+	outs, err = operator.Run(m, "A0", outs[0].T)
 	if err != nil || len(outs) != 1 {
 		t.Fatalf("motion: %v %v", outs, err)
 	}
@@ -81,15 +82,15 @@ func TestColumnRealCompute(t *testing.T) {
 	for i := 0; i < 2; i++ { // two frames so the motion filter has a prev
 		im, _ := vision.GenerateIntersection(vision.Scene{W: 120, H: 90, Noise: 15, Seed: 4}, vision.Red, 2)
 		in := &tuple.Tuple{Seq: uint64(i), Value: Frame{Truth: vision.Red, Image: im}}
-		outs, err := c.Process("S1", in)
+		outs, err := operator.Run(c, "S1", in)
 		if err != nil {
 			t.Fatal(err)
 		}
-		outs, err = a.Process("C0", outs[0].T)
+		outs, err = operator.Run(a, "C0", outs[0].T)
 		if err != nil {
 			t.Fatal(err)
 		}
-		outs, err = m.Process("A0", outs[0].T)
+		outs, err = operator.Run(m, "A0", outs[0].T)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,9 +106,9 @@ func TestColumnRealCompute(t *testing.T) {
 func TestVoterMajority(t *testing.T) {
 	v := newVoter(params())
 	for i := 0; i < 3; i++ {
-		v.Process("M0", &tuple.Tuple{Value: Observation{Color: vision.Green, Valid: true}})
+		operator.Run(v, "M0", &tuple.Tuple{Value: Observation{Color: vision.Green, Valid: true}})
 	}
-	outs, err := v.Process("M1", &tuple.Tuple{Value: Observation{Color: vision.Red, Valid: true}})
+	outs, err := operator.Run(v, "M1", &tuple.Tuple{Value: Observation{Color: vision.Red, Valid: true}})
 	if err != nil || len(outs) != 1 {
 		t.Fatal("voter did not emit")
 	}
@@ -116,7 +117,7 @@ func TestVoterMajority(t *testing.T) {
 	}
 	// Invalid observations don't pollute the window.
 	empty := newVoter(params())
-	outs, _ = empty.Process("M0", &tuple.Tuple{Value: Observation{Valid: false}})
+	outs, _ = operator.Run(empty, "M0", &tuple.Tuple{Value: Observation{Valid: false}})
 	if len(outs) != 0 {
 		t.Fatal("invalid observation produced a vote")
 	}
@@ -127,10 +128,10 @@ func TestGrouperEmitsTransitions(t *testing.T) {
 	mk := func(c vision.LightColor, at time.Duration) *tuple.Tuple {
 		return &tuple.Tuple{Created: at, Value: Observation{Color: c, Valid: true}}
 	}
-	if outs, _ := g.Process("V", mk(vision.Red, 0)); len(outs) != 0 {
+	if outs, _ := operator.Run(g, "V", mk(vision.Red, 0)); len(outs) != 0 {
 		t.Fatal("first observation emitted a phase")
 	}
-	outs, _ := g.Process("V", mk(vision.Red, 10*time.Second))
+	outs, _ := operator.Run(g, "V", mk(vision.Red, 10*time.Second))
 	if len(outs) != 1 {
 		t.Fatal("same colour should emit frame-rate progress")
 	}
@@ -138,7 +139,7 @@ func TestGrouperEmitsTransitions(t *testing.T) {
 	if prog.Color != vision.Red || prog.Elapsed != 10 {
 		t.Fatalf("progress = %+v", prog)
 	}
-	outs, _ = g.Process("V", mk(vision.Green, 30*time.Second))
+	outs, _ = operator.Run(g, "V", mk(vision.Green, 30*time.Second))
 	if len(outs) != 1 {
 		t.Fatal("transition not emitted")
 	}
@@ -151,11 +152,11 @@ func TestGrouperEmitsTransitions(t *testing.T) {
 func TestPredictorLearnsAndBlends(t *testing.T) {
 	p := newPredictor(params())
 	// Upstream advisory arrives.
-	p.Process("S0", &tuple.Tuple{Value: Advisory{Color: vision.Green, NextInSec: 10}})
+	operator.Run(p, "S0", &tuple.Tuple{Value: Advisory{Color: vision.Green, NextInSec: 10}})
 	// Observe several red phases of 40 s; prediction for next green uses
 	// green history (none) blended with upstream.
 	for i := 0; i < 3; i++ {
-		outs, err := p.Process("G", &tuple.Tuple{Value: PhaseChange{Color: vision.Red, Duration: 40}})
+		outs, err := operator.Run(p, "G", &tuple.Tuple{Value: PhaseChange{Color: vision.Red, Duration: 40}})
 		if err != nil || len(outs) != 1 {
 			t.Fatalf("predictor emit: %v %v", outs, err)
 		}
@@ -169,8 +170,8 @@ func TestPredictorLearnsAndBlends(t *testing.T) {
 		}
 	}
 	// Now observe green phases; prediction shifts toward their mean.
-	p.Process("G", &tuple.Tuple{Value: PhaseChange{Color: vision.Green, Duration: 50}})
-	outs, _ := p.Process("G", &tuple.Tuple{Value: PhaseChange{Color: vision.Red, Duration: 40}})
+	operator.Run(p, "G", &tuple.Tuple{Value: PhaseChange{Color: vision.Green, Duration: 50}})
+	outs, _ := operator.Run(p, "G", &tuple.Tuple{Value: PhaseChange{Color: vision.Red, Duration: 40}})
 	adv := outs[0].T.Value.(Advisory)
 	if adv.NextInSec != 0.7*50+0.3*10 {
 		t.Fatalf("learned advisory = %v, want 38", adv.NextInSec)
@@ -184,7 +185,7 @@ func TestStatefulOperatorsRoundTrip(t *testing.T) {
 	pr.RealCompute = true
 	mReal := newMotionFilter("M0", pr)
 	im, _ := vision.GenerateIntersection(vision.Scene{W: 120, H: 90, Noise: 10, Seed: 2}, vision.Green, 1)
-	mReal.Process("A0", &tuple.Tuple{Value: blobsValue{blobs: vision.ColorFilter(im)}})
+	operator.Run(mReal, "A0", &tuple.Tuple{Value: blobsValue{blobs: vision.ColorFilter(im)}})
 	for _, op := range []interface {
 		Snapshot() ([]byte, error)
 		Restore([]byte) error
@@ -198,7 +199,7 @@ func TestStatefulOperatorsRoundTrip(t *testing.T) {
 		}
 	}
 	v := newVoter(p)
-	v.Process("M0", &tuple.Tuple{Value: Observation{Color: vision.Yellow, Valid: true}})
+	operator.Run(v, "M0", &tuple.Tuple{Value: Observation{Color: vision.Yellow, Valid: true}})
 	state, _ := v.Snapshot()
 	v2 := newVoter(p)
 	if err := v2.Restore(state); err != nil {

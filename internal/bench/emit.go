@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mobistreams/internal/node"
+)
+
+// EmitRow is one emit-path measurement: the contract mode and its
+// per-tuple allocation and latency cost through a compiled single-slot
+// chain.
+type EmitRow struct {
+	Mode        string  `json:"mode"` // "context" or "legacy"
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+}
+
+// EmitReport is the machine-readable emit-path comparison the regression
+// gate consumes (BENCH_emit.json in CI).
+type EmitReport struct {
+	Iters int       `json:"iters"`
+	Rows  []EmitRow `json:"rows"`
+}
+
+// RunEmit benchmarks the operator emission path under both contracts: the
+// emit-context contract must hold 0 allocs/op in steady state (the gate
+// fails otherwise), with the legacy []Out adapter as the contrast row.
+func RunEmit(iters int, w io.Writer) EmitReport {
+	if iters <= 0 {
+		iters = 200000
+	}
+	rep := EmitReport{Iters: iters}
+	fmt.Fprintf(w, "\n=== Emit path: context contract vs legacy adapter (%d tuples) ===\n", iters)
+	fmt.Fprintf(w, "%-10s %14s %12s\n", "mode", "allocs/op", "ns/op")
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{{"context", false}, {"legacy", true}} {
+		res := node.RunEmitBench(mode.legacy, iters)
+		rep.Rows = append(rep.Rows, EmitRow{Mode: mode.name, AllocsPerOp: res.AllocsPerOp, NsPerOp: res.NsPerOp})
+		fmt.Fprintf(w, "%-10s %14.3f %12.1f\n", mode.name, res.AllocsPerOp, res.NsPerOp)
+	}
+	return rep
+}
+
+// WriteEmitJSON renders the report machine-readably for the gate.
+func WriteEmitJSON(w io.Writer, rep EmitReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

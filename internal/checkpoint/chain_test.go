@@ -27,7 +27,7 @@ func feed(t *testing.T, ops []operator.Operator, rng *rand.Rand, n int) {
 	for i := 0; i < n; i++ {
 		tt := &tuple.Tuple{Seq: uint64(rng.Int63()), Size: 64, Kind: fmt.Sprintf("k%02d", rng.Intn(16)), Value: rng.Float64()}
 		for _, op := range ops {
-			if _, err := op.Process("", tt); err != nil {
+			if _, err := operator.Run(op, "", tt); err != nil {
 				t.Fatal(err)
 			}
 		}

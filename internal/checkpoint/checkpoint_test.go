@@ -83,8 +83,8 @@ func TestBlobRoundTrip(t *testing.T) {
 	m := operator.NewMap("m", func(in *tuple.Tuple) *tuple.Tuple { return in })
 	f := operator.NewFilter("f", func(*tuple.Tuple) bool { return true })
 	for i := 0; i < 3; i++ {
-		m.Process("", &tuple.Tuple{Seq: uint64(i)})
-		f.Process("", &tuple.Tuple{Seq: uint64(i)})
+		operator.Run(m, "", &tuple.Tuple{Seq: uint64(i)})
+		operator.Run(f, "", &tuple.Tuple{Seq: uint64(i)})
 	}
 	blob, err := BuildBlob("n1", 7, []operator.Operator{m, f}, []byte("rt"))
 	if err != nil {

@@ -363,7 +363,7 @@ func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
 	if rt.InHW == nil {
 		rt.InHW = map[string]uint64{}
 	}
-	p := compilePipeline(n.graph, n.slot, n.opIDs, fresh)
+	p := n.compilePipeline(n.slot, n.opIDs, fresh)
 	p.setCounters(rt.OutSeq, rt.InHW)
 	n.pipe.Store(p)
 	n.logVersion.Store(rt.LogVersion)

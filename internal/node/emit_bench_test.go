@@ -1,0 +1,77 @@
+package node
+
+import (
+	"testing"
+
+	"mobistreams/internal/tuple"
+)
+
+// BenchmarkEmitPath measures the emit-context contract through the
+// compiled pipeline: src -> m1 -> m2 -> sink on one slot. The steady state
+// is pinned to 0 allocs/op by TestEmitPathZeroAllocs and the msbench
+// regression gate (`-exp emit`).
+func BenchmarkEmitPath(b *testing.B) {
+	n := emitBenchNode(false, func(*tuple.Tuple) {})
+	p := n.pipe.Load()
+	idx := p.opIndex("src")
+	t := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.runOp(p, idx, "", t)
+	}
+}
+
+// BenchmarkEmitPathLegacy measures the same chain through seed-contract
+// operators and the []Out adapter — the allocation cost the redesign
+// removed from the hot path.
+func BenchmarkEmitPathLegacy(b *testing.B) {
+	n := emitBenchNode(true, func(*tuple.Tuple) {})
+	p := n.pipe.Load()
+	idx := p.opIndex("src")
+	t := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.runOp(p, idx, "", t)
+	}
+}
+
+// TestEmitPathZeroAllocs pins the acceptance criterion: emissions via the
+// new operator.Context allocate nothing in steady state, while the legacy
+// adapter pays at least one slice per operator hop.
+func TestEmitPathZeroAllocs(t *testing.T) {
+	n := emitBenchNode(false, func(*tuple.Tuple) {})
+	p := n.pipe.Load()
+	idx := p.opIndex("src")
+	tt := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}
+	n.runOp(p, idx, "", tt) // settle any first-call laziness
+	allocs := testing.AllocsPerRun(200, func() {
+		n.runOp(p, idx, "", tt)
+	})
+	if allocs != 0 {
+		t.Fatalf("emit-context path allocates %.1f objects/op, want 0", allocs)
+	}
+
+	ln := emitBenchNode(true, func(*tuple.Tuple) {})
+	lp := ln.pipe.Load()
+	lidx := lp.opIndex("src")
+	ln.runOp(lp, lidx, "", tt)
+	legacy := testing.AllocsPerRun(200, func() {
+		ln.runOp(lp, lidx, "", tt)
+	})
+	if legacy == 0 {
+		t.Fatal("legacy adapter reported 0 allocs/op: benchmark harness lost its contrast")
+	}
+}
+
+// TestEmitBenchDelivers sanity-checks the shared harness: every driven
+// tuple reaches the sink on both contracts.
+func TestEmitBenchDelivers(t *testing.T) {
+	for _, legacy := range []bool{false, true} {
+		res := RunEmitBench(legacy, 500)
+		if res.Emitted != 500 {
+			t.Fatalf("legacy=%v: %d of 500 tuples reached the sink", legacy, res.Emitted)
+		}
+	}
+}

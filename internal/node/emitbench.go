@@ -1,0 +1,100 @@
+package node
+
+import (
+	"runtime"
+	"time"
+
+	"mobistreams/internal/clock"
+	"mobistreams/internal/graph"
+	"mobistreams/internal/operator"
+	"mobistreams/internal/tuple"
+)
+
+// EmitBenchResult summarises one emit-path measurement: the per-tuple
+// allocation count and latency of driving a tuple through a compiled
+// single-slot chain to an external sink.
+type EmitBenchResult struct {
+	Iters       int
+	AllocsPerOp float64
+	NsPerOp     float64
+	Emitted     uint64
+}
+
+// legacyPassthrough is the seed-contract passthrough: one []Out slice per
+// call — the allocation the emit-context contract removes.
+type legacyPassthrough struct {
+	operator.Base
+}
+
+func (*legacyPassthrough) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+	return []operator.Out{operator.Emit(t)}, nil
+}
+
+// emitBenchNode assembles the benchmark harness: a three-operator chain
+// (src -> m1 -> m2 -> out) compiled onto one slot, so every emission runs
+// the in-slot recursion of the compiled pipeline and the final operator
+// publishes externally. No goroutines are started; the caller drives runOp
+// directly, exactly like the executor's steady-state path.
+func emitBenchNode(legacy bool, onOut func(*tuple.Tuple)) *Node {
+	var gb graph.Builder
+	gb.AddOperator("src", "s1").AddOperator("m1", "s1").
+		AddOperator("m2", "s1").AddOperator("out", "s1")
+	gb.Chain("src", "m1", "m2", "out")
+	g, err := gb.Build()
+	if err != nil {
+		panic(err)
+	}
+	identity := func(in *tuple.Tuple) *tuple.Tuple { return in }
+	factory := func(id string) operator.Factory {
+		if legacy {
+			return func() operator.Operator {
+				return &legacyPassthrough{Base: operator.Base{Name: id}}
+			}
+		}
+		if id == "src" || id == "out" {
+			return func() operator.Operator { return operator.NewPassthrough(id) }
+		}
+		return func() operator.Operator { return operator.NewMap(id, identity) }
+	}
+	reg := operator.Registry{}
+	for _, id := range g.Operators() {
+		reg[id] = factory(id)
+	}
+	return New(Config{
+		ID: "bench", Graph: g, Registry: reg,
+		Slot: "s1", OpIDs: g.OpsOnSlot("s1"),
+		Clock: clock.NewScaled(1e6), OnSinkOutput: onOut,
+	})
+}
+
+// RunEmitBench measures the emit path for iters tuples: legacy=false runs
+// the emit-context contract (the steady state must not allocate at all),
+// legacy=true runs the same chain through seed-contract operators and the
+// []Out adapter. Exported so the msbench regression gate and the Go
+// benchmarks share one harness.
+func RunEmitBench(legacy bool, iters int) EmitBenchResult {
+	var emitted uint64
+	n := emitBenchNode(legacy, func(*tuple.Tuple) { emitted++ })
+	p := n.pipe.Load()
+	idx := p.opIndex("src")
+	t := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}
+	for i := 0; i < 128; i++ { // warm up lazily-grown state
+		n.runOp(p, idx, "", t)
+	}
+	emitted = 0
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		n.runOp(p, idx, "", t)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	return EmitBenchResult{
+		Iters:       iters,
+		AllocsPerOp: float64(ms.Mallocs-m0) / float64(iters),
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		Emitted:     emitted,
+	}
+}

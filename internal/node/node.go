@@ -365,6 +365,11 @@ type Node struct {
 	unreachable     map[simnet.NodeID]bool
 	urgentReported  map[string]bool
 	chronicReported bool
+	// timerArmed/timerWakeAt track the earliest outstanding timer-wake
+	// goroutine that unparks the executor for a pending operator timer
+	// (under mu); an earlier registration re-arms with its own wake.
+	timerArmed  bool
+	timerWakeAt time.Duration
 	// sendGen invalidates in-flight deliveries across a restore: output
 	// emitted before a rewind must not land after it (the rewound outSeq
 	// reuses those edge sequences, and a late stale delivery would poison
@@ -463,7 +468,7 @@ func (n *Node) configureSlot(slot string, opIDs []string) {
 	for _, id := range opIDs {
 		ops = append(ops, n.cfg.Registry.New(id))
 	}
-	p := compilePipeline(n.graph, slot, n.opIDs, ops)
+	p := n.compilePipeline(slot, n.opIDs, ops)
 	n.queues = make(map[string]*upQueue)
 	n.qOrder = nil
 	ordered := n.cfg.Scheme.PreservesAtEdges()
@@ -732,6 +737,12 @@ func (n *Node) InjectToken(v uint64) {
 // execLoop is the executor: it owns the operators and all stream state.
 func (n *Node) execLoop() {
 	defer n.wg.Done()
+	// firedLast alternates timer-vs-queue priority: due timers normally
+	// preempt queued tuples (window closes must not starve behind a
+	// saturated stream), but directly after a timer dispatch the queues
+	// get one turn first, so an operator bug that re-arms an already-due
+	// timer cannot starve tuple processing either.
+	firedLast := false
 	for {
 		n.mu.Lock()
 		var cmd *execCmd
@@ -739,6 +750,7 @@ func (n *Node) execLoop() {
 		var qi int
 		var it queued
 		var have bool
+		var fireTimers bool
 		for {
 			if !n.running {
 				n.mu.Unlock()
@@ -751,8 +763,26 @@ func (n *Node) execLoop() {
 					cmd = &c
 					break
 				}
+				// Due operator timers take priority over queued tuples
+				// (except right after a timer dispatch, see firedLast):
+				// a saturated stream must not starve window closes past
+				// their boundary. Slots without pending timers pay one
+				// slice-length check here — the clock is only read once
+				// a timer is actually pending.
+				timersDue := func() bool {
+					p := n.pipe.Load()
+					return p != nil && len(p.timers) > 0 && p.timerDue(n.clk.Now())
+				}
+				if !firedLast && timersDue() {
+					fireTimers = true
+					break
+				}
 				from, qi, it, have = n.nextItemLocked()
 				if have {
+					break
+				}
+				if firedLast && timersDue() {
+					fireTimers = true
 					break
 				}
 			}
@@ -767,6 +797,19 @@ func (n *Node) execLoop() {
 				n.mu.Lock()
 				continue // arrivals during the flush re-enter the checks
 			}
+			// Parking with a pending timer: arm a wake goroutine for the
+			// earliest deadline, so an idle stream still closes windows.
+			// A newly registered timer earlier than the armed wake gets
+			// its own goroutine — the stale later wake fires harmlessly.
+			if !n.paused {
+				if p := n.pipe.Load(); p != nil {
+					if at, ok := p.nextTimerAt(); ok && (!n.timerArmed || at < n.timerWakeAt) {
+						n.timerArmed = true
+						n.timerWakeAt = at
+						go n.wakeAtTimer(at)
+					}
+				}
+			}
 			n.execParked = true
 			n.cond.Broadcast()
 			n.cond.Wait()
@@ -774,11 +817,16 @@ func (n *Node) execLoop() {
 		n.execParked = false
 		n.mu.Unlock()
 
+		firedLast = fireTimers
 		switch {
 		case cmd != nil && cmd.resendTo != "":
 			n.doResend(cmd.resendTo, cmd.after)
 		case cmd != nil:
 			n.doPeriodicSnapshot(cmd.snapshot)
+		case fireTimers:
+			if p := n.pipe.Load(); p != nil {
+				n.fireDueTimers(p)
+			}
 		case have:
 			if p := n.pipe.Load(); p != nil {
 				n.handleItem(p, qi, from, it)
@@ -870,10 +918,13 @@ func (n *Node) preserveSourceInput(srcOp string, t *tuple.Tuple) {
 	}
 }
 
-// runOp executes one operator on a tuple, charging its service time, and
-// routes the emissions along the compiled fan-out: in-slot targets recurse
-// synchronously; cross-slot targets are sent over the region network;
-// operators with no downstream publish external sink output. No lock is
+// runOp executes one operator on a tuple, charging its service time. The
+// operator emits through its bound Context as it processes: in-slot
+// targets recurse synchronously, cross-slot targets ride the region
+// network, and sink operators publish externally (see opSink). Both
+// contracts route identically — the emit-context path pushes straight
+// into the compiled pipeline with zero per-tuple allocation, the legacy
+// path replays its returned []Out through the same Context. No lock is
 // taken and no map is consulted.
 func (n *Node) runOp(p *pipeline, idx int, fromOp string, t *tuple.Tuple) {
 	c := &p.ops[idx]
@@ -885,29 +936,51 @@ func (n *Node) runOp(p *pipeline, idx int, fromOp string, t *tuple.Tuple) {
 		}
 		n.maybeReportChronic()
 	}
-	outs, err := c.op.Process(fromOp, t)
-	if err != nil {
+	if err := c.proc(c.ctx, fromOp, t); err != nil {
 		n.logf("%s: operator %s: %v", n.id, c.id, err)
-		return
 	}
-	for _, out := range outs {
-		if out.To != "" {
-			r, ok := p.routeTo(out.To)
-			if !ok {
-				n.logf("%s: emission to unknown operator %s", n.id, out.To)
-				continue
-			}
-			n.followRoute(p, c.id, r, out.T)
+}
+
+// fireDueTimers runs the pending operator timers whose simulated-time
+// deadline has passed, on the executor at a tuple boundary. Emissions from
+// OnTimer flow through the operator's Context exactly like Process
+// emissions. The drain is bounded to the timers pending at entry: a timer
+// an OnTimer handler re-registers with an already-due deadline waits for
+// the next boundary instead of spinning this one forever.
+func (n *Node) fireDueTimers(p *pipeline) {
+	now := n.clk.Now()
+	for pending := len(p.timers); pending > 0; pending-- {
+		tm, ok := p.popDueTimer(now)
+		if !ok {
+			return
+		}
+		c := &p.ops[tm.op]
+		if c.timer == nil {
 			continue
 		}
-		if c.external {
-			n.emitExternal(out.T)
-			continue
-		}
-		for _, r := range c.fanout {
-			n.followRoute(p, c.id, r, out.T)
+		if err := c.timer.OnTimer(c.ctx, tm.at); err != nil {
+			n.logf("%s: operator %s timer: %v", n.id, c.id, err)
 		}
 	}
+}
+
+// wakeAtTimer unparks the executor when the earliest pending operator
+// timer comes due, so windows close on time on an otherwise idle stream.
+// Only the wake matching the currently tracked deadline clears the armed
+// flag; superseded later wakes just broadcast harmlessly.
+func (n *Node) wakeAtTimer(at time.Duration) {
+	if d := at - n.clk.Now(); d > 0 {
+		select {
+		case <-n.clk.After(d):
+		case <-n.stopCh:
+		}
+	}
+	n.mu.Lock()
+	if n.timerArmed && n.timerWakeAt == at {
+		n.timerArmed = false
+	}
+	n.mu.Unlock()
+	n.cond.Broadcast()
 }
 
 // followRoute delivers one emission along a compiled route.

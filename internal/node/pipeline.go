@@ -2,9 +2,10 @@ package node
 
 import (
 	"sync/atomic"
+	"time"
 
-	"mobistreams/internal/graph"
 	"mobistreams/internal/operator"
+	"mobistreams/internal/tuple"
 )
 
 // pipeline is the compiled data plane for one slot: the operator chain,
@@ -39,18 +40,90 @@ type pipeline struct {
 	// upstreams). Executor-owned, atomically accessed.
 	outSeq []uint64
 	inHW   []uint64
+
+	// timers is the min-heap of pending one-shot operator timers
+	// (Context.SetTimer). Executor-owned: registered during Process,
+	// drained at tuple boundaries; a fresh pipeline starts empty and
+	// timer-using operators re-arm on their next input.
+	timers []opTimer
 }
 
-// compiledOp is one operator with its precompiled emission routes.
+// opTimer is one pending timer: the simulated-time deadline and the owning
+// operator's pipeline index.
+type opTimer struct {
+	at time.Duration
+	op int
+}
+
+// compiledOp is one operator with its precompiled emission routes, its
+// bound processing function (emit-context method value, or the legacy
+// []Out adapter) and its reusable Context.
 type compiledOp struct {
 	id string
 	op operator.Operator
+	// proc is the uniform processing entry point: both contracts emit
+	// through ctx, so the executor's hot path is contract-agnostic.
+	proc operator.ProcFunc
+	// ctx is the operator's bound emit-context; one per pipeline
+	// incarnation, so steady-state emission allocates nothing.
+	ctx *operator.Context
+	// timer is the operator's OnTimer handler, nil when it has none.
+	timer operator.TimerOperator
 	// fanout lists the default (To == "") emission targets in graph
 	// declaration order, preserving the legacy interleaving of local
 	// recursion and cross-slot sends.
 	fanout []route
 	// external marks a sink operator: no downstream, emissions publish.
 	external bool
+}
+
+// opSink is the operator.Runtime the node binds behind each compiled
+// operator's Context: emissions follow the precompiled routes, timers land
+// in the pipeline's heap, and Now reads the simulated clock. One opSink is
+// allocated per operator at compile time; nothing on the per-tuple path
+// allocates.
+type opSink struct {
+	n   *Node
+	p   *pipeline
+	idx int
+}
+
+// Emit implements operator.Runtime: graph-order fan-out, or external
+// publication on a sink operator.
+func (s *opSink) Emit(t *tuple.Tuple) {
+	c := &s.p.ops[s.idx]
+	if c.external {
+		s.n.emitExternal(t)
+		return
+	}
+	for _, r := range c.fanout {
+		s.n.followRoute(s.p, c.id, r, t)
+	}
+}
+
+// EmitTo implements operator.Runtime: one routed emission; an unreachable
+// target is logged and dropped, mirroring the legacy executor.
+func (s *opSink) EmitTo(to string, t *tuple.Tuple) bool {
+	r, ok := s.p.routeTo(to)
+	if !ok {
+		s.n.logf("%s: emission to unknown operator %s", s.n.id, to)
+		return false
+	}
+	s.n.followRoute(s.p, s.p.ops[s.idx].id, r, t)
+	return true
+}
+
+// Now implements operator.Runtime.
+func (s *opSink) Now() time.Duration { return s.n.clk.Now() }
+
+// SetTimer implements operator.Runtime: accepted only when the operator
+// handles OnTimer.
+func (s *opSink) SetTimer(at time.Duration) bool {
+	if s.p.ops[s.idx].timer == nil {
+		return false
+	}
+	s.p.addTimer(at, s.idx)
+	return true
 }
 
 // route is one resolved emission target: a same-slot operator index, or a
@@ -61,8 +134,12 @@ type route struct {
 	down  int // index into pipeline.downs when local < 0
 }
 
-// compilePipeline resolves a slot's topology against the graph.
-func compilePipeline(g *graph.Graph, slot string, opIDs []string, ops []operator.Operator) *pipeline {
+// compilePipeline resolves a slot's topology against the graph and binds
+// each operator's processing function and emit-context. It panics when an
+// operator implements neither processing contract — a wiring bug
+// operator.Registry.Validate surfaces as an error at region build time.
+func (n *Node) compilePipeline(slot string, opIDs []string, ops []operator.Operator) *pipeline {
+	g := n.graph
 	p := &pipeline{slot: slot}
 	p.downs = g.SlotDownstreams(slot)
 	downIdx := make(map[string]int, len(p.downs))
@@ -113,7 +190,74 @@ func compilePipeline(g *graph.Graph, slot string, opIDs []string, ops []operator
 	}
 	p.outSeq = make([]uint64, len(p.downs))
 	p.inHW = make([]uint64, len(p.upstreams))
+	for i := range p.ops {
+		c := &p.ops[i]
+		c.proc = operator.Proc(c.op)
+		if c.proc == nil {
+			panic("node: operator " + c.id + " implements neither processing contract")
+		}
+		if th, ok := c.op.(operator.TimerOperator); ok {
+			c.timer = th
+		}
+		c.ctx = operator.NewContext(&opSink{n: n, p: p, idx: i})
+		if ks, ok := c.op.(operator.KeyedStater); ok {
+			c.ctx.BindState(ks.KeyedState())
+		}
+	}
 	return p
+}
+
+// addTimer pushes a pending operator timer onto the min-heap. Executor-
+// owned, like the rest of the timer state.
+func (p *pipeline) addTimer(at time.Duration, op int) {
+	p.timers = append(p.timers, opTimer{at: at, op: op})
+	for i := len(p.timers) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if p.timers[parent].at <= p.timers[i].at {
+			break
+		}
+		p.timers[parent], p.timers[i] = p.timers[i], p.timers[parent]
+		i = parent
+	}
+}
+
+// nextTimerAt returns the earliest pending timer deadline.
+func (p *pipeline) nextTimerAt() (time.Duration, bool) {
+	if len(p.timers) == 0 {
+		return 0, false
+	}
+	return p.timers[0].at, true
+}
+
+// timerDue reports whether a pending timer has reached its deadline.
+func (p *pipeline) timerDue(now time.Duration) bool {
+	return len(p.timers) > 0 && p.timers[0].at <= now
+}
+
+// popDueTimer removes and returns the earliest timer if it is due.
+func (p *pipeline) popDueTimer(now time.Duration) (opTimer, bool) {
+	if !p.timerDue(now) {
+		return opTimer{}, false
+	}
+	top := p.timers[0]
+	last := len(p.timers) - 1
+	p.timers[0] = p.timers[last]
+	p.timers = p.timers[:last]
+	for i := 0; ; {
+		s := i
+		if l := 2*i + 1; l < len(p.timers) && p.timers[l].at < p.timers[s].at {
+			s = l
+		}
+		if r := 2*i + 2; r < len(p.timers) && p.timers[r].at < p.timers[s].at {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		p.timers[i], p.timers[s] = p.timers[s], p.timers[i]
+		i = s
+	}
+	return top, true
 }
 
 // opIndex resolves an operator ID to its pipeline index. Slots host a

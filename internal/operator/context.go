@@ -1,0 +1,217 @@
+package operator
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"mobistreams/internal/tuple"
+)
+
+// Runtime is the execution environment a Context fronts: the node binds it
+// to the slot's compiled pipeline (emissions route without allocation),
+// while tests and offline tools bind collectors or fakes. EmitTo and
+// SetTimer report whether the runtime honoured the request, so a Context
+// can surface unsupported services without panicking.
+type Runtime interface {
+	// Emit fans t out to the operator's downstream targets in graph
+	// declaration order; on a sink operator it publishes t externally.
+	Emit(t *tuple.Tuple)
+	// EmitTo routes t to one named downstream operator; false means the
+	// target is not reachable from this operator's slot.
+	EmitTo(to string, t *tuple.Tuple) bool
+	// Now returns the current simulated time.
+	Now() time.Duration
+	// SetTimer registers a one-shot timer for the owning operator at the
+	// given simulated time; false means the runtime does not fire timers
+	// (collector contexts) or the operator lacks an OnTimer handler.
+	SetTimer(at time.Duration) bool
+}
+
+// Context is the emit-context handed to every Process call: the conduit
+// for emissions plus the runtime services an operator can grow into. A
+// Context is bound once per compiled pipeline (per operator) and reused
+// across calls, so the steady-state emission path allocates nothing.
+type Context struct {
+	rt   Runtime
+	keys *KeyedState
+}
+
+// NewContext binds a context to a runtime. The node runtime builds one per
+// compiled operator; tests use Run or their own fakes.
+func NewContext(rt Runtime) *Context { return &Context{rt: rt} }
+
+// Emit pushes one fan-out emission into the pipeline: every downstream
+// operator of the emitting operator receives t (sink operators publish it
+// externally instead).
+func (c *Context) Emit(t *tuple.Tuple) { c.rt.Emit(t) }
+
+// EmitTo pushes one routed emission to the named downstream operator —
+// dispatchers (BCP's D) target one consumer. It reports whether the
+// runtime could route the emission; an unreachable target is dropped and
+// logged (mirroring the legacy contract), and the false return lets a
+// dispatcher fall back to another target or surface an error instead.
+func (c *Context) EmitTo(to string, t *tuple.Tuple) bool { return c.rt.EmitTo(to, t) }
+
+// Now returns the current simulated time; windowed operators measure
+// against it rather than wall time.
+func (c *Context) Now() time.Duration { return c.rt.Now() }
+
+// SetTimer registers a one-shot timer at the given simulated time. The
+// executor calls the operator's OnTimer at a tuple boundary at or after
+// the deadline. It reports whether the runtime accepted the registration
+// (the operator must implement TimerOperator, and collector contexts do
+// not fire timers).
+func (c *Context) SetTimer(at time.Duration) bool { return c.rt.SetTimer(at) }
+
+// State returns the operator's per-key state handle. When the operator
+// exposes its own store (KeyedStater), the handle is that store and rides
+// the operator's Snapshot/Restore into checkpoints; otherwise a
+// context-local volatile store is created on first use.
+func (c *Context) State() *KeyedState {
+	if c.keys == nil {
+		c.keys = NewKeyedState()
+	}
+	return c.keys
+}
+
+// BindState points the context's State handle at an operator-owned store;
+// the runtime calls it at pipeline compile time for KeyedStater operators.
+func (c *Context) BindState(ks *KeyedState) { c.keys = ks }
+
+// KeyedStater is implemented by operators that own a KeyedState and want
+// Context.State to resolve to it, so per-key state written during Process
+// is the same state the operator checkpoints.
+type KeyedStater interface {
+	KeyedState() *KeyedState
+}
+
+// KeyedState is a per-key byte-string store with deterministic
+// serialisation: keys encode in sorted order, so snapshots are
+// byte-comparable and delta patches stay minimal.
+type KeyedState struct {
+	m map[string][]byte
+}
+
+// NewKeyedState builds an empty store.
+func NewKeyedState() *KeyedState { return &KeyedState{m: make(map[string][]byte)} }
+
+// Get returns the value stored under key, or nil.
+func (ks *KeyedState) Get(key string) []byte { return ks.m[key] }
+
+// Put stores value under key; a nil value deletes the key.
+func (ks *KeyedState) Put(key string, value []byte) {
+	if value == nil {
+		delete(ks.m, key)
+		return
+	}
+	ks.m[key] = value
+}
+
+// Delete removes key.
+func (ks *KeyedState) Delete(key string) { delete(ks.m, key) }
+
+// Len reports how many keys are stored.
+func (ks *KeyedState) Len() int { return len(ks.m) }
+
+// Keys returns the stored keys in sorted order.
+func (ks *KeyedState) Keys() []string {
+	keys := make([]string, 0, len(ks.m))
+	for k := range ks.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clear drops every key.
+func (ks *KeyedState) Clear() {
+	for k := range ks.m {
+		delete(ks.m, k)
+	}
+}
+
+// Size reports the encoded size in bytes (state accounting).
+func (ks *KeyedState) Size() int {
+	size := 8
+	for k, v := range ks.m {
+		size += 16 + len(k) + len(v)
+	}
+	return size
+}
+
+// Encode serialises the store deterministically (sorted key order).
+func (ks *KeyedState) Encode() []byte {
+	keys := ks.Keys()
+	buf := make([]byte, 0, ks.Size())
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	put(uint64(len(keys)))
+	for _, k := range keys {
+		put(uint64(len(k)))
+		buf = append(buf, k...)
+		put(uint64(len(ks.m[k])))
+		buf = append(buf, ks.m[k]...)
+	}
+	return buf
+}
+
+// Decode loads bytes produced by Encode, replacing the store's contents.
+func (ks *KeyedState) Decode(data []byte) error {
+	m := make(map[string][]byte)
+	if len(data) < 8 {
+		return fmt.Errorf("keyedstate: short header")
+	}
+	n := int(binary.BigEndian.Uint64(data))
+	off := 8
+	next := func() (uint64, error) {
+		if off+8 > len(data) {
+			return 0, fmt.Errorf("keyedstate: short entry")
+		}
+		v := binary.BigEndian.Uint64(data[off:])
+		off += 8
+		return v, nil
+	}
+	for i := 0; i < n; i++ {
+		kl, err := next()
+		if err != nil {
+			return err
+		}
+		if off+int(kl) > len(data) {
+			return fmt.Errorf("keyedstate: short key")
+		}
+		k := string(data[off : off+int(kl)])
+		off += int(kl)
+		vl, err := next()
+		if err != nil {
+			return err
+		}
+		if off+int(vl) > len(data) {
+			return fmt.Errorf("keyedstate: short value")
+		}
+		m[k] = append([]byte(nil), data[off:off+int(vl)]...)
+		off += int(vl)
+	}
+	ks.m = m
+	return nil
+}
+
+// collector is the Runtime behind Run: it records emissions and supports
+// neither timers nor simulated time.
+type collector struct {
+	outs []Out
+}
+
+func (c *collector) Emit(t *tuple.Tuple) { c.outs = append(c.outs, Out{T: t}) }
+
+func (c *collector) EmitTo(to string, t *tuple.Tuple) bool {
+	c.outs = append(c.outs, Out{To: to, T: t})
+	return true
+}
+
+func (*collector) Now() time.Duration          { return 0 }
+func (*collector) SetTimer(time.Duration) bool { return false }

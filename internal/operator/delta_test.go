@@ -106,9 +106,9 @@ func TestDeltaTrackerLifecycle(t *testing.T) {
 	if _, ok := m.SnapshotDelta(0); ok {
 		t.Fatal("delta available before any MarkSnapshot")
 	}
-	m.Process("", tp(1, 1))
+	Run(m, "", tp(1, 1))
 	m.MarkSnapshot(3)
-	m.Process("", tp(2, 1))
+	Run(m, "", tp(2, 1))
 	if _, ok := m.SnapshotDelta(2); ok {
 		t.Fatal("delta for the wrong basis version accepted")
 	}
@@ -119,7 +119,7 @@ func TestDeltaTrackerLifecycle(t *testing.T) {
 	// Applying the patch to the marked-state bytes must equal the current
 	// snapshot: the round-trip the checkpoint chain replays at restore.
 	fresh := NewMap("m", func(in *tuple.Tuple) *tuple.Tuple { return in })
-	fresh.Process("", tp(1, 1))
+	Run(fresh, "", tp(1, 1))
 	base, _ := fresh.Snapshot()
 	want, _ := m.Snapshot()
 	got, err := ApplyPatch(base, patch)
@@ -150,7 +150,7 @@ func TestWindowProcessSnapshotRestore(t *testing.T) {
 	for i := 1; i <= 6; i++ {
 		tt := tp(uint64(i), 1)
 		tt.Value = float64(i)
-		outs, err := w.Process("", tt)
+		outs, err := Run(w, "", tt)
 		if err != nil || len(outs) != 1 {
 			t.Fatalf("process %d: %v, outs=%d", i, err, len(outs))
 		}
@@ -182,7 +182,7 @@ func TestWindowDeltaSmallerThanFull(t *testing.T) {
 	for i := 0; i < 512; i++ {
 		tt := tp(uint64(i), 1)
 		tt.Value = float64(i)
-		w.Process("", tt)
+		Run(w, "", tt)
 	}
 	w.MarkSnapshot(1)
 	// One more input rotates one slot; the per-value deltas are small
@@ -190,7 +190,7 @@ func TestWindowDeltaSmallerThanFull(t *testing.T) {
 	// the shift — the patch must at least beat a full rewrite.
 	tt := tp(513, 1)
 	tt.Value = 3.5
-	w.Process("", tt)
+	Run(w, "", tt)
 	patch, ok := w.SnapshotDelta(1)
 	if !ok {
 		t.Fatal("no delta")
@@ -208,7 +208,7 @@ func TestAggregateProcessSnapshotRestore(t *testing.T) {
 		tt := tp(uint64(i), 1)
 		tt.Kind = k
 		tt.Value = float64(i + 1)
-		if _, err := a.Process("", tt); err != nil {
+		if _, err := Run(a, "", tt); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -238,14 +238,14 @@ func TestAggregateDeltaTouchesOnlyChangedKeys(t *testing.T) {
 		tt := tp(uint64(i), 1)
 		tt.Kind = key256(i)
 		tt.Value = 1.0
-		a.Process("", tt)
+		Run(a, "", tt)
 	}
 	a.MarkSnapshot(7)
 	// Touch one key: the delta should cover its entry, not the table.
 	tt := tp(1000, 1)
 	tt.Kind = key256(17)
 	tt.Value = 2.0
-	a.Process("", tt)
+	Run(a, "", tt)
 	patch, ok := a.SnapshotDelta(7)
 	if !ok {
 		t.Fatal("no delta")
@@ -273,7 +273,7 @@ func mustSnapAt(t *testing.T, n int) []byte {
 		tt := tp(uint64(i), 1)
 		tt.Kind = key256(i)
 		tt.Value = 1.0
-		a.Process("", tt)
+		Run(a, "", tt)
 	}
 	snap, err := a.Snapshot()
 	if err != nil {
@@ -284,7 +284,7 @@ func mustSnapAt(t *testing.T, n int) []byte {
 
 func TestWindowNonNumericUsesSize(t *testing.T) {
 	w := NewWindow("w", 2)
-	outs, err := w.Process("", tp(1, 10))
+	outs, err := Run(w, "", tp(1, 10))
 	if err != nil || len(outs) != 1 {
 		t.Fatalf("process: %v", err)
 	}

@@ -18,7 +18,7 @@ func TestMapTransformsAndCounts(t *testing.T) {
 		out.Kind = "y"
 		return out
 	})
-	outs, err := m.Process("", tp(1, 10))
+	outs, err := Run(m, "", tp(1, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func TestMapTransformsAndCounts(t *testing.T) {
 
 func TestMapDropsNil(t *testing.T) {
 	m := NewMap("m", func(*tuple.Tuple) *tuple.Tuple { return nil })
-	outs, err := m.Process("", tp(1, 10))
+	outs, err := Run(m, "", tp(1, 10))
 	if err != nil || len(outs) != 0 {
 		t.Fatalf("outs = %v, err = %v", outs, err)
 	}
@@ -41,7 +41,7 @@ func TestMapDropsNil(t *testing.T) {
 func TestMapSnapshotRoundTrip(t *testing.T) {
 	m := NewMap("m", func(in *tuple.Tuple) *tuple.Tuple { return in })
 	for i := 0; i < 5; i++ {
-		m.Process("", tp(uint64(i), 1))
+		Run(m, "", tp(uint64(i), 1))
 	}
 	state, err := m.Snapshot()
 	if err != nil {
@@ -81,7 +81,7 @@ func TestFilterPartitions(t *testing.T) {
 	f := NewFilter("f", func(t *tuple.Tuple) bool { return t.Seq%2 == 0 })
 	kept := 0
 	for i := uint64(0); i < 10; i++ {
-		outs, err := f.Process("", tp(i, 1))
+		outs, err := Run(f, "", tp(i, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestRoundRobinRotation(t *testing.T) {
 	r := NewRoundRobin("d", "c0", "c1", "c2")
 	var got []string
 	for i := uint64(0); i < 6; i++ {
-		outs, err := r.Process("", tp(i, 1))
+		outs, err := Run(r, "", tp(i, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,13 +120,13 @@ func TestRoundRobinRotation(t *testing.T) {
 
 func TestRoundRobinResumesAfterRestore(t *testing.T) {
 	r := NewRoundRobin("d", "a", "b")
-	r.Process("", tp(0, 1)) // -> a
+	Run(r, "", tp(0, 1)) // -> a
 	state, _ := r.Snapshot()
 	r2 := NewRoundRobin("d", "a", "b")
 	if err := r2.Restore(state); err != nil {
 		t.Fatal(err)
 	}
-	outs, _ := r2.Process("", tp(1, 1))
+	outs, _ := Run(r2, "", tp(1, 1))
 	if outs[0].To != "b" {
 		t.Fatalf("after restore routed to %s, want b", outs[0].To)
 	}
@@ -134,7 +134,7 @@ func TestRoundRobinResumesAfterRestore(t *testing.T) {
 
 func TestRoundRobinNoTargets(t *testing.T) {
 	r := NewRoundRobin("d")
-	if _, err := r.Process("", tp(0, 1)); err == nil {
+	if _, err := Run(r, "", tp(0, 1)); err == nil {
 		t.Fatal("expected error with no targets")
 	}
 }
@@ -145,11 +145,11 @@ func TestJoinMatchesBySeq(t *testing.T) {
 		out.Size = l.Size + r.Size
 		return out
 	})
-	outs, err := j.Process("L", tp(1, 10))
+	outs, err := Run(j, "L", tp(1, 10))
 	if err != nil || len(outs) != 0 {
 		t.Fatalf("unmatched join emitted: %v, %v", outs, err)
 	}
-	outs, err = j.Process("R", tp(1, 20))
+	outs, err = Run(j, "R", tp(1, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,16 +163,16 @@ func TestJoinMatchesBySeq(t *testing.T) {
 
 func TestJoinRejectsUnknownUpstream(t *testing.T) {
 	j := NewJoin("j", "L", "R", func(l, r *tuple.Tuple) *tuple.Tuple { return l })
-	if _, err := j.Process("X", tp(1, 1)); err == nil {
+	if _, err := Run(j, "X", tp(1, 1)); err == nil {
 		t.Fatal("unknown upstream accepted")
 	}
 }
 
 func TestJoinSnapshotRestoresWindows(t *testing.T) {
 	j := NewJoin("j", "L", "R", func(l, r *tuple.Tuple) *tuple.Tuple { return l })
-	j.Process("L", tp(1, 100))
-	j.Process("L", tp(2, 200))
-	j.Process("R", tp(9, 300))
+	Run(j, "L", tp(1, 100))
+	Run(j, "L", tp(2, 200))
+	Run(j, "R", tp(9, 300))
 	state, err := j.Snapshot()
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +185,7 @@ func TestJoinSnapshotRestoresWindows(t *testing.T) {
 		t.Fatalf("restored pending = %d, want 3", j2.Pending())
 	}
 	// A matching right tuple for seq 2 must join against restored state.
-	outs, err := j2.Process("R", tp(2, 1))
+	outs, err := Run(j2, "R", tp(2, 1))
 	if err != nil || len(outs) != 1 {
 		t.Fatalf("restored join failed: %v, %v", outs, err)
 	}
@@ -198,7 +198,7 @@ func TestJoinStateSizeTracksWindows(t *testing.T) {
 	j := NewJoin("j", "L", "R", func(l, r *tuple.Tuple) *tuple.Tuple { return l })
 	j.ExtraState = 1000
 	base := j.StateSize()
-	j.Process("L", tp(1, 500))
+	Run(j, "L", tp(1, 500))
 	if j.StateSize() != base+500 {
 		t.Fatalf("state size = %d, want %d", j.StateSize(), base+500)
 	}
@@ -207,7 +207,7 @@ func TestJoinStateSizeTracksWindows(t *testing.T) {
 func TestPassthroughForwards(t *testing.T) {
 	p := NewPassthrough("k")
 	in := tp(4, 44)
-	outs, err := p.Process("up", in)
+	outs, err := Run(p, "up", in)
 	if err != nil || len(outs) != 1 || outs[0].T != in {
 		t.Fatalf("passthrough: %v, %v", outs, err)
 	}
@@ -243,7 +243,7 @@ func TestRoundRobinFairnessProperty(t *testing.T) {
 		r := NewRoundRobin("d", targets...)
 		counts := make(map[string]int)
 		for i := 0; i < int(n); i++ {
-			outs, err := r.Process("", tp(uint64(i), 1))
+			outs, err := Run(r, "", tp(uint64(i), 1))
 			if err != nil {
 				return false
 			}
@@ -282,11 +282,11 @@ func TestJoinPairingProperty(t *testing.T) {
 			}
 			if !seen[s] {
 				seen[s] = true
-				outs, err := j.Process(first, tp(s, 1))
+				outs, err := Run(j, first, tp(s, 1))
 				if err != nil || len(outs) != 0 {
 					return false
 				}
-				outs, err = j.Process(second, tp(s, 1))
+				outs, err = Run(j, second, tp(s, 1))
 				if err != nil {
 					return false
 				}

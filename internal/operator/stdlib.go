@@ -31,14 +31,13 @@ func NewMap(id string, fn func(*tuple.Tuple) *tuple.Tuple) *Map {
 	return &Map{Base: Base{Name: id}, Fn: fn}
 }
 
-// Process implements Operator.
-func (m *Map) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+// Process implements Processor.
+func (m *Map) Process(ctx *Context, _ string, t *tuple.Tuple) error {
 	m.counter++
-	out := m.Fn(t)
-	if out == nil {
-		return nil, nil
+	if out := m.Fn(t); out != nil {
+		ctx.Emit(out)
 	}
-	return []Out{Emit(out)}, nil
+	return nil
 }
 
 // Cost implements Operator.
@@ -97,14 +96,15 @@ func NewFilter(id string, pred func(*tuple.Tuple) bool) *Filter {
 	return &Filter{Base: Base{Name: id}, Pred: pred}
 }
 
-// Process implements Operator.
-func (f *Filter) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+// Process implements Processor.
+func (f *Filter) Process(ctx *Context, _ string, t *tuple.Tuple) error {
 	if f.Pred(t) {
 		f.passed++
-		return []Out{Emit(t)}, nil
+		ctx.Emit(t)
+		return nil
 	}
 	f.dropped++
-	return nil, nil
+	return nil
 }
 
 // Cost implements Operator.
@@ -156,14 +156,15 @@ func NewRoundRobin(id string, targets ...string) *RoundRobin {
 	return &RoundRobin{Base: Base{Name: id}, Targets: targets}
 }
 
-// Process implements Operator.
-func (r *RoundRobin) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+// Process implements Processor.
+func (r *RoundRobin) Process(ctx *Context, _ string, t *tuple.Tuple) error {
 	if len(r.Targets) == 0 {
-		return nil, fmt.Errorf("roundrobin %s: no targets", r.Name)
+		return fmt.Errorf("roundrobin %s: no targets", r.Name)
 	}
 	to := r.Targets[r.next%uint64(len(r.Targets))]
 	r.next++
-	return []Out{EmitTo(to, t)}, nil
+	ctx.EmitTo(to, t)
+	return nil
 }
 
 // Snapshot implements Operator.
@@ -217,8 +218,8 @@ func NewJoin(id, left, right string, merge func(l, r *tuple.Tuple) *tuple.Tuple)
 	}
 }
 
-// Process implements Operator.
-func (j *Join) Process(from string, t *tuple.Tuple) ([]Out, error) {
+// Process implements Processor.
+func (j *Join) Process(ctx *Context, from string, t *tuple.Tuple) error {
 	var mine, other map[uint64]*tuple.Tuple
 	switch from {
 	case j.Left:
@@ -226,7 +227,7 @@ func (j *Join) Process(from string, t *tuple.Tuple) ([]Out, error) {
 	case j.Right:
 		mine, other = j.right, j.left
 	default:
-		return nil, fmt.Errorf("join %s: tuple from unexpected upstream %q", j.Name, from)
+		return fmt.Errorf("join %s: tuple from unexpected upstream %q", j.Name, from)
 	}
 	if match, ok := other[t.Seq]; ok {
 		delete(other, t.Seq)
@@ -236,14 +237,13 @@ func (j *Join) Process(from string, t *tuple.Tuple) ([]Out, error) {
 		} else {
 			l, r = match, t
 		}
-		out := j.Merge(l, r)
-		if out == nil {
-			return nil, nil
+		if out := j.Merge(l, r); out != nil {
+			ctx.Emit(out)
 		}
-		return []Out{Emit(out)}, nil
+		return nil
 	}
 	mine[t.Seq] = t
-	return nil, nil
+	return nil
 }
 
 // Cost implements Operator.
@@ -348,9 +348,10 @@ func NewPassthrough(id string) *Passthrough {
 	return &Passthrough{Base: Base{Name: id}}
 }
 
-// Process implements Operator.
-func (*Passthrough) Process(_ string, t *tuple.Tuple) ([]Out, error) {
-	return []Out{Emit(t)}, nil
+// Process implements Processor.
+func (*Passthrough) Process(ctx *Context, _ string, t *tuple.Tuple) error {
+	ctx.Emit(t)
+	return nil
 }
 
 // Window is a count-based sliding window: it keeps the last N numeric
@@ -377,9 +378,9 @@ func NewWindow(id string, n int) *Window {
 	return &Window{Base: Base{Name: id}, N: n}
 }
 
-// Process implements Operator: non-numeric payloads contribute their wire
+// Process implements Processor: non-numeric payloads contribute their wire
 // size, so the window is usable on any stream.
-func (w *Window) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+func (w *Window) Process(ctx *Context, _ string, t *tuple.Tuple) error {
 	v, ok := t.Value.(float64)
 	if !ok {
 		v = float64(t.Size)
@@ -399,7 +400,8 @@ func (w *Window) Process(_ string, t *tuple.Tuple) ([]Out, error) {
 	}
 	out := t.Clone()
 	out.Value = sum / float64(len(w.vals))
-	return []Out{Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 // Cost implements Operator.
@@ -481,8 +483,8 @@ func (a *Aggregate) key(t *tuple.Tuple) string {
 	return t.Kind
 }
 
-// Process implements Operator.
-func (a *Aggregate) Process(_ string, t *tuple.Tuple) ([]Out, error) {
+// Process implements Processor.
+func (a *Aggregate) Process(ctx *Context, _ string, t *tuple.Tuple) error {
 	v, ok := t.Value.(float64)
 	if !ok {
 		v = float64(t.Size)
@@ -492,7 +494,8 @@ func (a *Aggregate) Process(_ string, t *tuple.Tuple) ([]Out, error) {
 	a.counts[k]++
 	out := t.Clone()
 	out.Value = a.sums[k] / float64(a.counts[k])
-	return []Out{Emit(out)}, nil
+	ctx.Emit(out)
+	return nil
 }
 
 // Cost implements Operator.

@@ -132,6 +132,12 @@ func New(cfg Config) (*Region, error) {
 	if cfg.Phones < need {
 		return nil, fmt.Errorf("region %s: %d phones cannot host %d slots", cfg.ID, cfg.Phones, need)
 	}
+	// Surface registry wiring bugs (missing factory, wrong ID, no
+	// processing contract) here as errors instead of panics at placement
+	// or recovery time.
+	if err := cfg.Registry.Validate(cfg.Graph.Operators()); err != nil {
+		return nil, fmt.Errorf("region %s: %w", cfg.ID, err)
+	}
 	r := &Region{
 		cfg:          cfg,
 		clk:          cfg.Clock,

@@ -38,6 +38,14 @@ func (g *Generator) Stop() {
 	g.wg.Wait()
 }
 
+// Every runs fn once per period of simulated time (with up to 10%
+// deterministic jitter from seed) until the generator stops — the schedule
+// custom feeds ride, e.g. driving a stream-built pipeline's source from an
+// example or a test.
+func (g *Generator) Every(period time.Duration, seed int64, fn func(i int)) {
+	g.every(period, seed, fn)
+}
+
 // every runs fn once per period (with up to 10% deterministic jitter from
 // seed) until the generator stops.
 func (g *Generator) every(period time.Duration, seed int64, fn func(i int)) {

@@ -9,17 +9,37 @@
 // (multi-phase UDP dissemination of state to every phone), so a region
 // survives burst failures and phone departures.
 //
-// Quick start:
+// Quick start — declare a pipeline with the typed stream builder, compile
+// it onto a region, ingest readings:
 //
+//	p, _ := stream.From[float64]("sensor").
+//		Map("smooth", func(v float64) float64 { return v * 0.5 }).
+//		Window("avg", 16).
+//		Sink("out", func(v float64) { fmt.Println(v) }).
+//		Build()
 //	sys := mobistreams.NewSystem(mobistreams.SystemConfig{Speedup: 50})
-//	g, _ := mobistreams.NewGraphBuilder().
-//		AddOperator("src", "n1").AddOperator("work", "n2").AddOperator("out", "n3").
-//		Chain("src", "work", "out").Build()
-//	region, _ := sys.AddRegion(mobistreams.RegionSpec{
-//		ID: "demo", Graph: g, Registry: registry, Scheme: mobistreams.MS, Phones: 5,
-//	})
+//	region, _ := sys.AddRegion(mobistreams.PipelineSpec("demo", p, mobistreams.MS, 5))
 //	sys.Start()
-//	region.Ingest("src", payload, 1024, "reading")
+//	region.Ingest("sensor", 21.5, 1024, "reading")
+//
+// Custom operators implement the emit-context contract: Process receives
+// an *OperatorContext whose Emit/EmitTo push results straight into the
+// node's compiled pipeline (no per-tuple slice allocation), plus simulated
+// time, one-shot timers and a per-key state handle:
+//
+//	func (o *smoother) Process(ctx *mobistreams.OperatorContext, from string, t *mobistreams.Tuple) error {
+//		o.ewma = 0.8*o.ewma + 0.2*t.Value.(float64)
+//		out := t.Clone()
+//		out.Value = o.ewma
+//		ctx.Emit(out)
+//		return nil
+//	}
+//
+// Migration note: the seed-era contract — Process(from string, t *Tuple)
+// ([]Out, error) — keeps working unchanged; the executor adapts it
+// transparently (see operator.LegacyProcessor). Likewise the hand-wired
+// NewGraphBuilder/Registry/RegionSpec path remains the low-level API the
+// stream builder compiles onto.
 //
 // The internal packages implement the substrates: simulated WiFi/cellular
 // networks, the phone model, the node/region/controller runtimes, the two
@@ -44,17 +64,28 @@ import (
 	"mobistreams/internal/scheduler"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/tuple"
+	"mobistreams/stream"
 )
 
 // Re-exported building blocks: applications define operators and graphs
 // with these.
 type (
-	// Operator is the unit of work placed on a phone; see
-	// internal/operator for the contract.
+	// Operator is the unit of work placed on a phone: identity, cost and
+	// snapshotable state. Implement Processor (preferred) or
+	// LegacyOperator alongside it; see internal/operator.
 	Operator = operator.Operator
+	// Processor is the emit-context processing contract: Process
+	// receives an *OperatorContext and pushes emissions through it.
+	Processor = operator.Processor
+	// LegacyOperator is the seed-era processing contract returning
+	// []Out slices; it runs unchanged through an adapter.
+	LegacyOperator = operator.LegacyProcessor
+	// OperatorContext is the per-operator emit-context: Emit/EmitTo,
+	// simulated time, one-shot timers and the per-key state handle.
+	OperatorContext = operator.Context
 	// OperatorBase provides defaults for stateless operators.
 	OperatorBase = operator.Base
-	// Out is one operator emission.
+	// Out is one operator emission (legacy contract and operator.Run).
 	Out = operator.Out
 	// Registry maps operator IDs to factories ("the code" the
 	// controller ships to phones).
@@ -135,10 +166,17 @@ type RegionSpec struct {
 	// Phones is the region population (slots plus idle spares).
 	Phones int
 	// WiFiBps is the shared-airtime capacity (default 3 Mbps); WiFiLoss
-	// the UDP loss probability (default 2%).
+	// the UDP loss probability. A zero WiFiLoss means "use the default
+	// 2%" — set LosslessWiFi for an actually lossless medium.
 	WiFiBps  float64
 	WiFiLoss float64
-	Seed     int64
+	// LosslessWiFi runs the region WiFi with zero UDP loss. The zero
+	// value of WiFiLoss selects the 2% default (so specs that never
+	// thought about loss keep the paper's medium); this flag is the
+	// explicit way to configure a lossless region, which WiFiLoss alone
+	// cannot express.
+	LosslessWiFi bool
+	Seed         int64
 	// Batch bounds edge-level tuple batching on every node's emission
 	// path; the zero value enables batching with defaults.
 	Batch BatchConfig
@@ -180,7 +218,8 @@ func NewSystem(cfg SystemConfig) *System {
 		cfg.Speedup = 1
 	}
 	clk := clock.NewScaled(cfg.Speedup)
-	cfg.Cellular.ChunkBytes = 0 // defaults applied by simnet
+	// The caller's cellular config is passed through as-is; simnet applies
+	// its defaults (e.g. 64 KB ChunkBytes) only to unset fields.
 	cell := simnet.NewCellular(clk, cfg.Cellular)
 	ctrlCfg := controller.Config{
 		Clock:            clk,
@@ -201,6 +240,36 @@ func NewSystem(cfg SystemConfig) *System {
 // Clock returns the system clock; Sleep and Now operate in simulated time.
 func (s *System) Clock() *clock.Scaled { return s.clk }
 
+// wifiLoss resolves the spec's loss knobs: LosslessWiFi wins, an explicit
+// WiFiLoss is respected, and the zero value falls back to the 2% default.
+func (spec RegionSpec) wifiLoss() (float64, error) {
+	if spec.LosslessWiFi {
+		if spec.WiFiLoss != 0 {
+			return 0, fmt.Errorf("mobistreams: region %q sets both LosslessWiFi and WiFiLoss=%g", spec.ID, spec.WiFiLoss)
+		}
+		return 0, nil
+	}
+	if spec.WiFiLoss < 0 || spec.WiFiLoss >= 1 {
+		return 0, fmt.Errorf("mobistreams: region %q WiFiLoss=%g outside [0,1)", spec.ID, spec.WiFiLoss)
+	}
+	if spec.WiFiLoss == 0 {
+		return 0.02, nil
+	}
+	return spec.WiFiLoss, nil
+}
+
+// PipelineSpec compiles a stream-built pipeline into a RegionSpec: the
+// same Graph + Registry + RegionSpec triple the hand-wired API assembles,
+// with the pipeline's typed sink callbacks wired to OnOutput. Adjust the
+// returned spec (WiFi, batching, seed) before AddRegion as needed.
+func PipelineSpec(id string, p *stream.Pipeline, scheme Scheme, phones int) RegionSpec {
+	spec := RegionSpec{ID: id, Graph: p.Graph(), Registry: p.Registry(), Scheme: scheme, Phones: phones}
+	if p.HasOutput() {
+		spec.OnOutput = p.Output
+	}
+	return spec
+}
+
 // AddRegion builds a region. Call before Start.
 func (s *System) AddRegion(spec RegionSpec) (*Region, error) {
 	if spec.Graph == nil || spec.Registry == nil {
@@ -209,9 +278,11 @@ func (s *System) AddRegion(spec RegionSpec) (*Region, error) {
 	if spec.WiFiBps <= 0 {
 		spec.WiFiBps = 3e6
 	}
-	if spec.WiFiLoss == 0 {
-		spec.WiFiLoss = 0.02
+	loss, err := spec.wifiLoss()
+	if err != nil {
+		return nil, err
 	}
+	spec.WiFiLoss = loss
 	wrapped := &Region{sys: s, onOutput: spec.OnOutput}
 	r, err := region.New(region.Config{
 		ID:                spec.ID,

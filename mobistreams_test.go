@@ -1,12 +1,16 @@
 package mobistreams
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"mobistreams/internal/operator"
+	"mobistreams/internal/simnet"
 	"mobistreams/internal/tuple"
+	"mobistreams/stream"
 )
 
 func demoGraph(t testing.TB) *Graph {
@@ -184,5 +188,197 @@ func TestSystemAdaptivePlacement(t *testing.T) {
 	}
 	if r.Migrations() != 0 {
 		t.Fatalf("healthy region migrated %d slots", r.Migrations())
+	}
+}
+
+// Regression: NewSystem used to zero the caller's Cellular.ChunkBytes
+// unconditionally, so the chunking knob was unconfigurable. The user value
+// must reach the network; only an unset value takes the simnet default.
+func TestSystemConfigCellularChunkBytesRespected(t *testing.T) {
+	sys := NewSystem(SystemConfig{Speedup: 100, Cellular: simnet.CellularConfig{ChunkBytes: 4096}})
+	if got := sys.cell.Config().ChunkBytes; got != 4096 {
+		t.Fatalf("ChunkBytes = %d, want the configured 4096", got)
+	}
+	sys = NewSystem(SystemConfig{Speedup: 100})
+	if got := sys.cell.Config().ChunkBytes; got != 64<<10 {
+		t.Fatalf("default ChunkBytes = %d, want 64 KB", got)
+	}
+}
+
+// The WiFiLoss zero-value footgun: 0 means "default 2%", LosslessWiFi is
+// the explicit lossless knob, and combining it with an explicit loss is a
+// configuration error.
+func TestRegionSpecWiFiLossResolution(t *testing.T) {
+	cases := []struct {
+		spec RegionSpec
+		want float64
+		err  bool
+	}{
+		{RegionSpec{ID: "a"}, 0.02, false},
+		{RegionSpec{ID: "b", WiFiLoss: 0.1}, 0.1, false},
+		{RegionSpec{ID: "c", LosslessWiFi: true}, 0, false},
+		{RegionSpec{ID: "d", LosslessWiFi: true, WiFiLoss: 0.1}, 0, true},
+		{RegionSpec{ID: "e", WiFiLoss: -0.5}, 0, true},
+		{RegionSpec{ID: "f", WiFiLoss: 1.5}, 0, true},
+	}
+	for _, c := range cases {
+		got, err := c.spec.wifiLoss()
+		if c.err != (err != nil) {
+			t.Fatalf("%s: err = %v, want err=%v", c.spec.ID, err, c.err)
+		}
+		if err == nil && got != c.want {
+			t.Fatalf("%s: loss = %g, want %g", c.spec.ID, got, c.want)
+		}
+	}
+	sys := NewSystem(SystemConfig{Speedup: 100})
+	if _, err := sys.AddRegion(RegionSpec{
+		ID: "bad", Graph: demoGraph(t), Registry: demoRegistry(),
+		Scheme: Base, Phones: 3, LosslessWiFi: true, WiFiLoss: 0.2,
+	}); err == nil {
+		t.Fatal("conflicting loss knobs accepted")
+	}
+}
+
+// Build-time registry validation: a graph operator without a factory is an
+// AddRegion error now, not a placement-time panic.
+func TestAddRegionRejectsIncompleteRegistry(t *testing.T) {
+	sys := NewSystem(SystemConfig{Speedup: 100})
+	reg := demoRegistry()
+	delete(reg, "work")
+	if _, err := sys.AddRegion(RegionSpec{
+		ID: "r1", Graph: demoGraph(t), Registry: reg, Scheme: Base, Phones: 3,
+	}); err == nil {
+		t.Fatal("registry missing a factory accepted")
+	}
+}
+
+// legacySmoother is a seed-contract custom operator: the end-to-end proof
+// that applications written against the old API survive the emit-context
+// redesign unchanged, including checkpoint and recovery.
+type legacySmoother struct {
+	operator.Base
+	ewma float64
+	n    uint64
+}
+
+func (s *legacySmoother) Process(_ string, t *tuple.Tuple) ([]operator.Out, error) {
+	v, _ := t.Value.(float64)
+	if s.n == 0 {
+		s.ewma = v
+	} else {
+		s.ewma = 0.8*s.ewma + 0.2*v
+	}
+	s.n++
+	out := t.Clone()
+	out.Value = s.ewma
+	return []operator.Out{operator.Emit(out)}, nil
+}
+
+func (s *legacySmoother) Snapshot() ([]byte, error) {
+	return []byte(fmt.Sprintf("%g %d", s.ewma, s.n)), nil
+}
+
+func (s *legacySmoother) Restore(data []byte) error {
+	_, err := fmt.Sscanf(string(data), "%g %d", &s.ewma, &s.n)
+	return err
+}
+
+func (s *legacySmoother) StateSize() int { return 16 }
+
+func TestLegacyOperatorSurvivesCheckpointAndFailure(t *testing.T) {
+	g, err := NewGraphBuilder().
+		AddOperator("src", "n1").AddOperator("smooth", "n2").AddOperator("out", "n3").
+		Chain("src", "smooth", "out").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := Registry{
+		"src":    func() Operator { return operator.NewPassthrough("src") },
+		"smooth": func() Operator { return &legacySmoother{Base: operator.Base{Name: "smooth"}} },
+		"out":    func() Operator { return operator.NewPassthrough("out") },
+	}
+	var got atomic.Int64
+	sys := NewSystem(SystemConfig{Speedup: 2000, CheckpointPeriod: time.Hour})
+	r, err := sys.AddRegion(RegionSpec{
+		ID: "r1", Graph: g, Registry: reg, Scheme: MS, Phones: 5, WiFiBps: 50e6,
+		OnOutput: func(*Tuple) { got.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	for i := 0; i < 5; i++ {
+		r.Ingest("src", float64(20+i), 512, "reading")
+	}
+	v := r.TriggerCheckpoint()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Committed() < v && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if r.Committed() < v {
+		t.Fatal("legacy-operator checkpoint never committed")
+	}
+	if err := r.InjectFailure("n2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < 15; i++ {
+		r.Ingest("src", float64(20+i), 512, "reading")
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for r.Recoveries() == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if r.Recoveries() == 0 {
+		t.Fatal("no recovery with a legacy operator placed")
+	}
+	if r.Dead() {
+		t.Fatal("region died")
+	}
+}
+
+// TestTimeWindowClosesOnIdleStream proves the executor's timer machinery
+// end to end: a TimeWindow built through the stream DSL closes its window
+// on simulated time — via the timer wake, not a following tuple — and the
+// sink publishes the per-window means while the stream is idle.
+func TestTimeWindowClosesOnIdleStream(t *testing.T) {
+	var mu sync.Mutex
+	var got []float64
+	p, err := stream.From[float64]("sensor", stream.On("n1")).
+		TimeWindow("win", 10*time.Second, stream.On("n2")).
+		Sink("out", func(v float64) { mu.Lock(); got = append(got, v); mu.Unlock() }, stream.On("n3")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(SystemConfig{Speedup: 500, CheckpointPeriod: time.Hour})
+	r, err := sys.AddRegion(PipelineSpec("r1", p, Base, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	// Burst all readings well inside the first 10 s window; the close can
+	// only come from the timer.
+	for i := 1; i <= 4; i++ {
+		r.Ingest("sensor", float64(10*i), 256, "reading")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 {
+		t.Fatal("time window never closed on the idle stream")
+	}
+	if got[0] != 25 { // mean of 10,20,30,40
+		t.Fatalf("window mean = %v, want 25", got[0])
 	}
 }
