@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"mobistreams/internal/bench"
 )
@@ -16,6 +17,8 @@ import (
 //	go run ./cmd/msbench -exp churn -seed 5 -churnout BENCH_scheduler.json
 //	go run ./cmd/msbench -exp checkpoint -seed 5 -ckptout BENCH_checkpoint.json
 //	go run ./cmd/msbench -exp scale -seed 5 -scaleout BENCH_scale.json
+//	go run ./cmd/msbench -exp emit -emitout BENCH_emit.json
+//	go run ./cmd/msbench -exp wire -wireout BENCH_wire.json
 //	then copy the summary numbers below from those files.
 type Baseline struct {
 	Comment string `json:"comment"`
@@ -34,6 +37,10 @@ type Baseline struct {
 	// allocations per tuple through the compiled pipeline — 0 by design,
 	// and machine-independent, so the gate pins it hard.
 	EmitAllocsPerOp float64 `json:"emit_allocs_per_op"`
+	// WireEncodeAllocsPerOp is the wire codec's steady-state allocations
+	// per encoded frame into a presized buffer — 0 by design (append-only
+	// encoding), machine-independent, pinned hard like the emit path.
+	WireEncodeAllocsPerOp float64 `json:"wire_encode_allocs_per_op"`
 }
 
 // regressionFactor is the gate's threshold: a metric more than 20% worse
@@ -48,9 +55,12 @@ const (
 	// allocation (GC bookkeeping) without letting a real per-tuple
 	// allocation — the smallest possible regression is 1.0 — pass.
 	emitGraceAllocs = 0.1
+	// wireGraceAllocs plays the same role for the wire codec's encode
+	// rows: background noise passes, one real allocation per frame fails.
+	wireGraceAllocs = 0.1
 )
 
-func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath string, w io.Writer) error {
+func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath string, w io.Writer) error {
 	var base Baseline
 	if err := readJSON(baselinePath, &base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -70,6 +80,10 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath string, w
 	var emit bench.EmitReport
 	if err := readJSON(emitPath, &emit); err != nil {
 		return fmt.Errorf("emit results: %w", err)
+	}
+	var wireRep bench.WireReport
+	if err := readJSON(wirePath, &wireRep); err != nil {
+		return fmt.Errorf("wire results: %w", err)
 	}
 
 	var worstLoss int64
@@ -113,10 +127,23 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath string, w
 		}
 	}
 
+	// Worst encode row across frame kinds: any per-frame allocation on
+	// the encode path breaks the zero-alloc wire-format claim.
+	wireAllocs, wireSeen := -1.0, false
+	for _, row := range wireRep.Rows {
+		if strings.HasPrefix(row.Op, "encode_") {
+			wireSeen = true
+			if row.AllocsPerOp > wireAllocs {
+				wireAllocs = row.AllocsPerOp
+			}
+		}
+	}
+
 	lossLimit := int64(float64(base.MaxSchedulerTupleLoss)*regressionFactor) + lossGraceTuples
 	pauseLimit := base.IncrPauseMeanMsLargest*regressionFactor + pauseGraceMs
 	scaleLimit := base.ScaleTPSLargest/regressionFactor - scaleGraceTPS
 	emitLimit := base.EmitAllocsPerOp + emitGraceAllocs
+	wireLimit := base.WireEncodeAllocsPerOp + wireGraceAllocs
 	fmt.Fprintf(w, "gate: scheduler tuple loss %d (baseline %d, limit %d)\n",
 		worstLoss, base.MaxSchedulerTupleLoss, lossLimit)
 	fmt.Fprintf(w, "gate: incremental pause at %d KB state %.2f ms (baseline %.2f ms, limit %.2f ms)\n",
@@ -125,12 +152,19 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath string, w
 		largestPhones, scaleTPS, base.ScaleTPSLargest, scaleLimit)
 	fmt.Fprintf(w, "gate: emit-path allocs/op %.3f (baseline %.3f, limit %.3f)\n",
 		emitAllocs, base.EmitAllocsPerOp, emitLimit)
+	fmt.Fprintf(w, "gate: wire-encode allocs/op %.3f (baseline %.3f, limit %.3f)\n",
+		wireAllocs, base.WireEncodeAllocsPerOp, wireLimit)
 
 	var failures []string
 	if !emitSeen {
 		failures = append(failures, "emit results carry no context-contract row")
 	} else if emitAllocs > emitLimit {
 		failures = append(failures, fmt.Sprintf("emit-path allocs/op regressed: %.3f > %.3f", emitAllocs, emitLimit))
+	}
+	if !wireSeen {
+		failures = append(failures, "wire results carry no encode rows")
+	} else if wireAllocs > wireLimit {
+		failures = append(failures, fmt.Sprintf("wire-encode allocs/op regressed: %.3f > %.3f", wireAllocs, wireLimit))
 	}
 	if worstLoss > lossLimit {
 		failures = append(failures, fmt.Sprintf("tuple loss regressed: %d > %d", worstLoss, lossLimit))

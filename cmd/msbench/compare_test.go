@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops one JSON fixture into the test's temp dir.
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// gateFixtures writes a full healthy result set matching the committed
+// baseline shape, returning the six paths runCompare takes. Callers
+// overwrite individual files to construct failure cases.
+func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire string) {
+	t.Helper()
+	baseline = writeFile(t, dir, "baseline.json", `{
+		"max_scheduler_tuple_loss": 0,
+		"incr_pause_mean_ms_largest": 10.0,
+		"scale_tps_largest": 300.0,
+		"emit_allocs_per_op": 0.0,
+		"wire_encode_allocs_per_op": 0.0
+	}`)
+	churn = writeFile(t, dir, "churn.json", `{"rows": [
+		{"mode": "scheduler", "tuples_lost": 0},
+		{"mode": "reactive", "tuples_lost": 50}
+	]}`)
+	ckpt = writeFile(t, dir, "ckpt.json", `{"rows": [
+		{"mode": "incremental", "state_bytes": 1048576, "pause_mean_ms": 9.5},
+		{"mode": "full", "state_bytes": 1048576, "pause_mean_ms": 40.0}
+	]}`)
+	scale = writeFile(t, dir, "scale.json", `{"rows": [
+		{"mode": "tuned", "phones": 64, "tuples_per_sec": 310.0},
+		{"mode": "legacy", "phones": 64, "tuples_per_sec": 200.0}
+	]}`)
+	emit = writeFile(t, dir, "emit.json", `{"rows": [
+		{"mode": "context", "allocs_per_op": 0.0, "ns_per_op": 100},
+		{"mode": "legacy", "allocs_per_op": 2.0, "ns_per_op": 150}
+	]}`)
+	wire = writeFile(t, dir, "wire.json", `{"rows": [
+		{"op": "encode_stream", "allocs_per_op": 0.0, "ns_per_op": 50, "frame_bytes": 80},
+		{"op": "encode_batch16", "allocs_per_op": 0.0, "ns_per_op": 700, "frame_bytes": 1200},
+		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
+	]}`)
+	return
+}
+
+func TestComparePasses(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	var out bytes.Buffer
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out); err != nil {
+		t.Fatalf("healthy results failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("missing pass banner:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnWireEncodeAlloc is the gate's verified fail path: a
+// single allocation per encoded frame — the smallest possible regression —
+// must fail the build, decode-side allocations must not.
+func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	writeFile(t, dir, "wire.json", `{"rows": [
+		{"op": "encode_stream", "allocs_per_op": 1.0, "ns_per_op": 55, "frame_bytes": 80},
+		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out)
+	if err == nil {
+		t.Fatalf("1.0 wire-encode allocs/op passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "wire-encode allocs/op regressed") {
+		t.Fatalf("failure not attributed to the wire encode path:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnMissingWireRows: results without encode rows must not
+// silently pass.
+func TestCompareFailsOnMissingWireRows(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	writeFile(t, dir, "wire.json", `{"rows": [
+		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
+	]}`)
+	var out bytes.Buffer
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out); err == nil {
+		t.Fatalf("wire results without encode rows passed the gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnEmitAlloc keeps the emit pin honest alongside the new
+// wire pin.
+func TestCompareFailsOnEmitAlloc(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	writeFile(t, dir, "emit.json", `{"rows": [
+		{"mode": "context", "allocs_per_op": 1.0, "ns_per_op": 120}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out)
+	if err == nil {
+		t.Fatalf("1.0 emit allocs/op passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "emit-path allocs/op regressed") {
+		t.Fatalf("failure not attributed to the emit path:\n%s", out.String())
+	}
+}

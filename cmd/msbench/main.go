@@ -15,17 +15,19 @@
 //	msbench -exp checkpoint     # full-blob vs incremental-async pipeline
 //	msbench -exp scale          # region size × WiFi channels throughput sweep
 //	msbench -exp emit           # emit-context contract vs legacy []Out adapter
+//	msbench -exp wire           # wire codec encode/decode cost
 //
-// -churnout / -ckptout / -scaleout / -emitout write the churn, checkpoint,
-// scale and emit comparisons as machine-readable JSON (BENCH_scheduler.json
-// / BENCH_checkpoint.json / BENCH_scale.json / BENCH_emit.json in CI)
-// alongside the printed tables.
+// -churnout / -ckptout / -scaleout / -emitout / -wireout write the churn,
+// checkpoint, scale, emit and wire comparisons as machine-readable JSON
+// (BENCH_scheduler.json / BENCH_checkpoint.json / BENCH_scale.json /
+// BENCH_emit.json / BENCH_wire.json in CI) alongside the printed tables.
 //
 // -compare is the CI benchmark-regression gate: it reads the committed
 // baseline (BENCH_baseline.json) plus the fresh churn/checkpoint/scale/
-// emit JSON and exits non-zero when tuple loss, checkpoint pause, or
+// emit/wire JSON and exits non-zero when tuple loss, checkpoint pause, or
 // largest-region throughput regressed more than 20% against the baseline,
-// or when the emit-context path allocates per tuple (pinned at 0).
+// or when the emit-context path or the wire encode path allocates per
+// operation (both pinned at 0).
 //
 // -cpuprofile / -memprofile write pprof profiles so hot-path regressions
 // caught by the gate are diagnosable straight from CI artifacts.
@@ -45,13 +47,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
 	scaleOut := flag.String("scaleout", "", "write scale sweep JSON to this path")
 	emitOut := flag.String("emitout", "", "write emit-path comparison JSON to this path")
 	emitIters := flag.Int("emititers", 200000, "tuples per emit-path measurement")
+	wireOut := flag.String("wireout", "", "write wire-codec comparison JSON to this path")
+	wireIters := flag.Int("wireiters", 200000, "frames per wire-codec measurement")
 	scaleMax := flag.Int("scalemax", 64, "largest region size for the scale sweep (8..128)")
 	scaleChannels := flag.String("scalechannels", "1,4", "comma-separated WiFi channel counts for tuned scale rows")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
@@ -63,6 +67,7 @@ func main() {
 	ckptJSON := flag.String("ckptjson", "BENCH_checkpoint.json", "fresh checkpoint results for -compare")
 	scaleJSON := flag.String("scalejson", "BENCH_scale.json", "fresh scale results for -compare")
 	emitJSON := flag.String("emitjson", "BENCH_emit.json", "fresh emit-path results for -compare")
+	wireJSON := flag.String("wirejson", "BENCH_wire.json", "fresh wire-codec results for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
@@ -96,7 +101,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, os.Stdout); err != nil {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
 			os.Exit(1)
 		}
@@ -245,6 +250,23 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *emitOut)
+			}
+			return nil
+		})
+	}
+	if want("wire") {
+		run("wire", func() error {
+			rep := bench.RunWire(*wireIters, os.Stdout)
+			if *wireOut != "" {
+				f, err := os.Create(*wireOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteWireJSON(f, rep); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *wireOut)
 			}
 			return nil
 		})

@@ -7,16 +7,31 @@
 //	msrun -app bcp -scheme ms -measure 120s
 //	msrun -app sg -scheme dist-2 -fail 2
 //	msrun -app bcp -scheme ms -depart 3 -speedup 400
+//
+// With -listen or -join, msrun instead runs a transport region: the same
+// deterministic pipeline over real TCP sockets, split across processes.
+// The lead prints every checkpoint blob digest plus the sink digest, and
+// -xregion sim prints the identical report from the simulated WiFi
+// backend — byte-identical blobs mean the two outputs diff clean:
+//
+//	msrun -xregion sim -seed 42 -tuples 60 -tokenevery 10   # simnet backend
+//	msrun -listen 127.0.0.1:7070 -workers 2 -seed 42        # socket lead
+//	msrun -join 127.0.0.1:7070 -id w1                       # socket worker
+//	msrun -join 127.0.0.1:7070 -id w2
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"mobistreams/internal/bench"
 	"mobistreams/internal/ft"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/xregion"
 )
 
 func main() {
@@ -29,7 +44,22 @@ func main() {
 	departN := flag.Int("depart", 0, "phones to depart mid-window")
 	phones := flag.Int("phones", 16, "region population (8 slots + spares)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	listen := flag.String("listen", "", "transport-region lead: listen for worker joins on this address")
+	join := flag.String("join", "", "transport-region worker: join the lead at this address")
+	nodeID := flag.String("id", "", "worker node ID (w1, w2, ...); required with -join")
+	workers := flag.Int("workers", 2, "transport-region worker count")
+	tuples := flag.Int("tuples", 60, "transport-region workload size")
+	tokenEvery := flag.Int("tokenevery", 10, "transport-region checkpoint token interval (tuples)")
+	xreg := flag.String("xregion", "", "run the transport region on this backend instead: sim")
+	joinTimeout := flag.Duration("jointimeout", time.Minute, "transport-region lead: how long to wait for workers")
 	flag.Parse()
+
+	if *join != "" || *listen != "" || *xreg != "" {
+		runTransportRegion(*listen, *join, *nodeID, *xreg, xregion.Spec{
+			Seed: *seed, Tuples: *tuples, TokenEvery: *tokenEvery,
+		}, *workers, *joinTimeout)
+		return
+	}
 
 	var app bench.App
 	switch *appName {
@@ -74,7 +104,65 @@ func main() {
 	fmt.Printf("replication:  %.2f MB network\n", float64(out.ReplicationNet)/(1<<20))
 	fmt.Printf("recoveries:   %d (departures handled: %d)\n", out.Recoveries, out.Departures)
 	fmt.Printf("duplicates:   %d suppressed at the sink\n", out.Duplicates)
+	fmt.Printf("inbox drops:  %d best-effort deliveries lost to full inboxes\n", out.InboxDrops)
 	if out.Dead {
 		fmt.Println("region:       DEAD (bypassed by the controller)")
 	}
+}
+
+// runTransportRegion runs the deterministic pipeline over the transport
+// layer: as a socket worker (-join), a socket lead (-listen), or entirely
+// on the simulated WiFi (-xregion sim). Lead and sim print the identical
+// deterministic report, so `diff` across backends proves blob parity.
+func runTransportRegion(listen, join, id, backend string, spec xregion.Spec, workers int, timeout time.Duration) {
+	switch {
+	case join != "":
+		if id == "" {
+			fmt.Fprintln(os.Stderr, "-join requires -id (w1, w2, ...)")
+			os.Exit(2)
+		}
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		if err := xregion.RunWorkerTCP(simnet.NodeID(id), listen, join); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "worker %s done\n", id)
+	case listen != "":
+		res, err := xregion.RunLeadTCP(spec, listen, workers, timeout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printRegionResult(spec, res)
+	case backend == "sim":
+		res, err := xregion.RunSim(spec, workers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printRegionResult(spec, res)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -xregion backend %q (want: sim)\n", backend)
+		os.Exit(2)
+	}
+}
+
+// printRegionResult prints the run's deterministic fingerprint: every
+// checkpoint blob's digest in sorted key order, then the sink stream
+// digest. Output is backend-independent by construction.
+func printRegionResult(spec xregion.Spec, res *xregion.Result) {
+	fmt.Printf("region:      %d tuples, token every %d, seed %d\n", spec.Tuples, spec.TokenEvery, spec.Seed)
+	keys := make([]string, 0, len(res.Blobs))
+	for k := range res.Blobs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum := sha256.Sum256(res.Blobs[k])
+		fmt.Printf("blob %-8s %x %dB\n", k, sum[:8], len(res.Blobs[k]))
+	}
+	fmt.Printf("sink outputs: %d\n", res.SinkOuts)
+	fmt.Printf("sink digest:  %s\n", res.SinkDigest)
 }

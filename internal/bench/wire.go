@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"mobistreams/internal/tuple"
+	"mobistreams/internal/wire"
+)
+
+// WireRow is one wire-codec measurement: an encode or decode operation
+// with its per-frame allocation count, latency and frame size.
+type WireRow struct {
+	Op          string  `json:"op"` // "encode_stream", "decode_stream", ...
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	FrameBytes  int     `json:"frame_bytes"`
+}
+
+// WireReport is the machine-readable wire-codec comparison the regression
+// gate consumes (BENCH_wire.json in CI). The gate pins every encode row
+// at 0 allocs/op: append-to-buffer encoding into a presized buffer must
+// not allocate in steady state.
+type WireReport struct {
+	Iters int       `json:"iters"`
+	Rows  []WireRow `json:"rows"`
+}
+
+// benchStream is the data-plane message the codec benchmark drives: a
+// realistic mid-pipeline tuple, the hot frame on every edge.
+func benchStream() *wire.Stream {
+	return &wire.Stream{
+		FromSlot: "s1", FromOp: "win8", ToSlot: "s2", ToOp: "agg",
+		EdgeSeq: 123456,
+		Item: tuple.DataItem(&tuple.Tuple{
+			Seq: 123456, Source: "src", Kind: "image",
+			Created: 42 * time.Millisecond, Size: 4096, Value: 3.14159,
+		}),
+	}
+}
+
+func benchBatch(n int) *wire.Batch {
+	b := &wire.Batch{ToSlot: "s2"}
+	for i := 0; i < n; i++ {
+		m := benchStream()
+		m.EdgeSeq = uint64(i + 1)
+		b.Msgs = append(b.Msgs, *m)
+	}
+	return b
+}
+
+// measure runs fn iters times under the Mallocs counter, after a short
+// warmup, and returns allocs/op and ns/op — the same methodology as the
+// emit-path gate.
+func measure(iters int, fn func()) (allocsPerOp, nsPerOp float64) {
+	for i := 0; i < 128; i++ {
+		fn()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m0 := ms.Mallocs
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Mallocs-m0) / float64(iters),
+		float64(elapsed.Nanoseconds()) / float64(iters)
+}
+
+// RunWire benchmarks the wire codec: encode paths into a reused presized
+// buffer (must hold 0 allocs/op — that is the zero-alloc design claim the
+// gate enforces) and decode paths as the contrast rows (decoding
+// materialises tuples, so it allocates a small constant per frame).
+func RunWire(iters int, w io.Writer) WireReport {
+	if iters <= 0 {
+		iters = 200000
+	}
+	rep := WireReport{Iters: iters}
+	fmt.Fprintf(w, "\n=== Wire codec: encode (pinned 0 allocs) vs decode (%d frames) ===\n", iters)
+	fmt.Fprintf(w, "%-16s %14s %12s %12s\n", "op", "allocs/op", "ns/op", "frame bytes")
+
+	add := func(op string, frameBytes int, fn func()) {
+		allocs, ns := measure(iters, fn)
+		rep.Rows = append(rep.Rows, WireRow{Op: op, AllocsPerOp: allocs, NsPerOp: ns, FrameBytes: frameBytes})
+		fmt.Fprintf(w, "%-16s %14.3f %12.1f %12d\n", op, allocs, ns, frameBytes)
+	}
+
+	sm := benchStream()
+	ssz, err := wire.SizeStream(sm)
+	if err != nil {
+		panic(err)
+	}
+	sbuf := make([]byte, 0, ssz)
+	add("encode_stream", ssz, func() {
+		if _, err := wire.AppendStream(sbuf[:0], sm); err != nil {
+			panic(err)
+		}
+	})
+
+	bm := benchBatch(16)
+	bsz, err := wire.SizeBatch(bm)
+	if err != nil {
+		panic(err)
+	}
+	bbuf := make([]byte, 0, bsz)
+	add("encode_batch16", bsz, func() {
+		if _, err := wire.AppendBatch(bbuf[:0], bm); err != nil {
+			panic(err)
+		}
+	})
+
+	sframe, err := wire.AppendStream(make([]byte, 0, ssz), sm)
+	if err != nil {
+		panic(err)
+	}
+	add("decode_stream", len(sframe), func() {
+		if _, err := wire.DecodeStream(sframe); err != nil {
+			panic(err)
+		}
+	})
+
+	bframe, err := wire.AppendBatch(make([]byte, 0, bsz), bm)
+	if err != nil {
+		panic(err)
+	}
+	add("decode_batch16", len(bframe), func() {
+		if _, err := wire.DecodeBatch(bframe); err != nil {
+			panic(err)
+		}
+	})
+
+	return rep
+}
+
+// WriteWireJSON renders the report machine-readably for the gate.
+func WriteWireJSON(w io.Writer, rep WireReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -306,6 +306,7 @@ type Report struct {
 	CheckpointNet  int64 // checkpoint + bitmap bytes on the network
 	ReplicationNet int64 // duplicated-tuple bytes on the network
 	PreservedBytes int64 // source + edge preservation bytes stored
+	InboxDrops     int64 // UDP-semantics deliveries lost to full endpoint inboxes
 	Recovered      bool  // whether the run survived its fault injection
 
 	// BatchFlushes and MeanBatch summarise edge batching: network sends

@@ -1,15 +1,13 @@
 package node
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
-	"sync"
 	"time"
 
 	"mobistreams/internal/checkpoint"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/simnet"
+	"mobistreams/internal/wire"
 )
 
 // CheckpointConfig parameterises the node's checkpoint pipeline.
@@ -54,17 +52,12 @@ func (c CheckpointConfig) copyTime(n int) time.Duration {
 	return time.Duration(float64(n) / bps * float64(time.Second))
 }
 
-// gobBufPool recycles the scratch buffers runtime state is gob-encoded
-// into: checkpoints run every period on every node, and the encoder's grown
-// backing array is worth keeping.
-var gobBufPool = sync.Pool{
-	New: func() interface{} { return new(bytes.Buffer) },
-}
-
 // snapshotParts collects everything a checkpoint needs: the slot, the
 // operator set and the edge counters from the compiled pipeline, the
-// encoded runtime state (through a pooled gob buffer), and the delta-chain
-// position.
+// wire-encoded runtime state, and the delta-chain position. The runtime
+// bytes are deterministic (sorted map order, fixed-width integers), so the
+// same logical state always checkpoints to the same blob bytes — gob, the
+// previous encoding here, randomised map entry order.
 func (n *Node) snapshotParts() (slot string, ops []operator.Operator, extra []byte, base uint64, chainLen int, err error) {
 	p := n.pipe.Load()
 	if p == nil {
@@ -81,16 +74,10 @@ func (n *Node) snapshotParts() (slot string, ops []operator.Operator, extra []by
 	base = n.ckptBase
 	chainLen = n.ckptChainLen
 	n.mu.Unlock()
-	buf := gobBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := gob.NewEncoder(buf).Encode(rt); err != nil {
-		gobBufPool.Put(buf)
-		return "", nil, nil, 0, 0, fmt.Errorf("node %s: encode runtime: %w", n.id, err)
-	}
-	// The blob retains the runtime bytes indefinitely, so copy them out of
-	// the pooled buffer at exact size before recycling it.
-	extra = append(make([]byte, 0, buf.Len()), buf.Bytes()...)
-	gobBufPool.Put(buf)
+	// The blob retains the runtime bytes indefinitely, so encode into an
+	// exact-size fresh buffer rather than a pooled scratch one.
+	wrt := wire.Runtime{OutSeq: rt.OutSeq, InHW: rt.InHW, LogVersion: rt.LogVersion}
+	extra = wire.AppendRuntime(make([]byte, 0, wire.SizeRuntime(&wrt)), &wrt)
 	return slot, ops, extra, base, chainLen, nil
 }
 

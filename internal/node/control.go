@@ -1,8 +1,6 @@
 package node
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -13,6 +11,7 @@ import (
 	"mobistreams/internal/operator"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/tuple"
+	"mobistreams/internal/wire"
 )
 
 // dispatchLoop drains the endpoint inbox. Cheap data-plane work (stream
@@ -352,9 +351,11 @@ func (n *Node) installBlobLocked(blob *checkpoint.Blob) error {
 			return err
 		}
 		if len(blob.Runtime) > 0 {
-			if err := gob.NewDecoder(bytes.NewReader(blob.Runtime)).Decode(&rt); err != nil {
+			wrt, err := wire.DecodeRuntime(blob.Runtime)
+			if err != nil {
 				return fmt.Errorf("node %s: decode runtime: %w", n.id, err)
 			}
+			rt = runtimeState{OutSeq: wrt.OutSeq, InHW: wrt.InHW, LogVersion: wrt.LogVersion}
 		}
 	}
 	if rt.OutSeq == nil {

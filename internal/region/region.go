@@ -793,6 +793,20 @@ func (r *Region) ActivateReplacement(id simnet.NodeID, slot string) {
 	r.SetPlacement(slot, id)
 }
 
+// InboxDrops sums endpoint inbox-overflow losses across the region: UDP-
+// semantics deliveries (checkpoint broadcasts, preservation replicas) that
+// arrived while a receiver's inbox was full. Until surfaced here they were
+// dropped silently, indistinguishable from modelled WiFi loss.
+func (r *Region) InboxDrops() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, ep := range r.endpoints {
+		total += ep.Drops()
+	}
+	return total
+}
+
 // PreservedBytes sums the region's preservation storage (Fig. 10a): source
 // logs counted once at their owners plus edge retention at every node.
 func (r *Region) PreservedBytes() (source, edge int64) {
@@ -872,6 +886,7 @@ func (r *Region) Report(now time.Duration) metrics.Report {
 		CheckpointNet:  r.wifi.Counters.Bytes(simnet.ClassCheckpoint) + r.wifi.Counters.Bytes(simnet.ClassBitmap),
 		ReplicationNet: r.wifi.Counters.Bytes(simnet.ClassReplication),
 		PreservedBytes: src + edge,
+		InboxDrops:     r.InboxDrops(),
 		BatchFlushes:   r.batchStats.Flushes(),
 		MeanBatch:      r.batchStats.Mean(),
 		Migrations:     r.Migrations(),

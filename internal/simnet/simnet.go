@@ -81,6 +81,7 @@ type Message struct {
 type Endpoint struct {
 	ID    NodeID
 	inbox chan Message
+	drops int64 // non-blocking deliveries lost to a full inbox
 
 	mu     sync.Mutex
 	sealed bool
@@ -135,9 +136,17 @@ func (e *Endpoint) deliver(m Message, block bool) bool {
 	case e.inbox <- m:
 		return true
 	default:
+		atomic.AddInt64(&e.drops, 1)
 		return false
 	}
 }
+
+// Drops reports how many non-blocking (UDP-semantics) deliveries this
+// endpoint lost to a full inbox. Sealed-endpoint rejections are not
+// counted: those are failures, not overflow. The region report surfaces
+// the regional sum, so receiver-side overload is visible instead of
+// silently thinning broadcast traffic.
+func (e *Endpoint) Drops() int64 { return atomic.LoadInt64(&e.drops) }
 
 // Counters accumulates bytes and message counts by traffic class. The
 // accumulators are lock-free: every data-plane send passes through Add, so

@@ -381,3 +381,27 @@ func TestWiFiFrameOverheadChargesAirtime(t *testing.T) {
 		t.Fatalf("counted %d bytes, want payload-only 125000", got)
 	}
 }
+
+// TestEndpointDropCounter checks that non-blocking (UDP-semantics)
+// deliveries lost to a full inbox are counted rather than vanishing, while
+// blocking deliveries and sealed-endpoint rejections are not.
+func TestEndpointDropCounter(t *testing.T) {
+	ep := NewEndpoint("a", 1)
+	if !ep.deliver(Message{Class: ClassData}, false) {
+		t.Fatal("first delivery into empty inbox failed")
+	}
+	for i := 0; i < 3; i++ {
+		if ep.deliver(Message{Class: ClassData}, false) {
+			t.Fatal("delivery into full inbox succeeded")
+		}
+	}
+	if got := ep.Drops(); got != 3 {
+		t.Fatalf("drops = %d, want 3", got)
+	}
+	// Sealed rejections are failures, not overflow: not counted.
+	ep.Seal()
+	ep.deliver(Message{Class: ClassData}, false)
+	if got := ep.Drops(); got != 3 {
+		t.Fatalf("drops after sealed rejection = %d, want 3", got)
+	}
+}

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"mobistreams/internal/clock"
+	"mobistreams/internal/simnet"
+)
+
+func simPair(t *testing.T, seed int64) (*Sim, *Sim, *simnet.WiFi, clock.Clock) {
+	t.Helper()
+	clk := clock.NewScaled(500)
+	w := simnet.NewWiFi(clk, simnet.WiFiConfig{BitsPerSecond: 5e6, Seed: seed})
+	epA := simnet.NewEndpoint("a", 256)
+	epB := simnet.NewEndpoint("b", 256)
+	w.Join(epA)
+	w.Join(epB)
+	a := NewSim(epA, w, nil)
+	b := NewSim(epB, w, nil)
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b, w, clk
+}
+
+func TestSimTellDelivers(t *testing.T) {
+	a, b, _, _ := simPair(t, 1)
+	c := newCollector()
+	b.Receive(c.handler)
+	for i := 0; i < 10; i++ {
+		if err := a.Tell("b", simnet.ClassData, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.wait(t, 10, 5*time.Second)
+	for i, r := range got {
+		if r.from != "a" || r.class != simnet.ClassData || r.frame[0] != byte(i) {
+			t.Fatalf("frame %d: %+v (order or attribution broken)", i, r)
+		}
+	}
+}
+
+// TestSimBufferReuseSafe: Tell's contract lets the caller reuse its buffer
+// immediately; the Sim backend must have copied the frame.
+func TestSimBufferReuseSafe(t *testing.T) {
+	a, b, _, _ := simPair(t, 1)
+	c := newCollector()
+	b.Receive(c.handler)
+	buf := []byte{42}
+	if err := a.Tell("b", simnet.ClassData, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // caller reuses the buffer right away
+	got := c.wait(t, 1, 5*time.Second)
+	if got[0].frame[0] != 42 {
+		t.Fatalf("received %d: the transport aliased the caller's buffer", got[0].frame[0])
+	}
+}
+
+// TestSimChargesActualFrameBytes pins the adapter's accounting: a Tell of
+// an n-byte frame puts exactly n bytes on the simulated medium — the same
+// bytes the socket backend would write — so airtime accounting cannot
+// drift from the real codec.
+func TestSimChargesActualFrameBytes(t *testing.T) {
+	a, b, w, _ := simPair(t, 7)
+	c := newCollector()
+	b.Receive(c.handler)
+	frame := make([]byte, 1234)
+	if err := a.Tell("b", simnet.ClassData, frame); err != nil {
+		t.Fatal(err)
+	}
+	c.wait(t, 1, 5*time.Second)
+	if got := w.Counters.Bytes(simnet.ClassData); got != 1234 {
+		t.Fatalf("medium charged %d bytes for a 1234-byte frame", got)
+	}
+}
+
+// TestSimPinnedBehaviour: on a fixed seed, frames sent through the Sim
+// adapter occupy the medium identically to the same sizes sent through the
+// raw simnet API — adapting the simnet behind Transport changed nothing
+// about how the simulation behaves.
+func TestSimPinnedBehaviour(t *testing.T) {
+	sizes := []int{100, 2000, 64, 5000, 1}
+
+	// Raw simnet sends.
+	clkRaw := clock.NewScaled(2000)
+	wRaw := simnet.NewWiFi(clkRaw, simnet.WiFiConfig{BitsPerSecond: 1e6, Seed: 42})
+	wRaw.Join(simnet.NewEndpoint("a", 256))
+	wRaw.Join(simnet.NewEndpoint("b", 256))
+	for _, n := range sizes {
+		if err := wRaw.Unicast("a", "b", simnet.ClassData, n, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rawAirtime := wRaw.ChannelAirtime(0)
+	rawBytes := wRaw.Counters.Bytes(simnet.ClassData)
+	rawMsgs := wRaw.Counters.Messages(simnet.ClassData)
+
+	// The same sizes through the transport adapter on an identical medium.
+	clkT := clock.NewScaled(2000)
+	wT := simnet.NewWiFi(clkT, simnet.WiFiConfig{BitsPerSecond: 1e6, Seed: 42})
+	epA := simnet.NewEndpoint("a", 256)
+	epB := simnet.NewEndpoint("b", 256)
+	wT.Join(epA)
+	wT.Join(epB)
+	a := NewSim(epA, wT, nil)
+	defer a.Close()
+	for _, n := range sizes {
+		if err := a.Tell("b", simnet.ClassData, make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := wT.ChannelAirtime(0); got != rawAirtime {
+		t.Fatalf("airtime through transport %v != raw simnet %v", got, rawAirtime)
+	}
+	if got := wT.Counters.Bytes(simnet.ClassData); got != rawBytes {
+		t.Fatalf("bytes through transport %d != raw simnet %d", got, rawBytes)
+	}
+	if got := wT.Counters.Messages(simnet.ClassData); got != rawMsgs {
+		t.Fatalf("messages through transport %d != raw simnet %d", got, rawMsgs)
+	}
+}
+
+// TestSimCellFallback: when the WiFi destination is gone, Tell falls back
+// to the cellular path, mirroring the node runtime's relay rule.
+func TestSimCellFallback(t *testing.T) {
+	clk := clock.NewScaled(500)
+	w := simnet.NewWiFi(clk, simnet.WiFiConfig{BitsPerSecond: 5e6, Seed: 1})
+	cell := simnet.NewCellular(clk, simnet.CellularConfig{})
+	epA := simnet.NewEndpoint("a", 256)
+	epB := simnet.NewEndpoint("b", 256)
+	w.Join(epA) // b never joins the WiFi
+	cell.Attach(epA)
+	cell.Attach(epB)
+	a := NewSim(epA, w, cell)
+	b := NewSim(epB, w, cell)
+	defer a.Close()
+	defer b.Close()
+	c := newCollector()
+	b.Receive(c.handler)
+	if err := a.Tell("b", simnet.ClassControl, []byte("via-cell")); err != nil {
+		t.Fatal(err)
+	}
+	got := c.wait(t, 1, 5*time.Second)
+	if string(got[0].frame) != "via-cell" {
+		t.Fatalf("frame: %q", got[0].frame)
+	}
+	if cell.Counters.Bytes(simnet.ClassControl) == 0 {
+		t.Fatal("cellular path was not charged")
+	}
+}

@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/wire"
+)
+
+// TCP framing: a 4-byte big-endian length (class byte + payload), the
+// class byte, then the wire-encoded frame. The first frame on every
+// connection must be a KindHello identifying the dialer, so the accepting
+// side can attribute traffic and learn the dialer's listen address.
+//
+// UDP datagrams are self-identifying instead (no handshake): the class
+// byte, a length-prefixed sender ID, then the frame.
+
+const (
+	// maxFrameBytes bounds one framed message (64 MB): large enough for
+	// any checkpoint blob the simulation produces, small enough that a
+	// corrupted length prefix cannot drive allocation to OOM.
+	maxFrameBytes = 64 << 20
+	// maxDatagramBytes bounds one UDP cast.
+	maxDatagramBytes = 64 << 10
+
+	dialAttempts = 4
+	dialTimeout  = 2 * time.Second
+	retryBackoff = 25 * time.Millisecond
+)
+
+type connKey struct {
+	id    simnet.NodeID
+	class simnet.Class
+}
+
+// sendConn is one outbound (peer, class) connection. The mutex serialises
+// writers so concurrent Tells to the same peer and class stay FIFO on the
+// stream.
+type sendConn struct {
+	mu sync.Mutex
+	c  net.Conn
+}
+
+// Socket is the real-network transport: reliable ordered Tell over
+// per-(peer, class) TCP connections with length-prefixed framing, dial
+// retry and a hello handshake; best-effort Cast over UDP on the same port.
+type Socket struct {
+	info Info
+	ln   net.Listener
+	udp  *net.UDPConn
+
+	mu      sync.Mutex
+	peers   map[simnet.NodeID]string
+	conns   map[connKey]*sendConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	h  atomic.Value // Handler
+	wg sync.WaitGroup
+}
+
+// NewSocket listens on listen ("host:port", port 0 for ephemeral) for both
+// TCP and UDP. advertise is the address peers dial to reach this node;
+// empty means the listener's own address (right for loopback and
+// single-host tests; multi-host deployments pass an externally routable
+// address).
+func NewSocket(id simnet.NodeID, listen, advertise string) (*Socket, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listen, err)
+	}
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{
+		IP:   ln.Addr().(*net.TCPAddr).IP,
+		Port: ln.Addr().(*net.TCPAddr).Port,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("transport: listen udp: %w", err)
+	}
+	if advertise == "" {
+		advertise = ln.Addr().String()
+	}
+	s := &Socket{
+		info:    Info{ID: id, Addr: advertise},
+		ln:      ln,
+		udp:     udp,
+		peers:   make(map[simnet.NodeID]string),
+		conns:   make(map[connKey]*sendConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.udpLoop()
+	return s, nil
+}
+
+// Info reports the node's identity and advertised address.
+func (s *Socket) Info() Info { return s.info }
+
+// AddPeer records a peer's dialable address. Accepted connections add
+// their dialer automatically via the hello handshake.
+func (s *Socket) AddPeer(id simnet.NodeID, addr string) {
+	s.mu.Lock()
+	s.peers[id] = addr
+	s.mu.Unlock()
+}
+
+// Peers lists the known peer IDs.
+func (s *Socket) Peers() []simnet.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]simnet.NodeID, 0, len(s.peers))
+	for id := range s.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// PeerAddr reports a peer's recorded address.
+func (s *Socket) PeerAddr(id simnet.NodeID) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	addr, ok := s.peers[id]
+	return addr, ok
+}
+
+// WaitPeers blocks until at least n peers are known or the timeout
+// elapses. Region setup uses it to wait for workers to join.
+func (s *Socket) WaitPeers(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		have := len(s.peers)
+		s.mu.Unlock()
+		if have >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("transport: %d of %d peers joined within %v", have, n, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Receive installs the frame handler.
+func (s *Socket) Receive(h Handler) { s.h.Store(h) }
+
+func (s *Socket) handler() Handler {
+	h, _ := s.h.Load().(Handler)
+	return h
+}
+
+// Tell reliably delivers the frame over the (to, class) TCP connection,
+// dialing (with retry and a hello handshake) on first use and redialing
+// once per attempt if an established connection has died.
+func (s *Socket) Tell(to simnet.NodeID, class simnet.Class, frame []byte) error {
+	if len(frame)+1 > maxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	var lastErr error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(retryBackoff << (attempt - 1))
+		}
+		sc, err := s.conn(to, class)
+		if err != nil {
+			if err == ErrUnknownPeer || err == ErrClosed {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		sc.mu.Lock()
+		err = writeFrame(sc.c, class, frame)
+		sc.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		s.dropConn(to, class, sc)
+	}
+	return fmt.Errorf("transport: tell %s/%s: %w", to, class, lastErr)
+}
+
+// Cast sends the frame as one best-effort UDP datagram; oversized frames
+// and missing peers are errors, network loss is not.
+func (s *Socket) Cast(to simnet.NodeID, class simnet.Class, frame []byte) error {
+	s.mu.Lock()
+	addr, ok := s.peers[to]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
+	}
+	id := string(s.info.ID)
+	n := 1 + 2 + len(id) + len(frame)
+	if n > maxDatagramBytes {
+		return fmt.Errorf("transport: datagram of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, byte(class))
+	buf = append(buf, byte(len(id)>>8), byte(len(id)))
+	buf = append(buf, id...)
+	buf = append(buf, frame...)
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: cast %s: %w", to, err)
+	}
+	_, err = s.udp.WriteToUDP(buf, ua)
+	return err
+}
+
+// Close shuts the listeners and every connection down.
+func (s *Socket) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns)+len(s.inbound))
+	for _, sc := range s.conns {
+		conns = append(conns, sc.c)
+	}
+	for c := range s.inbound {
+		conns = append(conns, c)
+	}
+	s.conns = map[connKey]*sendConn{}
+	s.inbound = map[net.Conn]struct{}{}
+	s.mu.Unlock()
+
+	s.ln.Close()
+	s.udp.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// conn returns the cached (to, class) connection, dialing and handshaking
+// a fresh one if needed.
+func (s *Socket) conn(to simnet.NodeID, class simnet.Class) (*sendConn, error) {
+	key := connKey{to, class}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sc, ok := s.conns[key]; ok {
+		s.mu.Unlock()
+		return sc, nil
+	}
+	addr, ok := s.peers[to]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownPeer
+	}
+
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	hello := wire.AppendHello(nil, &wire.Hello{ID: s.info.ID, Addr: s.info.Addr})
+	if err := writeFrame(c, simnet.ClassControl, hello); err != nil {
+		c.Close()
+		return nil, err
+	}
+
+	sc := &sendConn{c: c}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		c.Close()
+		return nil, ErrClosed
+	}
+	if prior, ok := s.conns[key]; ok {
+		// A concurrent Tell won the dial race; keep its connection.
+		s.mu.Unlock()
+		c.Close()
+		return prior, nil
+	}
+	s.conns[key] = sc
+	s.mu.Unlock()
+	return sc, nil
+}
+
+// dropConn discards a dead connection so the next attempt redials.
+func (s *Socket) dropConn(to simnet.NodeID, class simnet.Class, sc *sendConn) {
+	key := connKey{to, class}
+	s.mu.Lock()
+	if s.conns[key] == sc {
+		delete(s.conns, key)
+	}
+	s.mu.Unlock()
+	sc.c.Close()
+}
+
+func writeFrame(c net.Conn, class simnet.Class, frame []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(frame)+1))
+	hdr[4] = byte(class)
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.Write(frame)
+	return err
+}
+
+// readFrame reads one framed message; the returned frame is freshly
+// allocated and owned by the caller.
+func readFrame(c net.Conn) (simnet.Class, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("transport: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c, body); err != nil {
+		return 0, nil, err
+	}
+	return simnet.Class(body[0]), body[1:], nil
+}
+
+func (s *Socket) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// serveConn handles one inbound connection: a hello first, then frames
+// dispatched to the handler in arrival (FIFO) order.
+func (s *Socket) serveConn(c net.Conn) {
+	defer s.wg.Done()
+	defer c.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.inbound[c] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inbound, c)
+		s.mu.Unlock()
+	}()
+	_, first, err := readFrame(c)
+	if err != nil {
+		return
+	}
+	hello, err := wire.DecodeHello(first)
+	if err != nil {
+		return // not speaking our protocol
+	}
+	if hello.Addr != "" {
+		s.AddPeer(hello.ID, hello.Addr)
+	}
+	for {
+		class, frame, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		if h := s.handler(); h != nil {
+			h(hello.ID, class, frame)
+		}
+	}
+}
+
+func (s *Socket) udpLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, maxDatagramBytes)
+	for {
+		n, _, err := s.udp.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < 3 {
+			continue
+		}
+		class := simnet.Class(buf[0])
+		idLen := int(buf[1])<<8 | int(buf[2])
+		if 3+idLen > n {
+			continue
+		}
+		from := simnet.NodeID(buf[3 : 3+idLen])
+		frame := append([]byte(nil), buf[3+idLen:n]...)
+		if h := s.handler(); h != nil {
+			h(from, class, frame)
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package wire
+
+import (
+	"fmt"
+	"time"
+
+	"mobistreams/internal/tuple"
+)
+
+// Stream is the wire form of a data-plane stream message: one tuple or
+// marker on a slot-to-slot edge.
+type Stream struct {
+	FromSlot string
+	FromOp   string
+	ToSlot   string
+	ToOp     string
+	EdgeSeq  uint64
+	Item     tuple.Item
+}
+
+// Batch is the wire form of a coalesced stream batch bound for one slot.
+type Batch struct {
+	ToSlot string
+	Msgs   []Stream
+}
+
+// Preserve is the wire form of a source-preservation replica.
+type Preserve struct {
+	Version uint64
+	Source  string
+	T       *tuple.Tuple
+}
+
+// ---- typed tuple values -------------------------------------------------
+
+// Value payload tags. Tuple.Value is interface{}; on the wire it must be
+// one of a closed set of primitive types. Encoding any other type is an
+// error — callers putting rich in-memory payloads on tuples must serialise
+// them to []byte first.
+const (
+	valNil byte = iota
+	valFalse
+	valTrue
+	valInt
+	valUint
+	valFloat
+	valString
+	valBytes
+)
+
+// SizeValue reports the encoded size of a tuple value, or an error for an
+// unsupported payload type.
+func SizeValue(v interface{}) (int, error) {
+	switch v := v.(type) {
+	case nil, bool:
+		return 1, nil
+	case int, int32, int64, uint, uint32, uint64, float64:
+		return 1 + 8, nil
+	case string:
+		return 1 + sizeString(v), nil
+	case []byte:
+		return 1 + sizeBytes(v), nil
+	default:
+		return 0, fmt.Errorf("%w: unsupported tuple value type %T", ErrMalformed, v)
+	}
+}
+
+func appendValue(dst []byte, v interface{}) ([]byte, error) {
+	switch v := v.(type) {
+	case nil:
+		return appendU8(dst, valNil), nil
+	case bool:
+		if v {
+			return appendU8(dst, valTrue), nil
+		}
+		return appendU8(dst, valFalse), nil
+	case int:
+		return appendI64(appendU8(dst, valInt), int64(v)), nil
+	case int32:
+		return appendI64(appendU8(dst, valInt), int64(v)), nil
+	case int64:
+		return appendI64(appendU8(dst, valInt), v), nil
+	case uint:
+		return appendU64(appendU8(dst, valUint), uint64(v)), nil
+	case uint32:
+		return appendU64(appendU8(dst, valUint), uint64(v)), nil
+	case uint64:
+		return appendU64(appendU8(dst, valUint), v), nil
+	case float64:
+		return appendF64(appendU8(dst, valFloat), v), nil
+	case string:
+		return appendString(appendU8(dst, valString), v), nil
+	case []byte:
+		return appendBytes(appendU8(dst, valBytes), v), nil
+	default:
+		return dst, fmt.Errorf("%w: unsupported tuple value type %T", ErrMalformed, v)
+	}
+}
+
+// decodeValue reads a tagged value. Integer payloads decode as int64 or
+// uint64 regardless of the width they were encoded from; []byte payloads
+// are zero-copy views into the frame.
+func decodeValue(r *reader) interface{} {
+	switch tag := r.u8(); tag {
+	case valNil:
+		return nil
+	case valFalse:
+		return false
+	case valTrue:
+		return true
+	case valInt:
+		return r.i64()
+	case valUint:
+		return r.u64()
+	case valFloat:
+		return r.f64()
+	case valString:
+		return r.str()
+	case valBytes:
+		return r.bytes()
+	default:
+		r.off--
+		r.fail(ErrMalformed, "value tag")
+		return nil
+	}
+}
+
+// ---- tuples, markers, items ---------------------------------------------
+
+func sizeTuple(t *tuple.Tuple) (int, error) {
+	vs, err := SizeValue(t.Value)
+	if err != nil {
+		return 0, err
+	}
+	return 8 + sizeString(t.Source) + sizeString(t.Kind) + 8 + 8 + 1 + vs, nil
+}
+
+func appendTuple(dst []byte, t *tuple.Tuple) ([]byte, error) {
+	dst = appendU64(dst, t.Seq)
+	dst = appendString(dst, t.Source)
+	dst = appendString(dst, t.Kind)
+	dst = appendI64(dst, int64(t.Created))
+	dst = appendI64(dst, int64(t.Size))
+	dst = appendBool(dst, t.Replay)
+	return appendValue(dst, t.Value)
+}
+
+func decodeTuple(r *reader) *tuple.Tuple {
+	t := &tuple.Tuple{}
+	t.Seq = r.u64()
+	t.Source = r.str()
+	t.Kind = r.str()
+	t.Created = time.Duration(r.i64())
+	t.Size = int(r.i64())
+	t.Replay = r.boolean()
+	t.Value = decodeValue(r)
+	if r.err != nil {
+		return nil
+	}
+	return t
+}
+
+const sizeMarker = 1 + 8
+
+func appendMarker(dst []byte, m *tuple.Marker) []byte {
+	dst = appendU8(dst, byte(m.Kind))
+	return appendU64(dst, m.Version)
+}
+
+func decodeMarker(r *reader) *tuple.Marker {
+	m := &tuple.Marker{}
+	m.Kind = tuple.MarkerKind(r.u8())
+	m.Version = r.u64()
+	if r.err != nil {
+		return nil
+	}
+	return m
+}
+
+const (
+	itemTuple  byte = 0
+	itemMarker byte = 1
+)
+
+// SizeItem reports the encoded size of a stream item.
+func SizeItem(it tuple.Item) (int, error) {
+	if it.Tuple != nil {
+		ts, err := sizeTuple(it.Tuple)
+		return 1 + ts, err
+	}
+	if it.Marker != nil {
+		return 1 + sizeMarker, nil
+	}
+	return 0, fmt.Errorf("%w: empty item (no tuple, no marker)", ErrMalformed)
+}
+
+// AppendItem encodes a stream item (exactly one of tuple or marker).
+func AppendItem(dst []byte, it tuple.Item) ([]byte, error) {
+	if it.Tuple != nil {
+		return appendTuple(appendU8(dst, itemTuple), it.Tuple)
+	}
+	if it.Marker != nil {
+		return appendMarker(appendU8(dst, itemMarker), it.Marker), nil
+	}
+	return dst, fmt.Errorf("%w: empty item (no tuple, no marker)", ErrMalformed)
+}
+
+func decodeItem(r *reader) tuple.Item {
+	switch flag := r.u8(); flag {
+	case itemTuple:
+		return tuple.Item{Tuple: decodeTuple(r)}
+	case itemMarker:
+		return tuple.Item{Marker: decodeMarker(r)}
+	default:
+		r.off--
+		r.fail(ErrMalformed, "item flag")
+		return tuple.Item{}
+	}
+}
+
+// ---- stream messages ----------------------------------------------------
+
+// SizeStream reports the exact frame size AppendStream will produce.
+func SizeStream(m *Stream) (int, error) {
+	is, err := SizeItem(m.Item)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + sizeString(m.FromSlot) + sizeString(m.FromOp) +
+		sizeString(m.ToSlot) + sizeString(m.ToOp) + 8 + is, nil
+}
+
+// AppendStream encodes a stream message frame onto dst.
+func AppendStream(dst []byte, m *Stream) ([]byte, error) {
+	dst = appendU8(dst, byte(KindStream))
+	dst = appendStreamBody(dst, m)
+	return appendItemChecked(dst, m.Item)
+}
+
+func appendStreamBody(dst []byte, m *Stream) []byte {
+	dst = appendString(dst, m.FromSlot)
+	dst = appendString(dst, m.FromOp)
+	dst = appendString(dst, m.ToSlot)
+	dst = appendString(dst, m.ToOp)
+	return appendU64(dst, m.EdgeSeq)
+}
+
+func appendItemChecked(dst []byte, it tuple.Item) ([]byte, error) {
+	out, err := AppendItem(dst, it)
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
+// DecodeStream decodes a stream message frame.
+func DecodeStream(frame []byte) (Stream, error) {
+	r := reader{b: frame}
+	r.kind(KindStream)
+	m := decodeStreamBody(&r)
+	return m, r.done()
+}
+
+func decodeStreamBody(r *reader) Stream {
+	var m Stream
+	m.FromSlot = r.str()
+	m.FromOp = r.str()
+	m.ToSlot = r.str()
+	m.ToOp = r.str()
+	m.EdgeSeq = r.u64()
+	m.Item = decodeItem(r)
+	return m
+}
+
+// streamBodyMin is the minimum encoded size of one batched stream message
+// (four empty strings, the edge sequence, an item flag and a marker body);
+// batch decoders use it to bound hostile counts.
+const streamBodyMin = 4*4 + 8 + 1 + sizeMarker
+
+// SizeBatch reports the exact frame size AppendBatch will produce.
+func SizeBatch(b *Batch) (int, error) {
+	total := 1 + sizeString(b.ToSlot) + 4
+	for i := range b.Msgs {
+		is, err := SizeItem(b.Msgs[i].Item)
+		if err != nil {
+			return 0, err
+		}
+		m := &b.Msgs[i]
+		total += sizeString(m.FromSlot) + sizeString(m.FromOp) +
+			sizeString(m.ToSlot) + sizeString(m.ToOp) + 8 + is
+	}
+	return total, nil
+}
+
+// AppendBatch encodes a batch frame onto dst.
+func AppendBatch(dst []byte, b *Batch) ([]byte, error) {
+	dst = appendU8(dst, byte(KindBatch))
+	dst = appendString(dst, b.ToSlot)
+	dst = appendU32(dst, uint32(len(b.Msgs)))
+	var err error
+	for i := range b.Msgs {
+		dst = appendStreamBody(dst, &b.Msgs[i])
+		dst, err = AppendItem(dst, b.Msgs[i].Item)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBatch decodes a batch frame.
+func DecodeBatch(frame []byte) (Batch, error) {
+	r := reader{b: frame}
+	r.kind(KindBatch)
+	var b Batch
+	b.ToSlot = r.str()
+	n := r.count(streamBodyMin)
+	if r.err == nil && n > 0 {
+		b.Msgs = make([]Stream, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			b.Msgs = append(b.Msgs, decodeStreamBody(&r))
+		}
+	}
+	return b, r.done()
+}
+
+// ---- preservation and sink output ---------------------------------------
+
+// SizePreserve reports the exact frame size AppendPreserve will produce.
+func SizePreserve(p *Preserve) (int, error) {
+	if p.T == nil {
+		return 0, fmt.Errorf("%w: preserve without tuple", ErrMalformed)
+	}
+	ts, err := sizeTuple(p.T)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + 8 + sizeString(p.Source) + ts, nil
+}
+
+// AppendPreserve encodes a source-preservation frame onto dst.
+func AppendPreserve(dst []byte, p *Preserve) ([]byte, error) {
+	if p.T == nil {
+		return dst, fmt.Errorf("%w: preserve without tuple", ErrMalformed)
+	}
+	dst = appendU8(dst, byte(KindPreserve))
+	dst = appendU64(dst, p.Version)
+	dst = appendString(dst, p.Source)
+	return appendTuple(dst, p.T)
+}
+
+// DecodePreserve decodes a source-preservation frame.
+func DecodePreserve(frame []byte) (Preserve, error) {
+	r := reader{b: frame}
+	r.kind(KindPreserve)
+	var p Preserve
+	p.Version = r.u64()
+	p.Source = r.str()
+	p.T = decodeTuple(&r)
+	return p, r.done()
+}
+
+// SizeSinkOut reports the exact frame size AppendSinkOut will produce.
+func SizeSinkOut(t *tuple.Tuple) (int, error) {
+	if t == nil {
+		return 0, fmt.Errorf("%w: sink-out without tuple", ErrMalformed)
+	}
+	ts, err := sizeTuple(t)
+	if err != nil {
+		return 0, err
+	}
+	return 1 + ts, nil
+}
+
+// AppendSinkOut encodes a sink output tuple frame onto dst.
+func AppendSinkOut(dst []byte, t *tuple.Tuple) ([]byte, error) {
+	if t == nil {
+		return dst, fmt.Errorf("%w: sink-out without tuple", ErrMalformed)
+	}
+	return appendTuple(appendU8(dst, byte(KindSinkOut)), t)
+}
+
+// DecodeSinkOut decodes a sink output tuple frame.
+func DecodeSinkOut(frame []byte) (*tuple.Tuple, error) {
+	r := reader{b: frame}
+	r.kind(KindSinkOut)
+	t := decodeTuple(&r)
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

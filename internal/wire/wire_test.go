@@ -1,0 +1,376 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/tuple"
+)
+
+func sampleTuple() *tuple.Tuple {
+	return &tuple.Tuple{
+		Seq: 42, Source: "src", Kind: "image",
+		Created: 1500 * time.Millisecond, Size: 120 << 10,
+		Replay: true, Value: 3.75,
+	}
+}
+
+func sampleStream() *Stream {
+	return &Stream{
+		FromSlot: "s1", FromOp: "src", ToSlot: "s2", ToOp: "win",
+		EdgeSeq: 7, Item: tuple.DataItem(sampleTuple()),
+	}
+}
+
+func sampleBatch() *Batch {
+	b := &Batch{ToSlot: "s2"}
+	for i := 0; i < 3; i++ {
+		m := *sampleStream()
+		m.EdgeSeq = uint64(i + 1)
+		b.Msgs = append(b.Msgs, m)
+	}
+	b.Msgs = append(b.Msgs, Stream{
+		FromSlot: "s1", FromOp: "src", ToSlot: "s2", ToOp: "win",
+		EdgeSeq: 4,
+		Item:    tuple.MarkerItem(tuple.Marker{Kind: tuple.MarkerToken, Version: 9}),
+	})
+	return b
+}
+
+func sampleBlob(t *testing.T) *checkpoint.Blob {
+	t.Helper()
+	return &checkpoint.Blob{
+		Slot: "s2", Version: 5, Base: 4,
+		Ops:      map[string][]byte{"win": {1, 2, 3}, "agg": {9}},
+		DeltaOps: map[string]bool{"win": true, "agg": false},
+		Runtime:  []byte{0xAA, 0xBB},
+		Size:     321, FullSize: 654, CRC: 0xDEADBEEF,
+	}
+}
+
+// frameCase is one (kind, encode, size) pair; the parity test pins the
+// size estimate of every message kind against the bytes its encoder
+// actually produces, so modelled accounting cannot drift from the codec.
+type frameCase struct {
+	name   string
+	size   func() (int, error)
+	encode func(dst []byte) ([]byte, error)
+	decode func(frame []byte) (interface{}, error)
+}
+
+func frameCases(t *testing.T) []frameCase {
+	stream := sampleStream()
+	batch := sampleBatch()
+	pres := &Preserve{Version: 3, Source: "src", T: sampleTuple()}
+	cmd := &Command{Op: 6, Version: 11, Epoch: 2, Target: "phone-3", Slot: "s2"}
+	rep := &Report{Type: 1, Phone: "phone-3", Slot: "s2", Version: 11,
+		Epoch: 2, Replicas: 4, Observed: "phone-9", Err: "late"}
+	rt := &Runtime{
+		OutSeq:     map[string]uint64{"s2": 40, "s3": 41},
+		InHW:       map[string]uint64{"s1": 39},
+		LogVersion: 5,
+	}
+	blob := sampleBlob(t)
+	chunk := &CkptChunk{Slot: "s2", Version: 5, Index: 1, Total: 4,
+		CRC: 77, Data: []byte("chunk-bytes")}
+	trunc := &Truncate{Downstream: "s3", Upto: 88}
+	resend := &Resend{Downstream: "s3", After: 12}
+	fetch := &FetchBlob{Slot: "s2", Version: 5}
+	hello := &Hello{ID: "w1", Addr: "127.0.0.1:7402"}
+	assign := &Assign{
+		Lead: "lead", Seed: -3, Tuples: 500, TokenEvery: 100,
+		Stages: []AssignStage{
+			{Slot: "s1", Op: "pass", Host: "lead"},
+			{Slot: "s2", Op: "window", Host: "w1"},
+		},
+		Peers: []AssignPeer{{ID: "w1", Addr: "127.0.0.1:7402"}},
+	}
+	sink := sampleTuple()
+
+	wrap := func(f func(dst []byte) []byte) func([]byte) ([]byte, error) {
+		return func(dst []byte) ([]byte, error) { return f(dst), nil }
+	}
+	wrapSize := func(n int) func() (int, error) {
+		return func() (int, error) { return n, nil }
+	}
+	return []frameCase{
+		{"stream", func() (int, error) { return SizeStream(stream) },
+			func(d []byte) ([]byte, error) { return AppendStream(d, stream) },
+			func(f []byte) (interface{}, error) { return DecodeStream(f) }},
+		{"batch", func() (int, error) { return SizeBatch(batch) },
+			func(d []byte) ([]byte, error) { return AppendBatch(d, batch) },
+			func(f []byte) (interface{}, error) { return DecodeBatch(f) }},
+		{"preserve", func() (int, error) { return SizePreserve(pres) },
+			func(d []byte) ([]byte, error) { return AppendPreserve(d, pres) },
+			func(f []byte) (interface{}, error) { return DecodePreserve(f) }},
+		{"command", wrapSize(SizeCommand(cmd)),
+			wrap(func(d []byte) []byte { return AppendCommand(d, cmd) }),
+			func(f []byte) (interface{}, error) { return DecodeCommand(f) }},
+		{"report", wrapSize(SizeReport(rep)),
+			wrap(func(d []byte) []byte { return AppendReport(d, rep) }),
+			func(f []byte) (interface{}, error) { return DecodeReport(f) }},
+		{"runtime", wrapSize(SizeRuntime(rt)),
+			wrap(func(d []byte) []byte { return AppendRuntime(d, rt) }),
+			func(f []byte) (interface{}, error) { return DecodeRuntime(f) }},
+		{"blob", wrapSize(SizeBlob(blob)),
+			wrap(func(d []byte) []byte { return AppendBlob(d, blob) }),
+			func(f []byte) (interface{}, error) { return DecodeBlob(f) }},
+		{"ckpt-chunk", wrapSize(SizeCkptChunk(chunk)),
+			wrap(func(d []byte) []byte { return AppendCkptChunk(d, chunk) }),
+			func(f []byte) (interface{}, error) { return DecodeCkptChunk(f) }},
+		{"truncate", wrapSize(SizeTruncate(trunc)),
+			wrap(func(d []byte) []byte { return AppendTruncate(d, trunc) }),
+			func(f []byte) (interface{}, error) { return DecodeTruncate(f) }},
+		{"resend", wrapSize(SizeResend(resend)),
+			wrap(func(d []byte) []byte { return AppendResend(d, resend) }),
+			func(f []byte) (interface{}, error) { return DecodeResend(f) }},
+		{"fetch-blob", wrapSize(SizeFetchBlob(fetch)),
+			wrap(func(d []byte) []byte { return AppendFetchBlob(d, fetch) }),
+			func(f []byte) (interface{}, error) { return DecodeFetchBlob(f) }},
+		{"hello", wrapSize(SizeHello(hello)),
+			wrap(func(d []byte) []byte { return AppendHello(d, hello) }),
+			func(f []byte) (interface{}, error) { return DecodeHello(f) }},
+		{"assign", wrapSize(SizeAssign(assign)),
+			wrap(func(d []byte) []byte { return AppendAssign(d, assign) }),
+			func(f []byte) (interface{}, error) { return DecodeAssign(f) }},
+		{"sink-out", func() (int, error) { return SizeSinkOut(sink) },
+			func(d []byte) ([]byte, error) { return AppendSinkOut(d, sink) },
+			func(f []byte) (interface{}, error) { return DecodeSinkOut(f) }},
+	}
+}
+
+// TestWireSizeParity pins the SizeX estimate of every message kind against
+// the actual encoded frame bytes, so any accounting derived from estimates
+// (simnet airtime, buffer presizing) cannot silently drift from the codec.
+func TestWireSizeParity(t *testing.T) {
+	for _, c := range frameCases(t) {
+		frame, err := c.encode(nil)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.name, err)
+		}
+		want, err := c.size()
+		if err != nil {
+			t.Fatalf("%s: size: %v", c.name, err)
+		}
+		if want != len(frame) {
+			t.Errorf("%s: Size estimate %d != encoded %d bytes", c.name, want, len(frame))
+		}
+	}
+}
+
+// TestRoundTripAllKinds checks every kind decodes (via its own decoder and
+// DecodeAny) without error, consuming the whole frame.
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, c := range frameCases(t) {
+		frame, err := c.encode(nil)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", c.name, err)
+		}
+		if _, err := c.decode(frame); err != nil {
+			t.Errorf("%s: decode: %v", c.name, err)
+		}
+		if _, err := DecodeAny(frame); err != nil {
+			t.Errorf("%s: DecodeAny: %v", c.name, err)
+		}
+		// Any truncation of a valid frame must error, never panic.
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := DecodeAny(frame[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d/%d decoded without error", c.name, cut, len(frame))
+			}
+		}
+		// Trailing garbage must be rejected too.
+		if _, err := DecodeAny(append(append([]byte(nil), frame...), 0)); err == nil {
+			t.Errorf("%s: trailing byte accepted", c.name)
+		}
+	}
+}
+
+func TestStreamRoundTripValues(t *testing.T) {
+	in := sampleStream()
+	frame, err := AppendStream(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeStream(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FromSlot != in.FromSlot || out.ToOp != in.ToOp || out.EdgeSeq != in.EdgeSeq {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	got, want := out.Item.Tuple, in.Item.Tuple
+	if got == nil || *got != *want {
+		t.Fatalf("tuple mismatch: got %+v want %+v", got, want)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   interface{}
+		want interface{}
+	}{
+		{nil, nil},
+		{true, true},
+		{false, false},
+		{int(-7), int64(-7)},
+		{int32(5), int64(5)},
+		{int64(1 << 40), int64(1 << 40)},
+		{uint(9), uint64(9)},
+		{uint64(1 << 50), uint64(1 << 50)},
+		{3.5, 3.5},
+		{"hello", "hello"},
+		{[]byte{1, 2, 3}, []byte{1, 2, 3}},
+	}
+	for _, c := range cases {
+		tp := sampleTuple()
+		tp.Value = c.in
+		frame, err := AppendSinkOut(nil, tp)
+		if err != nil {
+			t.Fatalf("%T: %v", c.in, err)
+		}
+		out, err := DecodeSinkOut(frame)
+		if err != nil {
+			t.Fatalf("%T: %v", c.in, err)
+		}
+		if !reflect.DeepEqual(out.Value, c.want) {
+			t.Errorf("%T: got %v (%T), want %v (%T)", c.in, out.Value, out.Value, c.want, c.want)
+		}
+	}
+	// Unsupported payloads must fail encode, not corrupt the frame.
+	tp := sampleTuple()
+	tp.Value = struct{ X int }{1}
+	if _, err := AppendSinkOut(nil, tp); err == nil {
+		t.Fatal("struct payload encoded without error")
+	}
+}
+
+// TestDeterministicEncode re-encodes map-backed structures many times; the
+// bytes must never vary, because checkpoint blob parity across transport
+// backends is asserted as byte equality.
+func TestDeterministicEncode(t *testing.T) {
+	rt := &Runtime{
+		OutSeq:     map[string]uint64{"a": 1, "b": 2, "c": 3, "d": 4, "e": 5},
+		InHW:       map[string]uint64{"x": 7, "y": 8, "z": 9},
+		LogVersion: 3,
+	}
+	blob := sampleBlob(t)
+	first := AppendRuntime(nil, rt)
+	firstBlob := AppendBlob(nil, blob)
+	for i := 0; i < 50; i++ {
+		if got := AppendRuntime(nil, rt); !bytes.Equal(got, first) {
+			t.Fatal("runtime encoding varied across runs")
+		}
+		if got := AppendBlob(nil, blob); !bytes.Equal(got, firstBlob) {
+			t.Fatal("blob encoding varied across runs")
+		}
+	}
+}
+
+func TestRuntimeRoundTrip(t *testing.T) {
+	rt := &Runtime{
+		OutSeq:     map[string]uint64{"s2": 40, "s3": 41},
+		InHW:       map[string]uint64{"s1": 39},
+		LogVersion: 5,
+	}
+	out, err := DecodeRuntime(AppendRuntime(nil, rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.OutSeq, rt.OutSeq) || !reflect.DeepEqual(out.InHW, rt.InHW) || out.LogVersion != rt.LogVersion {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	// Empty maps decode non-nil, matching fresh node runtime state.
+	out, err = DecodeRuntime(AppendRuntime(nil, &Runtime{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OutSeq == nil || out.InHW == nil {
+		t.Fatal("empty runtime decoded with nil maps")
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	in := sampleBlob(t)
+	out, err := DecodeBlob(AppendBlob(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Slot != in.Slot || out.Version != in.Version || out.Base != in.Base ||
+		out.Size != in.Size || out.FullSize != in.FullSize || out.CRC != in.CRC {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Ops, in.Ops) {
+		t.Fatalf("ops mismatch: %v", out.Ops)
+	}
+	// Only true markers survive the wire; that is all MaterializeChain reads.
+	if !out.DeltaOps["win"] || out.DeltaOps["agg"] {
+		t.Fatalf("delta markers mismatch: %v", out.DeltaOps)
+	}
+	if !bytes.Equal(out.Runtime, in.Runtime) {
+		t.Fatalf("runtime mismatch: %x", out.Runtime)
+	}
+}
+
+// TestBlobRealParity encodes a blob built by the real checkpoint builder
+// and verifies the decoded copy still passes CRC verification — the
+// wire format preserves exactly the bytes the CRC covers.
+func TestBlobRealParity(t *testing.T) {
+	blob, err := checkpoint.BuildBlob("s1", 3, nil, AppendRuntime(nil, &Runtime{
+		OutSeq: map[string]uint64{"s2": 10}, InHW: map[string]uint64{}, LogVersion: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBlob(AppendBlob(nil, blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.VerifyCRC() {
+		t.Fatal("decoded blob failed CRC verification")
+	}
+	if !bytes.Equal(AppendBlob(nil, out), AppendBlob(nil, blob)) {
+		t.Fatal("re-encoded blob differs from original encoding")
+	}
+}
+
+// TestEncodeZeroAlloc pins the hot-path encoders at zero allocations per
+// op once the destination buffer has grown to capacity.
+func TestEncodeZeroAlloc(t *testing.T) {
+	stream := sampleStream()
+	batch := sampleBatch()
+	buf := make([]byte, 0, 1<<16)
+	allocs := testing.AllocsPerRun(200, func() {
+		var err error
+		buf = buf[:0]
+		if buf, err = AppendStream(buf, stream); err != nil {
+			t.Fatal(err)
+		}
+		buf = buf[:0]
+		if buf, err = AppendBatch(buf, batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestFrameKind(t *testing.T) {
+	if FrameKind(nil) != KindInvalid {
+		t.Fatal("empty frame has a kind")
+	}
+	if FrameKind([]byte{0xFE}) != KindInvalid {
+		t.Fatal("unknown kind byte accepted")
+	}
+	frame, _ := AppendStream(nil, sampleStream())
+	if FrameKind(frame) != KindStream {
+		t.Fatal("stream frame misidentified")
+	}
+	if got := fmt.Sprint(KindStream); got != "stream" {
+		t.Fatalf("kind name: %q", got)
+	}
+}
