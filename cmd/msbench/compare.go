@@ -19,6 +19,7 @@ import (
 //	go run ./cmd/msbench -exp scale -seed 5 -scaleout BENCH_scale.json
 //	go run ./cmd/msbench -exp emit -emitout BENCH_emit.json
 //	go run ./cmd/msbench -exp wire -wireout BENCH_wire.json
+//	go run ./cmd/msbench -exp obs -obsout BENCH_obs.json
 //	then copy the summary numbers below from those files.
 type Baseline struct {
 	Comment string `json:"comment"`
@@ -41,6 +42,14 @@ type Baseline struct {
 	// per encoded frame into a presized buffer — 0 by design (append-only
 	// encoding), machine-independent, pinned hard like the emit path.
 	WireEncodeAllocsPerOp float64 `json:"wire_encode_allocs_per_op"`
+	// ObsOverheadPct is the always-on histogram tax on the emit hot path:
+	// (instrumented - uninstrumented) / uninstrumented * 100 with sampling
+	// off. Timing-derived, so the gate allows a generous absolute grace.
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
+	// TraceAllocsPerOp is the emit path's allocations per tuple with the
+	// obs registry attached and sampling off — the zero-allocs invariant
+	// with tracing compiled in. 0 by design, machine-independent, pinned.
+	TraceAllocsPerOp float64 `json:"trace_allocs_per_op"`
 }
 
 // regressionFactor is the gate's threshold: a metric more than 20% worse
@@ -58,9 +67,19 @@ const (
 	// wireGraceAllocs plays the same role for the wire codec's encode
 	// rows: background noise passes, one real allocation per frame fails.
 	wireGraceAllocs = 0.1
+	// obsGracePct absorbs scheduler jitter in the overhead measurement —
+	// the two timed loops run back to back on shared CI machines, so the
+	// percentage is noisy even when the instrumentation cost is flat. It
+	// stacks on the multiplicative factor: the measured percentage is a
+	// ratio of two timings whose machine-to-machine spread (clock-read cost
+	// vs CPU speed) is wider than either timing alone.
+	obsGracePct = 15.0
+	// traceGraceAllocs mirrors emitGraceAllocs for the sampling-off
+	// instrumented path: noise passes, a real per-tuple allocation fails.
+	traceGraceAllocs = 0.1
 )
 
-func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath string, w io.Writer) error {
+func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath, obsPath string, w io.Writer) error {
 	var base Baseline
 	if err := readJSON(baselinePath, &base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -84,6 +103,10 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	var wireRep bench.WireReport
 	if err := readJSON(wirePath, &wireRep); err != nil {
 		return fmt.Errorf("wire results: %w", err)
+	}
+	var obsRep bench.ObsReport
+	if err := readJSON(obsPath, &obsRep); err != nil {
+		return fmt.Errorf("obs results: %w", err)
 	}
 
 	var worstLoss int64
@@ -154,6 +177,12 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 		emitAllocs, base.EmitAllocsPerOp, emitLimit)
 	fmt.Fprintf(w, "gate: wire-encode allocs/op %.3f (baseline %.3f, limit %.3f)\n",
 		wireAllocs, base.WireEncodeAllocsPerOp, wireLimit)
+	obsLimit := base.ObsOverheadPct*regressionFactor + obsGracePct
+	traceLimit := base.TraceAllocsPerOp + traceGraceAllocs
+	fmt.Fprintf(w, "gate: obs overhead %.1f%% (baseline %.1f%%, limit %.1f%%)\n",
+		obsRep.ObsOverheadPct, base.ObsOverheadPct, obsLimit)
+	fmt.Fprintf(w, "gate: traced-path allocs/op %.3f (baseline %.3f, limit %.3f)\n",
+		obsRep.TraceAllocsPerOp, base.TraceAllocsPerOp, traceLimit)
 
 	var failures []string
 	if !emitSeen {
@@ -180,6 +209,16 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	}
 	if scaleTPS <= 0 {
 		failures = append(failures, "scale results carry no tuned throughput sample")
+	}
+	if obsRep.Iters <= 0 {
+		failures = append(failures, "obs results carry no overhead sample")
+	} else {
+		if obsRep.ObsOverheadPct > obsLimit {
+			failures = append(failures, fmt.Sprintf("obs overhead regressed: %.1f%% > %.1f%%", obsRep.ObsOverheadPct, obsLimit))
+		}
+		if obsRep.TraceAllocsPerOp > traceLimit {
+			failures = append(failures, fmt.Sprintf("traced-path allocs/op regressed: %.3f > %.3f", obsRep.TraceAllocsPerOp, traceLimit))
+		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

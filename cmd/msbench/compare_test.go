@@ -19,16 +19,18 @@ func writeFile(t *testing.T, dir, name, content string) string {
 }
 
 // gateFixtures writes a full healthy result set matching the committed
-// baseline shape, returning the six paths runCompare takes. Callers
+// baseline shape, returning the seven paths runCompare takes. Callers
 // overwrite individual files to construct failure cases.
-func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire string) {
+func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire, obs string) {
 	t.Helper()
 	baseline = writeFile(t, dir, "baseline.json", `{
 		"max_scheduler_tuple_loss": 0,
 		"incr_pause_mean_ms_largest": 10.0,
 		"scale_tps_largest": 300.0,
 		"emit_allocs_per_op": 0.0,
-		"wire_encode_allocs_per_op": 0.0
+		"wire_encode_allocs_per_op": 0.0,
+		"obs_overhead_pct": 5.0,
+		"trace_allocs_per_op": 0.0
 	}`)
 	churn = writeFile(t, dir, "churn.json", `{"rows": [
 		{"mode": "scheduler", "tuples_lost": 0},
@@ -51,14 +53,24 @@ func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit,
 		{"op": "encode_batch16", "allocs_per_op": 0.0, "ns_per_op": 700, "frame_bytes": 1200},
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
+	obs = writeFile(t, dir, "obs.json", `{
+		"iters": 200000,
+		"off_ns_per_op": 100.0,
+		"hist_ns_per_op": 106.0,
+		"trace_ns_per_op": 240.0,
+		"obs_overhead_pct": 6.0,
+		"trace_allocs_per_op": 0.0,
+		"traced_allocs_per_op": 1.2,
+		"spans": 16384
+	}`)
 	return
 }
 
 func TestComparePasses(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out); err != nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out); err != nil {
 		t.Fatalf("healthy results failed the gate: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "no regressions") {
@@ -71,13 +83,13 @@ func TestComparePasses(t *testing.T) {
 // must fail the build, decode-side allocations must not.
 func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "encode_stream", "allocs_per_op": 1.0, "ns_per_op": 55, "frame_bytes": 80},
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
 	if err == nil {
 		t.Fatalf("1.0 wire-encode allocs/op passed the gate:\n%s", out.String())
 	}
@@ -90,12 +102,12 @@ func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 // silently pass.
 func TestCompareFailsOnMissingWireRows(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out); err == nil {
 		t.Fatalf("wire results without encode rows passed the gate:\n%s", out.String())
 	}
 }
@@ -104,16 +116,73 @@ func TestCompareFailsOnMissingWireRows(t *testing.T) {
 // wire pin.
 func TestCompareFailsOnEmitAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
 	writeFile(t, dir, "emit.json", `{"rows": [
 		{"mode": "context", "allocs_per_op": 1.0, "ns_per_op": 120}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
 	if err == nil {
 		t.Fatalf("1.0 emit allocs/op passed the gate:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "emit-path allocs/op regressed") {
 		t.Fatalf("failure not attributed to the emit path:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnTraceAlloc is the observability gate's verified fail
+// path: one allocation per tuple on the sampling-off instrumented path —
+// the smallest possible regression — must fail the build.
+func TestCompareFailsOnTraceAlloc(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	writeFile(t, dir, "obs.json", `{
+		"iters": 200000,
+		"off_ns_per_op": 100.0,
+		"hist_ns_per_op": 106.0,
+		"obs_overhead_pct": 6.0,
+		"trace_allocs_per_op": 1.0
+	}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
+	if err == nil {
+		t.Fatalf("1.0 traced-path allocs/op passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "traced-path allocs/op regressed") {
+		t.Fatalf("failure not attributed to the traced path:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnObsOverhead: histogram overhead blowing past the
+// baseline plus grace must fail, attributed to the obs gate.
+func TestCompareFailsOnObsOverhead(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	writeFile(t, dir, "obs.json", `{
+		"iters": 200000,
+		"off_ns_per_op": 100.0,
+		"hist_ns_per_op": 180.0,
+		"obs_overhead_pct": 80.0,
+		"trace_allocs_per_op": 0.0
+	}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
+	if err == nil {
+		t.Fatalf("80%% obs overhead passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "obs overhead regressed") {
+		t.Fatalf("failure not attributed to obs overhead:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnEmptyObsResults: an empty obs report must not
+// silently pass the pinned-allocation gate.
+func TestCompareFailsOnEmptyObsResults(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	writeFile(t, dir, "obs.json", `{}`)
+	var out bytes.Buffer
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out); err == nil {
+		t.Fatalf("empty obs results passed the gate:\n%s", out.String())
 	}
 }

@@ -47,7 +47,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|obs|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
@@ -56,6 +56,8 @@ func main() {
 	emitIters := flag.Int("emititers", 200000, "tuples per emit-path measurement")
 	wireOut := flag.String("wireout", "", "write wire-codec comparison JSON to this path")
 	wireIters := flag.Int("wireiters", 200000, "frames per wire-codec measurement")
+	obsOut := flag.String("obsout", "", "write observability-overhead JSON to this path")
+	obsIters := flag.Int("obsiters", 200000, "tuples per observability-overhead measurement")
 	scaleMax := flag.Int("scalemax", 64, "largest region size for the scale sweep (8..128)")
 	scaleChannels := flag.String("scalechannels", "1,4", "comma-separated WiFi channel counts for tuned scale rows")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
@@ -68,6 +70,7 @@ func main() {
 	scaleJSON := flag.String("scalejson", "BENCH_scale.json", "fresh scale results for -compare")
 	emitJSON := flag.String("emitjson", "BENCH_emit.json", "fresh emit-path results for -compare")
 	wireJSON := flag.String("wirejson", "BENCH_wire.json", "fresh wire-codec results for -compare")
+	obsJSON := flag.String("obsjson", "BENCH_obs.json", "fresh observability-overhead results for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
@@ -101,7 +104,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, os.Stdout); err != nil {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, *obsJSON, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
 			os.Exit(1)
 		}
@@ -267,6 +270,23 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *wireOut)
+			}
+			return nil
+		})
+	}
+	if want("obs") {
+		run("obs", func() error {
+			rep := bench.RunObs(*obsIters, os.Stdout)
+			if *obsOut != "" {
+				f, err := os.Create(*obsOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteObsJSON(f, rep); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *obsOut)
 			}
 			return nil
 		})

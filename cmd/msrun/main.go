@@ -30,6 +30,7 @@ import (
 
 	"mobistreams/internal/bench"
 	"mobistreams/internal/ft"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/xregion"
 )
@@ -52,12 +53,14 @@ func main() {
 	tokenEvery := flag.Int("tokenevery", 10, "transport-region checkpoint token interval (tuples)")
 	xreg := flag.String("xregion", "", "run the transport region on this backend instead: sim")
 	joinTimeout := flag.Duration("jointimeout", time.Minute, "transport-region lead: how long to wait for workers")
+	sample := flag.Int("sample", 0, "trace every Nth tuple end to end (0 disables tracing)")
+	httpAddr := flag.String("http", "", "serve live metrics/journal/traces/pprof on this address")
 	flag.Parse()
 
 	if *join != "" || *listen != "" || *xreg != "" {
 		runTransportRegion(*listen, *join, *nodeID, *xreg, xregion.Spec{
-			Seed: *seed, Tuples: *tuples, TokenEvery: *tokenEvery,
-		}, *workers, *joinTimeout)
+			Seed: *seed, Tuples: *tuples, TokenEvery: *tokenEvery, SampleEvery: *sample,
+		}, *workers, *joinTimeout, *httpAddr)
 		return
 	}
 
@@ -105,6 +108,7 @@ func main() {
 	fmt.Printf("recoveries:   %d (departures handled: %d)\n", out.Recoveries, out.Departures)
 	fmt.Printf("duplicates:   %d suppressed at the sink\n", out.Duplicates)
 	fmt.Printf("inbox drops:  %d best-effort deliveries lost to full inboxes\n", out.InboxDrops)
+	fmt.Printf("transport:    %d redials, %d dead conns\n", out.Redials, out.DeadConns)
 	if out.Dead {
 		fmt.Println("region:       DEAD (bypassed by the controller)")
 	}
@@ -114,7 +118,20 @@ func main() {
 // layer: as a socket worker (-join), a socket lead (-listen), or entirely
 // on the simulated WiFi (-xregion sim). Lead and sim print the identical
 // deterministic report, so `diff` across backends proves blob parity.
-func runTransportRegion(listen, join, id, backend string, spec xregion.Spec, workers int, timeout time.Duration) {
+func runTransportRegion(listen, join, id, backend string, spec xregion.Spec, workers int, timeout time.Duration, httpAddr string) {
+	// The export endpoint comes up before the run so it can be scraped
+	// while the region is streaming; span waterfalls land on it (and on
+	// stderr) once the run completes.
+	var reg *obs.Registry
+	if httpAddr != "" {
+		reg = obs.NewRegistry()
+		actual, err := obs.Serve(httpAddr, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", actual)
+	}
 	switch {
 	case join != "":
 		if id == "" {
@@ -130,19 +147,29 @@ func runTransportRegion(listen, join, id, backend string, spec xregion.Spec, wor
 		}
 		fmt.Fprintf(os.Stderr, "worker %s done\n", id)
 	case listen != "":
-		res, err := xregion.RunLeadTCP(spec, listen, workers, timeout)
+		s, err := xregion.ListenLead(listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		printRegionResult(spec, res)
+		if reg != nil {
+			// Dead connections and redials land in the live journal.
+			s.SetJournal(reg.Journal)
+		}
+		res, err := xregion.RunLeadOn(s, spec, workers, timeout)
+		s.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printRegionResult(spec, res, reg)
 	case backend == "sim":
 		res, err := xregion.RunSim(spec, workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		printRegionResult(spec, res)
+		printRegionResult(spec, res, reg)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -xregion backend %q (want: sim)\n", backend)
 		os.Exit(2)
@@ -150,9 +177,11 @@ func runTransportRegion(listen, join, id, backend string, spec xregion.Spec, wor
 }
 
 // printRegionResult prints the run's deterministic fingerprint: every
-// checkpoint blob's digest in sorted key order, then the sink stream
-// digest. Output is backend-independent by construction.
-func printRegionResult(spec xregion.Spec, res *xregion.Result) {
+// checkpoint blob's digest in sorted key order, the sink stream digest,
+// and — when tracing was sampled — each trace's timing-free span
+// structure. Output is backend-independent by construction; per-hop
+// latencies and transport health, which are not, go to stderr.
+func printRegionResult(spec xregion.Spec, res *xregion.Result, reg *obs.Registry) {
 	fmt.Printf("region:      %d tuples, token every %d, seed %d\n", spec.Tuples, spec.TokenEvery, spec.Seed)
 	keys := make([]string, 0, len(res.Blobs))
 	for k := range res.Blobs {
@@ -165,4 +194,20 @@ func printRegionResult(spec xregion.Spec, res *xregion.Result) {
 	}
 	fmt.Printf("sink outputs: %d\n", res.SinkOuts)
 	fmt.Printf("sink digest:  %s\n", res.SinkDigest)
+	for _, w := range res.Traces {
+		fmt.Printf("trace %-6d %s\n", w.Trace, w.Structure())
+	}
+	for _, w := range res.Traces {
+		fmt.Fprint(os.Stderr, w.Render())
+	}
+	fmt.Fprintf(os.Stderr, "transport: redials=%d deadconns=%d\n", res.Redials, res.DeadConns)
+	if reg != nil {
+		var spans []obs.Span
+		for _, w := range res.Traces {
+			for _, h := range w.Hops {
+				spans = append(spans, h.Span)
+			}
+		}
+		reg.Tracer.Absorb(spans)
+	}
 }

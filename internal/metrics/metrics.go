@@ -4,85 +4,62 @@
 package metrics
 
 import (
-	"math"
-	"sort"
 	"sync"
 	"time"
+
+	"mobistreams/internal/obs"
 )
 
-// Latency accumulates latency samples and summarises them.
+// Latency accumulates latency samples and summarises them. It is backed
+// by a fixed-size log-linear histogram (obs.Histogram), so memory stays
+// constant however long the run: the old implementation appended every
+// sample forever and re-sorted a full copy on each Percentile call.
+// Count, Mean, and Max are exact; Percentile returns the upper edge of
+// the bucket holding the requested rank (within 6.25% of the true value,
+// monotone in p, clamped so Percentile(100) == Max).
 type Latency struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	h obs.Histogram
 }
 
-// Add records one sample.
+// Add records one sample. Lock-free and allocation-free.
 func (l *Latency) Add(d time.Duration) {
-	l.mu.Lock()
-	l.samples = append(l.samples, d)
-	l.mu.Unlock()
+	l.h.Observe(int64(d))
 }
 
 // Count reports the number of samples.
 func (l *Latency) Count() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return len(l.samples)
+	return int(l.h.Count())
 }
 
-// Mean reports the mean latency, or 0 with no samples.
+// Mean reports the mean latency, or 0 with no samples. Exact: the
+// histogram keeps the running sum alongside the bucket counts.
 func (l *Latency) Mean() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
+	n := l.h.Count()
+	if n == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range l.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(l.samples))
+	return time.Duration(l.h.Sum() / n)
 }
 
-// Percentile reports the p-th percentile (0 < p <= 100), or 0 with no
-// samples.
+// Percentile reports an upper bound on the p-th percentile
+// (0 < p <= 100), or 0 with no samples. The bound is at most 1/16 above
+// the true sample and never exceeds Max.
 func (l *Latency) Percentile(p float64) time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.samples) == 0 {
-		return 0
-	}
-	sorted := append([]time.Duration(nil), l.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return time.Duration(l.h.Percentile(p))
 }
 
-// Max reports the largest sample.
+// Max reports the largest sample, exactly.
 func (l *Latency) Max() time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var m time.Duration
-	for _, s := range l.samples {
-		if s > m {
-			m = s
-		}
-	}
-	return m
+	return time.Duration(l.h.Max())
 }
 
 // Reset drops all samples.
 func (l *Latency) Reset() {
-	l.mu.Lock()
-	l.samples = l.samples[:0]
-	l.mu.Unlock()
+	l.h.Reset()
 }
+
+// Hist exposes the backing histogram (for export and merging).
+func (l *Latency) Hist() *obs.Histogram { return &l.h }
 
 // Throughput counts output tuples over a measurement window of simulated
 // time.
@@ -308,6 +285,11 @@ type Report struct {
 	PreservedBytes int64 // source + edge preservation bytes stored
 	InboxDrops     int64 // UDP-semantics deliveries lost to full endpoint inboxes
 	Recovered      bool  // whether the run survived its fault injection
+
+	// Transport-socket health: re-established connections and dead-conn
+	// events. Always 0 on the simulated backend (nothing to redial).
+	Redials   int64
+	DeadConns int64
 
 	// BatchFlushes and MeanBatch summarise edge batching: network sends
 	// of coalesced data tuples and the mean messages per send.

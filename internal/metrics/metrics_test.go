@@ -20,18 +20,80 @@ func TestLatencySummaries(t *testing.T) {
 	if got := l.Mean(); got != 50500*time.Millisecond {
 		t.Fatalf("mean = %v, want 50.5s", got)
 	}
-	if got := l.Percentile(50); got != 50*time.Second {
-		t.Fatalf("p50 = %v", got)
+	// Percentiles are histogram bucket upper bounds: at most 1/16
+	// (6.25%) above the exact rank sample, monotone, never above max.
+	checkBound := func(p float64, exact time.Duration) {
+		t.Helper()
+		got := l.Percentile(p)
+		if got < exact || float64(got) > float64(exact)*(1+1.0/16) {
+			t.Fatalf("p%g = %v outside [%v, %v+6.25%%]", p, got, exact, exact)
+		}
 	}
-	if got := l.Percentile(95); got != 95*time.Second {
-		t.Fatalf("p95 = %v", got)
-	}
+	checkBound(50, 50*time.Second)
+	checkBound(95, 95*time.Second)
 	if got := l.Max(); got != 100*time.Second {
 		t.Fatalf("max = %v", got)
+	}
+	if got := l.Percentile(100); got != l.Max() {
+		t.Fatalf("p100 = %v, want max %v", got, l.Max())
 	}
 	l.Reset()
 	if l.Count() != 0 {
 		t.Fatal("reset failed")
+	}
+}
+
+// TestLatencyPinnedSampleSets pins the histogram-backed summaries on
+// known sample sets: these exact values are the regression contract for
+// the fixed-bucket backing store (satellite: metrics.Latency no longer
+// grows without bound).
+func TestLatencyPinnedSampleSets(t *testing.T) {
+	// Identical samples: every summary is exact (single bucket, clamp).
+	var a Latency
+	for i := 0; i < 1000; i++ {
+		a.Add(7 * time.Millisecond)
+	}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := a.Percentile(p); got != 7*time.Millisecond {
+			t.Fatalf("identical samples p%g = %v, want 7ms", p, got)
+		}
+	}
+	if a.Mean() != 7*time.Millisecond || a.Max() != 7*time.Millisecond {
+		t.Fatalf("mean=%v max=%v, want 7ms both", a.Mean(), a.Max())
+	}
+
+	// Values below 16ns land in exact unit buckets: percentiles are the
+	// true order statistics, bit for bit.
+	var b Latency
+	for _, ns := range []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		b.Add(time.Duration(ns))
+	}
+	if got := b.Percentile(50); got != 5 {
+		t.Fatalf("unit-bucket p50 = %v, want 5ns", got)
+	}
+	if got := b.Percentile(90); got != 9 {
+		t.Fatalf("unit-bucket p90 = %v, want 9ns", got)
+	}
+
+	// 1s..100s in 1s steps: pinned bucket upper bounds. 50s falls in the
+	// bucket [48s, 51.539607s) whose upper edge is 51539607551ns; 95s in
+	// [92.5s, 98.784248s) → 98784247807ns. These literals change only if
+	// the bucket layout changes — which is exactly what they guard.
+	var c Latency
+	for i := 1; i <= 100; i++ {
+		c.Add(time.Duration(i) * time.Second)
+	}
+	if got := c.Percentile(50); got != time.Duration(51539607551) {
+		t.Fatalf("pinned p50 = %d, want 51539607551", got)
+	}
+	if got := c.Percentile(95); got != time.Duration(98784247807) {
+		t.Fatalf("pinned p95 = %d, want 98784247807", got)
+	}
+	if got := c.Mean(); got != 50500*time.Millisecond {
+		t.Fatalf("pinned mean = %v, want 50.5s", got)
+	}
+	if got := c.Max(); got != 100*time.Second {
+		t.Fatalf("pinned max = %v, want 100s", got)
 	}
 }
 

@@ -191,6 +191,7 @@ func (n *Node) respondOK(m simnet.Message) {
 // handleCommit applies a committed checkpoint version: garbage-collect, and
 // under input preservation tell upstream slots how far they can truncate.
 func (n *Node) handleCommit(v uint64) {
+	n.jot("ckpt.commit", v, "")
 	n.cfg.Store.Commit(v)
 	n.recv.DropBefore(v)
 	if !n.cfg.Scheme.PreservesAtEdges() {
@@ -294,7 +295,9 @@ func (n *Node) ResumeExec() {
 
 // Promote turns a rep-2 standby into the primary: it starts emitting.
 func (n *Node) Promote() {
-	n.role.CompareAndSwap(int32(RoleStandby), int32(RolePrimary))
+	if n.role.CompareAndSwap(int32(RoleStandby), int32(RolePrimary)) {
+		n.jot("node.promote", 0, "")
+	}
 }
 
 // RestoreTo reloads the node's operators from the local copy of version v
@@ -328,6 +331,9 @@ func (n *Node) RestoreTo(v uint64) error {
 	// sender that has not yet restored, and would poison the reset dedup
 	// state against the upcoming replay. Drop it at the door.
 	n.dropStream = true
+	if err == nil {
+		n.jot("node.restore", v, slot)
+	}
 	return err
 }
 
@@ -498,6 +504,7 @@ func (n *Node) HandoffTo(target simnet.NodeID) { n.handoff(target) }
 func (n *Node) MigrateTo(target simnet.NodeID) { n.handoff(target) }
 
 func (n *Node) handoff(target simnet.NodeID) {
+	n.jot("migrate.start", 0, string(target))
 	n.PauseExec()
 	// Ship any coalesced emissions still waiting on the latency bound:
 	// after the handoff this node no longer owns their edge sequences.
@@ -601,6 +608,7 @@ func (n *Node) handleTransferIn(from simnet.NodeID, msg TransferMsg) {
 		n.enqueueStream(m)
 	}
 	n.cond.Broadcast()
+	n.jot("migrate.in", 0, msg.Slot)
 	n.report(Report{Type: RepRestored, Phone: n.id, Slot: msg.Slot, Version: transferVersion})
 }
 

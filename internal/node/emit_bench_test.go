@@ -3,6 +3,7 @@ package node
 import (
 	"testing"
 
+	"mobistreams/internal/obs"
 	"mobistreams/internal/tuple"
 )
 
@@ -11,7 +12,7 @@ import (
 // is pinned to 0 allocs/op by TestEmitPathZeroAllocs and the msbench
 // regression gate (`-exp emit`).
 func BenchmarkEmitPath(b *testing.B) {
-	n := emitBenchNode(false, func(*tuple.Tuple) {})
+	n := emitBenchNode(false, obs.NewRegistry(), func(*tuple.Tuple) {})
 	p := n.pipe.Load()
 	idx := p.opIndex("src")
 	t := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}
@@ -26,7 +27,7 @@ func BenchmarkEmitPath(b *testing.B) {
 // operators and the []Out adapter — the allocation cost the redesign
 // removed from the hot path.
 func BenchmarkEmitPathLegacy(b *testing.B) {
-	n := emitBenchNode(true, func(*tuple.Tuple) {})
+	n := emitBenchNode(true, obs.NewRegistry(), func(*tuple.Tuple) {})
 	p := n.pipe.Load()
 	idx := p.opIndex("src")
 	t := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}
@@ -38,10 +39,12 @@ func BenchmarkEmitPathLegacy(b *testing.B) {
 }
 
 // TestEmitPathZeroAllocs pins the acceptance criterion: emissions via the
-// new operator.Context allocate nothing in steady state, while the legacy
-// adapter pays at least one slice per operator hop.
+// new operator.Context allocate nothing in steady state — with the obs
+// registry attached (histograms live, sampling off), so the pin covers the
+// instrumented hot path — while the legacy adapter pays at least one slice
+// per operator hop.
 func TestEmitPathZeroAllocs(t *testing.T) {
-	n := emitBenchNode(false, func(*tuple.Tuple) {})
+	n := emitBenchNode(false, obs.NewRegistry(), func(*tuple.Tuple) {})
 	p := n.pipe.Load()
 	idx := p.opIndex("src")
 	tt := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}
@@ -53,7 +56,7 @@ func TestEmitPathZeroAllocs(t *testing.T) {
 		t.Fatalf("emit-context path allocates %.1f objects/op, want 0", allocs)
 	}
 
-	ln := emitBenchNode(true, func(*tuple.Tuple) {})
+	ln := emitBenchNode(true, obs.NewRegistry(), func(*tuple.Tuple) {})
 	lp := ln.pipe.Load()
 	lidx := lp.opIndex("src")
 	ln.runOp(lp, lidx, "", tt)

@@ -6,6 +6,7 @@ import (
 
 	"mobistreams/internal/clock"
 	"mobistreams/internal/graph"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/tuple"
 )
@@ -34,8 +35,9 @@ func (*legacyPassthrough) Process(_ string, t *tuple.Tuple) ([]operator.Out, err
 // (src -> m1 -> m2 -> out) compiled onto one slot, so every emission runs
 // the in-slot recursion of the compiled pipeline and the final operator
 // publishes externally. No goroutines are started; the caller drives runOp
-// directly, exactly like the executor's steady-state path.
-func emitBenchNode(legacy bool, onOut func(*tuple.Tuple)) *Node {
+// directly, exactly like the executor's steady-state path. A non-nil obs
+// registry compiles the observability hooks in, exactly as a region does.
+func emitBenchNode(legacy bool, reg *obs.Registry, onOut func(*tuple.Tuple)) *Node {
 	var gb graph.Builder
 	gb.AddOperator("src", "s1").AddOperator("m1", "s1").
 		AddOperator("m2", "s1").AddOperator("out", "s1")
@@ -56,25 +58,27 @@ func emitBenchNode(legacy bool, onOut func(*tuple.Tuple)) *Node {
 		}
 		return func() operator.Operator { return operator.NewMap(id, identity) }
 	}
-	reg := operator.Registry{}
+	opReg := operator.Registry{}
 	for _, id := range g.Operators() {
-		reg[id] = factory(id)
+		opReg[id] = factory(id)
 	}
 	return New(Config{
-		ID: "bench", Graph: g, Registry: reg,
+		ID: "bench", Graph: g, Registry: opReg,
 		Slot: "s1", OpIDs: g.OpsOnSlot("s1"),
-		Clock: clock.NewScaled(1e6), OnSinkOutput: onOut,
+		Clock: clock.NewScaled(1e6), Obs: reg, OnSinkOutput: onOut,
 	})
 }
 
 // RunEmitBench measures the emit path for iters tuples: legacy=false runs
 // the emit-context contract (the steady state must not allocate at all),
 // legacy=true runs the same chain through seed-contract operators and the
-// []Out adapter. Exported so the msbench regression gate and the Go
-// benchmarks share one harness.
+// []Out adapter. The node carries a live obs registry with sampling off,
+// so the 0-allocs pin covers the instrumented hot path — tracing compiled
+// in, histograms recording, no tuple sampled. Exported so the msbench
+// regression gate and the Go benchmarks share one harness.
 func RunEmitBench(legacy bool, iters int) EmitBenchResult {
 	var emitted uint64
-	n := emitBenchNode(legacy, func(*tuple.Tuple) { emitted++ })
+	n := emitBenchNode(legacy, obs.NewRegistry(), func(*tuple.Tuple) { emitted++ })
 	p := n.pipe.Load()
 	idx := p.opIndex("src")
 	t := &tuple.Tuple{Seq: 1, Size: 64, Value: 1.0}

@@ -2,6 +2,7 @@ package node
 
 import (
 	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/tuple"
 )
@@ -9,12 +10,14 @@ import (
 // StreamMsg is a data-plane message on a slot-to-slot edge. Each ordered
 // pair of slots forms one FIFO stream carrying tuples and in-band markers,
 // sequenced by EdgeSeq for duplicate suppression after recovery resends.
+// Trace carries the sampled tracing context (zero = untraced).
 type StreamMsg struct {
 	FromSlot string
 	FromOp   string
 	ToSlot   string
 	ToOp     string
 	EdgeSeq  uint64
+	Trace    obs.SpanCtx
 	Item     tuple.Item
 }
 

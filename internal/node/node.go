@@ -28,6 +28,7 @@ import (
 	"mobistreams/internal/ft"
 	"mobistreams/internal/graph"
 	"mobistreams/internal/metrics"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/phone"
 	"mobistreams/internal/simnet"
@@ -100,6 +101,12 @@ type Config struct {
 	// CkptStats, when non-nil, accumulates checkpoint pause and blob-size
 	// observations.
 	CkptStats *metrics.CheckpointStats
+	// Obs, when non-nil, wires the node into the region's observability
+	// registry: per-operator latency and per-edge wait/depth histograms
+	// (resolved into the compiled pipeline — the hot path holds plain
+	// pointers), the tuple tracer, and the lifecycle journal. Nil keeps
+	// every instrumentation site a single nil check.
+	Obs *obs.Registry
 	// OnSinkOutput receives externally published results.
 	OnSinkOutput func(*tuple.Tuple)
 	// OnIngest admits an inter-region tuple arriving over cellular into
@@ -109,12 +116,16 @@ type Config struct {
 	Logf func(string, ...interface{})
 }
 
-// queued is one item waiting on an upstream queue.
+// queued is one item waiting on an upstream queue. tc carries the tuple's
+// sampled trace context (zero = untraced); at is the enqueue timestamp
+// feeding the edge's queue-wait histogram (zero when obs is off).
 type queued struct {
 	fromOp  string
 	toOp    string
 	edgeSeq uint64
 	item    tuple.Item
+	tc      obs.SpanCtx
+	at      time.Duration
 }
 
 // upQueue is the FIFO from one upstream slot (or the external world).
@@ -146,6 +157,9 @@ type upQueue struct {
 	recent     map[uint64]struct{}
 	recentRing []uint64
 	recentPos  int
+	// depth is the edge's queue-depth histogram (nil when obs is off),
+	// observed after each accepted enqueue.
+	depth *obs.Histogram
 }
 
 // newStreamQueue builds an upstream stream queue with its dedup window
@@ -390,6 +404,16 @@ type Node struct {
 	// per-slot tuple rate). Read atomically off the executor.
 	processed uint64
 
+	// obsReg/tracer/journal mirror cfg.Obs (all nil when obs is off).
+	// curTrace is the trace context of the tuple the executor is
+	// currently processing — executor-owned ambient state, so the
+	// compiled emit path picks it up without threading a parameter
+	// through the operator contract. Zero between tuples.
+	obsReg   *obs.Registry
+	tracer   *obs.Tracer
+	journal  *obs.Journal
+	curTrace obs.SpanCtx
+
 	// ckptBase is the version the next delta checkpoint patches against
 	// (0 = none: first checkpoint, or freshly restored); ckptChainLen
 	// counts the delta links since the last full base blob. Written by
@@ -436,6 +460,11 @@ func New(cfg Config) *Node {
 		stopCh:         make(chan struct{}),
 	}
 	n.role.Store(int32(cfg.Role))
+	if cfg.Obs != nil {
+		n.obsReg = cfg.Obs
+		n.tracer = cfg.Obs.Tracer
+		n.journal = cfg.Obs.Journal
+	}
 	if !cfg.NoRouteCache {
 		if er, ok := cfg.Resolver.(EpochResolver); ok {
 			n.epochRes = er
@@ -477,6 +506,9 @@ func (n *Node) configureSlot(slot string, opIDs []string) {
 			n.queues[up] = &upQueue{}
 		} else {
 			n.queues[up] = newStreamQueue(ordered)
+		}
+		if n.cfg.Obs != nil {
+			n.queues[up].depth = n.cfg.Obs.EdgeDepth(up + "->" + slot)
 		}
 		n.qOrder = append(n.qOrder, up)
 	}
@@ -579,6 +611,13 @@ func (n *Node) shutdown(failed bool) {
 // external input admitted in that window must reach the new home rather
 // than be dropped.
 func (n *Node) IngestExternal(srcOp string, t *tuple.Tuple) {
+	n.IngestExternalTraced(srcOp, t, obs.SpanCtx{})
+}
+
+// IngestExternalTraced is IngestExternal carrying a sampled trace context
+// (zero = untraced). The region's ingest path records the ingest span and
+// passes the context here; it rides the queued item to the executor.
+func (n *Node) IngestExternalTraced(srcOp string, t *tuple.Tuple, tc obs.SpanCtx) {
 	n.mu.Lock()
 	q, ok := n.queues[externalSlot]
 	if !ok || !n.running {
@@ -586,12 +625,19 @@ func (n *Node) IngestExternal(srcOp string, t *tuple.Tuple) {
 		running := n.running
 		n.mu.Unlock()
 		if running && fwd != "" {
-			m := StreamMsg{FromSlot: externalSlot, ToOp: srcOp, EdgeSeq: t.Seq, Item: tuple.DataItem(t)}
+			m := StreamMsg{FromSlot: externalSlot, ToOp: srcOp, EdgeSeq: t.Seq, Trace: tc, Item: tuple.DataItem(t)}
 			n.relay(fwd, simnet.ClassData, t.Size, m)
 		}
 		return
 	}
-	q.push(queued{fromOp: "", toOp: srcOp, item: tuple.DataItem(t)})
+	var at time.Duration
+	if n.obsReg != nil {
+		at = n.clk.Now()
+	}
+	q.push(queued{fromOp: "", toOp: srcOp, item: tuple.DataItem(t), tc: tc, at: at})
+	if q.depth != nil {
+		q.depth.Observe(int64(q.len()))
+	}
 	n.cond.Signal()
 	n.mu.Unlock()
 }
@@ -646,16 +692,37 @@ func (n *Node) enqueueStream(m StreamMsg) {
 		return
 	}
 	defer n.mu.Unlock()
+	qit := queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item, tc: m.Trace}
+	if n.obsReg != nil {
+		qit.at = n.clk.Now()
+		if qit.tc.ID != 0 {
+			n.tracer.Record(&qit.tc, obs.SpanRecv, string(n.id), m.ToSlot, m.ToOp, int64(qit.at))
+		}
+	}
 	if m.FromSlot == externalSlot {
 		// Relayed external input from a node that handed this slot off.
 		// External arrivals are admitted exactly once upstream (each relay
 		// is one reliable unicast), so they bypass edge-sequence dedup —
 		// their sequence space is per-source, not per-edge.
-		q.push(queued{fromOp: m.FromOp, toOp: m.ToOp, item: m.Item})
+		qit.edgeSeq = 0
+		q.push(qit)
+		if q.depth != nil {
+			q.depth.Observe(int64(q.len()))
+		}
 		n.cond.Signal()
 		return
 	}
-	if q.enqueue(queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item}) {
+	// A traced arrival about to park (out of order on an ordered queue)
+	// records its park span before the queue copies it into the heap.
+	if qit.tc.ID != 0 && q.ordered && qit.edgeSeq > q.lastEnq+1 {
+		if _, dup := q.parked[qit.edgeSeq]; !dup {
+			n.tracer.Record(&qit.tc, obs.SpanPark, string(n.id), m.ToSlot, m.ToOp, int64(qit.at))
+		}
+	}
+	if q.enqueue(qit) {
+		if q.depth != nil {
+			q.depth.Observe(int64(q.len()))
+		}
 		n.cond.Signal()
 	}
 }
@@ -694,6 +761,10 @@ func (n *Node) enqueueStreamBatch(bm BatchMsg) {
 		n.logf("%s: stream batch from unexpected slot %s", n.id, bm.Msgs[0].FromSlot)
 		return
 	}
+	var at time.Duration
+	if n.obsReg != nil {
+		at = n.clk.Now()
+	}
 	woke := false
 	for i := range bm.Msgs {
 		m := &bm.Msgs[i]
@@ -702,7 +773,19 @@ func (n *Node) enqueueStreamBatch(bm BatchMsg) {
 			n.logf("%s: stream from unexpected slot %s", n.id, m.FromSlot)
 			continue
 		}
-		if q.enqueue(queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item}) {
+		qit := queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item, tc: m.Trace, at: at}
+		if qit.tc.ID != 0 {
+			n.tracer.Record(&qit.tc, obs.SpanRecv, string(n.id), m.ToSlot, m.ToOp, int64(at))
+			if q.ordered && qit.edgeSeq > q.lastEnq+1 {
+				if _, dup := q.parked[qit.edgeSeq]; !dup {
+					n.tracer.Record(&qit.tc, obs.SpanPark, string(n.id), m.ToSlot, m.ToOp, int64(at))
+				}
+			}
+		}
+		if q.enqueue(qit) {
+			if q.depth != nil {
+				q.depth.Observe(int64(q.len()))
+			}
 			woke = true
 		}
 	}
@@ -711,6 +794,22 @@ func (n *Node) enqueueStreamBatch(bm BatchMsg) {
 		n.cond.Signal()
 	}
 	recycleBatchSlice(bm.Msgs)
+}
+
+// jot emits one lifecycle event to the region's journal. Nil-safe: with
+// obs off the journal is nil and Emit is a no-op.
+func (n *Node) jot(kind string, version uint64, detail string) {
+	if n.journal == nil {
+		return
+	}
+	slot := ""
+	if p := n.pipe.Load(); p != nil {
+		slot = p.slot
+	}
+	n.journal.Emit(obs.Event{
+		At: int64(n.clk.Now()), Kind: kind, Node: string(n.id),
+		Slot: slot, Version: version, Detail: detail,
+	})
 }
 
 // injectCmd queues a high-priority executor command.
@@ -866,18 +965,28 @@ func (n *Node) handleItem(p *pipeline, qi int, from string, it queued) {
 	}
 	t := it.item.Tuple
 	atomic.AddUint64(&n.processed, 1)
+	if n.obsReg != nil {
+		now := n.clk.Now()
+		if h := p.edgeWait[qi]; h != nil && it.at > 0 {
+			h.Observe(int64(now - it.at))
+		}
+		if it.tc.ID != 0 {
+			n.curTrace = it.tc
+			n.tracer.Record(&n.curTrace, obs.SpanDequeue, string(n.id), p.slot, it.toOp, int64(now))
+		}
+	}
 	if from != externalSlot {
 		p.noteInHW(qi, it.edgeSeq)
 	} else {
 		n.preserveSourceInput(it.toOp, t)
 		n.forwardExternalToStandby(p, it.toOp, t)
 	}
-	idx := p.opIndex(it.toOp)
-	if idx < 0 {
+	if idx := p.opIndex(it.toOp); idx >= 0 {
+		n.runOp(p, idx, it.fromOp, t)
+	} else {
 		n.logf("%s: tuple for unknown operator %s", n.id, it.toOp)
-		return
 	}
-	n.runOp(p, idx, it.fromOp, t)
+	n.curTrace = obs.SpanCtx{}
 }
 
 // forwardExternalToStandby duplicates externally admitted input to the
@@ -935,6 +1044,17 @@ func (n *Node) runOp(p *pipeline, idx int, fromOp string, t *tuple.Tuple) {
 			return
 		}
 		n.maybeReportChronic()
+	}
+	if c.lat != nil {
+		start := n.clk.Now()
+		if n.curTrace.ID != 0 {
+			n.tracer.Record(&n.curTrace, obs.SpanOp, string(n.id), p.slot, c.id, int64(start))
+		}
+		if err := c.proc(c.ctx, fromOp, t); err != nil {
+			n.logf("%s: operator %s: %v", n.id, c.id, err)
+		}
+		c.lat.Observe(int64(n.clk.Now() - start))
+		return
 	}
 	if err := c.proc(c.ctx, fromOp, t); err != nil {
 		n.logf("%s: operator %s: %v", n.id, c.id, err)
@@ -1006,6 +1126,13 @@ func (n *Node) emitExternal(t *tuple.Tuple) {
 	if Role(n.role.Load()) == RoleStandby || n.suppress.Load() {
 		return
 	}
+	if n.curTrace.ID != 0 {
+		slot := ""
+		if p := n.pipe.Load(); p != nil {
+			slot = p.slot
+		}
+		n.tracer.Record(&n.curTrace, obs.SpanSink, string(n.id), slot, "", int64(n.clk.Now()))
+	}
 	if n.cfg.OnSinkOutput != nil {
 		n.cfg.OnSinkOutput(t)
 	}
@@ -1028,7 +1155,12 @@ func (n *Node) sendCross(p *pipeline, down int, toOp, fromOp string, item tuple.
 		n.cfg.Store.AppendEdge(toSlot, seq, fromOp, toOp, item.Tuple)
 		n.clk.Sleep(n.cfg.Phone.FlashWriteTime(item.Tuple.Size))
 	}
-	n.batch.add(toSlot, StreamMsg{FromSlot: p.slot, FromOp: fromOp, ToSlot: toSlot, ToOp: toOp, EdgeSeq: seq, Item: item})
+	msg := StreamMsg{FromSlot: p.slot, FromOp: fromOp, ToSlot: toSlot, ToOp: toOp, EdgeSeq: seq, Item: item}
+	if n.curTrace.ID != 0 {
+		n.tracer.Record(&n.curTrace, obs.SpanEmit, string(n.id), p.slot, fromOp, int64(n.clk.Now()))
+		msg.Trace = n.curTrace
+	}
+	n.batch.add(toSlot, msg)
 }
 
 // sendBatch ships one flushed batch to the destination slot's primary and,
@@ -1042,6 +1174,17 @@ func (n *Node) sendBatch(toSlot string, msgs []StreamMsg, bytes int, class simne
 	}
 	if n.cfg.BatchStats != nil {
 		n.cfg.BatchStats.Observe(len(msgs))
+	}
+	// Traced messages record their batch-flush/network-send span here —
+	// the delta from their emit span is the batch wait. Gated on active
+	// sampling so untraced runs never scan the batch.
+	if n.tracer.SampleEvery() > 0 {
+		for i := range msgs {
+			if msgs[i].Trace.ID != 0 {
+				n.tracer.Record(&msgs[i].Trace, obs.SpanSend, string(n.id),
+					msgs[i].FromSlot, msgs[i].FromOp, int64(n.clk.Now()))
+			}
+		}
 	}
 	var payload interface{}
 	single := len(msgs) == 1
@@ -1263,6 +1406,7 @@ func (n *Node) onReplayEnd(from string, epoch uint64) {
 // pause grows with state size.
 func (n *Node) doTokenCheckpoint(v uint64) {
 	start := n.clk.Now()
+	n.jot("ckpt.begin", v, "")
 	blob, err := n.buildCheckpoint(v)
 	if err != nil {
 		n.logf("%s: checkpoint v%d: %v", n.id, v, err)
@@ -1273,6 +1417,7 @@ func (n *Node) doTokenCheckpoint(v uint64) {
 		n.clk.Sleep(n.cfg.Phone.FlashWriteTime(blob.Size))
 	}
 	n.cfg.Store.PutBlob(blob)
+	n.jot("ckpt.seal", v, blob.Slot)
 	if n.cfg.CkptStats != nil {
 		n.cfg.CkptStats.Observe(n.clk.Now()-start, blob.Size, blob.FullSize, blob.IsDelta())
 	}

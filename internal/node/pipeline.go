@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/tuple"
 )
@@ -46,6 +47,11 @@ type pipeline struct {
 	// drained at tuple boundaries; a fresh pipeline starts empty and
 	// timer-using operators re-arm on their next input.
 	timers []opTimer
+
+	// edgeWait holds each upstream edge's queue-wait histogram (parallel
+	// to upstreams; entries nil when obs is off), resolved at compile
+	// time so the dequeue path reads an immutable slice.
+	edgeWait []*obs.Histogram
 }
 
 // opTimer is one pending timer: the simulated-time deadline and the owning
@@ -75,6 +81,10 @@ type compiledOp struct {
 	fanout []route
 	// external marks a sink operator: no downstream, emissions publish.
 	external bool
+	// lat is the operator's Process-latency histogram, resolved from the
+	// obs registry at compile time (nil when obs is off): the hot path
+	// pays one nil check, never a map lookup or lock.
+	lat *obs.Histogram
 }
 
 // opSink is the operator.Runtime the node binds behind each compiled
@@ -190,8 +200,17 @@ func (n *Node) compilePipeline(slot string, opIDs []string, ops []operator.Opera
 	}
 	p.outSeq = make([]uint64, len(p.downs))
 	p.inHW = make([]uint64, len(p.upstreams))
+	p.edgeWait = make([]*obs.Histogram, len(p.upstreams))
+	if n.cfg.Obs != nil {
+		for i, up := range p.upstreams {
+			p.edgeWait[i] = n.cfg.Obs.EdgeWait(up + "->" + slot)
+		}
+	}
 	for i := range p.ops {
 		c := &p.ops[i]
+		if n.cfg.Obs != nil {
+			c.lat = n.cfg.Obs.OpLatency(c.id)
+		}
 		c.proc = operator.Proc(c.op)
 		if c.proc == nil {
 			panic("node: operator " + c.id + " implements neither processing contract")

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketIndexContinuity(t *testing.T) {
+	// The linear range hands off to the log-linear range without gaps:
+	// indices are non-decreasing in v and every index round-trips to an
+	// upper bound >= v.
+	last := -1
+	for v := int64(0); v < 4096; v++ {
+		idx := bucketIndex(v)
+		if idx < last {
+			t.Fatalf("bucket index regressed at v=%d: %d < %d", v, idx, last)
+		}
+		last = idx
+		if up := bucketUpper(idx); up < v {
+			t.Fatalf("bucketUpper(%d)=%d < v=%d", idx, up, v)
+		}
+	}
+	if got := bucketIndex(math.MaxInt64); got >= numBuckets {
+		t.Fatalf("max value index %d out of range %d", got, numBuckets)
+	}
+}
+
+func TestHistogramExactStats(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(95) != 0 || h.Max() != 0 {
+		t.Fatal("zero-value histogram should report zeros")
+	}
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	if h.Count() != 100 || h.Sum() != 5050 {
+		t.Fatalf("count=%d sum=%d, want 100/5050", h.Count(), h.Sum())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("mean=%v, want 50.5", h.Mean())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max=%d, want 100", h.Max())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Percentile(50) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramPercentileErrorBound(t *testing.T) {
+	// Percentile returns an upper bound within 1/16 (6.25%) of the true
+	// value, is monotone in p, and P(100) == Max exactly.
+	var h Histogram
+	for i := int64(1); i <= 10000; i++ {
+		h.Observe(i * 1000) // 1µs .. 10ms in ns
+	}
+	last := int64(0)
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 95, 99, 100} {
+		got := h.Percentile(p)
+		exact := int64(math.Ceil(p/100*10000)) * 1000
+		if got < exact {
+			t.Fatalf("p%g=%d below exact %d (not an upper bound)", p, got, exact)
+		}
+		if float64(got) > float64(exact)*(1+1.0/subCount) {
+			t.Fatalf("p%g=%d exceeds %g error bound of exact %d", p, got, 1.0/subCount, exact)
+		}
+		if got < last {
+			t.Fatalf("percentile not monotone: p%g=%d < %d", p, got, last)
+		}
+		last = got
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Fatalf("p100=%d != max=%d", h.Percentile(100), h.Max())
+	}
+}
+
+// TestHistogramConcurrentWriters hammers one histogram from many
+// goroutines while a reader merges it into a scratch copy — run under
+// -race this proves Observe/Merge/Percentile need no locks.
+func TestHistogramConcurrentWriters(t *testing.T) {
+	const writers = 8
+	const perWriter = 20000
+	var h Histogram
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() { // merged reads racing the writers
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var scratch Histogram
+			scratch.Merge(&h)
+			_ = scratch.Percentile(99)
+			_ = h.Mean()
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(int64(w*perWriter + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+	if h.Count() != writers*perWriter {
+		t.Fatalf("count=%d, want %d", h.Count(), writers*perWriter)
+	}
+	if h.Max() != writers*perWriter-1 {
+		t.Fatalf("max=%d, want %d", h.Max(), writers*perWriter-1)
+	}
+}
+
+// TestHistogramShardMergeProperty: merging per-shard histograms is
+// exactly equivalent to observing every sample into a single histogram.
+func TestHistogramShardMergeProperty(t *testing.T) {
+	f := func(samples []uint32, shardCount uint8) bool {
+		n := int(shardCount%7) + 2
+		shards := make([]*Histogram, n)
+		for i := range shards {
+			shards[i] = &Histogram{}
+		}
+		var single Histogram
+		for i, s := range samples {
+			v := int64(s)
+			single.Observe(v)
+			shards[i%n].Observe(v)
+		}
+		var merged Histogram
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if merged.Count() != single.Count() || merged.Sum() != single.Sum() || merged.Max() != single.Max() {
+			return false
+		}
+		for _, p := range []float64{25, 50, 90, 99, 100} {
+			if merged.Percentile(p) != single.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+	snap := h.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot buckets = %d, want 2", len(snap))
+	}
+	if snap[0].Upper != 3 || snap[0].Count != 2 {
+		t.Fatalf("first bucket = %+v", snap[0])
+	}
+	if snap[1].Upper < 100 || snap[1].Count != 1 {
+		t.Fatalf("second bucket = %+v", snap[1])
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

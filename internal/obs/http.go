@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+)
+
+// ExportQuantiles are the quantiles rendered per histogram on /metrics.
+var ExportQuantiles = []float64{50, 95, 99}
+
+// Handler serves the registry live over HTTP:
+//
+//	/metrics       Prometheus text: histograms as *_count/_sum/quantile
+//	               gauges plus any extra counters
+//	/journal       the lifecycle event journal as JSON Lines
+//	/traces        reconstructed waterfalls, human-readable
+//	/debug/pprof/  the standard runtime profiles
+//
+// extra, if non-nil, is called per /metrics scrape for counters owned
+// outside the registry (transport redials, sink totals, ...).
+func Handler(reg *Registry, extra func() map[string]float64) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeProm(w, reg, extra)
+	})
+	mux.HandleFunc("/journal", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if reg != nil {
+			_ = reg.Journal.WriteJSONL(w)
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg == nil {
+			return
+		}
+		for _, wf := range Waterfalls(reg.Tracer.Spans()) {
+			fmt.Fprint(w, wf.Render())
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// promName sanitises a label value: Prometheus label values are free-form
+// UTF-8, but keep quotes and backslashes out of the unescaped writer.
+func promLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `_`)
+	return strings.ReplaceAll(s, `"`, `_`)
+}
+
+func writeHistFamily(w http.ResponseWriter, family, label string, views []HistogramView) {
+	if len(views) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s summary\n", family)
+	for _, v := range views {
+		name := promLabel(v.Name)
+		fmt.Fprintf(w, "%s_count{%s=%q} %d\n", family, label, name, v.Hist.Count())
+		fmt.Fprintf(w, "%s_sum{%s=%q} %d\n", family, label, name, v.Hist.Sum())
+		fmt.Fprintf(w, "%s_max{%s=%q} %d\n", family, label, name, v.Hist.Max())
+		for _, q := range ExportQuantiles {
+			fmt.Fprintf(w, "%s{%s=%q,quantile=\"%g\"} %d\n",
+				family, label, name, q/100, v.Hist.Percentile(q))
+		}
+	}
+}
+
+func writeProm(w http.ResponseWriter, reg *Registry, extra func() map[string]float64) {
+	fmt.Fprintln(w, "# TYPE ms_up gauge")
+	fmt.Fprintln(w, "ms_up 1")
+	if reg != nil {
+		writeHistFamily(w, "ms_op_latency_ns", "op", reg.Ops())
+		writeHistFamily(w, "ms_edge_wait_ns", "edge", reg.Waits())
+		writeHistFamily(w, "ms_edge_depth", "edge", reg.Depths())
+		fmt.Fprintln(w, "# TYPE ms_trace_spans gauge")
+		fmt.Fprintf(w, "ms_trace_spans %d\n", len(reg.Tracer.Spans()))
+		fmt.Fprintf(w, "ms_trace_span_drops %d\n", reg.Tracer.Drops())
+		fmt.Fprintln(w, "# TYPE ms_journal_events_total counter")
+		fmt.Fprintf(w, "ms_journal_events_total %d\n", reg.Journal.Total())
+	}
+	if extra != nil {
+		m := extra()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s %g\n", k, m[k])
+		}
+	}
+}
+
+// Serve starts the export HTTP server on addr in a background goroutine
+// and returns the address it is listening on. Used by msrun -http.
+func Serve(addr string, reg *Registry, extra func() map[string]float64) (string, error) {
+	srv := &http.Server{Addr: addr, Handler: Handler(reg, extra)}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry owns a region's observability state: per-operator Process
+// latency histograms, per-edge queue-wait and queue-depth histograms,
+// the tuple tracer, and the lifecycle journal. Histogram lookups happen
+// at pipeline compile time only; the compiled hot path holds resolved
+// *Histogram pointers and never touches the registry maps.
+type Registry struct {
+	Tracer  *Tracer
+	Journal *Journal
+
+	mu     sync.Mutex
+	ops    map[string]*Histogram // operator Process latency, ns
+	waits  map[string]*Histogram // edge queue wait, ns
+	depths map[string]*Histogram // edge queue depth at enqueue, items
+}
+
+// NewRegistry returns a registry with tracing off and an empty journal.
+func NewRegistry() *Registry {
+	return &Registry{
+		Tracer:  NewTracer(0),
+		Journal: NewJournal(0),
+		ops:     make(map[string]*Histogram),
+		waits:   make(map[string]*Histogram),
+		depths:  make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) get(m map[string]*Histogram, key string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := m[key]
+	if h == nil {
+		h = &Histogram{}
+		m[key] = h
+	}
+	return h
+}
+
+// OpLatency returns (creating on first use) the Process-latency histogram
+// for an operator. Nil-safe: a nil registry yields a nil histogram, which
+// the compiled pipeline treats as "not instrumented".
+func (r *Registry) OpLatency(op string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(r.ops, op)
+}
+
+// EdgeWait returns the queue-wait histogram for an edge ("from->to").
+func (r *Registry) EdgeWait(edge string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(r.waits, edge)
+}
+
+// EdgeDepth returns the queue-depth histogram for an edge.
+func (r *Registry) EdgeDepth(edge string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.get(r.depths, edge)
+}
+
+// HistogramView is one named histogram in a registry snapshot.
+type HistogramView struct {
+	Name string
+	Hist *Histogram
+}
+
+func viewOf(m map[string]*Histogram) []HistogramView {
+	out := make([]HistogramView, 0, len(m))
+	for k, h := range m {
+		out = append(out, HistogramView{Name: k, Hist: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Ops returns the operator histograms in name order.
+func (r *Registry) Ops() []HistogramView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return viewOf(r.ops)
+}
+
+// Waits returns the edge queue-wait histograms in name order.
+func (r *Registry) Waits() []HistogramView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return viewOf(r.waits)
+}
+
+// Depths returns the edge queue-depth histograms in name order.
+func (r *Registry) Depths() []HistogramView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return viewOf(r.depths)
+}

@@ -17,6 +17,7 @@ import (
 	"mobistreams/internal/graph"
 	"mobistreams/internal/metrics"
 	"mobistreams/internal/node"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/phone"
 	"mobistreams/internal/simnet"
@@ -66,7 +67,12 @@ type Config struct {
 	// OnSinkOutput publishes deduplicated sink results beyond the region
 	// (inter-region cascading); may be nil.
 	OnSinkOutput func(publisher simnet.NodeID, t *tuple.Tuple)
-	Logf         func(string, ...interface{})
+	// Obs is the shared observability registry (histograms, tracer,
+	// journal). Nil makes the region create its own: per-operator and
+	// per-edge histograms are always on; tracing stays off until
+	// Obs().Tracer.SetSampleEvery enables it.
+	Obs  *obs.Registry
+	Logf func(string, ...interface{})
 }
 
 // Region is a running cluster of phones.
@@ -74,6 +80,7 @@ type Region struct {
 	cfg  Config
 	clk  clock.Clock
 	wifi *simnet.WiFi
+	obs  *obs.Registry
 	logf func(string, ...interface{})
 
 	// placeEpoch counts placement/standby changes: every repoint bumps
@@ -158,6 +165,10 @@ func New(cfg Config) (*Region, error) {
 	r.logf = cfg.Logf
 	if r.logf == nil {
 		r.logf = func(string, ...interface{}) {}
+	}
+	r.obs = cfg.Obs
+	if r.obs == nil {
+		r.obs = obs.NewRegistry()
 	}
 	for _, src := range cfg.Graph.Sources() {
 		var z uint64
@@ -253,6 +264,7 @@ func (r *Region) buildNode(id simnet.NodeID, slot string, role node.Role) *node.
 		BatchStats:        &r.batchStats,
 		Checkpoint:        r.cfg.Checkpoint,
 		CkptStats:         &r.ckptStats,
+		Obs:               r.obs,
 		OnSinkOutput:      func(t *tuple.Tuple) { r.onSink(id, t) },
 		OnIngest:          func(srcOp string, v interface{}, size int, kind string) { r.Ingest(srcOp, v, size, kind) },
 		Logf:              r.logf,
@@ -294,6 +306,7 @@ func (r *Region) buildStandby(slot string) {
 		ControllerID: r.cfg.ControllerID,
 		Batch:        r.cfg.Batch,
 		BatchStats:   &r.batchStats,
+		Obs:          r.obs,
 		OnSinkOutput: func(t *tuple.Tuple) { r.onSink(sbID, t) },
 		Logf:         r.logf,
 	})
@@ -395,6 +408,25 @@ func (r *Region) Stop() {
 			n.Stop()
 		}
 	}
+	if drops := r.InboxDrops(); drops > 0 {
+		r.jot("inbox.drops", "", uint64(drops), "")
+	}
+}
+
+// Obs exposes the region's observability registry: always-on operator and
+// edge histograms, the sampling tracer and the lifecycle journal.
+func (r *Region) Obs() *obs.Registry { return r.obs }
+
+// jot appends one lifecycle event to the region's journal.
+func (r *Region) jot(kind, slot string, version uint64, detail string) {
+	r.obs.Journal.Emit(obs.Event{
+		At:      int64(r.clk.Now()),
+		Kind:    kind,
+		Node:    r.cfg.ID,
+		Slot:    slot,
+		Version: version,
+		Detail:  detail,
+	})
 }
 
 // ingestSnapshot is the epoch-stamped dispatch table Ingest reads without
@@ -462,6 +494,13 @@ func (r *Region) Ingest(srcOp string, value interface{}, size int, kind string) 
 		Created: r.clk.Now(),
 		Size:    size,
 		Value:   value,
+	}
+	// Seq is already assigned, so the sampling decision keys on seq-1:
+	// sample-every-1 traces the very first tuple on both backends.
+	if tc, ok := r.obs.Tracer.Sample(t.Seq - 1); ok {
+		r.obs.Tracer.Record(&tc, obs.SpanIngest, "region", "", srcOp, int64(r.clk.Now()))
+		tg.node.IngestExternalTraced(srcOp, t, tc)
+		return
 	}
 	tg.node.IngestExternal(srcOp, t)
 }
@@ -544,6 +583,7 @@ func (r *Region) SetPlacement(slot string, id simnet.NodeID) {
 	r.placement[slot] = id
 	r.bumpEpoch()
 	r.mu.Unlock()
+	r.jot("place.set", slot, 0, string(id))
 }
 
 // PromoteStandby makes the standby the primary for a slot (rep-2 failover)
@@ -569,6 +609,7 @@ func (r *Region) PromoteStandby(slot string) *node.Node {
 	delete(r.standbyPhone, slot)
 	r.bumpEpoch()
 	r.mu.Unlock()
+	r.jot("standby.promote", slot, 0, string(sid))
 	return n
 }
 
@@ -737,6 +778,7 @@ func (r *Region) FailPhone(id simnet.NodeID) {
 		r.wifi.SetPresent(standbyIDs[i], false)
 	}
 	r.wifi.SetPresent(id, false)
+	r.jot("phone.fail", "", 0, string(id))
 }
 
 // DepartPhone moves a phone out of WiFi range; it keeps running and stays
@@ -749,6 +791,7 @@ func (r *Region) DepartPhone(id simnet.NodeID) {
 	}
 	r.mu.Unlock()
 	r.wifi.SetPresent(id, false)
+	r.jot("phone.depart", "", 0, string(id))
 }
 
 // Failed reports whether a phone has failed.
@@ -791,6 +834,7 @@ func (r *Region) ActivateReplacement(id simnet.NodeID, slot string) {
 		n.Activate(slot)
 	}
 	r.SetPlacement(slot, id)
+	r.jot("replace.activate", slot, 0, string(id))
 }
 
 // InboxDrops sums endpoint inbox-overflow losses across the region: UDP-

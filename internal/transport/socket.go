@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobistreams/internal/obs"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/wire"
 )
@@ -60,9 +61,39 @@ type Socket struct {
 	conns   map[connKey]*sendConn
 	inbound map[net.Conn]struct{}
 	closed  bool
+	// redialPending marks (peer, class) keys whose connection died, so the
+	// next successful dial counts as a redial rather than a first dial.
+	redialPending map[connKey]bool
+	deadConns     int64
+	redials       int64
+	journal       *obs.Journal
 
 	h  atomic.Value // Handler
 	wg sync.WaitGroup
+}
+
+// Stats is a point-in-time snapshot of the transport's connection health.
+type Stats struct {
+	// DeadConns counts connections discarded after a write failure.
+	DeadConns int64
+	// Redials counts successful dials that replaced a dead connection.
+	Redials int64
+}
+
+// SetJournal attaches a lifecycle journal: dead connections and redials
+// become structured events alongside the counters. Nil detaches. Not
+// safe to call concurrently with Tell.
+func (s *Socket) SetJournal(j *obs.Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
+// Stats reports connection-health counters since the socket was created.
+func (s *Socket) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{DeadConns: s.deadConns, Redials: s.redials}
 }
 
 // NewSocket listens on listen ("host:port", port 0 for ephemeral) for both
@@ -87,12 +118,13 @@ func NewSocket(id simnet.NodeID, listen, advertise string) (*Socket, error) {
 		advertise = ln.Addr().String()
 	}
 	s := &Socket{
-		info:    Info{ID: id, Addr: advertise},
-		ln:      ln,
-		udp:     udp,
-		peers:   make(map[simnet.NodeID]string),
-		conns:   make(map[connKey]*sendConn),
-		inbound: make(map[net.Conn]struct{}),
+		info:          Info{ID: id, Addr: advertise},
+		ln:            ln,
+		udp:           udp,
+		peers:         make(map[simnet.NodeID]string),
+		conns:         make(map[connKey]*sendConn),
+		inbound:       make(map[net.Conn]struct{}),
+		redialPending: make(map[connKey]bool),
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -290,6 +322,14 @@ func (s *Socket) conn(to simnet.NodeID, class simnet.Class) (*sendConn, error) {
 		return prior, nil
 	}
 	s.conns[key] = sc
+	if s.redialPending[key] {
+		delete(s.redialPending, key)
+		s.redials++
+		s.journal.Emit(obs.Event{
+			At: time.Now().UnixNano(), Kind: "conn.redial",
+			Node: string(s.info.ID), Detail: string(to),
+		})
+	}
 	s.mu.Unlock()
 	return sc, nil
 }
@@ -300,6 +340,12 @@ func (s *Socket) dropConn(to simnet.NodeID, class simnet.Class, sc *sendConn) {
 	s.mu.Lock()
 	if s.conns[key] == sc {
 		delete(s.conns, key)
+		s.deadConns++
+		s.redialPending[key] = true
+		s.journal.Emit(obs.Event{
+			At: time.Now().UnixNano(), Kind: "conn.dead",
+			Node: string(s.info.ID), Detail: string(to),
+		})
 	}
 	s.mu.Unlock()
 	sc.c.Close()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"mobistreams/internal/obs"
 	"mobistreams/internal/simnet"
 )
 
@@ -155,6 +156,8 @@ func TestSocketUnknownPeer(t *testing.T) {
 // its peer; Tell retries, redials the restarted listener and delivers.
 func TestSocketRedialAfterPeerRestart(t *testing.T) {
 	a, _ := newSock(t, "a")
+	j := obs.NewJournal(0)
+	a.SetJournal(j)
 	b1, b1c := newSock(t, "b")
 	a.AddPeer("b", b1.Info().Addr)
 	if err := a.Tell("b", simnet.ClassData, []byte("one")); err != nil {
@@ -187,6 +190,28 @@ func TestSocketRedialAfterPeerRestart(t *testing.T) {
 	got := b2c.wait(t, 1, 5*time.Second)
 	if string(got[0].frame) != "two" {
 		t.Fatalf("frame after restart: %q", got[0].frame)
+	}
+	st := a.Stats()
+	if st.DeadConns < 1 {
+		t.Fatalf("DeadConns = %d, want >= 1", st.DeadConns)
+	}
+	if st.Redials < 1 {
+		t.Fatalf("Redials = %d, want >= 1", st.Redials)
+	}
+	if bst := b2.Stats(); bst.DeadConns != 0 || bst.Redials != 0 {
+		t.Fatalf("receiver stats should be zero, got %+v", bst)
+	}
+	var dead, redial bool
+	for _, ev := range j.Events() {
+		switch ev.Kind {
+		case "conn.dead":
+			dead = true
+		case "conn.redial":
+			redial = true
+		}
+	}
+	if !dead || !redial {
+		t.Fatalf("journal missing conn.dead/conn.redial: %+v", j.Events())
 	}
 }
 

@@ -61,8 +61,12 @@ type Assign struct {
 	Seed       int64
 	Tuples     int
 	TokenEvery int
-	Stages     []AssignStage
-	Peers      []AssignPeer
+	// SampleEvery enables tuple tracing on the workers: every n-th
+	// source tuple is traced (0 = off). Carried in the assignment so
+	// every process in the region samples the same tuples.
+	SampleEvery int
+	Stages      []AssignStage
+	Peers       []AssignPeer
 }
 
 // AssignStage places one pipeline stage: the slot name, the operator the
@@ -226,7 +230,7 @@ func DecodeHello(frame []byte) (Hello, error) {
 
 // SizeAssign reports the exact frame size AppendAssign will produce.
 func SizeAssign(a *Assign) int {
-	total := 1 + sizeString(string(a.Lead)) + 8 + 8 + 8 + 4 + 4
+	total := 1 + sizeString(string(a.Lead)) + 8 + 8 + 8 + 8 + 4 + 4
 	for i := range a.Stages {
 		s := &a.Stages[i]
 		total += sizeString(s.Slot) + sizeString(s.Op) + sizeString(string(s.Host))
@@ -245,6 +249,7 @@ func AppendAssign(dst []byte, a *Assign) []byte {
 	dst = appendI64(dst, a.Seed)
 	dst = appendI64(dst, int64(a.Tuples))
 	dst = appendI64(dst, int64(a.TokenEvery))
+	dst = appendI64(dst, int64(a.SampleEvery))
 	dst = appendU32(dst, uint32(len(a.Stages)))
 	for i := range a.Stages {
 		s := &a.Stages[i]
@@ -270,6 +275,7 @@ func DecodeAssign(frame []byte) (Assign, error) {
 	a.Seed = r.i64()
 	a.Tuples = int(r.i64())
 	a.TokenEvery = int(r.i64())
+	a.SampleEvery = int(r.i64())
 	if n := r.count(3 * 4); r.err == nil && n > 0 {
 		a.Stages = make([]AssignStage, 0, n)
 		for i := 0; i < n && r.err == nil; i++ {

@@ -8,13 +8,18 @@ import (
 )
 
 // Stream is the wire form of a data-plane stream message: one tuple or
-// marker on a slot-to-slot edge.
+// marker on a slot-to-slot edge. TraceID/TraceSeq carry the sampled
+// tracing context across processes; both zero means untraced (the
+// overwhelmingly common case — the fields are fixed-width so the frame
+// layout stays deterministic either way).
 type Stream struct {
 	FromSlot string
 	FromOp   string
 	ToSlot   string
 	ToOp     string
 	EdgeSeq  uint64
+	TraceID  uint64
+	TraceSeq uint32
 	Item     tuple.Item
 }
 
@@ -227,7 +232,7 @@ func SizeStream(m *Stream) (int, error) {
 		return 0, err
 	}
 	return 1 + sizeString(m.FromSlot) + sizeString(m.FromOp) +
-		sizeString(m.ToSlot) + sizeString(m.ToOp) + 8 + is, nil
+		sizeString(m.ToSlot) + sizeString(m.ToOp) + 8 + 8 + 4 + is, nil
 }
 
 // AppendStream encodes a stream message frame onto dst.
@@ -242,7 +247,9 @@ func appendStreamBody(dst []byte, m *Stream) []byte {
 	dst = appendString(dst, m.FromOp)
 	dst = appendString(dst, m.ToSlot)
 	dst = appendString(dst, m.ToOp)
-	return appendU64(dst, m.EdgeSeq)
+	dst = appendU64(dst, m.EdgeSeq)
+	dst = appendU64(dst, m.TraceID)
+	return appendU32(dst, m.TraceSeq)
 }
 
 func appendItemChecked(dst []byte, it tuple.Item) ([]byte, error) {
@@ -268,14 +275,16 @@ func decodeStreamBody(r *reader) Stream {
 	m.ToSlot = r.str()
 	m.ToOp = r.str()
 	m.EdgeSeq = r.u64()
+	m.TraceID = r.u64()
+	m.TraceSeq = r.u32()
 	m.Item = decodeItem(r)
 	return m
 }
 
 // streamBodyMin is the minimum encoded size of one batched stream message
-// (four empty strings, the edge sequence, an item flag and a marker body);
-// batch decoders use it to bound hostile counts.
-const streamBodyMin = 4*4 + 8 + 1 + sizeMarker
+// (four empty strings, the edge sequence, the trace id+seq, an item flag
+// and a marker body); batch decoders use it to bound hostile counts.
+const streamBodyMin = 4*4 + 8 + 8 + 4 + 1 + sizeMarker
 
 // SizeBatch reports the exact frame size AppendBatch will produce.
 func SizeBatch(b *Batch) (int, error) {
@@ -287,7 +296,7 @@ func SizeBatch(b *Batch) (int, error) {
 		}
 		m := &b.Msgs[i]
 		total += sizeString(m.FromSlot) + sizeString(m.FromOp) +
-			sizeString(m.ToSlot) + sizeString(m.ToOp) + 8 + is
+			sizeString(m.ToSlot) + sizeString(m.ToOp) + 8 + 8 + 4 + is
 	}
 	return total, nil
 }

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"mobistreams/internal/obs"
+	"mobistreams/internal/simnet"
+)
+
+// SpanDump is a worker's recorded trace spans, shipped to the region
+// lead so it can reconstruct cross-process waterfalls.
+type SpanDump struct {
+	From  simnet.NodeID
+	Spans []obs.Span
+}
+
+// spanMin is the minimum encoded size of one span (trace id, span seq,
+// kind, three empty strings, timestamp); decoders use it to bound
+// hostile counts.
+const spanMin = 8 + 4 + 1 + 3*4 + 8
+
+// SizeSpans reports the exact frame size AppendSpans will produce.
+func SizeSpans(d *SpanDump) int {
+	total := 1 + sizeString(string(d.From)) + 4
+	for i := range d.Spans {
+		s := &d.Spans[i]
+		total += 8 + 4 + 1 + sizeString(s.Node) + sizeString(s.Slot) +
+			sizeString(s.Op) + 8
+	}
+	return total
+}
+
+// AppendSpans encodes a span dump frame onto dst.
+func AppendSpans(dst []byte, d *SpanDump) []byte {
+	dst = appendU8(dst, byte(KindSpans))
+	dst = appendString(dst, string(d.From))
+	dst = appendU32(dst, uint32(len(d.Spans)))
+	for i := range d.Spans {
+		s := &d.Spans[i]
+		dst = appendU64(dst, s.Trace)
+		dst = appendU32(dst, s.Seq)
+		dst = appendU8(dst, byte(s.Kind))
+		dst = appendString(dst, s.Node)
+		dst = appendString(dst, s.Slot)
+		dst = appendString(dst, s.Op)
+		dst = appendI64(dst, s.At)
+	}
+	return dst
+}
+
+// DecodeSpans decodes a span dump frame.
+func DecodeSpans(frame []byte) (SpanDump, error) {
+	r := reader{b: frame}
+	r.kind(KindSpans)
+	var d SpanDump
+	d.From = simnet.NodeID(r.str())
+	if n := r.count(spanMin); r.err == nil && n > 0 {
+		d.Spans = make([]obs.Span, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			d.Spans = append(d.Spans, obs.Span{
+				Trace: r.u64(),
+				Seq:   r.u32(),
+				Kind:  obs.SpanKind(r.u8()),
+				Node:  r.str(),
+				Slot:  r.str(),
+				Op:    r.str(),
+				At:    r.i64(),
+			})
+		}
+	}
+	return d, r.done()
+}

@@ -235,6 +235,8 @@ func DecodeAny(frame []byte) (interface{}, error) {
 		return DecodeAssign(frame)
 	case KindSinkOut:
 		return DecodeSinkOut(frame)
+	case KindSpans:
+		return DecodeSpans(frame)
 	default:
 		return nil, ErrMalformed
 	}

@@ -64,13 +64,16 @@ const (
 	KindAssign
 	// KindSinkOut is one sink output tuple forwarded to the region lead.
 	KindSinkOut
+	// KindSpans is a worker's batch of recorded trace spans, shipped to
+	// the region lead when the run winds down.
+	KindSpans
 
 	numKinds
 )
 
 var kindNames = [...]string{"invalid", "stream", "batch", "preserve",
 	"command", "report", "runtime", "blob", "ckpt-chunk", "truncate",
-	"resend", "fetch-blob", "hello", "assign", "sink-out"}
+	"resend", "fetch-blob", "hello", "assign", "sink-out", "spans"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/tuple"
 )
 
@@ -22,7 +23,8 @@ func sampleTuple() *tuple.Tuple {
 func sampleStream() *Stream {
 	return &Stream{
 		FromSlot: "s1", FromOp: "src", ToSlot: "s2", ToOp: "win",
-		EdgeSeq: 7, Item: tuple.DataItem(sampleTuple()),
+		EdgeSeq: 7, TraceID: 43, TraceSeq: 2,
+		Item: tuple.DataItem(sampleTuple()),
 	}
 }
 
@@ -82,7 +84,7 @@ func frameCases(t *testing.T) []frameCase {
 	fetch := &FetchBlob{Slot: "s2", Version: 5}
 	hello := &Hello{ID: "w1", Addr: "127.0.0.1:7402"}
 	assign := &Assign{
-		Lead: "lead", Seed: -3, Tuples: 500, TokenEvery: 100,
+		Lead: "lead", Seed: -3, Tuples: 500, TokenEvery: 100, SampleEvery: 10,
 		Stages: []AssignStage{
 			{Slot: "s1", Op: "pass", Host: "lead"},
 			{Slot: "s2", Op: "window", Host: "w1"},
@@ -90,6 +92,13 @@ func frameCases(t *testing.T) []frameCase {
 		Peers: []AssignPeer{{ID: "w1", Addr: "127.0.0.1:7402"}},
 	}
 	sink := sampleTuple()
+	spans := &SpanDump{
+		From: "w1",
+		Spans: []obs.Span{
+			{Trace: 5, Seq: 0, Kind: obs.SpanIngest, Node: "w1", Slot: "s0", Op: "src", At: 1000},
+			{Trace: 5, Seq: 1, Kind: obs.SpanOp, Node: "w1", Slot: "s0", Op: "pass", At: 1500},
+		},
+	}
 
 	wrap := func(f func(dst []byte) []byte) func([]byte) ([]byte, error) {
 		return func(dst []byte) ([]byte, error) { return f(dst), nil }
@@ -140,6 +149,9 @@ func frameCases(t *testing.T) []frameCase {
 		{"sink-out", func() (int, error) { return SizeSinkOut(sink) },
 			func(d []byte) ([]byte, error) { return AppendSinkOut(d, sink) },
 			func(f []byte) (interface{}, error) { return DecodeSinkOut(f) }},
+		{"spans", wrapSize(SizeSpans(spans)),
+			wrap(func(d []byte) []byte { return AppendSpans(d, spans) }),
+			func(f []byte) (interface{}, error) { return DecodeSpans(f) }},
 	}
 }
 

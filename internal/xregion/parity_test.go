@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mobistreams/internal/checkpoint"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/wire"
@@ -126,6 +127,107 @@ func assertSameResult(t *testing.T, a, b *Result, an, bn string) {
 		}
 		if !bytes.Equal(a.Blobs[k], bf) {
 			t.Fatalf("blob %s differs between %s and %s (%d vs %d bytes)", k, an, bn, len(a.Blobs[k]), len(bf))
+		}
+	}
+}
+
+// runTCPSpec runs the socket backend with an explicit spec and worker
+// count (runTCP's generalisation for the tracing tests).
+func runTCPSpec(t *testing.T, spec Spec, nWorkers int) *Result {
+	t.Helper()
+	s, err := ListenLead("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	leadAddr := s.Info().Addr
+
+	workerCh := make(chan error, nWorkers)
+	for i := 1; i <= nWorkers; i++ {
+		go func(id simnet.NodeID) {
+			workerCh <- RunWorkerTCP(id, "127.0.0.1:0", leadAddr)
+		}(simnet.NodeID(fmt.Sprintf("w%d", i)))
+	}
+
+	res, err := RunLeadOn(s, spec, nWorkers, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nWorkers; i++ {
+		if werr := <-workerCh; werr != nil {
+			t.Fatalf("worker: %v", werr)
+		}
+	}
+	return res
+}
+
+// traceStructures flattens a result's waterfalls into "id: structure"
+// lines — the timing-free view both backends must agree on.
+func traceStructures(res *Result) []string {
+	out := make([]string, 0, len(res.Traces))
+	for _, w := range res.Traces {
+		out = append(out, fmt.Sprintf("%d: %s", w.Trace, w.Structure()))
+	}
+	return out
+}
+
+// TestTraceParitySimVsSocket: a fixed-seed run with sampled tracing yields
+// the identical span structure — same traces, same hop kinds in the same
+// order at the same slots — on the simulated backend and on a
+// three-process socket region.
+func TestTraceParitySimVsSocket(t *testing.T) {
+	spec := testSpec()
+	spec.SampleEvery = 10
+	sim, err := RunSim(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := runTCPSpec(t, spec, 3)
+
+	if len(sim.Traces) == 0 {
+		t.Fatal("sim run recorded no traces")
+	}
+	a, b := traceStructures(sim), traceStructures(tcp)
+	if len(a) != len(b) {
+		t.Fatalf("trace counts differ: sim=%d tcp=%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace structure %d differs:\n  sim: %s\n  tcp: %s", i, a[i], b[i])
+		}
+	}
+	// Every traced tuple that survived to the sink must show the full
+	// causal chain, starting at ingest.
+	for _, w := range sim.Traces {
+		if w.Hops[0].Kind != obs.SpanIngest {
+			t.Fatalf("trace %d does not start at ingest: %s", w.Trace, w.Structure())
+		}
+	}
+}
+
+// TestTraceSimDeterministic: two traced sim runs agree exactly (the
+// precondition for the cross-backend comparison above to be meaningful).
+func TestTraceSimDeterministic(t *testing.T) {
+	spec := testSpec()
+	spec.SampleEvery = 5
+	a, err := RunSim(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := traceStructures(a), traceStructures(b)
+	if len(sa) == 0 {
+		t.Fatal("no traces recorded")
+	}
+	if len(sa) != len(sb) {
+		t.Fatalf("trace counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("structure %d differs:\n  a: %s\n  b: %s", i, sa[i], sb[i])
 		}
 	}
 }

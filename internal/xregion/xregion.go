@@ -26,6 +26,7 @@ import (
 
 	"mobistreams/internal/checkpoint"
 	"mobistreams/internal/clock"
+	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/simnet"
 	"mobistreams/internal/transport"
@@ -42,6 +43,10 @@ type Spec struct {
 	Tuples int
 	// TokenEvery inserts a checkpoint token after every that many tuples.
 	TokenEvery int
+	// SampleEvery traces every that-many-th source tuple end to end
+	// (0 disables tracing). Trace identity derives from the tuple
+	// sequence, so the span structure is backend-independent.
+	SampleEvery int
 }
 
 // Versions is the number of checkpoint versions the spec produces.
@@ -57,6 +62,13 @@ type Result struct {
 	// SinkDigest is the hex SHA-256 over the sink output frames in
 	// arrival order — equal digests mean equal outputs in equal order.
 	SinkDigest string
+	// Traces holds the reconstructed per-tuple waterfalls when the spec
+	// sampled tracing, merged from every worker's span dump.
+	Traces []obs.Waterfall
+	// Redials/DeadConns are the lead transport's connection-health
+	// counters (always 0 on the simulated backend).
+	Redials   int64
+	DeadConns int64
 }
 
 // The xregion control protocol rides on wire.Command / wire.Report with
@@ -128,7 +140,12 @@ type Worker struct {
 	ops     map[string]string        // slot → operator ID (for Stream.ToOp)
 	hosts   map[string]simnet.NodeID // slot → hosting node
 	pending []event                  // frames that arrived before the assignment
+	tracer  *obs.Tracer              // sampled causal tracing (assignment-configured)
 }
+
+// now is the span timestamp source: wall-clock nanoseconds. Cross-backend
+// parity compares span structure only, never timestamps.
+func (w *Worker) now() int64 { return time.Now().UnixNano() }
 
 // NewWorker attaches a worker loop to a transport.
 func NewWorker(tr transport.Transport) *Worker {
@@ -193,7 +210,13 @@ func (w *Worker) handle(ev event) (done bool, err error) {
 		if err != nil {
 			return false, fmt.Errorf("xregion: decode command: %w", err)
 		}
-		return c.Op == cmdPause, nil
+		if c.Op == cmdPause {
+			if err := w.sendSpans(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		return false, nil
 	case wire.KindStream:
 		if w.stages == nil {
 			w.pending = append(w.pending, ev)
@@ -213,6 +236,8 @@ func (w *Worker) handle(ev event) (done bool, err error) {
 // topology and address book from the assignment.
 func (w *Worker) setup(a *wire.Assign) error {
 	w.lead = a.Lead
+	w.tracer = obs.NewTracer(16384)
+	w.tracer.SetSampleEvery(a.SampleEvery)
 	w.stages = make(map[string]*stage)
 	w.next = make(map[string]string)
 	w.ops = make(map[string]string)
@@ -261,13 +286,19 @@ func (w *Worker) runSource(a *wire.Assign) error {
 			Size:    100 + rng.Intn(900),
 			Value:   rng.Float64() * 100,
 		}
-		if err := w.process(st, "", t); err != nil {
+		// Seq starts at 1; sampling keys on seq-1 so sample-every-1
+		// traces the first tuple, matching the region's convention.
+		tc, traced := w.tracer.Sample(t.Seq - 1)
+		if traced {
+			w.tracer.Record(&tc, obs.SpanIngest, string(w.tr.Info().ID), st.slot, "src", w.now())
+		}
+		if err := w.process(st, "", t, tc); err != nil {
 			return err
 		}
 		if a.TokenEvery > 0 && i%a.TokenEvery == 0 {
 			version++
 			marker := tuple.Marker{Kind: tuple.MarkerToken, Version: version}
-			if err := w.emit(st, tuple.MarkerItem(marker)); err != nil {
+			if err := w.emit(st, tuple.MarkerItem(marker), nil); err != nil {
 				return err
 			}
 			if err := w.checkpoint(st, version); err != nil {
@@ -276,7 +307,7 @@ func (w *Worker) runSource(a *wire.Assign) error {
 		}
 	}
 	end := tuple.Marker{Kind: tuple.MarkerReplayEnd}
-	return w.emit(st, tuple.MarkerItem(end))
+	return w.emit(st, tuple.MarkerItem(end), nil)
 }
 
 func (w *Worker) handleStream(m *wire.Stream) error {
@@ -289,14 +320,14 @@ func (w *Worker) handleStream(m *wire.Stream) error {
 		switch mk.Kind {
 		case tuple.MarkerToken:
 			if w.next[st.slot] != "" {
-				if err := w.emit(st, m.Item); err != nil {
+				if err := w.emit(st, m.Item, nil); err != nil {
 					return err
 				}
 			}
 			return w.checkpoint(st, mk.Version)
 		case tuple.MarkerReplayEnd:
 			if w.next[st.slot] != "" {
-				return w.emit(st, m.Item)
+				return w.emit(st, m.Item, nil)
 			}
 			// The workload has fully drained through the sink.
 			rp := wire.Report{Type: repSinkDone, Phone: w.tr.Info().ID, Slot: st.slot}
@@ -304,13 +335,20 @@ func (w *Worker) handleStream(m *wire.Stream) error {
 		}
 		return nil
 	}
-	return w.process(st, m.FromOp, m.Item.Tuple)
+	tc := obs.SpanCtx{ID: m.TraceID, Seq: m.TraceSeq}
+	if tc.ID != 0 {
+		w.tracer.Record(&tc, obs.SpanRecv, string(w.tr.Info().ID), m.ToSlot, m.ToOp, w.now())
+	}
+	return w.process(st, m.FromOp, m.Item.Tuple, tc)
 }
 
 // process runs one tuple through a stage operator and routes the
 // emissions: downstream as stream frames, or to the lead as sink outputs
 // when this is the last stage.
-func (w *Worker) process(st *stage, from string, t *tuple.Tuple) error {
+func (w *Worker) process(st *stage, from string, t *tuple.Tuple, tc obs.SpanCtx) error {
+	if tc.ID != 0 {
+		w.tracer.Record(&tc, obs.SpanOp, string(w.tr.Info().ID), st.slot, st.op.ID(), w.now())
+	}
 	outs, err := operator.Run(st.op, from, t)
 	if err != nil {
 		return fmt.Errorf("xregion: %s process: %w", st.slot, err)
@@ -318,6 +356,9 @@ func (w *Worker) process(st *stage, from string, t *tuple.Tuple) error {
 	sink := w.next[st.slot] == ""
 	for i := range outs {
 		if sink {
+			if tc.ID != 0 {
+				w.tracer.Record(&tc, obs.SpanSink, string(w.tr.Info().ID), st.slot, st.op.ID(), w.now())
+			}
 			sz, err := wire.SizeSinkOut(outs[i].T)
 			if err != nil {
 				return err
@@ -332,23 +373,34 @@ func (w *Worker) process(st *stage, from string, t *tuple.Tuple) error {
 			}
 			continue
 		}
-		if err := w.emit(st, tuple.DataItem(outs[i].T)); err != nil {
+		if err := w.emit(st, tuple.DataItem(outs[i].T), &tc); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// emit sends one item on the stage's downstream edge.
-func (w *Worker) emit(st *stage, item tuple.Item) error {
+// emit sends one item on the stage's downstream edge. A non-nil traced tc
+// travels on the frame: the emit and send spans are recorded here (bumping
+// the caller's context), the receive span on the downstream host.
+func (w *Worker) emit(st *stage, item tuple.Item, tc *obs.SpanCtx) error {
 	next := w.next[st.slot]
 	st.outSeq++
+	var trace obs.SpanCtx
+	if tc != nil && tc.ID != 0 {
+		id := string(w.tr.Info().ID)
+		w.tracer.Record(tc, obs.SpanEmit, id, st.slot, st.op.ID(), w.now())
+		w.tracer.Record(tc, obs.SpanSend, id, st.slot, "", w.now())
+		trace = *tc
+	}
 	m := wire.Stream{
 		FromSlot: st.slot,
 		FromOp:   st.op.ID(),
 		ToSlot:   next,
 		ToOp:     w.ops[next],
 		EdgeSeq:  st.outSeq,
+		TraceID:  trace.ID,
+		TraceSeq: trace.Seq,
 		Item:     item,
 	}
 	sz, err := wire.SizeStream(&m)
@@ -385,6 +437,17 @@ func (w *Worker) checkpoint(st *stage, version uint64) error {
 	return w.tr.Tell(w.lead, simnet.ClassCheckpoint, frame)
 }
 
+// sendSpans ships this worker's recorded spans to the lead so it can
+// stitch cross-process waterfalls. Skipped when the run never sampled.
+func (w *Worker) sendSpans() error {
+	if w.tracer == nil || w.tracer.SampleEvery() <= 0 {
+		return nil
+	}
+	d := wire.SpanDump{From: w.tr.Info().ID, Spans: w.tracer.Spans()}
+	frame := wire.AppendSpans(make([]byte, 0, wire.SizeSpans(&d)), &d)
+	return w.tr.Tell(w.lead, simnet.ClassControl, frame)
+}
+
 // ---- lead ----------------------------------------------------------------
 
 // lead collects blobs and sink outputs until the run is complete.
@@ -398,6 +461,13 @@ type lead struct {
 	sinkN    int
 	sinkDone bool
 	done     chan struct{}
+
+	// Span dumps arrive after the pause command; spansDone closes when
+	// every worker has reported (expectDumps > 0 only when sampling).
+	spans       []obs.Span
+	dumps       int
+	expectDumps int
+	spansDone   chan struct{}
 }
 
 func (l *lead) complete() bool {
@@ -429,6 +499,17 @@ func (l *lead) handler(from simnet.NodeID, class simnet.Class, frame []byte) {
 			return
 		}
 		l.sinkDone = true
+	case wire.KindSpans:
+		d, err := wire.DecodeSpans(frame)
+		if err != nil {
+			return
+		}
+		l.spans = append(l.spans, d.Spans...)
+		l.dumps++
+		if l.expectDumps > 0 && l.dumps == l.expectDumps {
+			close(l.spansDone)
+		}
+		return
 	default:
 		return
 	}
@@ -451,16 +532,20 @@ func runLead(tr transport.Transport, spec Spec, workers []simnet.NodeID, peers [
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("xregion: no workers")
 	}
-	l := &lead{tr: tr, spec: spec, blobs: make(map[string][]byte), done: make(chan struct{})}
+	l := &lead{tr: tr, spec: spec, blobs: make(map[string][]byte), done: make(chan struct{}), spansDone: make(chan struct{})}
+	if spec.SampleEvery > 0 {
+		l.expectDumps = len(workers)
+	}
 	tr.Receive(l.handler)
 
 	a := wire.Assign{
-		Lead:       tr.Info().ID,
-		Seed:       spec.Seed,
-		Tuples:     spec.Tuples,
-		TokenEvery: spec.TokenEvery,
-		Stages:     make([]wire.AssignStage, len(pipeline)),
-		Peers:      peers,
+		Lead:        tr.Info().ID,
+		Seed:        spec.Seed,
+		Tuples:      spec.Tuples,
+		TokenEvery:  spec.TokenEvery,
+		SampleEvery: spec.SampleEvery,
+		Stages:      make([]wire.AssignStage, len(pipeline)),
+		Peers:       peers,
 	}
 	for i, s := range pipeline {
 		s.Host = workers[i%len(workers)]
@@ -492,13 +577,32 @@ func runLead(tr transport.Transport, spec Spec, workers []simnet.NodeID, peers [
 		}
 	}
 
+	// Workers dump their spans on pause; wait for every worker before
+	// stitching waterfalls, or the trace set would depend on scheduling.
+	if l.expectDumps > 0 {
+		select {
+		case <-l.spansDone:
+		case <-time.After(timeout):
+			l.mu.Lock()
+			got := l.dumps
+			l.mu.Unlock()
+			return nil, fmt.Errorf("xregion: timed out waiting for span dumps: %d/%d", got, l.expectDumps)
+		}
+	}
+
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return &Result{
+	res := &Result{
 		Blobs:      l.blobs,
 		SinkOuts:   l.sinkN,
 		SinkDigest: hex.EncodeToString(l.sinkHash),
-	}, nil
+		Traces:     obs.Waterfalls(l.spans),
+	}
+	if s, ok := tr.(*transport.Socket); ok {
+		st := s.Stats()
+		res.Redials, res.DeadConns = st.Redials, st.DeadConns
+	}
+	return res, nil
 }
 
 // ---- backends ------------------------------------------------------------
