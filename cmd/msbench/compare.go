@@ -20,6 +20,7 @@ import (
 //	go run ./cmd/msbench -exp emit -emitout BENCH_emit.json
 //	go run ./cmd/msbench -exp wire -wireout BENCH_wire.json
 //	go run ./cmd/msbench -exp obs -obsout BENCH_obs.json
+//	go run ./cmd/msbench -exp elastic -seed 5 -elasticout BENCH_elastic.json
 //	then copy the summary numbers below from those files.
 type Baseline struct {
 	Comment string `json:"comment"`
@@ -50,6 +51,12 @@ type Baseline struct {
 	// obs registry attached and sampling off — the zero-allocs invariant
 	// with tracing compiled in. 0 by design, machine-independent, pinned.
 	TraceAllocsPerOp float64 `json:"trace_allocs_per_op"`
+	// ElasticP99HotspotMs is the elastic-on run's worst hotspot-phase p99
+	// (ms) from the elastic keyed-parallelism experiment: the number the
+	// split/merge policy exists to hold down. The static run's degradation
+	// is the experiment's headline but is deliberately unbounded here — it
+	// measures the problem, not the solution.
+	ElasticP99HotspotMs float64 `json:"elastic_p99_hotspot_ms"`
 }
 
 // regressionFactor is the gate's threshold: a metric more than 20% worse
@@ -77,9 +84,14 @@ const (
 	// traceGraceAllocs mirrors emitGraceAllocs for the sampling-off
 	// instrumented path: noise passes, a real per-tuple allocation fails.
 	traceGraceAllocs = 0.1
+	// elasticGraceMs absorbs scaled-clock jitter in the elastic run's
+	// hotspot p99: the tail is a handful of tuples queued behind a split's
+	// pause window, so shared-machine scheduling moves it tens of ms
+	// between runs even when the policy behaves identically.
+	elasticGraceMs = 100.0
 )
 
-func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath, obsPath string, w io.Writer) error {
+func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath, obsPath, elasticPath string, w io.Writer) error {
 	var base Baseline
 	if err := readJSON(baselinePath, &base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -107,6 +119,10 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	var obsRep bench.ObsReport
 	if err := readJSON(obsPath, &obsRep); err != nil {
 		return fmt.Errorf("obs results: %w", err)
+	}
+	var elasticRep bench.ElasticReport
+	if err := readJSON(elasticPath, &elasticRep); err != nil {
+		return fmt.Errorf("elastic results: %w", err)
 	}
 
 	var worstLoss int64
@@ -184,6 +200,20 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	fmt.Fprintf(w, "gate: traced-path allocs/op %.3f (baseline %.3f, limit %.3f)\n",
 		obsRep.TraceAllocsPerOp, base.TraceAllocsPerOp, traceLimit)
 
+	// Elastic-on hotspot p99, plus the run's exactly-once invariant: a
+	// duplicate output across a live split/merge is a protocol bug, gated
+	// at zero with no grace.
+	elasticP99, elasticDups := -1.0, int64(0)
+	for _, row := range elasticRep.Rows {
+		if row.Mode == "elastic" {
+			elasticP99 = row.P99HotMs
+			elasticDups = row.Duplicates
+		}
+	}
+	elasticLimit := base.ElasticP99HotspotMs*regressionFactor + elasticGraceMs
+	fmt.Fprintf(w, "gate: elastic hotspot p99 %.1f ms (baseline %.1f ms, limit %.1f ms)\n",
+		elasticP99, base.ElasticP99HotspotMs, elasticLimit)
+
 	var failures []string
 	if !emitSeen {
 		failures = append(failures, "emit results carry no context-contract row")
@@ -219,6 +249,14 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 		if obsRep.TraceAllocsPerOp > traceLimit {
 			failures = append(failures, fmt.Sprintf("traced-path allocs/op regressed: %.3f > %.3f", obsRep.TraceAllocsPerOp, traceLimit))
 		}
+	}
+	if elasticP99 <= 0 {
+		failures = append(failures, "elastic results carry no elastic-mode hotspot sample")
+	} else if elasticP99 > elasticLimit {
+		failures = append(failures, fmt.Sprintf("elastic hotspot p99 regressed: %.1f ms > %.1f ms", elasticP99, elasticLimit))
+	}
+	if elasticDups != 0 {
+		failures = append(failures, fmt.Sprintf("elastic run published %d duplicate outputs", elasticDups))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

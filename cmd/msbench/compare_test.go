@@ -19,9 +19,9 @@ func writeFile(t *testing.T, dir, name, content string) string {
 }
 
 // gateFixtures writes a full healthy result set matching the committed
-// baseline shape, returning the seven paths runCompare takes. Callers
+// baseline shape, returning the eight paths runCompare takes. Callers
 // overwrite individual files to construct failure cases.
-func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire, obs string) {
+func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire, obs, elastic string) {
 	t.Helper()
 	baseline = writeFile(t, dir, "baseline.json", `{
 		"max_scheduler_tuple_loss": 0,
@@ -30,7 +30,8 @@ func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit,
 		"emit_allocs_per_op": 0.0,
 		"wire_encode_allocs_per_op": 0.0,
 		"obs_overhead_pct": 5.0,
-		"trace_allocs_per_op": 0.0
+		"trace_allocs_per_op": 0.0,
+		"elastic_p99_hotspot_ms": 650.0
 	}`)
 	churn = writeFile(t, dir, "churn.json", `{"rows": [
 		{"mode": "scheduler", "tuples_lost": 0},
@@ -63,14 +64,18 @@ func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit,
 		"traced_allocs_per_op": 1.2,
 		"spans": 16384
 	}`)
+	elastic = writeFile(t, dir, "elastic.json", `{"rows": [
+		{"mode": "static", "p99_hotspot_ms": 4500.0, "degrade_factor": 13.0, "duplicates": 0},
+		{"mode": "elastic", "p99_hotspot_ms": 640.0, "degrade_factor": 1.5, "splits": 2, "duplicates": 0}
+	]}`)
 	return
 }
 
 func TestComparePasses(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out); err != nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err != nil {
 		t.Fatalf("healthy results failed the gate: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "no regressions") {
@@ -83,13 +88,13 @@ func TestComparePasses(t *testing.T) {
 // must fail the build, decode-side allocations must not.
 func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "encode_stream", "allocs_per_op": 1.0, "ns_per_op": 55, "frame_bytes": 80},
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
 	if err == nil {
 		t.Fatalf("1.0 wire-encode allocs/op passed the gate:\n%s", out.String())
 	}
@@ -102,12 +107,12 @@ func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 // silently pass.
 func TestCompareFailsOnMissingWireRows(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err == nil {
 		t.Fatalf("wire results without encode rows passed the gate:\n%s", out.String())
 	}
 }
@@ -116,12 +121,12 @@ func TestCompareFailsOnMissingWireRows(t *testing.T) {
 // wire pin.
 func TestCompareFailsOnEmitAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
 	writeFile(t, dir, "emit.json", `{"rows": [
 		{"mode": "context", "allocs_per_op": 1.0, "ns_per_op": 120}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
 	if err == nil {
 		t.Fatalf("1.0 emit allocs/op passed the gate:\n%s", out.String())
 	}
@@ -135,7 +140,7 @@ func TestCompareFailsOnEmitAlloc(t *testing.T) {
 // the smallest possible regression — must fail the build.
 func TestCompareFailsOnTraceAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{
 		"iters": 200000,
 		"off_ns_per_op": 100.0,
@@ -144,7 +149,7 @@ func TestCompareFailsOnTraceAlloc(t *testing.T) {
 		"trace_allocs_per_op": 1.0
 	}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
 	if err == nil {
 		t.Fatalf("1.0 traced-path allocs/op passed the gate:\n%s", out.String())
 	}
@@ -157,7 +162,7 @@ func TestCompareFailsOnTraceAlloc(t *testing.T) {
 // baseline plus grace must fail, attributed to the obs gate.
 func TestCompareFailsOnObsOverhead(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{
 		"iters": 200000,
 		"off_ns_per_op": 100.0,
@@ -166,7 +171,7 @@ func TestCompareFailsOnObsOverhead(t *testing.T) {
 		"trace_allocs_per_op": 0.0
 	}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
 	if err == nil {
 		t.Fatalf("80%% obs overhead passed the gate:\n%s", out.String())
 	}
@@ -179,10 +184,64 @@ func TestCompareFailsOnObsOverhead(t *testing.T) {
 // silently pass the pinned-allocation gate.
 func TestCompareFailsOnEmptyObsResults(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err == nil {
 		t.Fatalf("empty obs results passed the gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnElasticP99Regression is the elastic gate's verified
+// fail path: an elastic-on hotspot p99 past baseline×1.2 plus grace means
+// the split/merge policy stopped absorbing the hotspot.
+func TestCompareFailsOnElasticP99Regression(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	writeFile(t, dir, "elastic.json", `{"rows": [
+		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0},
+		{"mode": "elastic", "p99_hotspot_ms": 3200.0, "splits": 0, "duplicates": 0}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	if err == nil {
+		t.Fatalf("3200 ms elastic hotspot p99 passed the gate against a 650 ms baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "elastic hotspot p99 regressed") {
+		t.Fatalf("failure not attributed to the elastic gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnElasticDuplicates: exactly-once across live splits is
+// gated at zero with no grace — one duplicate output fails the build even
+// when the latency numbers are healthy.
+func TestCompareFailsOnElasticDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	writeFile(t, dir, "elastic.json", `{"rows": [
+		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0},
+		{"mode": "elastic", "p99_hotspot_ms": 640.0, "splits": 2, "duplicates": 1}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	if err == nil {
+		t.Fatalf("a duplicate output passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "duplicate outputs") {
+		t.Fatalf("failure not attributed to the exactly-once gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnMissingElasticRow: results without an elastic-mode row
+// must not silently pass.
+func TestCompareFailsOnMissingElasticRow(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	writeFile(t, dir, "elastic.json", `{"rows": [
+		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0}
+	]}`)
+	var out bytes.Buffer
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err == nil {
+		t.Fatalf("elastic results without an elastic-mode row passed the gate:\n%s", out.String())
 	}
 }

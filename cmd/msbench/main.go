@@ -16,18 +16,20 @@
 //	msbench -exp scale          # region size × WiFi channels throughput sweep
 //	msbench -exp emit           # emit-context contract vs legacy []Out adapter
 //	msbench -exp wire           # wire codec encode/decode cost
+//	msbench -exp elastic        # static vs elastic keyed parallelism, moving hotspot
 //
-// -churnout / -ckptout / -scaleout / -emitout / -wireout write the churn,
-// checkpoint, scale, emit and wire comparisons as machine-readable JSON
-// (BENCH_scheduler.json / BENCH_checkpoint.json / BENCH_scale.json /
-// BENCH_emit.json / BENCH_wire.json in CI) alongside the printed tables.
+// -churnout / -ckptout / -scaleout / -emitout / -wireout / -elasticout
+// write the churn, checkpoint, scale, emit, wire and elastic comparisons as
+// machine-readable JSON (BENCH_scheduler.json / BENCH_checkpoint.json /
+// BENCH_scale.json / BENCH_emit.json / BENCH_wire.json /
+// BENCH_elastic.json in CI) alongside the printed tables.
 //
 // -compare is the CI benchmark-regression gate: it reads the committed
 // baseline (BENCH_baseline.json) plus the fresh churn/checkpoint/scale/
-// emit/wire JSON and exits non-zero when tuple loss, checkpoint pause, or
-// largest-region throughput regressed more than 20% against the baseline,
-// or when the emit-context path or the wire encode path allocates per
-// operation (both pinned at 0).
+// emit/wire/elastic JSON and exits non-zero when tuple loss, checkpoint
+// pause, largest-region throughput, or the elastic run's hotspot p99
+// regressed more than 20% against the baseline, or when the emit-context
+// path or the wire encode path allocates per operation (both pinned at 0).
 //
 // -cpuprofile / -memprofile write pprof profiles so hot-path regressions
 // caught by the gate are diagnosable straight from CI artifacts.
@@ -47,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|obs|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|obs|elastic|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
@@ -58,6 +60,7 @@ func main() {
 	wireIters := flag.Int("wireiters", 200000, "frames per wire-codec measurement")
 	obsOut := flag.String("obsout", "", "write observability-overhead JSON to this path")
 	obsIters := flag.Int("obsiters", 200000, "tuples per observability-overhead measurement")
+	elasticOut := flag.String("elasticout", "", "write elastic-parallelism comparison JSON to this path")
 	scaleMax := flag.Int("scalemax", 64, "largest region size for the scale sweep (8..128)")
 	scaleChannels := flag.String("scalechannels", "1,4", "comma-separated WiFi channel counts for tuned scale rows")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
@@ -71,6 +74,7 @@ func main() {
 	emitJSON := flag.String("emitjson", "BENCH_emit.json", "fresh emit-path results for -compare")
 	wireJSON := flag.String("wirejson", "BENCH_wire.json", "fresh wire-codec results for -compare")
 	obsJSON := flag.String("obsjson", "BENCH_obs.json", "fresh observability-overhead results for -compare")
+	elasticJSON := flag.String("elasticjson", "BENCH_elastic.json", "fresh elastic-parallelism results for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
@@ -104,7 +108,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, *obsJSON, os.Stdout); err != nil {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, *obsJSON, *elasticJSON, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
 			os.Exit(1)
 		}
@@ -287,6 +291,31 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *obsOut)
+			}
+			return nil
+		})
+	}
+	if want("elastic") {
+		run("elastic", func() error {
+			// The elastic scenario carries its own speedup default tuned to
+			// the service-time model (see ElasticScenario.Speedup); only the
+			// seed is taken from the shared flags.
+			elasticBase := bench.ElasticScenario{Seed: *seed}
+			rows, err := bench.ElasticComparison(elasticBase)
+			if err != nil {
+				return err
+			}
+			bench.WriteElasticTable(os.Stdout, rows)
+			if *elasticOut != "" {
+				f, err := os.Create(*elasticOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteElasticJSON(f, elasticBase, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *elasticOut)
 			}
 			return nil
 		})

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"fmt"
 	"testing"
 	"time"
 )
@@ -15,28 +16,6 @@ func TestCkptIncrementalCutsPause(t *testing.T) {
 		t.Skip("multi-second simulation")
 	}
 	base := CkptScenario{Seed: 5, Speedup: 150}
-	rows, err := CkptComparison(base, []int{1 << 20, 4 << 20})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, o := range rows {
-		if o.Checkpoints == 0 {
-			t.Fatalf("%s @ %d bytes: no checkpoints observed", o.Mode, o.StateBytes)
-		}
-		switch o.Mode {
-		case "full":
-			if o.DeltaBlobs != 0 {
-				t.Fatalf("full-only run produced %d delta blobs", o.DeltaBlobs)
-			}
-		case "incremental":
-			if o.DeltaBlobs == 0 {
-				t.Fatalf("incremental run @ %d bytes produced no delta blobs", o.StateBytes)
-			}
-			if o.DeltaRatio >= 0.8 {
-				t.Fatalf("incremental run @ %d bytes shipped %.2f of full state", o.StateBytes, o.DeltaRatio)
-			}
-		}
-	}
 	// Race instrumentation leaks wall time into the scaled clock's pause
 	// measurements, inflating the (tiny) incremental pause; keep the hard
 	// 5x acceptance ratio for uninstrumented builds only.
@@ -44,9 +23,41 @@ func TestCkptIncrementalCutsPause(t *testing.T) {
 	if raceEnabled {
 		want = 1.5
 	}
-	if cut := CkptPauseCut(rows); cut < want {
-		t.Fatalf("pause cut at largest state = %.1fx, want >= %.1fx", cut, want)
+	// The runs pace simulated time against the wall clock, so a host
+	// scheduling stall can starve a run before its checkpoint cadence
+	// produces any blobs. Retry before declaring a regression; shipping
+	// delta blobs from a full-only run is a protocol bug and stays hard.
+	const attempts = 3
+	var lastErr string
+	for i := 0; i < attempts; i++ {
+		rows, err := CkptComparison(base, []int{1 << 20, 4 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastErr = ""
+		for _, o := range rows {
+			if o.Mode == "full" && o.DeltaBlobs != 0 {
+				t.Fatalf("full-only run produced %d delta blobs", o.DeltaBlobs)
+			}
+			switch {
+			case o.Checkpoints == 0:
+				lastErr = fmt.Sprintf("%s @ %d bytes: no checkpoints observed", o.Mode, o.StateBytes)
+			case o.Mode == "incremental" && o.DeltaBlobs == 0:
+				lastErr = fmt.Sprintf("incremental run @ %d bytes produced no delta blobs", o.StateBytes)
+			case o.Mode == "incremental" && o.DeltaRatio >= 0.8:
+				lastErr = fmt.Sprintf("incremental run @ %d bytes shipped %.2f of full state", o.StateBytes, o.DeltaRatio)
+			}
+		}
+		if lastErr != "" {
+			continue
+		}
+		if cut := CkptPauseCut(rows); cut < want {
+			lastErr = fmt.Sprintf("pause cut at largest state = %.1fx, want >= %.1fx", cut, want)
+			continue
+		}
+		return
 	}
+	t.Fatal(lastErr)
 }
 
 func TestCkptJSONRoundTrips(t *testing.T) {

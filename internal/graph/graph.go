@@ -38,12 +38,35 @@ type Graph struct {
 	opsOnSlot map[string][]string // slot -> operators, declaration order
 	slotUp    map[string][]string // slot -> distinct feeding slots, sorted
 	slotDown  map[string][]string // slot -> distinct fed slots, sorted
+
+	groups  []KeyedGroupSpec    // keyed parallel groups, declaration order
+	groupOf map[string]groupRef // instance op ID -> group membership
+}
+
+// KeyedGroupSpec declares one logical operator expanded into keyed
+// parallel instances: instance i is operator Instances[i] on slot
+// Slots[i]. Parallelism is how many instances serve traffic initially;
+// the rest are placed but dormant until a live split hands them a key
+// range. The runtime partition table itself lives in internal/keyed —
+// the graph only records the group's shape.
+type KeyedGroupSpec struct {
+	Logical     string
+	Instances   []string
+	Slots       []string
+	Parallelism int
+}
+
+// groupRef locates an operator inside a keyed group.
+type groupRef struct {
+	group int // index into Graph.groups
+	inst  int // instance index
 }
 
 // Builder accumulates operators and edges; Build validates them.
 type Builder struct {
-	specs []OperatorSpec
-	edges []Edge
+	specs  []OperatorSpec
+	edges  []Edge
+	groups []KeyedGroupSpec
 }
 
 // AddOperator declares an operator on a slot.
@@ -64,6 +87,56 @@ func (b *Builder) Chain(ids ...string) *Builder {
 		b.Connect(ids[i], ids[i+1])
 	}
 	return b
+}
+
+// AddKeyedOperator expands a logical operator into maxParallelism keyed
+// instances named logical#i, each alone on slot slot#i, of which the
+// first parallelism serve traffic initially. Wire the group with
+// ConnectToGroup/ConnectFromGroup.
+func (b *Builder) AddKeyedOperator(logical, slot string, parallelism, maxParallelism int) *Builder {
+	if maxParallelism < parallelism {
+		maxParallelism = parallelism
+	}
+	grp := KeyedGroupSpec{Logical: logical, Parallelism: parallelism}
+	for i := 0; i < maxParallelism; i++ {
+		id := fmt.Sprintf("%s#%d", logical, i)
+		sl := fmt.Sprintf("%s#%d", slot, i)
+		b.specs = append(b.specs, OperatorSpec{ID: id, Slot: sl})
+		grp.Instances = append(grp.Instances, id)
+		grp.Slots = append(grp.Slots, sl)
+	}
+	b.groups = append(b.groups, grp)
+	return b
+}
+
+// ConnectToGroup connects a producer to every instance of a keyed group
+// (the instance actually receiving each tuple is chosen at runtime by the
+// partition table).
+func (b *Builder) ConnectToGroup(from, logical string) *Builder {
+	for _, inst := range b.groupInstances(logical) {
+		b.Connect(from, inst)
+	}
+	return b
+}
+
+// ConnectFromGroup connects every instance of a keyed group to a
+// consumer.
+func (b *Builder) ConnectFromGroup(logical, to string) *Builder {
+	for _, inst := range b.groupInstances(logical) {
+		b.Connect(inst, to)
+	}
+	return b
+}
+
+func (b *Builder) groupInstances(logical string) []string {
+	for _, g := range b.groups {
+		if g.Logical == logical {
+			return g.Instances
+		}
+	}
+	// Unknown logical: produce one edge to the name itself so Build
+	// reports "edge to unknown operator" with the logical ID.
+	return []string{logical}
 }
 
 // Build validates the accumulated specification and returns the graph.
@@ -114,7 +187,51 @@ func (b *Builder) Build() (*Graph, error) {
 		return nil, fmt.Errorf("graph: no sink operators")
 	}
 	g.compileSlots()
+	if err := g.adoptGroups(b.groups); err != nil {
+		return nil, err
+	}
 	return g, nil
+}
+
+// adoptGroups validates and installs the keyed parallel groups.
+func (g *Graph) adoptGroups(groups []KeyedGroupSpec) error {
+	g.groupOf = make(map[string]groupRef)
+	seen := make(map[string]bool)
+	for gi, grp := range groups {
+		if seen[grp.Logical] {
+			return fmt.Errorf("graph: duplicate keyed group %q", grp.Logical)
+		}
+		seen[grp.Logical] = true
+		if _, clash := g.ops[grp.Logical]; clash {
+			return fmt.Errorf("graph: keyed group %q collides with an operator ID", grp.Logical)
+		}
+		if grp.Parallelism < 1 || grp.Parallelism > len(grp.Instances) {
+			return fmt.Errorf("graph: keyed group %q parallelism %d outside [1,%d]",
+				grp.Logical, grp.Parallelism, len(grp.Instances))
+		}
+		for i, inst := range grp.Instances {
+			if _, dup := g.groupOf[inst]; dup {
+				return fmt.Errorf("graph: operator %q in two keyed groups", inst)
+			}
+			spec, ok := g.ops[inst]
+			if !ok {
+				return fmt.Errorf("graph: keyed group %q instance %q not declared", grp.Logical, inst)
+			}
+			if spec.Slot != grp.Slots[i] {
+				return fmt.Errorf("graph: keyed group %q instance %q on slot %q, want %q",
+					grp.Logical, inst, spec.Slot, grp.Slots[i])
+			}
+			// A split pauses the whole slot, so an instance must not share
+			// its slot with unrelated operators.
+			if hosted := g.opsOnSlot[spec.Slot]; len(hosted) != 1 {
+				return fmt.Errorf("graph: keyed instance %q shares slot %q with %v",
+					inst, spec.Slot, hosted)
+			}
+			g.groupOf[inst] = groupRef{group: gi, inst: i}
+		}
+	}
+	g.groups = append([]KeyedGroupSpec(nil), groups...)
+	return nil
 }
 
 // compileSlots derives the slot-level projections once, after validation.
@@ -213,6 +330,41 @@ func (g *Graph) SlotUpstreams(slot string) []string { return g.slotUp[slot] }
 // slot, excluding itself, sorted. The returned slice is cached and shared:
 // callers must not mutate it.
 func (g *Graph) SlotDownstreams(slot string) []string { return g.slotDown[slot] }
+
+// KeyedGroups returns the keyed parallel groups in declaration order.
+func (g *Graph) KeyedGroups() []KeyedGroupSpec {
+	return append([]KeyedGroupSpec(nil), g.groups...)
+}
+
+// KeyedGroup returns the group expanding the given logical operator.
+func (g *Graph) KeyedGroup(logical string) (KeyedGroupSpec, bool) {
+	for _, grp := range g.groups {
+		if grp.Logical == logical {
+			return grp, true
+		}
+	}
+	return KeyedGroupSpec{}, false
+}
+
+// KeyedGroupOf reports the keyed group an operator belongs to and its
+// instance index within it; ok=false for operators outside any group.
+func (g *Graph) KeyedGroupOf(op string) (grp KeyedGroupSpec, inst int, ok bool) {
+	ref, ok := g.groupOf[op]
+	if !ok {
+		return KeyedGroupSpec{}, 0, false
+	}
+	return g.groups[ref.group], ref.inst, true
+}
+
+// KeyedSlot reports whether a slot hosts a keyed group instance.
+func (g *Graph) KeyedSlot(slot string) bool {
+	for _, id := range g.opsOnSlot[slot] {
+		if _, ok := g.groupOf[id]; ok {
+			return true
+		}
+	}
+	return false
+}
 
 // SourceSlots returns the slots hosting at least one source operator.
 func (g *Graph) SourceSlots() []string {

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func keyedBuilder() *Builder {
+	b := &Builder{}
+	b.AddOperator("src", "n0")
+	b.AddKeyedOperator("agg", "kn", 2, 3)
+	b.AddOperator("sink", "n9")
+	b.ConnectToGroup("src", "agg")
+	b.ConnectFromGroup("agg", "sink")
+	return b
+}
+
+func TestKeyedGroupBuild(t *testing.T) {
+	g, err := keyedBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp, ok := g.KeyedGroup("agg")
+	if !ok {
+		t.Fatal("group missing")
+	}
+	if !reflect.DeepEqual(grp.Instances, []string{"agg#0", "agg#1", "agg#2"}) {
+		t.Fatalf("instances %v", grp.Instances)
+	}
+	if !reflect.DeepEqual(grp.Slots, []string{"kn#0", "kn#1", "kn#2"}) {
+		t.Fatalf("slots %v", grp.Slots)
+	}
+	if grp.Parallelism != 2 {
+		t.Fatalf("parallelism %d", grp.Parallelism)
+	}
+
+	// Edges fan from the producer to every instance and from every
+	// instance to the consumer.
+	if got := g.Downstream("src"); !reflect.DeepEqual(got, grp.Instances) {
+		t.Fatalf("src downstream %v", got)
+	}
+	for _, inst := range grp.Instances {
+		if got := g.Downstream(inst); !reflect.DeepEqual(got, []string{"sink"}) {
+			t.Fatalf("%s downstream %v", inst, got)
+		}
+	}
+
+	// Membership lookups.
+	if _, _, ok := g.KeyedGroupOf("src"); ok {
+		t.Fatal("src reported in a group")
+	}
+	got, idx, ok := g.KeyedGroupOf("agg#1")
+	if !ok || idx != 1 || got.Logical != "agg" {
+		t.Fatalf("KeyedGroupOf(agg#1) = %v %d %v", got.Logical, idx, ok)
+	}
+	if !g.KeyedSlot("kn#2") || g.KeyedSlot("n0") {
+		t.Fatal("KeyedSlot wrong")
+	}
+
+	// Sink alignment sees every instance slot as an upstream.
+	if got := g.SlotUpstreams("n9"); !reflect.DeepEqual(got, []string{"kn#0", "kn#1", "kn#2"}) {
+		t.Fatalf("sink upstream slots %v", got)
+	}
+}
+
+func TestKeyedGroupValidation(t *testing.T) {
+	// Parallelism out of range.
+	b := &Builder{}
+	b.AddOperator("src", "n0")
+	b.AddKeyedOperator("agg", "kn", 0, 2)
+	b.AddOperator("sink", "n9")
+	b.ConnectToGroup("src", "agg")
+	b.ConnectFromGroup("agg", "sink")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("parallelism 0 accepted")
+	}
+
+	// Instance sharing a slot with another operator.
+	b = &Builder{}
+	b.AddOperator("src", "n0")
+	b.AddKeyedOperator("agg", "kn", 1, 2)
+	b.AddOperator("intruder", "kn#0")
+	b.AddOperator("sink", "n9")
+	b.ConnectToGroup("src", "agg")
+	b.ConnectFromGroup("agg", "sink")
+	b.Connect("src", "intruder")
+	b.Connect("intruder", "sink")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("shared instance slot accepted")
+	}
+
+	// Logical ID colliding with a plain operator.
+	b = &Builder{}
+	b.AddOperator("src", "n0")
+	b.AddOperator("agg", "n1")
+	b.AddKeyedOperator("agg", "kn", 1, 2)
+	b.AddOperator("sink", "n9")
+	b.Connect("src", "agg")
+	b.ConnectToGroup("src", "agg")
+	b.ConnectFromGroup("agg", "sink")
+	b.Connect("agg", "sink")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("logical/operator ID collision accepted")
+	}
+
+	// ConnectToGroup with an unknown logical surfaces an unknown-operator
+	// error mentioning the name.
+	b = &Builder{}
+	b.AddOperator("src", "n0")
+	b.AddOperator("sink", "n9")
+	b.ConnectToGroup("src", "ghost")
+	b.Connect("src", "sink")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}

@@ -14,6 +14,10 @@ import (
 // bytes, when an in-band marker joins it (markers must not be delayed —
 // checkpoint alignment depends on their timing), or when FlushInterval of
 // simulated time passes with the batch still partial.
+//
+// Deprecated: prefer the consolidated QoS knobs (LatencyBudget,
+// MaxBatchMsgs, MaxBatchBytes). BatchConfig remains supported; non-zero
+// QoS fields override it field-by-field.
 type BatchConfig struct {
 	// MaxMsgs flushes a batch at this many messages (default 32).
 	MaxMsgs int
@@ -83,6 +87,14 @@ type batcher struct {
 	kick chan struct{}
 
 	sendMu sync.Mutex
+
+	// Adaptive flush deadline (QoS latency budget), all in nanoseconds and
+	// accessed atomically. capNs is the slot's budget share (0 = adaptation
+	// off, legacy FlushInterval applies), minNs the floor, deadlineNs the
+	// live deadline the flush loop waits on. See qos.go.
+	deadlineNs int64
+	capNs      int64
+	minNs      int64
 }
 
 // edgeBatch is the pending batch for one destination slot.
@@ -125,6 +137,9 @@ func (b *batcher) add(toSlot string, msg StreamMsg) {
 	b.mu.Unlock()
 	if urgent || full {
 		b.flushSlot(toSlot)
+		if full && !urgent {
+			b.noteSizeFlush()
+		}
 		return
 	}
 	select {
@@ -206,7 +221,8 @@ func (n *Node) flushLoop() {
 			select {
 			case <-n.stopCh:
 				return
-			case <-n.clk.After(n.batch.cfg.FlushInterval):
+			case <-n.clk.After(n.batch.flushInterval()):
+				n.batch.noteLatencyFlush(n.batch.pendingMsgs())
 				n.batch.flushAll()
 			}
 		}

@@ -127,6 +127,8 @@ func (n *Node) handleControl(m simnet.Message) {
 		n.cfg.Store.TruncateEdge(p.Downstream, p.Upto)
 	case TransferMsg:
 		n.handleTransferIn(m.From, p)
+	case KeyRangeMsg:
+		n.handleKeyRangeIn(p)
 	default:
 		n.logf("%s: unhandled control payload %T", n.id, m.Payload)
 	}

@@ -80,6 +80,16 @@ type TransferMsg struct {
 	Pending []PendingItem
 }
 
+// KeyRangeMsg ships one keyed group's [Lo,Hi) partition-state from a donor
+// instance to a recipient during a live split or merge. State carries the
+// KeyedState.ExportRange framing (nil for routing-only groups whose
+// operator keeps no keyed state).
+type KeyRangeMsg struct {
+	Logical string
+	Lo, Hi  string
+	State   []byte
+}
+
 // FetchBlobReq asks a peer for a checkpoint blob (dist-n/local recovery).
 type FetchBlobReq struct {
 	Slot    string
@@ -207,3 +217,10 @@ func (r ReportType) String() string {
 // externalSlot is the virtual upstream for externally admitted tuples and
 // controller-injected markers on source slots.
 const externalSlot = "__ext__"
+
+// rerouteSlot is the virtual upstream carrying tuples a keyed instance
+// received for a key range it no longer owns (queued before a partition
+// table flip) and relayed to the new owner. Rerouted tuples carry no edge
+// sequence — each reroute is one reliable unicast — and no checkpoint
+// token ever travels this queue, so it is excluded from alignment.
+const rerouteSlot = "__reroute__"

@@ -27,6 +27,7 @@ import (
 	"mobistreams/internal/clock"
 	"mobistreams/internal/ft"
 	"mobistreams/internal/graph"
+	"mobistreams/internal/keyed"
 	"mobistreams/internal/metrics"
 	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
@@ -91,8 +92,20 @@ type Config struct {
 	// PreserveBroadcast replicates admitted source input to all peers
 	// (UDP best-effort) so replay logs survive source failures.
 	PreserveBroadcast bool
+	// Keyed maps each keyed group's logical operator ID to the region's
+	// shared partition-table group. Compiled pipelines dispatch keyed
+	// emissions through it; a control-plane table install flips routing
+	// on every node at once.
+	Keyed map[string]*keyed.Group
 	// Batch bounds edge-level tuple batching on the emission hot path.
+	//
+	// Deprecated: prefer the consolidated QoS knobs; Batch remains for
+	// compatibility and is overridden field-by-field by QoS.
 	Batch BatchConfig
+	// QoS consolidates the output-path quality-of-service knobs: the
+	// end-to-end latency budget driving adaptive flush deadlines, and the
+	// batch bounds that supersede the legacy Batch fields.
+	QoS QoS
 	// BatchStats, when non-nil, accumulates per-flush batch sizes.
 	BatchStats *metrics.BatchSizes
 	// Checkpoint configures the snapshot pipeline (incremental-async by
@@ -117,8 +130,10 @@ type Config struct {
 }
 
 // queued is one item waiting on an upstream queue. tc carries the tuple's
-// sampled trace context (zero = untraced); at is the enqueue timestamp
-// feeding the edge's queue-wait histogram (zero when obs is off).
+// sampled trace context (zero = untraced); at is the enqueue timestamp —
+// it feeds the edge's queue-wait histogram and anchors the executor's CPU
+// reservation for the item (zero on paths that don't stamp it, e.g. replay,
+// where the reservation falls back to the executor's wake time).
 type queued struct {
 	fromOp  string
 	toOp    string
@@ -403,6 +418,10 @@ type Node struct {
 	// processed counts executed data tuples (telemetry: the scheduler's
 	// per-slot tuple rate). Read atomically off the executor.
 	processed uint64
+	// keyRangeGen counts completed key-range imports (split/merge state
+	// arrivals); the region polls it to detect that a shipped range has
+	// landed before flipping the partition table.
+	keyRangeGen atomic.Uint64
 
 	// obsReg/tracer/journal mirror cfg.Obs (all nil when obs is off).
 	// curTrace is the trace context of the tuple the executor is
@@ -413,6 +432,12 @@ type Node struct {
 	tracer   *obs.Tracer
 	journal  *obs.Journal
 	curTrace obs.SpanCtx
+
+	// curReady is the enqueue time of the tuple the executor is currently
+	// processing — ambient like curTrace, consumed by runOp to anchor CPU
+	// reservations (Phone.ExecFrom) at the moment the work became runnable
+	// rather than at the executor's wake time. Zero between tuples.
+	curReady time.Duration
 
 	// ckptBase is the version the next delta checkpoint patches against
 	// (0 = none: first checkpoint, or freshly restored); ckptChainLen
@@ -471,7 +496,7 @@ func New(cfg Config) *Node {
 		}
 	}
 	n.cond = sync.NewCond(&n.mu)
-	n.batch = newBatcher(n, cfg.Batch)
+	n.batch = newBatcher(n, cfg.QoS.mergeBatch(cfg.Batch))
 	n.logf = cfg.Logf
 	if n.logf == nil {
 		n.logf = func(string, ...interface{}) {}
@@ -502,7 +527,9 @@ func (n *Node) configureSlot(slot string, opIDs []string) {
 	n.qOrder = nil
 	ordered := n.cfg.Scheme.PreservesAtEdges()
 	for _, up := range p.upstreams {
-		if up == externalSlot {
+		if up == externalSlot || up == rerouteSlot {
+			// Pseudo-upstreams bypass edge-sequence dedup: items are
+			// pushed directly, never enqueue()d.
 			n.queues[up] = &upQueue{}
 		} else {
 			n.queues[up] = newStreamQueue(ordered)
@@ -514,8 +541,16 @@ func (n *Node) configureSlot(slot string, opIDs []string) {
 	}
 	n.isSource, n.isSink = p.isSource, p.isSink
 	n.sourceOps = append([]string(nil), p.sourceOps...)
-	n.alignUpstreams = append([]string(nil), p.upstreams...)
+	// Alignment excludes the reroute pseudo-upstream: no token ever
+	// arrives on it, so counting it would stall every checkpoint round.
+	n.alignUpstreams = make([]string, 0, len(p.upstreams))
+	for _, up := range p.upstreams {
+		if up != rerouteSlot {
+			n.alignUpstreams = append(n.alignUpstreams, up)
+		}
+	}
 	n.align = checkpoint.NewAlignment(n.alignUpstreams)
+	n.batch.setBudget(n.slotBudgetShare(slot), n.cfg.QoS.minFlush())
 	n.pipe.Store(p)
 }
 
@@ -630,11 +665,7 @@ func (n *Node) IngestExternalTraced(srcOp string, t *tuple.Tuple, tc obs.SpanCtx
 		}
 		return
 	}
-	var at time.Duration
-	if n.obsReg != nil {
-		at = n.clk.Now()
-	}
-	q.push(queued{fromOp: "", toOp: srcOp, item: tuple.DataItem(t), tc: tc, at: at})
+	q.push(queued{fromOp: "", toOp: srcOp, item: tuple.DataItem(t), tc: tc, at: n.clk.Now()})
 	if q.depth != nil {
 		q.depth.Observe(int64(q.len()))
 	}
@@ -692,18 +723,16 @@ func (n *Node) enqueueStream(m StreamMsg) {
 		return
 	}
 	defer n.mu.Unlock()
-	qit := queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item, tc: m.Trace}
-	if n.obsReg != nil {
-		qit.at = n.clk.Now()
-		if qit.tc.ID != 0 {
-			n.tracer.Record(&qit.tc, obs.SpanRecv, string(n.id), m.ToSlot, m.ToOp, int64(qit.at))
-		}
+	qit := queued{fromOp: m.FromOp, toOp: m.ToOp, edgeSeq: m.EdgeSeq, item: m.Item, tc: m.Trace, at: n.clk.Now()}
+	if n.obsReg != nil && qit.tc.ID != 0 {
+		n.tracer.Record(&qit.tc, obs.SpanRecv, string(n.id), m.ToSlot, m.ToOp, int64(qit.at))
 	}
-	if m.FromSlot == externalSlot {
-		// Relayed external input from a node that handed this slot off.
-		// External arrivals are admitted exactly once upstream (each relay
-		// is one reliable unicast), so they bypass edge-sequence dedup —
-		// their sequence space is per-source, not per-edge.
+	if m.FromSlot == externalSlot || m.FromSlot == rerouteSlot {
+		// Relayed external input from a node that handed this slot off, or
+		// a tuple rerouted by a keyed peer that no longer owns its key.
+		// Both are admitted exactly once upstream (each relay is one
+		// reliable unicast), so they bypass edge-sequence dedup — they
+		// carry no per-edge sequence.
 		qit.edgeSeq = 0
 		q.push(qit)
 		if q.depth != nil {
@@ -965,6 +994,7 @@ func (n *Node) handleItem(p *pipeline, qi int, from string, it queued) {
 	}
 	t := it.item.Tuple
 	atomic.AddUint64(&n.processed, 1)
+	n.curReady = it.at
 	if n.obsReg != nil {
 		now := n.clk.Now()
 		if h := p.edgeWait[qi]; h != nil && it.at > 0 {
@@ -975,11 +1005,25 @@ func (n *Node) handleItem(p *pipeline, qi int, from string, it queued) {
 			n.tracer.Record(&n.curTrace, obs.SpanDequeue, string(n.id), p.slot, it.toOp, int64(now))
 		}
 	}
-	if from != externalSlot {
-		p.noteInHW(qi, it.edgeSeq)
-	} else {
+	switch from {
+	case externalSlot:
 		n.preserveSourceInput(it.toOp, t)
 		n.forwardExternalToStandby(p, it.toOp, t)
+	case rerouteSlot:
+		// Rerouted tuples carry no edge sequence; no watermark to advance.
+	default:
+		p.noteInHW(qi, it.edgeSeq)
+	}
+	// A keyed instance popping a tuple for a key range that moved away
+	// (queued before the partition table flipped) relays it to the new
+	// owner instead of running it — the split/merge exactly-once path.
+	if p.keyedGroup != nil {
+		if owner := p.keyedGroup.Owner(t.Kind); owner != p.keyedInst {
+			n.rerouteToOwner(p, owner, t)
+			n.curTrace = obs.SpanCtx{}
+			n.curReady = 0
+			return
+		}
 	}
 	if idx := p.opIndex(it.toOp); idx >= 0 {
 		n.runOp(p, idx, it.fromOp, t)
@@ -987,6 +1031,7 @@ func (n *Node) handleItem(p *pipeline, qi int, from string, it queued) {
 		n.logf("%s: tuple for unknown operator %s", n.id, it.toOp)
 	}
 	n.curTrace = obs.SpanCtx{}
+	n.curReady = 0
 }
 
 // forwardExternalToStandby duplicates externally admitted input to the
@@ -1038,7 +1083,7 @@ func (n *Node) preserveSourceInput(srcOp string, t *tuple.Tuple) {
 func (n *Node) runOp(p *pipeline, idx int, fromOp string, t *tuple.Tuple) {
 	c := &p.ops[idx]
 	if cost := c.op.Cost(t); cost > 0 {
-		if !n.cfg.Phone.Exec(n.clk, cost) {
+		if !n.cfg.Phone.ExecFrom(n.clk, n.curReady, cost) {
 			n.logf("%s: battery dead", n.id)
 			n.Fail()
 			return

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobistreams/internal/keyed"
 	"mobistreams/internal/obs"
 	"mobistreams/internal/operator"
 	"mobistreams/internal/tuple"
@@ -35,6 +36,13 @@ type pipeline struct {
 	isSource  bool
 	isSink    bool
 	sourceOps []string
+
+	// keyedGroup/keyedInst identify this slot's keyed-group membership
+	// when it hosts one elastic instance (nil/0 otherwise). The executor
+	// consults them to detect tuples whose key range moved away after a
+	// live split, which are rerouted to the new owner instead of run.
+	keyedGroup *keyed.Group
+	keyedInst  int
 
 	// outSeq is the per-downstream-slot emission sequence (parallel to
 	// downs); inHW the per-upstream processed watermark (parallel to
@@ -79,6 +87,12 @@ type compiledOp struct {
 	// declaration order, preserving the legacy interleaving of local
 	// recursion and cross-slot sends.
 	fanout []route
+	// keyed lists the keyed-group emission targets: each entry collapses
+	// the group's per-instance edges into one partition-table dispatch —
+	// the emit path resolves the tuple's key to the owning instance and
+	// follows exactly that instance's route. One atomic load plus a
+	// binary search; no locks, no allocations.
+	keyed []keyedRoute
 	// external marks a sink operator: no downstream, emissions publish.
 	external bool
 	// lat is the operator's Process-latency histogram, resolved from the
@@ -99,12 +113,17 @@ type opSink struct {
 }
 
 // Emit implements operator.Runtime: graph-order fan-out, or external
-// publication on a sink operator.
+// publication on a sink operator. Keyed-group targets resolve the tuple's
+// key through the group's partition table to exactly one instance.
 func (s *opSink) Emit(t *tuple.Tuple) {
 	c := &s.p.ops[s.idx]
 	if c.external {
 		s.n.emitExternal(t)
 		return
+	}
+	for i := range c.keyed {
+		kr := &c.keyed[i]
+		s.n.followRoute(s.p, c.id, kr.routes[kr.group.Owner(t.Kind)], t)
 	}
 	for _, r := range c.fanout {
 		s.n.followRoute(s.p, c.id, r, t)
@@ -144,6 +163,14 @@ type route struct {
 	down  int // index into pipeline.downs when local < 0
 }
 
+// keyedRoute is one collapsed keyed-group edge: routes is indexed by
+// instance index, group resolves a key to that index through the live
+// partition table.
+type keyedRoute struct {
+	group  *keyed.Group
+	routes []route
+}
+
 // compilePipeline resolves a slot's topology against the graph and binds
 // each operator's processing function and emit-context. It panics when an
 // operator implements neither processing contract — a wiring bug
@@ -173,15 +200,41 @@ func (n *Node) compilePipeline(slot string, opIDs []string, ops []operator.Opera
 		if len(targets) == 0 {
 			c.external = true
 		}
+		collapsed := make(map[string]bool)
 		for _, tgt := range targets {
 			r := resolve(tgt)
-			c.fanout = append(c.fanout, r)
 			if !seen[tgt] {
 				seen[tgt] = true
 				p.directed = append(p.directed, r)
 			}
+			// A target inside a keyed group collapses — once per group —
+			// into a partition-table dispatch over all its instances
+			// instead of a per-instance fanout entry. Markers are not
+			// affected: they travel slot-level through p.downs.
+			if gs, _, ok := g.KeyedGroupOf(tgt); ok {
+				if grp := n.cfg.Keyed[gs.Logical]; grp != nil {
+					if !collapsed[gs.Logical] {
+						collapsed[gs.Logical] = true
+						kr := keyedRoute{group: grp, routes: make([]route, len(gs.Instances))}
+						for ii, inst := range gs.Instances {
+							kr.routes[ii] = resolve(inst)
+						}
+						c.keyed = append(c.keyed, kr)
+					}
+					continue
+				}
+			}
+			c.fanout = append(c.fanout, r)
 		}
 		p.ops = append(p.ops, c)
+	}
+	for _, id := range opIDs {
+		if gs, inst, ok := g.KeyedGroupOf(id); ok {
+			if grp := n.cfg.Keyed[gs.Logical]; grp != nil {
+				p.keyedGroup = grp
+				p.keyedInst = inst
+			}
+		}
 	}
 	p.upstreams = append([]string(nil), g.SlotUpstreams(slot)...)
 	for _, id := range g.Sources() {
@@ -197,6 +250,12 @@ func (n *Node) compilePipeline(slot string, opIDs []string, ops []operator.Opera
 	}
 	if p.isSource {
 		p.upstreams = append(p.upstreams, externalSlot)
+	}
+	if p.keyedGroup != nil {
+		// Keyed instances take rerouted tuples on their own pseudo-queue,
+		// kept index-parallel with the real upstreams but excluded from
+		// token alignment (see configureSlot).
+		p.upstreams = append(p.upstreams, rerouteSlot)
 	}
 	p.outSeq = make([]uint64, len(p.downs))
 	p.inHW = make([]uint64, len(p.upstreams))
@@ -345,11 +404,11 @@ func (p *pipeline) outSeqMap() map[string]uint64 {
 }
 
 // inHWMap exports the non-zero processed watermarks, excluding the
-// external pseudo-upstream (never sequenced).
+// external and reroute pseudo-upstreams (never sequenced).
 func (p *pipeline) inHWMap() map[string]uint64 {
 	m := make(map[string]uint64, len(p.upstreams))
 	for i, u := range p.upstreams {
-		if u == externalSlot {
+		if u == externalSlot || u == rerouteSlot {
 			continue
 		}
 		if v := atomic.LoadUint64(&p.inHW[i]); v > 0 {

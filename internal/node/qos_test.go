@@ -1,0 +1,85 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"mobistreams/internal/graph"
+)
+
+// TestQoSZeroIsLegacyBatching is the compatibility regression: a zero QoS
+// must leave old-style BatchConfig behavior untouched — same merged
+// bounds, the fixed legacy flush interval, and no deadline adaptation.
+func TestQoSZeroIsLegacyBatching(t *testing.T) {
+	legacy := BatchConfig{MaxMsgs: 7, MaxBytes: 1234, FlushInterval: 9 * time.Millisecond}
+	var q QoS
+	if got := q.mergeBatch(legacy); got != legacy {
+		t.Fatalf("zero QoS changed legacy config: %+v", got)
+	}
+	b := newBatcher(nil, q.mergeBatch(legacy))
+	if got := b.flushInterval(); got != legacy.FlushInterval {
+		t.Fatalf("flushInterval = %v, want legacy %v", got, legacy.FlushInterval)
+	}
+	b.noteSizeFlush()
+	b.noteLatencyFlush(0)
+	if got := b.flushInterval(); got != legacy.FlushInterval {
+		t.Fatalf("flushInterval moved to %v with QoS off", got)
+	}
+}
+
+func TestQoSMergeOverridesLegacyBounds(t *testing.T) {
+	legacy := BatchConfig{MaxMsgs: 32, MaxBytes: 64 << 10, FlushInterval: 20 * time.Millisecond}
+	q := QoS{MaxBatchMsgs: 8, MaxBatchBytes: 4096, DisableBatching: true}
+	got := q.mergeBatch(legacy)
+	if got.MaxMsgs != 8 || got.MaxBytes != 4096 || !got.Disable {
+		t.Fatalf("merged = %+v", got)
+	}
+	if got.FlushInterval != legacy.FlushInterval {
+		t.Fatalf("merge touched FlushInterval: %v", got.FlushInterval)
+	}
+}
+
+func TestAdaptiveDeadlineTracksFlushCauses(t *testing.T) {
+	b := newBatcher(nil, BatchConfig{MaxMsgs: 32})
+	b.setBudget(100*time.Millisecond, time.Millisecond)
+	if got := b.flushInterval(); got != 100*time.Millisecond {
+		t.Fatalf("initial deadline = %v, want the full budget share", got)
+	}
+	// Latency-triggered flushes carrying nearly-empty batches shrink the
+	// deadline toward the floor.
+	for i := 0; i < 100; i++ {
+		b.noteLatencyFlush(1)
+	}
+	if got := b.flushInterval(); got != time.Millisecond {
+		t.Fatalf("deadline after sustained empty flushes = %v, want the 1ms floor", got)
+	}
+	// A latency flush carrying at least half a batch is evidence the
+	// deadline is about right: no movement.
+	cur := b.flushInterval()
+	b.noteLatencyFlush(16)
+	if got := b.flushInterval(); got != cur {
+		t.Fatalf("half-full latency flush moved deadline %v -> %v", cur, got)
+	}
+	// Size-triggered flushes grow it back toward the cap, never past it.
+	for i := 0; i < 100; i++ {
+		b.noteSizeFlush()
+	}
+	if got := b.flushInterval(); got != 100*time.Millisecond {
+		t.Fatalf("deadline after sustained size flushes = %v, want the budget cap", got)
+	}
+}
+
+func TestSlotHopsLongestPathToSink(t *testing.T) {
+	var gb graph.Builder
+	gb.AddOperator("A", "s1").AddOperator("B", "s2").AddOperator("C", "s3").AddOperator("D", "s4")
+	gb.Connect("A", "B").Connect("B", "C").Connect("C", "D").Connect("A", "D")
+	g, err := gb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, want := range map[string]int{"s1": 3, "s2": 2, "s3": 1, "s4": 0} {
+		if got := slotHops(g, slot); got != want {
+			t.Fatalf("slotHops(%s) = %d, want %d", slot, got, want)
+		}
+	}
+}

@@ -132,6 +132,79 @@ func (ks *KeyedState) Clear() {
 	}
 }
 
+// Range calls fn for every key in the half-open interval [lo, hi) in
+// sorted order, stopping early when fn returns false. An empty hi means
+// "no upper bound" (every key >= lo). Unlike Keys, Range materialises
+// only the keys inside the interval, so scanning one shard of a
+// partitioned keyspace does not copy the whole store — the property the
+// elastic split handoff depends on.
+func (ks *KeyedState) Range(lo, hi string, fn func(key string, value []byte) bool) {
+	keys := ks.rangeKeys(lo, hi)
+	for _, k := range keys {
+		if !fn(k, ks.m[k]) {
+			return
+		}
+	}
+}
+
+// rangeKeys collects the sorted keys in [lo, hi); hi == "" is unbounded.
+func (ks *KeyedState) rangeKeys(lo, hi string) []string {
+	var keys []string
+	for k := range ks.m {
+		if k >= lo && (hi == "" || k < hi) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// RangeSize reports the encoded size in bytes of the keys in [lo, hi)
+// (hi == "" is unbounded) without materialising the encoding.
+func (ks *KeyedState) RangeSize(lo, hi string) int {
+	size := 8
+	for k, v := range ks.m {
+		if k >= lo && (hi == "" || k < hi) {
+			size += 16 + len(k) + len(v)
+		}
+	}
+	return size
+}
+
+// ExportRange serialises the keys in [lo, hi) with the same deterministic
+// framing as Encode. The result feeds ImportRange on the receiving
+// instance of a key-range split or merge.
+func (ks *KeyedState) ExportRange(lo, hi string) []byte {
+	return ks.encodeKeys(ks.rangeKeys(lo, hi), ks.RangeSize(lo, hi))
+}
+
+// ImportRange merges entries produced by ExportRange (or Encode) into the
+// store, overwriting keys that already exist. Unlike Decode it leaves
+// keys outside the imported set untouched.
+func (ks *KeyedState) ImportRange(data []byte) error {
+	in := NewKeyedState()
+	if err := in.Decode(data); err != nil {
+		return err
+	}
+	for k, v := range in.m {
+		ks.m[k] = v
+	}
+	return nil
+}
+
+// DeleteRange removes every key in [lo, hi) (hi == "" is unbounded) and
+// reports how many were dropped — the donor side of a split handoff.
+func (ks *KeyedState) DeleteRange(lo, hi string) int {
+	n := 0
+	for k := range ks.m {
+		if k >= lo && (hi == "" || k < hi) {
+			delete(ks.m, k)
+			n++
+		}
+	}
+	return n
+}
+
 // Size reports the encoded size in bytes (state accounting).
 func (ks *KeyedState) Size() int {
 	size := 8
@@ -143,8 +216,12 @@ func (ks *KeyedState) Size() int {
 
 // Encode serialises the store deterministically (sorted key order).
 func (ks *KeyedState) Encode() []byte {
-	keys := ks.Keys()
-	buf := make([]byte, 0, ks.Size())
+	return ks.encodeKeys(ks.Keys(), ks.Size())
+}
+
+// encodeKeys serialises the given (sorted) keys with the Encode framing.
+func (ks *KeyedState) encodeKeys(keys []string, sizeHint int) []byte {
+	buf := make([]byte, 0, sizeHint)
 	var tmp [8]byte
 	put := func(v uint64) {
 		binary.BigEndian.PutUint64(tmp[:], v)

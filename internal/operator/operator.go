@@ -170,6 +170,19 @@ func (*Base) Restore([]byte) error { return nil }
 // StateSize implements Operator with no modelled state.
 func (*Base) StateSize() int { return 0 }
 
+// SetID implements Renamable: the stream builder rebinds factory products
+// to per-instance IDs when expanding a keyed stage into parallel
+// instances.
+func (b *Base) SetID(id string) { b.Name = id }
+
+// Renamable is implemented by operators whose graph ID can be rebound
+// after construction (every operator embedding Base). Keyed parallel
+// expansion requires it: one logical stage factory must be able to
+// produce instances named id#0, id#1, ...
+type Renamable interface {
+	SetID(id string)
+}
+
 // Factory builds a fresh operator instance. The controller ships "code" to
 // phones at placement and recovery time; in this library, code is a factory.
 type Factory func() Operator

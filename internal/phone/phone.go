@@ -38,6 +38,16 @@ type Config struct {
 	RxJoulesPerMB float64
 	// FlashWriteBps is local storage write bandwidth (default 10 MB/s).
 	FlashWriteBps float64
+	// VirtualCPUTime anchors CPU reservations at the simulated time work
+	// became runnable (see ExecFrom) instead of at the caller's
+	// wall-derived clock reading. Service rates then hold exactly in
+	// simulated time regardless of host scheduling — the right model for
+	// utilisation-sensitive experiments (the elastic bench's saturation
+	// physics). Off by default: virtual anchoring lets a stalled executor
+	// catch up through its backlog in zero additional simulated time,
+	// which compresses in-flight windows and changes the loss profile
+	// that wall-paced failure scenarios (churn) are seeded against.
+	VirtualCPUTime bool
 }
 
 func (c *Config) applyDefaults() {
@@ -83,14 +93,31 @@ func New(id simnet.NodeID, cfg Config) *Phone {
 // a busy-until reservation, so two 7-second jobs take 14 seconds of
 // simulated time, not 7. It returns false when the battery dies.
 func (p *Phone) Exec(clk clock.Clock, d time.Duration) bool {
+	return p.ExecFrom(clk, clk.Now(), d)
+}
+
+// ExecFrom is Exec for work that became runnable at simulated time ready
+// (a queued tuple's enqueue time). With Config.VirtualCPUTime set, the
+// reservation anchors at the later of the core's busy horizon and ready
+// rather than at the caller's wall-derived clock reading: a goroutine woken
+// late by the OS scheduler charges only d per item instead of d plus its
+// wake latency, which on a loaded host would otherwise inflate every
+// service time and silently lower the simulated capacity; if the virtual
+// horizon already passed, the work is charged without sleeping at all and
+// the executor catches up at wall speed. Without the flag, ready is
+// ignored and ExecFrom behaves exactly like Exec.
+func (p *Phone) ExecFrom(clk clock.Clock, ready, d time.Duration) bool {
 	if d <= 0 {
 		return !p.Dead()
 	}
-	p.mu.Lock()
 	now := clk.Now()
+	if !p.cfg.VirtualCPUTime || ready <= 0 || ready > now {
+		ready = now
+	}
+	p.mu.Lock()
 	start := p.cpuBusyUntil
-	if now > start {
-		start = now
+	if start < ready {
+		start = ready
 	}
 	p.cpuBusyUntil = start + d
 	end := p.cpuBusyUntil

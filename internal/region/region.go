@@ -15,6 +15,7 @@ import (
 	"mobistreams/internal/clock"
 	"mobistreams/internal/ft"
 	"mobistreams/internal/graph"
+	"mobistreams/internal/keyed"
 	"mobistreams/internal/metrics"
 	"mobistreams/internal/node"
 	"mobistreams/internal/obs"
@@ -56,7 +57,15 @@ type Config struct {
 	RadiusM float64
 	// Batch bounds edge-level tuple batching on every node's emission
 	// path; the zero value enables batching with defaults.
+	//
+	// Deprecated: prefer QoS, which consolidates the batching knobs behind
+	// a latency budget. Batch remains supported; non-zero QoS fields
+	// override it field-by-field.
 	Batch node.BatchConfig
+	// QoS consolidates output-path quality-of-service: an end-to-end
+	// latency budget driving adaptive batch-flush deadlines, plus batch
+	// size bounds. The zero value leaves legacy Batch behavior untouched.
+	QoS node.QoS
 	// Checkpoint configures every node's snapshot pipeline (the zero
 	// value is incremental-async with default chain/copy parameters).
 	Checkpoint node.CheckpointConfig
@@ -93,6 +102,15 @@ type Region struct {
 	// stopping mirrors `stopped` for the lock-free ingest path.
 	stopping atomic.Bool
 
+	// keyed maps each logical keyed operator to its shared elastic group
+	// (instance IDs + live partition table). The map is immutable after
+	// New; the groups themselves are concurrency-safe. Every node hosting
+	// the graph shares these pointers, so installing a successor table
+	// flips routing everywhere at once.
+	keyed map[string]*keyed.Group
+	// splitMu serialises split/merge reconfigurations per region.
+	splitMu sync.Mutex
+
 	mu sync.Mutex
 	// phones are physical devices, keyed by phone ID. nodes/endpoints/
 	// stores are keyed by endpoint ID: a phone's primary endpoint shares
@@ -118,6 +136,9 @@ type Region struct {
 	// telemetry collector differentiates into drain and tuple rates.
 	teleMu   sync.Mutex
 	telePrev map[simnet.NodeID]telePoint
+	// keyedPrev holds the previous per-instance processed counts the keyed
+	// telemetry differentiates into tuple rates (guarded by teleMu).
+	keyedPrev map[string]telePoint
 
 	outMu      sync.Mutex
 	seenOutput map[string]map[uint64]bool
@@ -161,6 +182,15 @@ func New(cfg Config) (*Region, error) {
 		srcSeq:       make(map[string]*uint64),
 		seenOutput:   make(map[string]map[uint64]bool),
 		telePrev:     make(map[simnet.NodeID]telePoint),
+		keyedPrev:    make(map[string]telePoint),
+		keyed:        make(map[string]*keyed.Group),
+	}
+	for _, gs := range cfg.Graph.KeyedGroups() {
+		grp, err := defaultKeyedGroup(gs)
+		if err != nil {
+			return nil, fmt.Errorf("region %s: %w", cfg.ID, err)
+		}
+		r.keyed[gs.Logical] = grp
 	}
 	r.logf = cfg.Logf
 	if r.logf == nil {
@@ -261,6 +291,8 @@ func (r *Region) buildNode(id simnet.NodeID, slot string, role node.Role) *node.
 		Broadcast:         r.cfg.Broadcast,
 		PreserveBroadcast: r.cfg.PreserveBroadcast,
 		Batch:             r.cfg.Batch,
+		QoS:               r.cfg.QoS,
+		Keyed:             r.keyed,
 		BatchStats:        &r.batchStats,
 		Checkpoint:        r.cfg.Checkpoint,
 		CkptStats:         &r.ckptStats,
@@ -305,6 +337,8 @@ func (r *Region) buildStandby(slot string) {
 		NoRouteCache: r.cfg.NoRouteCache,
 		ControllerID: r.cfg.ControllerID,
 		Batch:        r.cfg.Batch,
+		QoS:          r.cfg.QoS,
+		Keyed:        r.keyed,
 		BatchStats:   &r.batchStats,
 		Obs:          r.obs,
 		OnSinkOutput: func(t *tuple.Tuple) { r.onSink(sbID, t) },

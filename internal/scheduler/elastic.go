@@ -1,0 +1,196 @@
+package scheduler
+
+import (
+	"sync"
+	"time"
+)
+
+// InstanceStat is one keyed instance's telemetry snapshot: the
+// backpressure signals the elasticity policy reads.
+type InstanceStat struct {
+	// Instance is the instance operator ID (logical#i); Index its
+	// position in the group.
+	Instance string
+	Index    int
+	// Active reports whether the instance owns at least one key range.
+	// Dormant instances are split targets.
+	Active bool
+	// Backlog is the instance's queued-but-unprocessed stream items.
+	Backlog int
+	// TupleRate is tuples processed per simulated second since the
+	// previous poll.
+	TupleRate float64
+}
+
+// ElasticAction is one planned parallelism change for a keyed group:
+// either split instance From's key range onto (dormant) instance To, or
+// merge every range instance From owns into instance To.
+type ElasticAction struct {
+	Logical string
+	Split   bool
+	From    int
+	To      int
+	Reason  string
+}
+
+// ElasticPolicy turns per-instance backpressure telemetry into split and
+// merge decisions. Like the placement scheduler it is a pure decision
+// library: the region produces InstanceStats and executes the returned
+// action (SplitInstance / MergeKeyRange); the policy holds only cooldown
+// state.
+type ElasticPolicy struct {
+	// HotBacklog is the queue depth at which an active instance is
+	// considered saturated and worth splitting (default 64).
+	HotBacklog int
+	// ColdFraction marks an active instance mergeable when its tuple rate
+	// falls below this fraction of the group's mean active rate and its
+	// backlog is empty (default 0.1).
+	ColdFraction float64
+	// Cooldown suppresses re-planning a group that was reconfigured
+	// within the window — a split takes a table flip and a state ship to
+	// settle, and re-reading the same saturated backlog before it drains
+	// would cascade splits (default 10 s).
+	Cooldown time.Duration
+	// MinColdPolls is how many consecutive Plan calls must see an instance
+	// cold before it is merged away (default 3). A single poll window is
+	// too noisy a witness: a low-rate instance's trickle can alias to zero
+	// tuples in one window, and merging on that evidence hands its whole
+	// key range to a peer right before the traffic comes back.
+	MinColdPolls int
+
+	mu       sync.Mutex
+	last     map[string]time.Duration
+	coldRuns map[string]map[int]int
+}
+
+func (p *ElasticPolicy) params() (hot int, cold float64, cooldown time.Duration, minCold int) {
+	hot, cold, cooldown, minCold = p.HotBacklog, p.ColdFraction, p.Cooldown, p.MinColdPolls
+	if hot <= 0 {
+		hot = 64
+	}
+	if cold <= 0 {
+		cold = 0.1
+	}
+	if cooldown <= 0 {
+		cooldown = 10 * time.Second
+	}
+	if minCold <= 0 {
+		minCold = 3
+	}
+	return hot, cold, cooldown, minCold
+}
+
+// Plan inspects one keyed group's instance telemetry and returns at most
+// one action to run now, or nil. A returned action is recorded against the
+// group's cooldown immediately; the caller is expected to attempt it.
+func (p *ElasticPolicy) Plan(now time.Duration, logical string, stats []InstanceStat) *ElasticAction {
+	hot, cold, cooldown, minCold := p.params()
+	p.mu.Lock()
+	if p.last == nil {
+		p.last = make(map[string]time.Duration)
+	}
+	if at, ok := p.last[logical]; ok && now-at < cooldown {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+
+	var active []InstanceStat
+	dormant := -1
+	for _, st := range stats {
+		if st.Active {
+			active = append(active, st)
+		} else if dormant < 0 {
+			dormant = st.Index
+		}
+	}
+	if len(active) == 0 {
+		return nil
+	}
+
+	// Split: the hottest saturated instance hands half its keys to a
+	// dormant one.
+	hottest := active[0]
+	for _, st := range active[1:] {
+		if st.Backlog > hottest.Backlog {
+			hottest = st
+		}
+	}
+	if hottest.Backlog >= hot && dormant >= 0 {
+		p.note(logical, now)
+		return &ElasticAction{
+			Logical: logical, Split: true,
+			From: hottest.Index, To: dormant,
+			Reason: "backpressure",
+		}
+	}
+
+	// Merge: a drained, near-idle instance hands its ranges to the least
+	// loaded of the remaining active instances. Only when nothing is hot —
+	// shrinking a group under pressure would amplify it.
+	if len(active) < 2 || hottest.Backlog >= hot {
+		return nil
+	}
+	var mean float64
+	for _, st := range active {
+		mean += st.TupleRate
+	}
+	mean /= float64(len(active))
+	if mean <= 0 {
+		// No rate signal (first poll, or a stalled window): every instance
+		// would read as cold. Wait for real telemetry.
+		return nil
+	}
+	p.mu.Lock()
+	if p.coldRuns == nil {
+		p.coldRuns = make(map[string]map[int]int)
+	}
+	runs := p.coldRuns[logical]
+	if runs == nil {
+		runs = make(map[int]int)
+		p.coldRuns[logical] = runs
+	}
+	coldest, coldIdx := InstanceStat{}, -1
+	for i, st := range active {
+		if st.Backlog == 0 && st.TupleRate <= cold*mean {
+			runs[st.Index]++
+		} else {
+			delete(runs, st.Index)
+		}
+		if runs[st.Index] >= minCold && (coldIdx < 0 || st.TupleRate < coldest.TupleRate) {
+			coldest, coldIdx = st, i
+		}
+	}
+	p.mu.Unlock()
+	if coldIdx < 0 {
+		return nil
+	}
+	to := -1
+	for i, st := range active {
+		if i == coldIdx {
+			continue
+		}
+		if to < 0 || st.Backlog < active[to].Backlog {
+			to = i
+		}
+	}
+	if to < 0 {
+		return nil
+	}
+	p.note(logical, now)
+	return &ElasticAction{
+		Logical: logical,
+		From:    coldest.Index, To: active[to].Index,
+		Reason: "cold",
+	}
+}
+
+// note records an action against the group's cooldown and resets its cold
+// streaks: a reconfiguration redistributes traffic, so prior cold evidence
+// no longer describes the instances it was gathered on.
+func (p *ElasticPolicy) note(logical string, now time.Duration) {
+	p.mu.Lock()
+	p.last[logical] = now
+	delete(p.coldRuns, logical)
+	p.mu.Unlock()
+}

@@ -1,0 +1,112 @@
+package scheduler
+
+import (
+	"testing"
+	"time"
+)
+
+func elasticStats() []InstanceStat {
+	return []InstanceStat{
+		{Instance: "op#0", Index: 0, Active: true, Backlog: 0, TupleRate: 100},
+		{Instance: "op#1", Index: 1, Active: true, Backlog: 0, TupleRate: 90},
+		{Instance: "op#2", Index: 2, Active: false},
+	}
+}
+
+func TestElasticSplitsHottestOntoDormant(t *testing.T) {
+	var p ElasticPolicy
+	stats := elasticStats()
+	stats[1].Backlog = 200
+	act := p.Plan(time.Second, "op", stats)
+	if act == nil || !act.Split {
+		t.Fatalf("Plan = %+v, want a split", act)
+	}
+	if act.From != 1 || act.To != 2 || act.Logical != "op" {
+		t.Fatalf("split %+v, want instance 1 -> dormant 2", act)
+	}
+}
+
+func TestElasticNoSplitWithoutDormantTarget(t *testing.T) {
+	var p ElasticPolicy
+	stats := elasticStats()[:2]
+	stats[0].Backlog = 500
+	if act := p.Plan(time.Second, "op", stats); act != nil {
+		t.Fatalf("Plan = %+v, want nil when every instance is active", act)
+	}
+}
+
+func TestElasticMergesColdInstance(t *testing.T) {
+	var p ElasticPolicy
+	stats := elasticStats()
+	stats[1].TupleRate = 1 // drained and near-idle vs mean ~50
+	stats[0].Backlog = 3   // the survivor, lightly loaded but below HotBacklog
+	// One or two cold sightings are not evidence (a trickle can alias to
+	// zero in a single poll window); the default three consecutive are.
+	for poll := 1; poll <= 2; poll++ {
+		if act := p.Plan(time.Duration(poll)*time.Second, "op", stats); act != nil {
+			t.Fatalf("Plan = %+v after %d cold polls, want nil until %d", act, poll, 3)
+		}
+	}
+	act := p.Plan(3*time.Second, "op", stats)
+	if act == nil || act.Split {
+		t.Fatalf("Plan = %+v, want a merge", act)
+	}
+	if act.From != 1 || act.To != 0 {
+		t.Fatalf("merge %+v, want cold instance 1 -> 0", act)
+	}
+}
+
+func TestElasticColdStreakResetsOnWarmPoll(t *testing.T) {
+	var p ElasticPolicy
+	stats := elasticStats()
+	stats[1].TupleRate = 1
+	p.Plan(time.Second, "op", stats)
+	p.Plan(2*time.Second, "op", stats)
+	warm := elasticStats() // instance 1 back at rate 90: streak resets
+	p.Plan(3*time.Second, "op", warm)
+	stats = elasticStats()
+	stats[1].TupleRate = 1
+	if act := p.Plan(4*time.Second, "op", stats); act != nil {
+		t.Fatalf("Plan = %+v, want nil: cold streak was broken by a warm poll", act)
+	}
+}
+
+func TestElasticNoMergeWithoutRateSignal(t *testing.T) {
+	var p ElasticPolicy
+	stats := elasticStats()
+	stats[0].TupleRate = 0 // unwarmed telemetry: every instance reads 0
+	stats[1].TupleRate = 0
+	if act := p.Plan(time.Second, "op", stats); act != nil {
+		t.Fatalf("Plan = %+v, want nil when no instance reports a rate", act)
+	}
+}
+
+func TestElasticNoMergeUnderPressure(t *testing.T) {
+	var p ElasticPolicy
+	stats := elasticStats()[:2] // no dormant target, so the hot path can't fire
+	stats[0].Backlog = 500
+	stats[1].TupleRate = 0
+	stats[1].Backlog = 0
+	if act := p.Plan(time.Second, "op", stats); act != nil {
+		t.Fatalf("Plan = %+v, want no merge while an instance is saturated", act)
+	}
+}
+
+func TestElasticCooldownSuppressesReplanning(t *testing.T) {
+	p := ElasticPolicy{Cooldown: 5 * time.Second}
+	stats := elasticStats()
+	stats[0].Backlog = 200
+	if act := p.Plan(time.Second, "op", stats); act == nil {
+		t.Fatal("first plan suppressed")
+	}
+	if act := p.Plan(2*time.Second, "op", stats); act != nil {
+		t.Fatalf("Plan = %+v inside the cooldown window", act)
+	}
+	// A different group is not throttled by op's cooldown.
+	if act := p.Plan(2*time.Second, "other", stats); act == nil {
+		t.Fatal("cooldown leaked across groups")
+	}
+	if act := p.Plan(7*time.Second, "op", stats); act == nil {
+		t.Fatal("plan still suppressed after the cooldown elapsed")
+	}
+}

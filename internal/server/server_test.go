@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -8,7 +9,12 @@ import (
 )
 
 func deployment(up float64) (*Deployment, *clock.Scaled) {
-	clk := clock.NewScaled(2000)
+	// Speedup 250 keeps the shortest paced step (a ~4.5 s upload in the
+	// uplink-bound test) around 18 ms of wall time, long enough that
+	// timer wake-up overshoot — which can reach a couple of milliseconds
+	// on a busy or tickless host — stays a few percent of each step
+	// instead of halving the measured rate.
+	clk := clock.NewScaled(250)
 	d := New(Config{
 		Clock:        clk,
 		UplinkBps:    up,
@@ -20,35 +26,52 @@ func deployment(up float64) (*Deployment, *clock.Scaled) {
 }
 
 func TestUplinkBoundThroughput(t *testing.T) {
-	d, clk := deployment(0.32e6) // 40 KB/s
-	d.Start()
-	defer d.Stop()
-	// 180 KB tuples: ~4.5 s per upload; offer one per 2 s -> uplink bound.
-	stop := make(chan struct{})
-	go func() {
-		for {
-			select {
-			case <-clk.After(2 * time.Second):
-				d.Offer(180 << 10)
-			case <-stop:
-				return
+	// At speedup 2000 the 200 simulated seconds pass in ~100 ms of wall
+	// time, so a single OS scheduling stall swallows tens of simulated
+	// seconds of offers and sinks the measured rate. Retry before
+	// declaring a regression: a genuine uplink-model bug fails every
+	// attempt, a host hiccup does not. The drop check stays hard — an
+	// overloaded queue must shed stale frames regardless of load.
+	const attempts = 3
+	var lastErr string
+	for i := 0; i < attempts; i++ {
+		d, clk := deployment(0.32e6) // 40 KB/s
+		d.Start()
+		// 180 KB tuples: ~4.5 s per upload; offer one per 2 s -> uplink bound.
+		stop := make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-clk.After(2 * time.Second):
+					d.Offer(180 << 10)
+				case <-stop:
+					return
+				}
 			}
+		}()
+		clk.Sleep(200 * time.Second)
+		close(stop)
+		rate := d.Throughput.PerSecond(clk.Now())
+		dropped := d.Dropped()
+		d.Stop()
+		if dropped == 0 {
+			t.Fatal("overloaded queue should drop stale frames")
 		}
-	}()
-	clk.Sleep(200 * time.Second)
-	close(stop)
-	rate := d.Throughput.PerSecond(clk.Now())
-	// Uplink capacity: 40960 B/s / 184320 B = 0.222 t/s.
-	if rate < 0.15 || rate > 0.3 {
-		t.Fatalf("rate = %.3f t/s, want ~0.22 (uplink-bound)", rate)
+		// Uplink capacity: 40960 B/s / 184320 B = 0.222 t/s.
+		if rate >= 0.15 && rate <= 0.3 {
+			return
+		}
+		lastErr = fmt.Sprintf("rate = %.3f t/s, want ~0.22 (uplink-bound)", rate)
 	}
-	if d.Dropped() == 0 {
-		t.Fatal("overloaded queue should drop stale frames")
-	}
+	t.Fatal(lastErr)
 }
 
 func TestFastUplinkIsComputeOrArrivalBound(t *testing.T) {
-	clk := clock.NewScaled(500)
+	// Speedup 100 keeps the 1 s arrival period at 10 ms of wall time;
+	// at higher speedups a millisecond of timer overshoot per tick
+	// stretches the effective arrival period enough to halve the
+	// measured arrival-bound rate.
+	clk := clock.NewScaled(100)
 	d := New(Config{
 		Clock:         clk,
 		UplinkBps:     80e6,

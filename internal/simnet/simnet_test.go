@@ -114,7 +114,11 @@ func TestWiFiBroadcastLoss(t *testing.T) {
 }
 
 func TestWiFiBroadcastChargesAirtimeOnce(t *testing.T) {
-	clk := clock.NewScaled(2000)
+	// Speedup 200 keeps the 1 s broadcast at 5 ms of wall time; at 2000
+	// the same airtime is a 0.5 ms sleep, and a couple of milliseconds
+	// of timer overshoot reads back as several simulated seconds,
+	// tripping the airtime bound without any airtime being re-charged.
+	clk := clock.NewScaled(200)
 	w := NewWiFi(clk, WiFiConfig{BitsPerSecond: 1e6})
 	for _, id := range []NodeID{"a", "b", "c", "d"} {
 		w.Join(NewEndpoint(id, 1<<12))

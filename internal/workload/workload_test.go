@@ -144,7 +144,10 @@ func TestSGUpstreamFeed(t *testing.T) {
 	g := NewGenerator(clk)
 	var c capture
 	g.StartSGUpstream(c.push, SGUpstreamConfig{Period: time.Second, Seed: 5})
-	clk.Sleep(5 * time.Second)
+	// 20 simulated seconds is 40 ms of wall time at speedup 500; a
+	// shorter window can close before the generator's first tick fires
+	// when timer wake-ups overshoot on a busy host.
+	clk.Sleep(20 * time.Second)
 	g.Stop()
 	if c.count() == 0 {
 		t.Fatal("no advisories")

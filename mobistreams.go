@@ -101,7 +101,15 @@ type (
 	// Report summarises a region's metrics.
 	Report = metrics.Report
 	// BatchConfig bounds edge-level tuple batching.
+	//
+	// Deprecated: prefer QoS, which consolidates the batching knobs
+	// behind a latency budget; BatchConfig keeps working and is
+	// overridden field-by-field by non-zero QoS fields.
 	BatchConfig = node.BatchConfig
+	// QoS consolidates output-path quality of service: an end-to-end
+	// latency budget driving adaptive batch-flush deadlines, plus batch
+	// size bounds.
+	QoS = node.QoS
 )
 
 // Fault-tolerance schemes (§IV-B).
@@ -179,7 +187,14 @@ type RegionSpec struct {
 	Seed         int64
 	// Batch bounds edge-level tuple batching on every node's emission
 	// path; the zero value enables batching with defaults.
+	//
+	// Deprecated: prefer QoS; non-zero QoS fields override Batch
+	// field-by-field while the zero QoS leaves Batch behavior untouched.
 	Batch BatchConfig
+	// QoS consolidates the output-path quality-of-service knobs: a
+	// latency budget enabling adaptive batch-flush deadlines plus batch
+	// size bounds (see node.QoS).
+	QoS QoS
 	// OnOutput receives every deduplicated sink result; may be nil.
 	OnOutput func(t *Tuple)
 }
@@ -264,6 +279,7 @@ func (spec RegionSpec) wifiLoss() (float64, error) {
 // returned spec (WiFi, batching, seed) before AddRegion as needed.
 func PipelineSpec(id string, p *stream.Pipeline, scheme Scheme, phones int) RegionSpec {
 	spec := RegionSpec{ID: id, Graph: p.Graph(), Registry: p.Registry(), Scheme: scheme, Phones: phones}
+	spec.QoS.LatencyBudget = p.LatencyBudget()
 	if p.HasOutput() {
 		spec.OnOutput = p.Output
 	}
@@ -297,6 +313,7 @@ func (s *System) AddRegion(spec RegionSpec) (*Region, error) {
 		Broadcast:         broadcast.Config{BlockSize: 1024},
 		PreserveBroadcast: spec.Scheme.Kind == ft.MS,
 		Batch:             spec.Batch,
+		QoS:               spec.QoS,
 		OnSinkOutput:      wrapped.publish,
 		Logf:              s.cfg.Logf,
 	})

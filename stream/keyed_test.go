@@ -1,0 +1,179 @@
+package stream
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mobistreams/internal/operator"
+	"mobistreams/internal/tuple"
+)
+
+// tallyVia builds the keyed Via stage used across these tests.
+func tallyVia(id string) func() operator.Operator {
+	return func() operator.Operator { return operator.NewKeyedTally(id) }
+}
+
+func TestKeyByCompilesKeyedGroup(t *testing.T) {
+	p, err := From[string]("src").
+		KeyBy("kb", func(v string) string { return v }).
+		Via("tally", tallyVia("tally"), WithParallelism(2), WithMaxParallelism(4)).
+		Sink("out", nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := p.Graph()
+	gs, ok := g.KeyedGroup("tally")
+	if !ok {
+		t.Fatal("no keyed group compiled")
+	}
+	if gs.Parallelism != 2 || len(gs.Instances) != 4 {
+		t.Fatalf("group = %+v, want parallelism 2 of 4", gs)
+	}
+	for i, inst := range gs.Instances {
+		want := fmt.Sprintf("tally#%d", i)
+		if inst != want {
+			t.Fatalf("instance %d = %q, want %q", i, inst, want)
+		}
+		// Factories must rebind the instance ID so checkpoints and routing
+		// address the right operator.
+		op := p.Registry().New(inst)
+		if op.ID() != want {
+			t.Fatalf("factory for %s built operator %q", inst, op.ID())
+		}
+		if down := g.Downstream(inst); len(down) != 1 || down[0] != "out" {
+			t.Fatalf("instance %s downstream = %v", inst, down)
+		}
+	}
+	if down := g.Downstream("kb"); len(down) != len(gs.Instances) {
+		t.Fatalf("kb fans out to %v", down)
+	}
+}
+
+// TestParallelismOneParity is the golden parity check: WithParallelism(1)
+// (no extra instances) must compile into byte-identical graph + registry
+// output to the same pipeline without the option.
+func TestParallelismOneParity(t *testing.T) {
+	build := func(opts ...Option) (*Pipeline, error) {
+		return From[string]("src").
+			KeyBy("kb", func(v string) string { return v }).
+			Via("tally", tallyVia("tally"), opts...).
+			Sink("out", nil).
+			Build()
+	}
+	plain, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par1, err := build(WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Graph().Operators(), par1.Graph().Operators()) {
+		t.Fatalf("operators differ: %v vs %v", plain.Graph().Operators(), par1.Graph().Operators())
+	}
+	if !reflect.DeepEqual(plain.Graph().Slots(), par1.Graph().Slots()) {
+		t.Fatalf("slots differ: %v vs %v", plain.Graph().Slots(), par1.Graph().Slots())
+	}
+	for _, id := range plain.Graph().Operators() {
+		if plain.Graph().SlotOf(id) != par1.Graph().SlotOf(id) {
+			t.Fatalf("slot of %s differs", id)
+		}
+		if !reflect.DeepEqual(plain.Graph().Downstream(id), par1.Graph().Downstream(id)) {
+			t.Fatalf("downstream of %s differs: %v vs %v", id, plain.Graph().Downstream(id), par1.Graph().Downstream(id))
+		}
+	}
+	if _, ok := par1.Graph().KeyedGroup("tally"); ok {
+		t.Fatal("Parallelism(1) compiled a keyed group")
+	}
+	// Identical structure means identical runtime behavior: same compiled
+	// pipelines, same edge order, same sink outputs.
+	if len(par1.Registry()) != len(plain.Registry()) {
+		t.Fatalf("registry sizes differ: %d vs %d", len(par1.Registry()), len(plain.Registry()))
+	}
+}
+
+func TestKeyedValidationErrorsJoined(t *testing.T) {
+	// Three violations in one dataflow: parallelism without KeyBy,
+	// parallelism on a sink, latency budget on a sink. All must surface in
+	// one Build error.
+	_, err := From[string]("src").
+		Via("tally", tallyVia("tally"), WithParallelism(2)).
+		Sink("out", nil, WithParallelism(2), WithLatencyBudget(time.Second)).
+		Build()
+	if err == nil {
+		t.Fatal("Build accepted invalid keyed declarations")
+	}
+	for _, want := range []string{
+		`stage "tally" declares parallelism but no KeyBy upstream`,
+		`sink "out" cannot be parallel`,
+		`sink "out" cannot carry a latency budget`,
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestKeyedChainRejected(t *testing.T) {
+	_, err := From[string]("src").
+		KeyBy("kb", func(v string) string { return v }).
+		Via("a", tallyVia("a"), WithMaxParallelism(2)).
+		Via("b", tallyVia("b"), WithMaxParallelism(2)).
+		Sink("out", nil).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "keyed groups cannot chain") {
+		t.Fatalf("err = %v, want keyed-chain rejection", err)
+	}
+}
+
+func TestKeyByOnParallelStageRejected(t *testing.T) {
+	_, err := From[string]("src").
+		KeyBy("kb", func(v string) string { return v }, WithParallelism(2)).
+		Via("tally", tallyVia("tally")).
+		Sink("out", nil).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), `KeyBy stage "kb" cannot itself be parallel`) {
+		t.Fatalf("err = %v, want KeyBy-parallel rejection", err)
+	}
+}
+
+func TestLatencyBudgetPropagates(t *testing.T) {
+	p, err := From[string]("src", WithLatencyBudget(2*time.Second)).
+		KeyBy("kb", func(v string) string { return v }, WithLatencyBudget(500*time.Millisecond)).
+		Via("tally", tallyVia("tally")).
+		Sink("out", nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tightest declared budget wins.
+	if got := p.LatencyBudget(); got != 500*time.Millisecond {
+		t.Fatalf("LatencyBudget = %v, want 500ms", got)
+	}
+}
+
+func TestKeyByAssignsKind(t *testing.T) {
+	p, err := From[string]("src").
+		KeyBy("kb", func(v string) string { return "key:" + v }).
+		Sink("out", nil).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := p.Registry().New("kb")
+	in := &tuple.Tuple{Value: "abc", Kind: "orig"}
+	outs, err := operator.Run(op, "src", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0].T.Kind != "key:abc" {
+		t.Fatalf("KeyBy emitted %+v, want one tuple with Kind key:abc", outs)
+	}
+	if in.Kind != "orig" {
+		t.Fatal("KeyBy mutated its input tuple")
+	}
+}

@@ -53,6 +53,35 @@ func WithCost(d time.Duration) Option {
 	return func(st *stage) { st.cost = d }
 }
 
+// WithParallelism declares the stage elastically keyed with n initially
+// active instances. When the effective maximum parallelism exceeds 1 the
+// stage compiles into a keyed group — instances id#0..id#maxN-1, each on
+// its own slot, tuples routed by the key a KeyBy stage upstream assigned —
+// otherwise it compiles into exactly the plain single stage it is today.
+// Requires a KeyBy upstream; rejected on sinks (Build reports all
+// violations together).
+func WithParallelism(n int) Option {
+	return func(st *stage) { st.par = n; st.hasPar = true }
+}
+
+// WithMaxParallelism places n instances for the stage (slots and all) of
+// which only WithParallelism(k) serve traffic initially; the rest stay
+// dormant until a live key-range split hands them load. Implies
+// WithParallelism(1) when no initial parallelism is given.
+func WithMaxParallelism(n int) Option {
+	return func(st *stage) { st.maxPar = n; st.hasPar = true }
+}
+
+// WithLatencyBudget attaches an end-to-end latency budget to the stream at
+// this stage: the tightest budget declared anywhere in the dataflow
+// becomes the pipeline's QoS latency budget, which the runtime divides
+// across the batching hops toward the sinks and each edge tunes its
+// adaptive flush deadline under (see node.QoS). Rejected on sinks — a
+// sink has no downstream edge to budget.
+func WithLatencyBudget(d time.Duration) Option {
+	return func(st *stage) { st.budget = d }
+}
+
 // Upstream is any typed stream handle — what Merge accepts as an input.
 type Upstream interface {
 	ref() (*core, string)
@@ -79,6 +108,27 @@ type stage struct {
 	isSink  bool
 	sink    func(*tuple.Tuple) bool
 	sinkRT  reflect.Type // sink payload type (nil = any), for ambiguity checks
+
+	// Elastic keyed parallelism (WithParallelism/WithMaxParallelism) and
+	// the per-stream latency budget (WithLatencyBudget).
+	keyBy  bool
+	hasPar bool
+	par    int
+	maxPar int
+	budget time.Duration
+}
+
+// parallelism resolves the stage's (initial, max) instance counts; max > 1
+// means the stage compiles into a keyed group.
+func (st *stage) parallelism() (par, maxPar int) {
+	par, maxPar = st.par, st.maxPar
+	if par < 1 {
+		par = 1
+	}
+	if maxPar < par {
+		maxPar = par
+	}
+	return par, maxPar
 }
 
 // edge is one declared connection, in declaration order. Route edges are
@@ -208,6 +258,24 @@ func (s *Stream[T]) TimeWindow(id string, width time.Duration, opts ...Option) *
 	}
 	st := s.c.add(id, factory, nil, typeOf[float64](), []string{s.id}, opts)
 	return &Stream[float64]{c: s.c, id: st.id}
+}
+
+// KeyBy appends a key-assignment stage: every downstream keyed mechanism —
+// elastic parallel routing, TimeWindow grouping, per-key state — reads the
+// key fn assigns (carried on the tuple's Kind). Payloads that fail the
+// type assertion keep their existing Kind.
+func (s *Stream[T]) KeyBy(id string, fn func(T) string, opts ...Option) *Stream[T] {
+	factory := func() operator.Operator {
+		return operator.NewKeyTag(id, func(t *tuple.Tuple) string {
+			if v, ok := t.Value.(T); ok {
+				return fn(v)
+			}
+			return t.Kind
+		})
+	}
+	st := s.c.add(id, factory, typeOf[T](), typeOf[T](), []string{s.id}, opts)
+	st.keyBy = true
+	return &Stream[T]{c: s.c, id: st.id}
 }
 
 // Via appends a custom operator stage that preserves the payload type. The
@@ -343,6 +411,41 @@ func (c *core) build() (*Pipeline, error) {
 				e.from, e.to, e.from, from.out, e.to, to.in))
 		}
 	}
+	// Elastic keyed parallelism and latency-budget validation. A stage
+	// whose effective maximum parallelism exceeds 1 compiles into a keyed
+	// group; WithParallelism(1) alone compiles into exactly the plain
+	// stage, so its output is identical to an undeclared stage's.
+	keyed := make(map[string]bool)
+	var budget time.Duration
+	for _, st := range c.stages {
+		if st.hasPar {
+			_, maxPar := st.parallelism()
+			switch {
+			case st.isSink:
+				errs = append(errs, fmt.Errorf("stream: sink %q cannot be parallel — sinks publish externally and carry no key routing", st.id))
+			case st.keyBy:
+				errs = append(errs, fmt.Errorf("stream: KeyBy stage %q cannot itself be parallel — parallelism applies to the keyed stages it feeds", st.id))
+			case !c.hasKeyByUpstream(st.id):
+				errs = append(errs, fmt.Errorf("stream: stage %q declares parallelism but no KeyBy upstream assigns a key", st.id))
+			default:
+				if maxPar > 1 {
+					keyed[st.id] = true
+				}
+			}
+		}
+		if st.budget > 0 {
+			if st.isSink {
+				errs = append(errs, fmt.Errorf("stream: sink %q cannot carry a latency budget — budgets attach to stages with downstream edges", st.id))
+			} else if budget == 0 || st.budget < budget {
+				budget = st.budget
+			}
+		}
+	}
+	for _, e := range c.edges {
+		if keyed[e.from] && keyed[e.to] {
+			errs = append(errs, fmt.Errorf("stream: keyed stage %q feeds keyed stage %q directly — keyed groups cannot chain; insert a non-keyed stage between them", e.from, e.to))
+		}
+	}
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)
 	}
@@ -351,6 +454,22 @@ func (c *core) build() (*Pipeline, error) {
 	var sinks []func(*tuple.Tuple) bool
 	var sinkStages []*stage
 	for _, st := range c.stages {
+		if keyed[st.id] {
+			par, maxPar := st.parallelism()
+			gb.AddKeyedOperator(st.id, st.slot, par, maxPar)
+			for i := 0; i < maxPar; i++ {
+				instID := fmt.Sprintf("%s#%d", st.id, i)
+				base := st.factory
+				reg[instID] = func() operator.Operator {
+					op := base()
+					if rn, ok := op.(operator.Renamable); ok {
+						rn.SetID(instID)
+					}
+					return op
+				}
+			}
+			continue
+		}
 		gb.AddOperator(st.id, st.slot)
 		reg[st.id] = st.factory
 		if st.isSink {
@@ -372,7 +491,14 @@ func (c *core) build() (*Pipeline, error) {
 		}
 	}
 	for _, e := range c.edges {
-		gb.Connect(e.from, e.to)
+		switch {
+		case keyed[e.to]:
+			gb.ConnectToGroup(e.from, e.to)
+		case keyed[e.from]:
+			gb.ConnectFromGroup(e.from, e.to)
+		default:
+			gb.Connect(e.from, e.to)
+		}
 	}
 	g, err := gb.Build()
 	if err != nil {
@@ -400,16 +526,45 @@ func (c *core) build() (*Pipeline, error) {
 	if err := reg.Validate(g.Operators()); err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	return &Pipeline{g: g, reg: reg, sinks: sinks}, nil
+	return &Pipeline{g: g, reg: reg, sinks: sinks, budget: budget}, nil
+}
+
+// hasKeyByUpstream reports whether a KeyBy stage reaches id through the
+// recorded edges (transitively).
+func (c *core) hasKeyByUpstream(id string) bool {
+	preds := make(map[string][]string, len(c.edges))
+	for _, e := range c.edges {
+		preds[e.to] = append(preds[e.to], e.from)
+	}
+	seen := make(map[string]bool)
+	queue := append([]string(nil), preds[id]...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		if st := c.byID[cur]; st != nil && st.keyBy {
+			return true
+		}
+		queue = append(queue, preds[cur]...)
+	}
+	return false
 }
 
 // Pipeline is a compiled dataflow: the same graph + registry pair the
 // hand-wired API produces, plus the typed sink callbacks.
 type Pipeline struct {
-	g     *graph.Graph
-	reg   operator.Registry
-	sinks []func(*tuple.Tuple) bool
+	g      *graph.Graph
+	reg    operator.Registry
+	sinks  []func(*tuple.Tuple) bool
+	budget time.Duration
 }
+
+// LatencyBudget returns the tightest WithLatencyBudget declared in the
+// dataflow (zero when none) — PipelineSpec wires it into the region's QoS.
+func (p *Pipeline) LatencyBudget() time.Duration { return p.budget }
 
 // Graph returns the compiled query network.
 func (p *Pipeline) Graph() *graph.Graph { return p.g }
