@@ -21,6 +21,7 @@ import (
 //	go run ./cmd/msbench -exp wire -wireout BENCH_wire.json
 //	go run ./cmd/msbench -exp obs -obsout BENCH_obs.json
 //	go run ./cmd/msbench -exp elastic -seed 5 -elasticout BENCH_elastic.json
+//	go run ./cmd/msbench -exp federation -seed 5 -fedout BENCH_federation.json
 //	then copy the summary numbers below from those files.
 type Baseline struct {
 	Comment string `json:"comment"`
@@ -57,6 +58,11 @@ type Baseline struct {
 	// is the experiment's headline but is deliberately unbounded here — it
 	// measures the problem, not the solution.
 	ElasticP99HotspotMs float64 `json:"elastic_p99_hotspot_ms"`
+	// FederationCtrlBytesPerPhoneLargest is the gossip overlay's
+	// busiest-node control bytes per phone at the largest swept region
+	// count — the sub-linear fan-out claim's number. Fully deterministic
+	// (seeded simulation), so the grace term is small.
+	FederationCtrlBytesPerPhoneLargest float64 `json:"federation_ctrl_bytes_per_phone_largest"`
 }
 
 // regressionFactor is the gate's threshold: a metric more than 20% worse
@@ -89,9 +95,14 @@ const (
 	// pause window, so shared-machine scheduling moves it tens of ms
 	// between runs even when the policy behaves identically.
 	elasticGraceMs = 100.0
+	// fedGraceBytesPerPhone absorbs small shifts in gossip sampling when
+	// the sweep's seed-adjacent parameters move (peer-set ordering, digest
+	// window phase). The byte counts themselves are deterministic, so the
+	// grace only needs to cover intentional small retunes, not noise.
+	fedGraceBytesPerPhone = 20.0
 )
 
-func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath, obsPath, elasticPath string, w io.Writer) error {
+func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath, obsPath, elasticPath, fedPath string, w io.Writer) error {
 	var base Baseline
 	if err := readJSON(baselinePath, &base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -123,6 +134,10 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	var elasticRep bench.ElasticReport
 	if err := readJSON(elasticPath, &elasticRep); err != nil {
 		return fmt.Errorf("elastic results: %w", err)
+	}
+	var fedRep bench.FederationReport
+	if err := readJSON(fedPath, &fedRep); err != nil {
+		return fmt.Errorf("federation results: %w", err)
 	}
 
 	var worstLoss int64
@@ -214,6 +229,25 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	fmt.Fprintf(w, "gate: elastic hotspot p99 %.1f ms (baseline %.1f ms, limit %.1f ms)\n",
 		elasticP99, base.ElasticP99HotspotMs, elasticLimit)
 
+	// Federation: gossip-mode busiest-node control bytes per phone at the
+	// largest swept region count, plus the sweep's exactly-once invariant
+	// — a duplicate cross-region output is a dedup bug, gated at zero
+	// with no grace.
+	fedBytesPerPhone, fedDups := -1.0, uint64(0)
+	fedLargest := 0
+	for _, row := range fedRep.Rows {
+		if row.Mode == "gossip" {
+			if row.Regions > fedLargest {
+				fedLargest = row.Regions
+				fedBytesPerPhone = row.CtrlBytesPerPhone
+			}
+			fedDups += row.XRegionDupOutputs
+		}
+	}
+	fedLimit := base.FederationCtrlBytesPerPhoneLargest*regressionFactor + fedGraceBytesPerPhone
+	fmt.Fprintf(w, "gate: federation ctrl bytes/phone at %d regions %.1f (baseline %.1f, limit %.1f)\n",
+		fedLargest, fedBytesPerPhone, base.FederationCtrlBytesPerPhoneLargest, fedLimit)
+
 	var failures []string
 	if !emitSeen {
 		failures = append(failures, "emit results carry no context-contract row")
@@ -257,6 +291,14 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	}
 	if elasticDups != 0 {
 		failures = append(failures, fmt.Sprintf("elastic run published %d duplicate outputs", elasticDups))
+	}
+	if fedBytesPerPhone <= 0 {
+		failures = append(failures, "federation results carry no gossip-mode sweep rows")
+	} else if fedBytesPerPhone > fedLimit {
+		failures = append(failures, fmt.Sprintf("federation ctrl bytes/phone regressed: %.1f > %.1f", fedBytesPerPhone, fedLimit))
+	}
+	if fedDups != 0 {
+		failures = append(failures, fmt.Sprintf("federation run published %d duplicate cross-region outputs", fedDups))
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

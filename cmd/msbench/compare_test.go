@@ -19,9 +19,9 @@ func writeFile(t *testing.T, dir, name, content string) string {
 }
 
 // gateFixtures writes a full healthy result set matching the committed
-// baseline shape, returning the eight paths runCompare takes. Callers
+// baseline shape, returning the nine paths runCompare takes. Callers
 // overwrite individual files to construct failure cases.
-func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire, obs, elastic string) {
+func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed string) {
 	t.Helper()
 	baseline = writeFile(t, dir, "baseline.json", `{
 		"max_scheduler_tuple_loss": 0,
@@ -31,7 +31,8 @@ func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit,
 		"wire_encode_allocs_per_op": 0.0,
 		"obs_overhead_pct": 5.0,
 		"trace_allocs_per_op": 0.0,
-		"elastic_p99_hotspot_ms": 650.0
+		"elastic_p99_hotspot_ms": 650.0,
+		"federation_ctrl_bytes_per_phone_largest": 560.0
 	}`)
 	churn = writeFile(t, dir, "churn.json", `{"rows": [
 		{"mode": "scheduler", "tuples_lost": 0},
@@ -68,14 +69,19 @@ func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit,
 		{"mode": "static", "p99_hotspot_ms": 4500.0, "degrade_factor": 13.0, "duplicates": 0},
 		{"mode": "elastic", "p99_hotspot_ms": 640.0, "degrade_factor": 1.5, "splits": 2, "duplicates": 0}
 	]}`)
+	fed = writeFile(t, dir, "federation.json", `{"rows": [
+		{"mode": "gossip", "regions": 4, "ctrl_bytes_per_phone": 380.0, "xregion_dup_outputs": 0},
+		{"mode": "gossip", "regions": 64, "ctrl_bytes_per_phone": 555.0, "xregion_dup_outputs": 0},
+		{"mode": "unicast", "regions": 64, "ctrl_bytes_per_phone": 756.0, "xregion_dup_outputs": 0}
+	]}`)
 	return
 }
 
 func TestComparePasses(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err != nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err != nil {
 		t.Fatalf("healthy results failed the gate: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "no regressions") {
@@ -88,13 +94,13 @@ func TestComparePasses(t *testing.T) {
 // must fail the build, decode-side allocations must not.
 func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "encode_stream", "allocs_per_op": 1.0, "ns_per_op": 55, "frame_bytes": 80},
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
 	if err == nil {
 		t.Fatalf("1.0 wire-encode allocs/op passed the gate:\n%s", out.String())
 	}
@@ -107,12 +113,12 @@ func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 // silently pass.
 func TestCompareFailsOnMissingWireRows(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
 		t.Fatalf("wire results without encode rows passed the gate:\n%s", out.String())
 	}
 }
@@ -121,12 +127,12 @@ func TestCompareFailsOnMissingWireRows(t *testing.T) {
 // wire pin.
 func TestCompareFailsOnEmitAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "emit.json", `{"rows": [
 		{"mode": "context", "allocs_per_op": 1.0, "ns_per_op": 120}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
 	if err == nil {
 		t.Fatalf("1.0 emit allocs/op passed the gate:\n%s", out.String())
 	}
@@ -140,7 +146,7 @@ func TestCompareFailsOnEmitAlloc(t *testing.T) {
 // the smallest possible regression — must fail the build.
 func TestCompareFailsOnTraceAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{
 		"iters": 200000,
 		"off_ns_per_op": 100.0,
@@ -149,7 +155,7 @@ func TestCompareFailsOnTraceAlloc(t *testing.T) {
 		"trace_allocs_per_op": 1.0
 	}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
 	if err == nil {
 		t.Fatalf("1.0 traced-path allocs/op passed the gate:\n%s", out.String())
 	}
@@ -162,7 +168,7 @@ func TestCompareFailsOnTraceAlloc(t *testing.T) {
 // baseline plus grace must fail, attributed to the obs gate.
 func TestCompareFailsOnObsOverhead(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{
 		"iters": 200000,
 		"off_ns_per_op": 100.0,
@@ -171,7 +177,7 @@ func TestCompareFailsOnObsOverhead(t *testing.T) {
 		"trace_allocs_per_op": 0.0
 	}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
 	if err == nil {
 		t.Fatalf("80%% obs overhead passed the gate:\n%s", out.String())
 	}
@@ -184,10 +190,10 @@ func TestCompareFailsOnObsOverhead(t *testing.T) {
 // silently pass the pinned-allocation gate.
 func TestCompareFailsOnEmptyObsResults(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
 		t.Fatalf("empty obs results passed the gate:\n%s", out.String())
 	}
 }
@@ -197,13 +203,13 @@ func TestCompareFailsOnEmptyObsResults(t *testing.T) {
 // the split/merge policy stopped absorbing the hotspot.
 func TestCompareFailsOnElasticP99Regression(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "elastic.json", `{"rows": [
 		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0},
 		{"mode": "elastic", "p99_hotspot_ms": 3200.0, "splits": 0, "duplicates": 0}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
 	if err == nil {
 		t.Fatalf("3200 ms elastic hotspot p99 passed the gate against a 650 ms baseline:\n%s", out.String())
 	}
@@ -217,13 +223,13 @@ func TestCompareFailsOnElasticP99Regression(t *testing.T) {
 // when the latency numbers are healthy.
 func TestCompareFailsOnElasticDuplicates(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "elastic.json", `{"rows": [
 		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0},
 		{"mode": "elastic", "p99_hotspot_ms": 640.0, "splits": 2, "duplicates": 1}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
 	if err == nil {
 		t.Fatalf("a duplicate output passed the gate:\n%s", out.String())
 	}
@@ -236,12 +242,67 @@ func TestCompareFailsOnElasticDuplicates(t *testing.T) {
 // must not silently pass.
 func TestCompareFailsOnMissingElasticRow(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
 	writeFile(t, dir, "elastic.json", `{"rows": [
 		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0}
 	]}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
 		t.Fatalf("elastic results without an elastic-mode row passed the gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnFederationFanoutRegression is the federation gate's
+// verified fail path: busiest-node control bytes per phone at the largest
+// swept region count blowing past baseline×1.2 plus grace means the
+// gossip overlay's sub-linear fan-out regressed.
+func TestCompareFailsOnFederationFanoutRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	writeFile(t, dir, "federation.json", `{"rows": [
+		{"mode": "gossip", "regions": 4, "ctrl_bytes_per_phone": 380.0, "xregion_dup_outputs": 0},
+		{"mode": "gossip", "regions": 64, "ctrl_bytes_per_phone": 1400.0, "xregion_dup_outputs": 0}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	if err == nil {
+		t.Fatalf("1400 B/phone passed the gate against a 560 B/phone baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "federation ctrl bytes/phone regressed") {
+		t.Fatalf("failure not attributed to the federation gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnFederationDuplicates: cross-region exactly-once is
+// gated at zero with no grace — one duplicate output at any sweep point
+// fails the build even when the byte counts are healthy.
+func TestCompareFailsOnFederationDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	writeFile(t, dir, "federation.json", `{"rows": [
+		{"mode": "gossip", "regions": 4, "ctrl_bytes_per_phone": 380.0, "xregion_dup_outputs": 1},
+		{"mode": "gossip", "regions": 64, "ctrl_bytes_per_phone": 555.0, "xregion_dup_outputs": 0}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	if err == nil {
+		t.Fatalf("a duplicate cross-region output passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "duplicate cross-region outputs") {
+		t.Fatalf("failure not attributed to the federation exactly-once gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnMissingFederationRows: results without gossip-mode
+// sweep rows must not silently pass.
+func TestCompareFailsOnMissingFederationRows(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	writeFile(t, dir, "federation.json", `{"rows": [
+		{"mode": "unicast", "regions": 64, "ctrl_bytes_per_phone": 756.0}
+	]}`)
+	var out bytes.Buffer
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
+		t.Fatalf("federation results without gossip rows passed the gate:\n%s", out.String())
 	}
 }

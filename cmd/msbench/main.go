@@ -17,19 +17,24 @@
 //	msbench -exp emit           # emit-context contract vs legacy []Out adapter
 //	msbench -exp wire           # wire codec encode/decode cost
 //	msbench -exp elastic        # static vs elastic keyed parallelism, moving hotspot
+//	msbench -exp federation     # control fan-out vs region count, gossip vs unicast
 //
-// -churnout / -ckptout / -scaleout / -emitout / -wireout / -elasticout
-// write the churn, checkpoint, scale, emit, wire and elastic comparisons as
-// machine-readable JSON (BENCH_scheduler.json / BENCH_checkpoint.json /
-// BENCH_scale.json / BENCH_emit.json / BENCH_wire.json /
-// BENCH_elastic.json in CI) alongside the printed tables.
+// -churnout / -ckptout / -scaleout / -emitout / -wireout / -elasticout /
+// -fedout write the churn, checkpoint, scale, emit, wire, elastic and
+// federation comparisons as machine-readable JSON (BENCH_scheduler.json /
+// BENCH_checkpoint.json / BENCH_scale.json / BENCH_emit.json /
+// BENCH_wire.json / BENCH_elastic.json / BENCH_federation.json in CI)
+// alongside the printed tables.
 //
 // -compare is the CI benchmark-regression gate: it reads the committed
 // baseline (BENCH_baseline.json) plus the fresh churn/checkpoint/scale/
-// emit/wire/elastic JSON and exits non-zero when tuple loss, checkpoint
-// pause, largest-region throughput, or the elastic run's hotspot p99
-// regressed more than 20% against the baseline, or when the emit-context
-// path or the wire encode path allocates per operation (both pinned at 0).
+// emit/wire/elastic/federation JSON and exits non-zero when tuple loss,
+// checkpoint pause, largest-region throughput, the elastic run's hotspot
+// p99, or the federation sweep's busiest-node control bytes per phone
+// regressed more than 20% against the baseline, when the emit-context
+// path or the wire encode path allocates per operation (both pinned at 0),
+// or when the federation sweep leaks a duplicate cross-region output
+// (pinned at 0).
 //
 // -cpuprofile / -memprofile write pprof profiles so hot-path regressions
 // caught by the gate are diagnosable straight from CI artifacts.
@@ -49,7 +54,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|obs|elastic|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|obs|elastic|federation|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
@@ -61,6 +66,7 @@ func main() {
 	obsOut := flag.String("obsout", "", "write observability-overhead JSON to this path")
 	obsIters := flag.Int("obsiters", 200000, "tuples per observability-overhead measurement")
 	elasticOut := flag.String("elasticout", "", "write elastic-parallelism comparison JSON to this path")
+	fedOut := flag.String("fedout", "", "write federation fan-out sweep JSON to this path")
 	scaleMax := flag.Int("scalemax", 64, "largest region size for the scale sweep (8..128)")
 	scaleChannels := flag.String("scalechannels", "1,4", "comma-separated WiFi channel counts for tuned scale rows")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
@@ -75,6 +81,7 @@ func main() {
 	wireJSON := flag.String("wirejson", "BENCH_wire.json", "fresh wire-codec results for -compare")
 	obsJSON := flag.String("obsjson", "BENCH_obs.json", "fresh observability-overhead results for -compare")
 	elasticJSON := flag.String("elasticjson", "BENCH_elastic.json", "fresh elastic-parallelism results for -compare")
+	fedJSON := flag.String("fedjson", "BENCH_federation.json", "fresh federation fan-out results for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
@@ -108,7 +115,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, *obsJSON, *elasticJSON, os.Stdout); err != nil {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, *obsJSON, *elasticJSON, *fedJSON, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
 			os.Exit(1)
 		}
@@ -316,6 +323,28 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *elasticOut)
+			}
+			return nil
+		})
+	}
+	if want("federation") {
+		run("federation", func() error {
+			fedBase := bench.FederationScenario{Seed: *seed}
+			rows, err := bench.FederationComparison(fedBase)
+			if err != nil {
+				return err
+			}
+			bench.WriteFederationTable(os.Stdout, rows)
+			if *fedOut != "" {
+				f, err := os.Create(*fedOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WriteFederationJSON(f, fedBase, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *fedOut)
 			}
 			return nil
 		})

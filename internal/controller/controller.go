@@ -15,6 +15,7 @@ import (
 	"mobistreams/internal/region"
 	"mobistreams/internal/scheduler"
 	"mobistreams/internal/simnet"
+	"mobistreams/internal/wire"
 )
 
 // Config parameterises the controller. Defaults follow §IV: 5-minute
@@ -41,7 +42,12 @@ type Config struct {
 	// OnRegionDead is called when a region can no longer run and is
 	// bypassed (§III-D); may be nil.
 	OnRegionDead func(regionID string)
-	Logf         func(string, ...interface{})
+	// FederationSink, when non-nil, receives each region's telemetry
+	// rollup every schedule tick. The federation agent publishes it into
+	// the backhaul overlay; the controller itself stays region-local.
+	// Called without controller locks held.
+	FederationSink func(wire.Rollup)
+	Logf           func(string, ...interface{})
 }
 
 func (c *Config) applyDefaults() {
@@ -89,6 +95,8 @@ type managed struct {
 	recoveries   int
 	departures   int
 	migrations   int
+	// fedEpoch orders this region's federation rollups.
+	fedEpoch uint64
 	// migrating holds off checkpoint rounds while a live migration has a
 	// slot vacated: a token/snapshot command sent to the mid-flight slot
 	// would never be answered and the round could never commit.
@@ -169,7 +177,7 @@ func (c *Controller) Start() {
 		}
 		c.wg.Add(1)
 		go c.pingLoop(m)
-		if c.cfg.Sched != nil {
+		if c.cfg.Sched != nil || c.cfg.FederationSink != nil {
 			c.wg.Add(1)
 			go c.scheduleLoop(m)
 		}

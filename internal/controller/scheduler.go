@@ -4,15 +4,18 @@ import (
 	"time"
 
 	"mobistreams/internal/node"
+	"mobistreams/internal/region"
 	"mobistreams/internal/scheduler"
 	"mobistreams/internal/simnet"
 )
 
 // scheduleLoop runs the adaptive placement ticks for one region: poll
-// telemetry, let the scheduler plan, and execute each planned migration
-// sequentially. Planning is skipped while the region is recovering or mid-
-// checkpoint — a migration in either window would race the very machinery
-// it exists to spare.
+// telemetry, publish the federation rollup, let the scheduler plan, and
+// execute each planned migration sequentially. Planning is skipped while
+// the region is recovering or mid-checkpoint — a migration in either
+// window would race the very machinery it exists to spare. The rollup is
+// published regardless: the federation wants to hear about a region
+// precisely when it is struggling.
 func (c *Controller) scheduleLoop(m *managed) {
 	defer c.wg.Done()
 	for {
@@ -21,13 +24,32 @@ func (c *Controller) scheduleLoop(m *managed) {
 			if m.isDead() {
 				return
 			}
+			var stats scheduler.RegionStats
+			polled := false
+			if c.cfg.FederationSink != nil {
+				stats = m.r.Telemetry()
+				polled = true
+				m.mu.Lock()
+				m.fedEpoch++
+				epoch := m.fedEpoch
+				m.mu.Unlock()
+				ru := region.RollupFromStats(stats, epoch)
+				ru.OutTuples = m.r.Outputs()
+				c.cfg.FederationSink(ru)
+			}
 			m.mu.Lock()
 			busy := m.recovering || m.pendingVer != 0
 			m.mu.Unlock()
-			if busy {
+			if busy || c.cfg.Sched == nil {
 				continue
 			}
-			for _, mig := range c.cfg.Sched.Plan(m.r.Telemetry()) {
+			if !polled {
+				// Poll lazily: Telemetry() differentiates drain and tuple
+				// rates across polls, so an extra poll during a busy window
+				// would perturb the scheduler's risk scores.
+				stats = m.r.Telemetry()
+			}
+			for _, mig := range c.cfg.Sched.Plan(stats) {
 				if c.stopped() {
 					return
 				}

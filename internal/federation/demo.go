@@ -1,0 +1,517 @@
+package federation
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"mobistreams/internal/gossip"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/transport"
+	"mobistreams/internal/wire"
+)
+
+// This file is the federation's transport-parity demo: a hub (the lead)
+// plus N region agents join the overlay, exchange telemetry rollups, the
+// lead aggregates and broadcasts fleet caps, each region ships a short
+// cross-region stream to its ring successor (with one injected backhaul
+// retry), and the lead prints one report. The report is condition-based
+// — membership complete, caps epoch reached, streams delivered — never
+// byte- or round-based, so the identical text comes out of the
+// single-process simulation (RunDemoSim, transport.Mesh) and the
+// multi-process socket run (RunDemoLead + RunDemoRegion, transport.Socket
+// over TCP/UDP). CI diffs the two.
+
+// DemoLeadID is the hub agent's node ID in both backends.
+const DemoLeadID simnet.NodeID = "lead"
+
+// demoHubRegion is the hub's region name — cross-region report lines are
+// addressed to it.
+const demoHubRegion = "hub"
+
+const (
+	demoStreamReadings = "readings"
+	demoStreamReport   = "demo.report"
+	demoStreamDone     = "demo.done"
+	// demoTuples is the per-region cross-region workload; the second
+	// tuple is always resent to exercise the dedup line.
+	demoTuples = 3
+	// repDemoJoin is the worker→lead socket join announcement, in the
+	// shared Report op space well clear of the node runtime's values.
+	repDemoJoin uint8 = 120
+)
+
+func demoRegionName(i int) string { return fmt.Sprintf("r%02d", i) }
+
+// demoIDs is the full overlay membership: the hub plus n regions, agent
+// ID equal to region name for the regions.
+func demoIDs(n int) []simnet.NodeID {
+	ids := make([]simnet.NodeID, 0, n+1)
+	ids = append(ids, DemoLeadID)
+	for i := 1; i <= n; i++ {
+		ids = append(ids, simnet.NodeID(demoRegionName(i)))
+	}
+	return ids
+}
+
+// demoRollup is region i's telemetry — fixed functions of the index so
+// both backends publish identical numbers.
+func demoRollup(i int) wire.Rollup {
+	return wire.Rollup{
+		Epoch: 1, Phones: 16 + i, Idle: i, Backlog: 2 * i,
+		BatteryRisk: i % 2, OutTuples: uint64(10 * i),
+	}
+}
+
+func demoPayload(from, to string, k int, seed int64) []byte {
+	return []byte(fmt.Sprintf("demo/%s->%s/%d/seed=%d", from, to, k, seed))
+}
+
+func demoGossip(seed int64) gossip.Config {
+	return gossip.Config{Seed: seed, LazyAfter: 8}
+}
+
+// demoRegionState is one region's receiving side: the readings count and
+// running digest its report line is built from, and the shutdown flag.
+type demoRegionState struct {
+	mu   sync.Mutex
+	recv int
+	h    hash.Hash
+	done bool
+}
+
+func newDemoRegionState(a *Agent) *demoRegionState {
+	st := &demoRegionState{h: sha256.New()}
+	a.RouteFunc(demoStreamReadings, func(env wire.XRegionEnv) {
+		st.mu.Lock()
+		st.recv++
+		st.h.Write(env.Payload)
+		st.mu.Unlock()
+	})
+	a.RouteFunc(demoStreamDone, func(env wire.XRegionEnv) {
+		st.mu.Lock()
+		st.done = true
+		st.mu.Unlock()
+	})
+	return st
+}
+
+func (st *demoRegionState) received() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.recv
+}
+
+func (st *demoRegionState) finished() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.done
+}
+
+// line renders the region's report contribution. Arrival order from a
+// single ring predecessor over the reliable path is send order, so the
+// chained digest is deterministic; the injected retry must have been
+// dropped before the last reading arrived (FIFO), so DupsDropped is
+// already final here.
+func (st *demoRegionState) line(a *Agent) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return fmt.Sprintf("delivered=%d dups=%d digest=%s",
+		st.recv, a.Stats().DupsDropped, hex.EncodeToString(st.h.Sum(nil)))
+}
+
+// demoLeadState collects the per-region report lines at the hub.
+type demoLeadState struct {
+	mu      sync.Mutex
+	reports map[string]string
+}
+
+func newDemoLeadState(a *Agent) *demoLeadState {
+	st := &demoLeadState{reports: make(map[string]string)}
+	a.RouteFunc(demoStreamReport, func(env wire.XRegionEnv) {
+		st.mu.Lock()
+		st.reports[env.FromRegion] = string(env.Payload)
+		st.mu.Unlock()
+	})
+	return st
+}
+
+func (st *demoLeadState) count() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.reports)
+}
+
+// writeDemoReport prints the hub's view once every condition has been
+// met. CtrlBytes is deliberately omitted everywhere: it measures the
+// backend, not the federation, and would break sim/socket parity.
+func writeDemoReport(w io.Writer, n int, a *Agent, st *demoLeadState) {
+	fmt.Fprintf(w, "federation demo: %d regions\n", n)
+	for i := 1; i <= n; i++ {
+		region := demoRegionName(i)
+		ru, _ := a.MemberRollup(region)
+		fmt.Fprintf(w, "member %s: phones=%d idle=%d backlog=%d risk=%d out=%d\n",
+			region, ru.Phones, ru.Idle, ru.Backlog, ru.BatteryRisk, ru.OutTuples)
+	}
+	caps, _ := a.Caps()
+	fmt.Fprintf(w, "caps: epoch=%d phones=%d idle=%d backlog=%d risk=%d out=%d\n",
+		caps.Epoch, caps.Phones, caps.Idle, caps.Backlog, caps.BatteryRisk, caps.OutTuples)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := 1; i <= n; i++ {
+		region := demoRegionName(i)
+		fmt.Fprintf(w, "xregion %s: %s\n", region, st.reports[region])
+	}
+}
+
+// sendDemoReadings ships region i's ring workload to its successor,
+// resending the second envelope the way a backhaul redial would.
+func sendDemoReadings(a *Agent, i, n int, seed int64) error {
+	succ := demoRegionName(i%n + 1)
+	for k := 1; k <= demoTuples; k++ {
+		payload := demoPayload(demoRegionName(i), succ, k, seed)
+		seq, err := a.SendTuple(succ, demoStreamReadings, payload)
+		if err != nil {
+			return err
+		}
+		if k == 2 {
+			if err := a.Resend(succ, demoStreamReadings, seq, payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RunDemoSim runs the whole demo single-process on the deterministic
+// in-memory mesh and writes the report to w.
+func RunDemoSim(regions int, seed int64, w io.Writer) error {
+	n := regions
+	if n < 2 {
+		return fmt.Errorf("federation demo: need at least 2 regions, got %d", n)
+	}
+	mesh := transport.NewMesh(seed)
+	ids := demoIDs(n)
+	agents := make([]*Agent, len(ids))
+	var at int64
+	for i, id := range ids {
+		mem := mesh.Attach(id)
+		region := demoHubRegion
+		if i > 0 {
+			region = string(id)
+		}
+		a := NewAgent(id, mem, Config{
+			Region: region,
+			Lead:   i == 0,
+			Gossip: demoGossip(seed),
+			Now:    func() int64 { at++; return at },
+		})
+		a.SetPeers(ids)
+		agents[i] = a
+		mem.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+			a.Handle(from, class, frame)
+		})
+	}
+	leadSt := newDemoLeadState(agents[0])
+	regionSts := make([]*demoRegionState, n+1)
+	for i := 1; i <= n; i++ {
+		regionSts[i] = newDemoRegionState(agents[i])
+	}
+
+	settle := func(what string, done func() bool) error {
+		mesh.Drain()
+		for round := 0; round < 400; round++ {
+			if done() {
+				return nil
+			}
+			for _, a := range agents {
+				a.Tick()
+			}
+			mesh.Drain()
+		}
+		return fmt.Errorf("federation demo: %s did not converge", what)
+	}
+
+	for _, a := range agents {
+		a.Join()
+	}
+	if err := settle("membership", func() bool {
+		for _, a := range agents {
+			if len(a.Members()) != n+1 {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	for i := 1; i <= n; i++ {
+		agents[i].PublishRollup(demoRollup(i))
+	}
+	if err := settle("caps", func() bool {
+		for _, a := range agents {
+			caps, ok := a.Caps()
+			if !ok || caps.Epoch < uint64(n) {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	for i := 1; i <= n; i++ {
+		if err := sendDemoReadings(agents[i], i, n, seed); err != nil {
+			return err
+		}
+	}
+	if err := settle("readings", func() bool {
+		for i := 1; i <= n; i++ {
+			if regionSts[i].received() != demoTuples {
+				return false
+			}
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	for i := 1; i <= n; i++ {
+		line := regionSts[i].line(agents[i])
+		if _, err := agents[i].SendTuple(demoHubRegion, demoStreamReport, []byte(line)); err != nil {
+			return err
+		}
+	}
+	if err := settle("reports", func() bool { return leadSt.count() == n }); err != nil {
+		return err
+	}
+	writeDemoReport(w, n, agents[0], leadSt)
+	for i := 1; i <= n; i++ {
+		if _, err := agents[0].SendTuple(demoRegionName(i), demoStreamDone, []byte("bye")); err != nil {
+			return err
+		}
+	}
+	return settle("shutdown", func() bool {
+		for i := 1; i <= n; i++ {
+			if !regionSts[i].finished() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// tickUntil drives one agent's anti-entropy on a real-time cadence until
+// the condition holds — the socket backend's counterpart to the sim's
+// settle loop.
+func tickUntil(a *Agent, timeout time.Duration, what string, done func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if done() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("federation demo: %s did not converge within %v", what, timeout)
+		}
+		a.Tick()
+		time.Sleep(3 * time.Millisecond)
+	}
+}
+
+// RunDemoLead runs the hub over real sockets: listen, wait for the region
+// processes (RunDemoRegion) to join, hand out the address book, and print
+// the report once every region has delivered its line.
+func RunDemoLead(listen string, regions int, seed int64, timeout time.Duration, w io.Writer) error {
+	s, err := transport.NewSocket(DemoLeadID, listen, "")
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return RunDemoLeadOn(s, regions, seed, timeout, w)
+}
+
+// RunDemoLeadOn runs the hub protocol over an already-bound socket (the
+// parity test binds first so the regions know where to dial).
+func RunDemoLeadOn(s *transport.Socket, regions int, seed int64, timeout time.Duration, w io.Writer) error {
+	n := regions
+	if n < 2 {
+		return fmt.Errorf("federation demo: need at least 2 regions, got %d", n)
+	}
+	if err := s.WaitPeers(n, timeout); err != nil {
+		return err
+	}
+	ids := s.Peers()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	want := demoIDs(n)
+	for i, id := range ids {
+		if id != want[i+1] {
+			return fmt.Errorf("federation demo: joined peer %q, want %q", id, want[i+1])
+		}
+	}
+	book := make([]wire.AssignPeer, 0, n+1)
+	book = append(book, wire.AssignPeer{ID: DemoLeadID, Addr: s.Info().Addr})
+	for _, id := range ids {
+		addr, _ := s.PeerAddr(id)
+		book = append(book, wire.AssignPeer{ID: id, Addr: addr})
+	}
+
+	var at int64
+	a := NewAgent(DemoLeadID, s, Config{
+		Region: demoHubRegion,
+		Lead:   true,
+		Gossip: demoGossip(seed),
+		Now:    func() int64 { at++; return at },
+	})
+	a.SetPeers(want)
+	leadSt := newDemoLeadState(a)
+	s.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+		a.Handle(from, class, frame)
+	})
+
+	assign := wire.Assign{Lead: DemoLeadID, Seed: seed, Peers: book}
+	frame := wire.AppendAssign(make([]byte, 0, wire.SizeAssign(&assign)), &assign)
+	for _, id := range ids {
+		if err := s.Tell(id, simnet.ClassControl, frame); err != nil {
+			return fmt.Errorf("federation demo: assign %s: %w", id, err)
+		}
+	}
+
+	a.Join()
+	if err := tickUntil(a, timeout, "membership", func() bool {
+		return len(a.Members()) == n+1
+	}); err != nil {
+		return err
+	}
+	if err := tickUntil(a, timeout, "caps", func() bool {
+		caps, ok := a.Caps()
+		return ok && caps.Epoch >= uint64(n)
+	}); err != nil {
+		return err
+	}
+	if err := tickUntil(a, timeout, "reports", func() bool {
+		return leadSt.count() == n
+	}); err != nil {
+		return err
+	}
+	writeDemoReport(w, n, a, leadSt)
+	for i := 1; i <= n; i++ {
+		if _, err := a.SendTuple(demoRegionName(i), demoStreamDone, []byte("bye")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunDemoRegion runs one region process: listen, join the lead, receive
+// the address book, and play the region's part until the lead's shutdown
+// envelope arrives. The workload seed comes from the lead's assignment,
+// so the whole fleet needs only the join address.
+func RunDemoRegion(id simnet.NodeID, listen, join string, timeout time.Duration) error {
+	s, err := transport.NewSocket(id, listen, "")
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	s.AddPeer(DemoLeadID, join)
+
+	// The agent can only be built once the assignment arrives (it
+	// carries the gossip seed), so the handler buffers behind a small
+	// state machine: pre-assign frames other than the assignment are
+	// dropped — anti-entropy repairs anything a region misses while
+	// bootstrapping.
+	var (
+		mu     sync.Mutex
+		a      *Agent
+		st     *demoRegionState
+		seed   int64
+		nPeers int
+		ready  = make(chan struct{})
+	)
+	s.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+		mu.Lock()
+		ag := a
+		mu.Unlock()
+		if ag != nil {
+			ag.Handle(from, class, frame)
+			return
+		}
+		if class != simnet.ClassControl || wire.FrameKind(frame) != wire.KindAssign {
+			return
+		}
+		assign, err := wire.DecodeAssign(frame)
+		if err != nil {
+			return
+		}
+		var at int64
+		ids := make([]simnet.NodeID, 0, len(assign.Peers))
+		for _, p := range assign.Peers {
+			ids = append(ids, p.ID)
+			if p.ID != id && p.ID != DemoLeadID {
+				s.AddPeer(p.ID, p.Addr)
+			}
+		}
+		ag = NewAgent(id, s, Config{
+			Region: string(id),
+			Gossip: demoGossip(assign.Seed),
+			Now:    func() int64 { at++; return at },
+		})
+		ag.SetPeers(ids)
+		mu.Lock()
+		a = ag
+		st = newDemoRegionState(ag)
+		seed = assign.Seed
+		nPeers = len(assign.Peers) - 1
+		mu.Unlock()
+		close(ready)
+	})
+
+	// Announce to the lead; the socket handshake carries our dialable
+	// address, WaitPeers counts us, and the assignment comes back.
+	rp := wire.Report{Type: repDemoJoin, Phone: id}
+	if err := s.Tell(DemoLeadID, simnet.ClassControl, wire.AppendReport(nil, &rp)); err != nil {
+		return fmt.Errorf("federation demo: join %s: %w", join, err)
+	}
+	select {
+	case <-ready:
+	case <-time.After(timeout):
+		return fmt.Errorf("federation demo: no assignment within %v", timeout)
+	}
+	mu.Lock()
+	ag, rst, n := a, st, nPeers
+	wseed := seed
+	mu.Unlock()
+
+	var i int
+	if _, err := fmt.Sscanf(string(id), "r%02d", &i); err != nil {
+		return fmt.Errorf("federation demo: region id %q not rNN: %w", id, err)
+	}
+
+	ag.Join()
+	if err := tickUntil(ag, timeout, "membership", func() bool {
+		return len(ag.Members()) == n+1
+	}); err != nil {
+		return err
+	}
+	ag.PublishRollup(demoRollup(i))
+	if err := tickUntil(ag, timeout, "caps", func() bool {
+		caps, ok := ag.Caps()
+		return ok && caps.Epoch >= uint64(n)
+	}); err != nil {
+		return err
+	}
+	if err := sendDemoReadings(ag, i, n, wseed); err != nil {
+		return err
+	}
+	if err := tickUntil(ag, timeout, "readings", func() bool {
+		return rst.received() == demoTuples
+	}); err != nil {
+		return err
+	}
+	if _, err := ag.SendTuple(demoHubRegion, demoStreamReport, []byte(rst.line(ag))); err != nil {
+		return err
+	}
+	return tickUntil(ag, timeout, "shutdown", rst.finished)
+}

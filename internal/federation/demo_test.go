@@ -1,0 +1,81 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/transport"
+)
+
+// TestDemoParitySimVsSocket is the federation's transport-parity pin: the
+// demo report out of the single-process simulation must be byte-identical
+// to the report out of a lead plus two region agents running the real
+// socket protocol. CI repeats the same diff across OS processes.
+func TestDemoParitySimVsSocket(t *testing.T) {
+	const regions = 2
+	const seed = int64(5)
+
+	var simOut bytes.Buffer
+	if err := RunDemoSim(regions, seed, &simOut); err != nil {
+		t.Fatalf("sim demo: %v", err)
+	}
+	if !strings.Contains(simOut.String(), "federation demo: 2 regions") {
+		t.Fatalf("sim report missing header:\n%s", simOut.String())
+	}
+	if strings.Contains(simOut.String(), "dups=0") {
+		t.Fatalf("sim report shows no dedup — the injected retry was not exercised:\n%s", simOut.String())
+	}
+
+	lead, err := transport.NewSocket(DemoLeadID, "127.0.0.1:0", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lead.Close()
+	join := lead.Info().Addr
+
+	var wg sync.WaitGroup
+	regionErrs := make([]error, regions)
+	for i := 1; i <= regions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := simnet.NodeID(fmt.Sprintf("r%02d", i))
+			regionErrs[i-1] = RunDemoRegion(id, "127.0.0.1:0", join, 30*time.Second)
+		}(i)
+	}
+	var sockOut bytes.Buffer
+	leadErr := RunDemoLeadOn(lead, regions, seed, 30*time.Second, &sockOut)
+	wg.Wait()
+	if leadErr != nil {
+		t.Fatalf("socket lead: %v", leadErr)
+	}
+	for i, err := range regionErrs {
+		if err != nil {
+			t.Fatalf("socket region r%02d: %v", i+1, err)
+		}
+	}
+
+	if simOut.String() != sockOut.String() {
+		t.Fatalf("sim and socket reports differ:\n--- sim ---\n%s--- socket ---\n%s",
+			simOut.String(), sockOut.String())
+	}
+}
+
+// TestDemoSimDeterminism: same seed, same report.
+func TestDemoSimDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := RunDemoSim(3, 9, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunDemoSim(3, 9, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("demo not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}

@@ -1,0 +1,395 @@
+// Package federation shards the control plane across regions. Each region
+// keeps its autonomous controller — checkpoints, recovery and migration
+// never leave the region — and runs one Agent on the cellular backhaul
+// overlay. Agents exchange three things over gossip: membership, compact
+// telemetry rollups (a few dozen bytes standing in for a region's whole
+// phone fleet), and the lead's fleet-wide aggregate, which doubles as the
+// battery-risk cap broadcast. Cross-region stream traffic — one region's
+// sink output feeding another region's sources — travels point-to-point in
+// sequenced envelopes the receiver dedups, so backhaul retries stay
+// idempotent and delivery is exactly-once.
+//
+// Because everything fleet-wide rides the epidemic broadcast layer, the
+// lead's egress does not grow with the number of regions: publishing a cap
+// to 64 regions costs the lead the same constant fan-out as publishing to
+// 4. That is the sub-linear control property the federation benchmark
+// measures.
+package federation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mobistreams/internal/gossip"
+	"mobistreams/internal/obs"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/transport"
+	"mobistreams/internal/wire"
+)
+
+// Gossip method names on the backhaul overlay.
+const (
+	methodJoin   = "fed.join"
+	methodRollup = "fed.rollup"
+	methodCaps   = "fed.caps"
+)
+
+// FleetScope is the Region value the lead's aggregate rollup carries.
+const FleetScope = "fleet"
+
+// RouteFunc consumes one cross-region envelope addressed to this region.
+// The payload view is only valid for the duration of the call.
+type RouteFunc func(env wire.XRegionEnv)
+
+// Config parameterises one federation agent.
+type Config struct {
+	// Region is the region this agent represents.
+	Region string
+	// Lead marks the agent that aggregates rollups and publishes fleet
+	// caps. Exactly one agent per federation should set it.
+	Lead bool
+	// Gossip tunes the epidemic layer (Class defaults to ClassControl).
+	Gossip gossip.Config
+	// Journal, when non-nil, records membership, caps and dedup events.
+	Journal *obs.Journal
+	// Now supplies event timestamps; defaults to wall time. The benches
+	// pin it for deterministic journals.
+	Now func() int64
+}
+
+// Stats counts one agent's federation activity.
+type Stats struct {
+	// RollupsSeen counts telemetry rollups applied (stale epochs excluded).
+	RollupsSeen uint64
+	// StaleRollups counts rollups discarded for carrying an old epoch.
+	StaleRollups uint64
+	// CapsSeen counts fleet aggregates applied.
+	CapsSeen uint64
+	// TuplesSent and TuplesDelivered count cross-region envelopes.
+	TuplesSent      uint64
+	TuplesDelivered uint64
+	// DupsDropped counts envelopes suppressed by the receiver's dedup —
+	// the exactly-once property under backhaul retries.
+	DupsDropped uint64
+}
+
+type streamKey struct {
+	region, stream string
+}
+
+// Agent is one region's presence on the federation overlay.
+type Agent struct {
+	id  simnet.NodeID
+	tr  transport.Transport
+	g   *gossip.Node
+	cfg Config
+	now func() int64
+
+	mu       sync.Mutex
+	members  map[string]wire.Rollup
+	leads    map[string]simnet.NodeID
+	caps     wire.Rollup
+	haveCaps bool
+	ownEpoch uint64
+	outSeq   map[streamKey]uint64
+	seen     map[streamKey]uint64
+	routes   map[string]RouteFunc
+	stats    Stats
+}
+
+// NewAgent creates a federation agent on tr. Like the gossip node it owns,
+// the agent does not install a transport handler: compose Handle into the
+// owner's receive function.
+func NewAgent(id simnet.NodeID, tr transport.Transport, cfg Config) *Agent {
+	if cfg.Gossip.Class == 0 {
+		cfg.Gossip.Class = simnet.ClassControl
+	}
+	a := &Agent{
+		id:      id,
+		tr:      tr,
+		cfg:     cfg,
+		now:     cfg.Now,
+		members: make(map[string]wire.Rollup),
+		leads:   make(map[string]simnet.NodeID),
+		outSeq:  make(map[streamKey]uint64),
+		seen:    make(map[streamKey]uint64),
+		routes:  make(map[string]RouteFunc),
+	}
+	if a.now == nil {
+		a.now = func() int64 { return time.Now().UnixNano() }
+	}
+	a.g = gossip.NewNode(id, tr, cfg.Gossip)
+	a.g.RegisterFunc(methodJoin, a.onRollupPayload)
+	a.g.RegisterFunc(methodRollup, a.onRollupPayload)
+	a.g.RegisterFunc(methodCaps, a.onCapsPayload)
+	return a
+}
+
+// ID reports the agent's overlay identity.
+func (a *Agent) ID() simnet.NodeID { return a.id }
+
+// Region reports the region this agent represents.
+func (a *Agent) Region() string { return a.cfg.Region }
+
+// Gossip exposes the underlying gossip node (stats, tests).
+func (a *Agent) Gossip() *gossip.Node { return a.g }
+
+// SetPeers replaces the backhaul overlay's peer set.
+func (a *Agent) SetPeers(peers []simnet.NodeID) { a.g.SetPeers(peers) }
+
+// Stats snapshots the agent's counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Join announces the region into the federation: an epoch-0 rollup that
+// carries the region's name and this agent's overlay address, so every
+// member learns where to send cross-region traffic.
+func (a *Agent) Join() {
+	ru := wire.Rollup{Region: a.cfg.Region, Lead: a.id}
+	a.g.Broadcast(methodJoin, wire.AppendRollup(nil, &ru))
+}
+
+// PublishRollup gossips the region's telemetry rollup. Region and Lead
+// are stamped by the agent; a zero Epoch gets the agent's own increasing
+// epoch. CtrlBytes is filled from the transport's control-class egress
+// when the transport exposes it.
+func (a *Agent) PublishRollup(ru wire.Rollup) {
+	ru.Region = a.cfg.Region
+	ru.Lead = a.id
+	a.mu.Lock()
+	if ru.Epoch == 0 {
+		a.ownEpoch++
+		ru.Epoch = a.ownEpoch
+	} else if ru.Epoch > a.ownEpoch {
+		a.ownEpoch = ru.Epoch
+	}
+	a.mu.Unlock()
+	if eg, ok := a.tr.(interface {
+		SentBytes(simnet.Class) int64
+	}); ok {
+		ru.CtrlBytes = uint64(eg.SentBytes(a.cfg.Gossip.Class))
+	}
+	a.g.Broadcast(methodRollup, wire.AppendRollup(nil, &ru))
+}
+
+// Tick runs one gossip anti-entropy round. The lead additionally
+// re-aggregates and publishes fleet caps when membership or telemetry
+// changed since the last publish.
+func (a *Agent) Tick() {
+	a.g.Tick()
+	if !a.cfg.Lead {
+		return
+	}
+	agg := a.Aggregate()
+	a.mu.Lock()
+	stale := a.haveCaps && a.caps.Epoch >= agg.Epoch &&
+		a.caps.Phones == agg.Phones && a.caps.Backlog == agg.Backlog &&
+		a.caps.BatteryRisk == agg.BatteryRisk && a.caps.Idle == agg.Idle
+	a.mu.Unlock()
+	if stale || agg.Phones == 0 {
+		return
+	}
+	a.PublishCaps(agg)
+}
+
+// Aggregate folds every member's latest rollup into the fleet scope. The
+// Epoch is the sum of member epochs, so any member publishing bumps it.
+func (a *Agent) Aggregate() wire.Rollup {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	agg := wire.Rollup{Region: FleetScope, Lead: a.id}
+	for _, ru := range a.members {
+		agg.Epoch += ru.Epoch
+		agg.Phones += ru.Phones
+		agg.Idle += ru.Idle
+		agg.Backlog += ru.Backlog
+		agg.BatteryRisk += ru.BatteryRisk
+		agg.OutTuples += ru.OutTuples
+		agg.CtrlBytes += ru.CtrlBytes
+	}
+	return agg
+}
+
+// PublishCaps gossips a fleet aggregate to every region.
+func (a *Agent) PublishCaps(agg wire.Rollup) {
+	agg.Region = FleetScope
+	agg.Lead = a.id
+	a.g.Broadcast(methodCaps, wire.AppendRollup(nil, &agg))
+}
+
+// Caps reports the last fleet aggregate this agent received.
+func (a *Agent) Caps() (wire.Rollup, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.caps, a.haveCaps
+}
+
+// Members lists the known regions, sorted.
+func (a *Agent) Members() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.members))
+	for r := range a.members {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemberRollup reports a region's latest rollup.
+func (a *Agent) MemberRollup(region string) (wire.Rollup, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ru, ok := a.members[region]
+	return ru, ok
+}
+
+// LeadOf reports the overlay address of a region's agent.
+func (a *Agent) LeadOf(region string) (simnet.NodeID, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id, ok := a.leads[region]
+	return id, ok
+}
+
+// RouteFunc binds a stream name to a local consumer of cross-region
+// envelopes addressed to this region.
+func (a *Agent) RouteFunc(stream string, fn RouteFunc) {
+	a.mu.Lock()
+	a.routes[stream] = fn
+	a.mu.Unlock()
+}
+
+// SendTuple ships a payload to another region's agent as a sequenced
+// envelope over the reliable backhaul path, returning the sequence number
+// used. Redelivery (Resend) with the same sequence is suppressed at the
+// receiver, so retries after a backhaul redial are idempotent.
+func (a *Agent) SendTuple(toRegion, stream string, payload []byte) (uint64, error) {
+	a.mu.Lock()
+	dest, ok := a.leads[toRegion]
+	if !ok {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("federation: region %q not in membership", toRegion)
+	}
+	k := streamKey{toRegion, stream}
+	a.outSeq[k]++
+	seq := a.outSeq[k]
+	a.stats.TuplesSent++
+	a.mu.Unlock()
+	return seq, a.sendEnvelope(dest, toRegion, stream, seq, payload)
+}
+
+// Resend re-ships an envelope under an explicit sequence number — the
+// retry half of exactly-once. The receiver's dedup makes it a no-op if
+// the original arrived.
+func (a *Agent) Resend(toRegion, stream string, seq uint64, payload []byte) error {
+	a.mu.Lock()
+	dest, ok := a.leads[toRegion]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("federation: region %q not in membership", toRegion)
+	}
+	return a.sendEnvelope(dest, toRegion, stream, seq, payload)
+}
+
+func (a *Agent) sendEnvelope(dest simnet.NodeID, toRegion, stream string, seq uint64, payload []byte) error {
+	env := wire.XRegionEnv{
+		FromRegion: a.cfg.Region, ToRegion: toRegion,
+		Stream: stream, Seq: seq, Payload: payload,
+	}
+	return a.tr.Tell(dest, a.cfg.Gossip.Class, wire.AppendXRegionEnv(nil, &env))
+}
+
+// Handle offers a received frame to the federation layer: gossip frames
+// and cross-region envelopes are consumed; anything else is the owner's.
+func (a *Agent) Handle(from simnet.NodeID, class simnet.Class, frame []byte) bool {
+	if a.g.Handle(from, class, frame) {
+		return true
+	}
+	if class != a.cfg.Gossip.Class || wire.FrameKind(frame) != wire.KindXRegion {
+		return false
+	}
+	env, err := wire.DecodeXRegionEnv(frame)
+	if err != nil {
+		return true // malformed envelope: consumed, dropped
+	}
+	a.handleEnvelope(env)
+	return true
+}
+
+func (a *Agent) handleEnvelope(env wire.XRegionEnv) {
+	a.mu.Lock()
+	if env.ToRegion != a.cfg.Region {
+		a.mu.Unlock()
+		return // misrouted; agents are not relays
+	}
+	k := streamKey{env.FromRegion, env.Stream}
+	if env.Seq <= a.seen[k] {
+		a.stats.DupsDropped++
+		a.mu.Unlock()
+		a.jot("fed.xregion.dup", env.Stream, env.Seq, env.FromRegion)
+		return
+	}
+	a.seen[k] = env.Seq
+	a.stats.TuplesDelivered++
+	route := a.routes[env.Stream]
+	a.mu.Unlock()
+	if route != nil {
+		route(env)
+	}
+}
+
+// onRollupPayload applies a join announce or telemetry rollup.
+func (a *Agent) onRollupPayload(origin simnet.NodeID, payload []byte) {
+	ru, err := wire.DecodeRollup(payload)
+	if err != nil || ru.Region == "" {
+		return
+	}
+	a.mu.Lock()
+	prev, known := a.members[ru.Region]
+	if known && ru.Epoch < prev.Epoch {
+		a.stats.StaleRollups++
+		a.mu.Unlock()
+		return
+	}
+	a.members[ru.Region] = ru
+	a.leads[ru.Region] = ru.Lead
+	a.stats.RollupsSeen++
+	a.mu.Unlock()
+	if !known {
+		a.jot("fed.member", ru.Region, ru.Epoch, string(ru.Lead))
+	}
+}
+
+// onCapsPayload applies the lead's fleet aggregate.
+func (a *Agent) onCapsPayload(origin simnet.NodeID, payload []byte) {
+	agg, err := wire.DecodeRollup(payload)
+	if err != nil || agg.Region != FleetScope {
+		return
+	}
+	a.mu.Lock()
+	if a.haveCaps && agg.Epoch < a.caps.Epoch {
+		a.mu.Unlock()
+		return
+	}
+	a.caps = agg
+	a.haveCaps = true
+	a.stats.CapsSeen++
+	a.mu.Unlock()
+	a.jot("fed.caps", FleetScope, agg.Epoch, fmt.Sprintf("phones=%d risk=%d", agg.Phones, agg.BatteryRisk))
+}
+
+func (a *Agent) jot(kind, slot string, version uint64, detail string) {
+	if a.cfg.Journal == nil {
+		return
+	}
+	a.cfg.Journal.Emit(obs.Event{
+		At: a.now(), Kind: kind, Node: string(a.id),
+		Slot: slot, Version: version, Detail: detail,
+	})
+}

@@ -1,0 +1,200 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+
+	"mobistreams/internal/gossip"
+	"mobistreams/internal/obs"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/transport"
+	"mobistreams/internal/wire"
+)
+
+// fleet is a federation of agents over a deterministic fabric: agent 0 is
+// the lead.
+type fleet struct {
+	mesh   *transport.Mesh
+	mems   []*transport.Mem
+	agents []*Agent
+	ids    []simnet.NodeID
+}
+
+func buildFleet(t *testing.T, n int, seed int64, journal *obs.Journal) *fleet {
+	t.Helper()
+	f := &fleet{mesh: transport.NewMesh(seed)}
+	for i := 0; i < n; i++ {
+		id := simnet.NodeID(fmt.Sprintf("agent%02d", i))
+		f.ids = append(f.ids, id)
+		f.mems = append(f.mems, f.mesh.Attach(id))
+	}
+	var at int64
+	for i, id := range f.ids {
+		a := NewAgent(id, f.mems[i], Config{
+			Region:  fmt.Sprintf("r%02d", i),
+			Lead:    i == 0,
+			Gossip:  gossip.Config{Seed: seed},
+			Journal: journal,
+			Now:     func() int64 { at++; return at },
+		})
+		a.SetPeers(f.ids)
+		mem := f.mems[i]
+		mem.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+			if !a.Handle(from, class, frame) {
+				t.Errorf("agent dropped foreign frame from %s", from)
+			}
+		})
+		f.agents = append(f.agents, a)
+	}
+	return f
+}
+
+func (f *fleet) settle(rounds int) {
+	f.mesh.Drain()
+	for r := 0; r < rounds; r++ {
+		for _, a := range f.agents {
+			a.Tick()
+		}
+		f.mesh.Drain()
+	}
+}
+
+func TestMembershipConverges(t *testing.T) {
+	j := obs.NewJournal(0)
+	f := buildFleet(t, 8, 9, j)
+	for _, a := range f.agents {
+		a.Join()
+	}
+	f.settle(6)
+	for i, a := range f.agents {
+		if got := len(a.Members()); got != 8 {
+			t.Fatalf("agent %d sees %d members, want 8: %v", i, got, a.Members())
+		}
+		if lead, ok := a.LeadOf("r03"); !ok || lead != "agent03" {
+			t.Fatalf("agent %d resolves r03 lead to %q", i, lead)
+		}
+	}
+	members := 0
+	for _, ev := range j.Events() {
+		if ev.Kind == "fed.member" {
+			members++
+		}
+	}
+	if members == 0 {
+		t.Fatal("no fed.member journal events")
+	}
+}
+
+func TestRollupAggregationAndCaps(t *testing.T) {
+	f := buildFleet(t, 5, 21, nil)
+	for _, a := range f.agents {
+		a.Join()
+	}
+	f.settle(4)
+	for i, a := range f.agents {
+		a.PublishRollup(wire.Rollup{
+			Phones: 10 + i, Idle: i, Backlog: 2 * i, BatteryRisk: i % 2,
+			OutTuples: uint64(100 * i),
+		})
+	}
+	f.settle(6)
+
+	agg := f.agents[0].Aggregate()
+	if agg.Phones != 10+11+12+13+14 {
+		t.Fatalf("aggregate phones = %d", agg.Phones)
+	}
+	if agg.Backlog != 2*(1+2+3+4) || agg.BatteryRisk != 2 {
+		t.Fatalf("aggregate backlog/risk = %d/%d", agg.Backlog, agg.BatteryRisk)
+	}
+	// Every region — not just the lead — received the fleet caps.
+	for i, a := range f.agents {
+		caps, ok := a.Caps()
+		if !ok {
+			t.Fatalf("agent %d never received caps", i)
+		}
+		if caps.Region != FleetScope || caps.Phones != agg.Phones {
+			t.Fatalf("agent %d caps = %+v", i, caps)
+		}
+	}
+	// A stale epoch must not regress a member's rollup.
+	before, _ := f.agents[0].MemberRollup("r02")
+	f.agents[2].PublishRollup(wire.Rollup{Epoch: 1, Phones: 1})
+	f.settle(4)
+	after, _ := f.agents[0].MemberRollup("r02")
+	if after.Epoch < before.Epoch {
+		t.Fatalf("stale rollup regressed r02: %+v -> %+v", before, after)
+	}
+}
+
+// TestCrossRegionExactlyOnce: envelopes dedup on (from-region, stream,
+// seq) — a resent envelope is suppressed, a fresh one is delivered.
+func TestCrossRegionExactlyOnce(t *testing.T) {
+	j := obs.NewJournal(0)
+	f := buildFleet(t, 3, 33, j)
+	for _, a := range f.agents {
+		a.Join()
+	}
+	f.settle(4)
+
+	var got []string
+	f.agents[1].RouteFunc("readings", func(env wire.XRegionEnv) {
+		got = append(got, fmt.Sprintf("%s/%d:%s", env.FromRegion, env.Seq, env.Payload))
+	})
+	seq1, err := f.agents[2].SendTuple("r01", "readings", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.agents[2].SendTuple("r01", "readings", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	// Retry the first envelope twice, as a redial path would.
+	for i := 0; i < 2; i++ {
+		if err := f.agents[2].Resend("r01", "readings", seq1, []byte("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.mesh.Drain()
+
+	want := []string{"r02/1:a", "r02/2:b"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	st := f.agents[1].Stats()
+	if st.TuplesDelivered != 2 || st.DupsDropped != 2 {
+		t.Fatalf("delivered/dups = %d/%d, want 2/2", st.TuplesDelivered, st.DupsDropped)
+	}
+	var dupEvents int
+	for _, ev := range j.Events() {
+		if ev.Kind == "fed.xregion.dup" {
+			dupEvents++
+		}
+	}
+	if dupEvents != 2 {
+		t.Fatalf("%d fed.xregion.dup events, want 2", dupEvents)
+	}
+	// Sending to an unknown region fails loudly rather than blackholing.
+	if _, err := f.agents[2].SendTuple("nowhere", "readings", []byte("x")); err == nil {
+		t.Fatal("send to unknown region succeeded")
+	}
+}
+
+// TestLeadEgressConstantAcrossFleetSize pins the tentpole property at the
+// federation level: the lead's control egress for a caps broadcast stays
+// flat as the fleet quadruples.
+func TestLeadEgressConstantAcrossFleetSize(t *testing.T) {
+	leadEgress := func(n int) int64 {
+		f := buildFleet(t, n, 55, nil)
+		for _, a := range f.agents {
+			a.Join()
+		}
+		f.settle(8)
+		base := f.mems[0].SentBytes(simnet.ClassControl)
+		f.agents[0].PublishCaps(wire.Rollup{Epoch: 999, Phones: 1000})
+		f.mesh.Drain()
+		return f.mems[0].SentBytes(simnet.ClassControl) - base
+	}
+	small, large := leadEgress(8), leadEgress(32)
+	if large > small*3 {
+		t.Fatalf("lead egress for one caps broadcast grew %d -> %d bytes", small, large)
+	}
+}

@@ -1,0 +1,490 @@
+// Package gossip is the epidemic broadcast layer under the federated
+// control plane. A published message reaches every node of the overlay at
+// constant per-node cost: each node eagerly pushes to a fixed, seeded
+// sample of peers while the message is young (few hops), suppresses
+// duplicates, and stops pushing once the message has aged past the lazy
+// threshold — from there, periodic push-pull anti-entropy digests repair
+// whatever the probabilistic flood and the lossy datagram path missed.
+// Digests themselves can be bounded (Config.MaxDigest) into rotating
+// windows over the origin-ID space, so control fan-out per node is
+// O(fanout + bounded digest), independent of overlay size — which is what
+// lets one region's lead address a city of regions without its egress
+// growing linearly.
+//
+// The layer is transport-agnostic: frames travel over any
+// transport.Transport, preferring the best-effort datagram path when the
+// transport is also a transport.Caster and falling back to the reliable
+// stream for oversized or rejected frames. All randomness flows from the
+// node's seed, so a single-threaded driver (transport.Mesh) replays
+// identically: convergence rounds and per-node byte counts are exact
+// functions of the seed.
+package gossip
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/transport"
+	"mobistreams/internal/wire"
+)
+
+// Handler consumes one delivered gossip message. Messages from one origin
+// arrive in publication order, exactly once. The payload is owned by the
+// gossip layer's store; handlers must copy it if they keep it.
+type Handler func(origin simnet.NodeID, payload []byte)
+
+// Config tunes one gossip node.
+type Config struct {
+	// Fanout is the number of peers each eager push samples. Zero means 3.
+	Fanout int
+	// LazyAfter is the hop count at which a relay stops pushing payloads
+	// and leaves the tail to anti-entropy. Zero means 4.
+	LazyAfter uint8
+	// MaxBatch caps messages per repair delta frame. Zero means 128.
+	MaxBatch int
+	// MaxDigest caps origins per anti-entropy digest. Zero means
+	// unbounded: every known origin in every digest. A bound turns each
+	// digest into a rotating window over the origin-ID space (see
+	// wire.GossipDigest), so per-tick digest traffic stays constant as
+	// the overlay grows — the price is that a given origin is only
+	// repaired every ceil(origins/MaxDigest) ticks.
+	MaxDigest int
+	// Class is the traffic class gossip frames ride. Zero value is
+	// ClassData; the federation uses ClassControl.
+	Class simnet.Class
+	// Seed drives peer sampling. Nodes with distinct IDs derive distinct
+	// streams from the same seed.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout <= 0 {
+		c.Fanout = 3
+	}
+	if c.LazyAfter == 0 {
+		c.LazyAfter = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 128
+	}
+	return c
+}
+
+// Stats counts one node's gossip activity.
+type Stats struct {
+	// Published counts messages this node originated.
+	Published uint64
+	// Delivered counts messages handed to handlers (own included).
+	Delivered uint64
+	// Duplicates counts received messages already held — the suppression
+	// that keeps steady-state fan-out constant.
+	Duplicates uint64
+	// EagerPushes counts delta frames sent by the flood path.
+	EagerPushes uint64
+	// DigestsSent counts anti-entropy digests initiated or replied.
+	DigestsSent uint64
+	// RepairsSent counts delta frames sent to fill a peer's gaps.
+	RepairsSent uint64
+	// CastFallbacks counts frames the datagram path refused (oversized or
+	// failed) that were re-sent on the reliable stream.
+	CastFallbacks uint64
+}
+
+// originState tracks one origin's messages: log[i] holds seq i+1, so
+// log is exactly the contiguously delivered prefix; future buffers
+// out-of-order arrivals until the gap closes.
+type originState struct {
+	log    []wire.GossipMsg
+	future map[uint64]wire.GossipMsg
+}
+
+func (o *originState) delivered() uint64 { return uint64(len(o.log)) }
+
+// Node is one gossip participant.
+type Node struct {
+	id  simnet.NodeID
+	tr  transport.Transport
+	ca  transport.Caster // nil when the transport has no datagram path
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	peers     []simnet.NodeID // sorted; never contains id
+	origins   map[simnet.NodeID]*originState
+	methods   map[string]Handler
+	ownSeq    uint64
+	stats     Stats
+	sampleBuf []int // reused index pool for peer sampling
+	digestAt  int   // rotating window cursor for bounded digests
+}
+
+// NewNode creates a gossip node over tr. The node does not install itself
+// as the transport's receive handler — the owner composes Handle into its
+// own handler, since control connections carry non-gossip frames too.
+func NewNode(id simnet.NodeID, tr transport.Transport, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		id:      id,
+		tr:      tr,
+		cfg:     cfg,
+		origins: make(map[simnet.NodeID]*originState),
+		methods: make(map[string]Handler),
+	}
+	n.ca, _ = tr.(transport.Caster)
+	// Derive a per-node stream from the shared seed so nodes sharing a
+	// seed still sample different peers.
+	h := int64(0)
+	for _, b := range []byte(id) {
+		h = h*131 + int64(b)
+	}
+	n.rng = rand.New(rand.NewSource(cfg.Seed ^ h))
+	return n
+}
+
+// RegisterFunc binds a method name to a handler. Messages published under
+// an unregistered method are stored and forwarded but not dispatched
+// locally — registration is per-role, membership in the overlay is not.
+func (n *Node) RegisterFunc(method string, h Handler) {
+	n.mu.Lock()
+	n.methods[method] = h
+	n.mu.Unlock()
+}
+
+// SetPeers replaces the peer set (self is filtered out). The list is kept
+// sorted so sampling is a pure function of the RNG state.
+func (n *Node) SetPeers(peers []simnet.NodeID) {
+	n.mu.Lock()
+	n.peers = n.peers[:0]
+	for _, p := range peers {
+		if p != n.id {
+			n.peers = append(n.peers, p)
+		}
+	}
+	sort.Slice(n.peers, func(i, j int) bool { return n.peers[i] < n.peers[j] })
+	n.mu.Unlock()
+}
+
+// Peers reports the current peer set.
+func (n *Node) Peers() []simnet.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]simnet.NodeID(nil), n.peers...)
+}
+
+// Stats snapshots the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Delivered reports the contiguous high-water mark held for one origin.
+func (n *Node) Delivered(origin simnet.NodeID) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if o := n.origins[origin]; o != nil {
+		return o.delivered()
+	}
+	return 0
+}
+
+// Broadcast publishes a payload under a method name into the overlay. The
+// message is delivered locally first (a node always hears itself), then
+// eagerly pushed to a seeded sample of peers.
+func (n *Node) Broadcast(method string, payload []byte) {
+	n.mu.Lock()
+	n.ownSeq++
+	msg := wire.GossipMsg{
+		Origin: n.id, Seq: n.ownSeq, Hops: 0,
+		Method: method, Payload: append([]byte(nil), payload...),
+	}
+	n.stats.Published++
+	acts := n.ingestLocked(msg)
+	n.mu.Unlock()
+	n.run(acts)
+}
+
+// Tick runs one anti-entropy round: the node sends its digest to one
+// sampled peer. The peer repairs gaps in both directions (see
+// handleDigest). Call it on the owner's control cadence.
+func (n *Node) Tick() {
+	n.mu.Lock()
+	targets := n.sampleLocked(1)
+	if len(targets) == 0 {
+		n.mu.Unlock()
+		return
+	}
+	frame := n.encodeDigestLocked(false)
+	n.stats.DigestsSent++
+	acts := []action{{to: targets[0], frame: frame, bestEffort: true}}
+	n.mu.Unlock()
+	n.run(acts)
+}
+
+// Handle offers a received frame to the gossip layer. It returns true
+// when the frame was a gossip frame (consumed), false when the owner
+// should dispatch it itself.
+func (n *Node) Handle(from simnet.NodeID, class simnet.Class, frame []byte) bool {
+	if class != n.cfg.Class {
+		return false
+	}
+	switch wire.FrameKind(frame) {
+	case wire.KindGossipDelta:
+		d, err := wire.DecodeGossipDelta(frame)
+		if err != nil {
+			return true // malformed gossip frame: consumed, dropped
+		}
+		n.handleDelta(d)
+		return true
+	case wire.KindGossipDigest:
+		d, err := wire.DecodeGossipDigest(frame)
+		if err != nil {
+			return true
+		}
+		n.handleDigest(d)
+		return true
+	default:
+		return false
+	}
+}
+
+// action is one deferred side effect computed under the lock and executed
+// outside it: transport sends can block (sockets) or re-enter (a handler
+// broadcasting in turn), so the node's mutex must not be held across them.
+type action struct {
+	to         simnet.NodeID
+	frame      []byte
+	bestEffort bool
+	deliver    *wire.GossipMsg // local dispatch instead of a send
+	handler    Handler
+}
+
+func (n *Node) run(acts []action) {
+	for _, a := range acts {
+		if a.deliver != nil {
+			if a.handler != nil {
+				a.handler(a.deliver.Origin, a.deliver.Payload)
+			}
+			continue
+		}
+		if a.bestEffort {
+			n.sendBestEffort(a.to, a.frame)
+		} else {
+			n.tr.Tell(a.to, n.cfg.Class, a.frame) //nolint:errcheck // repaired by anti-entropy
+		}
+	}
+}
+
+// sendBestEffort prefers the datagram path and falls back to the reliable
+// stream when the cast is refused (no caster, oversized on Mesh, dialing
+// trouble). Socket's own Cast already downgrades oversized frames; the
+// fallback here covers transports that reject instead.
+func (n *Node) sendBestEffort(to simnet.NodeID, frame []byte) {
+	if n.ca != nil {
+		if err := n.ca.Cast(to, n.cfg.Class, frame); err == nil {
+			return
+		}
+		n.mu.Lock()
+		n.stats.CastFallbacks++
+		n.mu.Unlock()
+	}
+	n.tr.Tell(to, n.cfg.Class, frame) //nolint:errcheck // repaired by anti-entropy
+}
+
+// ingestLocked stores a message if it is new and returns the deferred
+// deliveries and forwards it triggers. Payloads of stored messages are
+// copied: received frames are transport-owned.
+func (n *Node) ingestLocked(m wire.GossipMsg) []action {
+	o := n.origins[m.Origin]
+	if o == nil {
+		o = &originState{future: make(map[uint64]wire.GossipMsg)}
+		n.origins[m.Origin] = o
+	}
+	if m.Seq <= o.delivered() {
+		n.stats.Duplicates++
+		return nil
+	}
+	if _, dup := o.future[m.Seq]; dup {
+		n.stats.Duplicates++
+		return nil
+	}
+	stored := m
+	if m.Origin != n.id { // Broadcast already copied its payload
+		stored.Payload = append([]byte(nil), m.Payload...)
+	}
+	o.future[m.Seq] = stored
+
+	var acts []action
+	// Advance the contiguous prefix and deliver in order.
+	for {
+		next, ok := o.future[o.delivered()+1]
+		if !ok {
+			break
+		}
+		delete(o.future, next.Seq)
+		o.log = append(o.log, next)
+		n.stats.Delivered++
+		msg := &o.log[len(o.log)-1]
+		acts = append(acts, action{deliver: msg, handler: n.methods[next.Method]})
+		// Eager push while the message is young; older copies are left to
+		// anti-entropy — this is the suppression that caps steady fan-out.
+		if next.Hops < n.cfg.LazyAfter {
+			fwd := *msg
+			fwd.Hops++
+			frame := wire.AppendGossipDelta(nil, &wire.GossipDelta{
+				From: n.id, Msgs: []wire.GossipMsg{fwd},
+			})
+			for _, p := range n.sampleLocked(n.cfg.Fanout) {
+				n.stats.EagerPushes++
+				acts = append(acts, action{to: p, frame: frame, bestEffort: true})
+			}
+		}
+	}
+	return acts
+}
+
+func (n *Node) handleDelta(d wire.GossipDelta) {
+	n.mu.Lock()
+	var acts []action
+	for i := range d.Msgs {
+		acts = append(acts, n.ingestLocked(d.Msgs[i])...)
+	}
+	n.mu.Unlock()
+	n.run(acts)
+}
+
+// handleDigest answers a peer's anti-entropy summary: repair deltas for
+// everything the peer lacks, and — on an initial digest only — our own
+// digest back when the peer holds messages we lack, completing the pull
+// half without ping-ponging forever.
+func (n *Node) handleDigest(d wire.GossipDigest) {
+	n.mu.Lock()
+	theirs := make(map[simnet.NodeID]uint64, len(d.Entries))
+	for _, e := range d.Entries {
+		theirs[e.Origin] = e.Seq
+	}
+	var acts []action
+
+	// Push: messages we hold past their high-water marks.
+	var repair []wire.GossipMsg
+	flush := func() {
+		if len(repair) == 0 {
+			return
+		}
+		frame := wire.AppendGossipDelta(nil, &wire.GossipDelta{From: n.id, Msgs: repair})
+		n.stats.RepairsSent++
+		// Repairs answer a detected gap: send them reliably.
+		acts = append(acts, action{to: d.From, frame: frame})
+		repair = nil
+	}
+	for _, origin := range n.sortedOriginsLocked() {
+		if !d.Covers(origin) {
+			// Outside the digest's window the peer said nothing about
+			// this origin — repairing it would resend messages the peer
+			// likely holds. A later window covers it.
+			continue
+		}
+		o := n.origins[origin]
+		from := theirs[origin]
+		for seq := from + 1; seq <= o.delivered(); seq++ {
+			m := o.log[seq-1]
+			m.Hops = n.cfg.LazyAfter // repaired copies are not re-flooded
+			repair = append(repair, m)
+			if len(repair) >= n.cfg.MaxBatch {
+				flush()
+			}
+		}
+	}
+	flush()
+
+	// Pull: if they hold messages we lack, send our digest back once.
+	if !d.Reply {
+		behind := false
+		for origin, seq := range theirs {
+			o := n.origins[origin]
+			if o == nil || o.delivered() < seq {
+				behind = true
+				break
+			}
+		}
+		if behind {
+			frame := n.encodeDigestLocked(true)
+			n.stats.DigestsSent++
+			acts = append(acts, action{to: d.From, frame: frame, bestEffort: true})
+		}
+	}
+	n.mu.Unlock()
+	n.run(acts)
+}
+
+func (n *Node) sortedOriginsLocked() []simnet.NodeID {
+	out := make([]simnet.NodeID, 0, len(n.origins))
+	for origin := range n.origins {
+		out = append(out, origin)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// encodeDigestLocked builds this node's anti-entropy digest. With
+// MaxDigest set and more origins than the bound, the digest covers a
+// rotating half-open window of the origin-ID space: the first window
+// opens at -inf, each window closes exactly where the next one opens,
+// and the last closes at +inf — so every origin a peer might hold,
+// including ones this node has never heard of, falls into some window
+// across consecutive ticks.
+func (n *Node) encodeDigestLocked(reply bool) []byte {
+	d := wire.GossipDigest{From: n.id, Reply: reply}
+	origins := n.sortedOriginsLocked()
+	lo, hi := 0, len(origins)
+	if k := n.cfg.MaxDigest; k > 0 && len(origins) > k {
+		if n.digestAt >= len(origins) {
+			n.digestAt = 0
+		}
+		lo = n.digestAt
+		hi = lo + k
+		if hi > len(origins) {
+			hi = len(origins)
+		}
+		if lo > 0 {
+			d.Lo = origins[lo]
+		}
+		if hi < len(origins) {
+			d.Hi = origins[hi] // exclusive: the next window's first origin
+		}
+		n.digestAt = hi % len(origins)
+	}
+	for _, origin := range origins[lo:hi] {
+		d.Entries = append(d.Entries, wire.DigestEntry{
+			Origin: origin, Seq: n.origins[origin].delivered(),
+		})
+	}
+	return wire.AppendGossipDigest(nil, &d)
+}
+
+// sampleLocked picks up to k distinct peers with the node's seeded RNG.
+func (n *Node) sampleLocked(k int) []simnet.NodeID {
+	if len(n.peers) == 0 || k <= 0 {
+		return nil
+	}
+	if k >= len(n.peers) {
+		return append([]simnet.NodeID(nil), n.peers...)
+	}
+	if cap(n.sampleBuf) < len(n.peers) {
+		n.sampleBuf = make([]int, len(n.peers))
+	}
+	idx := n.sampleBuf[:len(n.peers)]
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial Fisher-Yates: only the first k positions are needed.
+	out := make([]simnet.NodeID, k)
+	for i := 0; i < k; i++ {
+		j := i + n.rng.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = n.peers[idx[i]]
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/transport"
+	"mobistreams/internal/wire"
+)
+
+// overlay is a full mesh of gossip nodes over a deterministic fabric.
+type overlay struct {
+	mesh  *transport.Mesh
+	mems  []*transport.Mem
+	nodes []*Node
+	ids   []simnet.NodeID
+}
+
+func buildOverlay(n int, seed int64, cfg Config) *overlay {
+	o := &overlay{mesh: transport.NewMesh(seed)}
+	cfg.Seed = seed
+	cfg.Class = simnet.ClassControl
+	for i := 0; i < n; i++ {
+		id := simnet.NodeID(fmt.Sprintf("n%02d", i))
+		o.ids = append(o.ids, id)
+		o.mems = append(o.mems, o.mesh.Attach(id))
+	}
+	for i, id := range o.ids {
+		node := NewNode(id, o.mems[i], cfg)
+		node.SetPeers(o.ids)
+		mem := o.mems[i]
+		mem.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+			node.Handle(from, class, frame)
+		})
+		o.nodes = append(o.nodes, node)
+	}
+	return o
+}
+
+// converge pumps anti-entropy rounds until every node holds seq msgs from
+// origin, returning the number of rounds it took (0 = flood alone did it).
+func (o *overlay) converge(t *testing.T, origin simnet.NodeID, seq uint64, maxRounds int) int {
+	t.Helper()
+	o.mesh.Drain()
+	for round := 0; ; round++ {
+		done := true
+		for _, n := range o.nodes {
+			if n.Delivered(origin) < seq {
+				done = false
+				break
+			}
+		}
+		if done {
+			return round
+		}
+		if round >= maxRounds {
+			t.Fatalf("no convergence on %s/%d within %d rounds", origin, seq, maxRounds)
+		}
+		for _, n := range o.nodes {
+			n.Tick()
+		}
+		o.mesh.Drain()
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	o := buildOverlay(20, 42, Config{})
+	o.nodes[0].Broadcast("hello", []byte("city"))
+	rounds := o.converge(t, o.ids[0], 1, 10)
+	if rounds > 3 {
+		t.Fatalf("lossless flood needed %d anti-entropy rounds", rounds)
+	}
+}
+
+// TestOrderedExactlyOnce: every node dispatches each origin's messages in
+// publication order, exactly once, even when eager pushes cross paths.
+func TestOrderedExactlyOnce(t *testing.T) {
+	const nodes, msgs = 12, 5
+	o := buildOverlay(nodes, 7, Config{})
+	got := make([][]string, nodes)
+	for i, n := range o.nodes {
+		i := i
+		n.RegisterFunc("evt", func(origin simnet.NodeID, payload []byte) {
+			got[i] = append(got[i], string(payload))
+		})
+	}
+	for k := 0; k < msgs; k++ {
+		o.nodes[3].Broadcast("evt", []byte(fmt.Sprintf("m%d", k)))
+	}
+	o.converge(t, o.ids[3], msgs, 20)
+	for i, seq := range got {
+		if len(seq) != msgs {
+			t.Fatalf("node %d dispatched %d msgs, want %d: %v", i, len(seq), msgs, seq)
+		}
+		for k, s := range seq {
+			if want := fmt.Sprintf("m%d", k); s != want {
+				t.Fatalf("node %d msg %d = %q, want %q", i, k, s, want)
+			}
+		}
+	}
+	// Duplicate suppression must have done real work in a 12-node flood.
+	var dups uint64
+	for _, n := range o.nodes {
+		dups += n.Stats().Duplicates
+	}
+	if dups == 0 {
+		t.Fatal("flood produced no suppressed duplicates — fanout not overlapping?")
+	}
+}
+
+// TestAntiEntropyRepairsLoss: with half the datagrams dropped, push-pull
+// digests still converge the overlay, and dispatch stays exactly-once.
+func TestAntiEntropyRepairsLoss(t *testing.T) {
+	o := buildOverlay(16, 11, Config{})
+	o.mesh.SetCastLoss(0.5)
+	counts := make([]int, 16)
+	for i, n := range o.nodes {
+		i := i
+		n.RegisterFunc("evt", func(simnet.NodeID, []byte) { counts[i]++ })
+	}
+	const msgs = 3
+	for k := 0; k < msgs; k++ {
+		o.nodes[0].Broadcast("evt", []byte{byte(k)})
+	}
+	rounds := o.converge(t, o.ids[0], msgs, 64)
+	t.Logf("converged after %d repair rounds at 50%% cast loss", rounds)
+	for i, c := range counts {
+		if c != msgs {
+			t.Fatalf("node %d dispatched %d, want %d (exactly-once broken)", i, c, msgs)
+		}
+	}
+	var repairs uint64
+	for _, n := range o.nodes {
+		repairs += n.Stats().RepairsSent
+	}
+	if rounds > 0 && repairs == 0 {
+		t.Fatal("converged over loss without any repair deltas?")
+	}
+}
+
+// TestGossipDeterminism: same seed, same drive order — identical delivery
+// state, byte counts and convergence behaviour.
+func TestGossipDeterminism(t *testing.T) {
+	run := func() (string, int64) {
+		o := buildOverlay(10, 123, Config{})
+		o.mesh.SetCastLoss(0.3)
+		for k := 0; k < 4; k++ {
+			o.nodes[k%3].Broadcast("evt", []byte{byte(k)})
+		}
+		o.mesh.Drain()
+		for r := 0; r < 8; r++ {
+			for _, n := range o.nodes {
+				n.Tick()
+			}
+			o.mesh.Drain()
+		}
+		var state string
+		var bytes int64
+		for i, n := range o.nodes {
+			for _, origin := range o.ids[:3] {
+				state += fmt.Sprintf("%d:%s=%d;", i, origin, n.Delivered(origin))
+			}
+			bytes += o.mems[i].SentBytes(simnet.ClassControl)
+		}
+		return state, bytes
+	}
+	s1, b1 := run()
+	s2, b2 := run()
+	if s1 != s2 || b1 != b2 {
+		t.Fatalf("replay diverged:\n%s (%d bytes)\n%s (%d bytes)", s1, b1, s2, b2)
+	}
+}
+
+// TestOversizedPayloadFallsBackToTell: a payload over the datagram bound
+// still reaches everyone — the best-effort path downgrades to the stream.
+func TestOversizedPayloadFallsBackToTell(t *testing.T) {
+	o := buildOverlay(4, 5, Config{})
+	o.mesh.SetCastLimit(256)
+	big := make([]byte, 1024)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	var delivered int
+	for _, n := range o.nodes {
+		n.RegisterFunc("blob", func(origin simnet.NodeID, payload []byte) {
+			if len(payload) != len(big) {
+				t.Errorf("payload truncated to %d", len(payload))
+			}
+			delivered++
+		})
+	}
+	o.nodes[0].Broadcast("blob", big)
+	o.converge(t, o.ids[0], 1, 8)
+	if delivered != 4 {
+		t.Fatalf("delivered on %d of 4 nodes", delivered)
+	}
+	var fallbacks uint64
+	for _, n := range o.nodes {
+		fallbacks += n.Stats().CastFallbacks
+	}
+	if fallbacks == 0 {
+		t.Fatal("oversized pushes never fell back to Tell")
+	}
+}
+
+// TestHandlePassesThroughForeignFrames: non-gossip frames and classes are
+// left to the owner.
+func TestHandlePassesThroughForeignFrames(t *testing.T) {
+	mesh := transport.NewMesh(1)
+	mem := mesh.Attach("a")
+	n := NewNode("a", mem, Config{Class: simnet.ClassControl})
+	cmd := wire.AppendCommand(nil, &wire.Command{Op: 1, Version: 1, Target: "a", Slot: "s"})
+	if n.Handle("b", simnet.ClassControl, cmd) {
+		t.Fatal("gossip consumed a command frame")
+	}
+	digest := wire.AppendGossipDigest(nil, &wire.GossipDigest{From: "b"})
+	if n.Handle("b", simnet.ClassData, digest) {
+		t.Fatal("gossip consumed a frame on the wrong class")
+	}
+	if !n.Handle("b", simnet.ClassControl, digest) {
+		t.Fatal("gossip refused its own digest")
+	}
+}
+
+// TestSteadyStateFanoutConstant pins the tentpole property at the unit
+// level: per-node egress for one broadcast does not scale with overlay
+// size — the largest sender in a 48-node overlay spends no more than a
+// small multiple of the largest sender in a 12-node overlay.
+func TestSteadyStateFanoutConstant(t *testing.T) {
+	maxEgress := func(nodes int) int64 {
+		o := buildOverlay(nodes, 77, Config{})
+		o.nodes[0].Broadcast("evt", make([]byte, 64))
+		o.converge(t, o.ids[0], 1, 16)
+		var worst int64
+		for _, m := range o.mems {
+			if b := m.SentBytes(simnet.ClassControl); b > worst {
+				worst = b
+			}
+		}
+		return worst
+	}
+	small, large := maxEgress(12), maxEgress(48)
+	if large > small*3 {
+		t.Fatalf("max per-node egress grew %d -> %d bytes (4x nodes, >3x bytes)", small, large)
+	}
+}
+
+// TestBoundedDigestsConverge: with MaxDigest far below the origin count,
+// rotating digest windows still repair every gap under heavy datagram
+// loss — convergence just spreads over more ticks — and every encoded
+// digest honours the bound, which is what keeps per-tick anti-entropy
+// traffic constant as the overlay grows.
+func TestBoundedDigestsConverge(t *testing.T) {
+	const nodes, bound = 18, 3
+	o := buildOverlay(nodes, 77, Config{MaxDigest: bound})
+	o.mesh.SetCastLoss(0.6)
+	// One message per node: many origins, so digests must rotate.
+	for _, n := range o.nodes {
+		n.Broadcast("evt", []byte("x"))
+	}
+	for _, origin := range o.ids {
+		o.converge(t, origin, 1, 400)
+	}
+	// Every digest a node would emit now stays within the bound, and the
+	// rotating cursor covers the full origin set across consecutive calls.
+	n := o.nodes[0]
+	seen := make(map[simnet.NodeID]bool)
+	for i := 0; i < (nodes+bound-1)/bound+1; i++ {
+		n.mu.Lock()
+		frame := n.encodeDigestLocked(false)
+		n.mu.Unlock()
+		d, err := wire.DecodeGossipDigest(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d.Entries) > bound {
+			t.Fatalf("digest carries %d entries, bound is %d", len(d.Entries), bound)
+		}
+		for _, e := range d.Entries {
+			seen[e.Origin] = true
+		}
+	}
+	if len(seen) != nodes {
+		t.Fatalf("rotating windows covered %d of %d origins", len(seen), nodes)
+	}
+}
+
+// TestUnboundedDigestUnchanged: the zero value keeps the original
+// every-origin digest — no window bounds on the wire.
+func TestUnboundedDigestUnchanged(t *testing.T) {
+	o := buildOverlay(6, 5, Config{})
+	for _, n := range o.nodes {
+		n.Broadcast("evt", []byte("x"))
+	}
+	o.mesh.Drain()
+	n := o.nodes[0]
+	n.mu.Lock()
+	frame := n.encodeDigestLocked(false)
+	n.mu.Unlock()
+	d, err := wire.DecodeGossipDigest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lo != "" || d.Hi != "" {
+		t.Fatalf("unbounded digest carries window [%q,%q]", d.Lo, d.Hi)
+	}
+	if len(d.Entries) != 6 {
+		t.Fatalf("unbounded digest lists %d origins, want 6", len(d.Entries))
+	}
+}

@@ -1,0 +1,92 @@
+package region_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mobistreams/internal/broadcast"
+	"mobistreams/internal/clock"
+	"mobistreams/internal/controller"
+	"mobistreams/internal/ft"
+	"mobistreams/internal/region"
+	"mobistreams/internal/simnet"
+	"mobistreams/internal/wire"
+)
+
+// TestControllerFederationSink: with a sink configured, the controller
+// publishes a region rollup each schedule tick — epochs increase, the
+// population matches, and the controller needs no scheduler for it.
+func TestControllerFederationSink(t *testing.T) {
+	speedup := 2000.0
+	if raceEnabled {
+		speedup = 300
+	}
+	clk := clock.NewScaled(speedup)
+	cell := simnet.NewCellular(clk, simnet.CellularConfig{
+		UpBitsPerSecond:   8e6,
+		DownBitsPerSecond: 8e6,
+	})
+	var mu sync.Mutex
+	var rollups []wire.Rollup
+	ctrl := controller.New(controller.Config{
+		Clock:            clk,
+		Cell:             cell,
+		CheckpointPeriod: time.Hour,
+		ScheduleTick:     5 * time.Second,
+		FederationSink: func(ru wire.Rollup) {
+			mu.Lock()
+			rollups = append(rollups, ru)
+			mu.Unlock()
+		},
+	})
+	r, err := region.New(region.Config{
+		ID:           "r1",
+		Graph:        diamondGraph(t),
+		Registry:     diamondRegistry(),
+		Scheme:       ft.MSScheme,
+		Phones:       6,
+		Clock:        clk,
+		WiFi:         simnet.WiFiConfig{BitsPerSecond: 100e6},
+		Cell:         cell,
+		ControllerID: ctrl.ID(),
+		Broadcast:    broadcast.Config{BlockSize: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.AddRegion(r)
+	r.Start()
+	ctrl.Start()
+	t.Cleanup(func() {
+		r.Stop()
+		ctrl.Stop()
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(rollups)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d rollups published within deadline", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, ru := range rollups[:2] {
+		if ru.Region != "r1" {
+			t.Fatalf("rollup %d region = %q", i, ru.Region)
+		}
+		if ru.Phones != 6 {
+			t.Fatalf("rollup %d phones = %d, want 6", i, ru.Phones)
+		}
+		if ru.Epoch != uint64(i+1) {
+			t.Fatalf("rollup %d epoch = %d, want %d", i, ru.Epoch, i+1)
+		}
+	}
+}

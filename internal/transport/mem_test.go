@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mobistreams/internal/simnet"
+)
+
+func TestMemTellOrderedAndCounted(t *testing.T) {
+	mesh := NewMesh(1)
+	a := mesh.Attach("a")
+	b := mesh.Attach("b")
+	var got []string
+	b.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+		got = append(got, string(frame))
+	})
+	sent := 0
+	for i := 0; i < 10; i++ {
+		p := []byte(fmt.Sprintf("m%d", i))
+		if err := a.Tell("b", simnet.ClassControl, p); err != nil {
+			t.Fatal(err)
+		}
+		sent += len(p)
+	}
+	if n := mesh.Drain(); n != 10 {
+		t.Fatalf("delivered %d, want 10", n)
+	}
+	for i, s := range got {
+		if want := fmt.Sprintf("m%d", i); s != want {
+			t.Fatalf("frame %d = %q, want %q", i, s, want)
+		}
+	}
+	if b := a.SentBytes(simnet.ClassControl); b != int64(sent) {
+		t.Fatalf("SentBytes = %d, want %d", b, sent)
+	}
+	if f := a.SentFrames(simnet.ClassControl); f != 10 {
+		t.Fatalf("SentFrames = %d, want 10", f)
+	}
+	if a.SentBytes(simnet.ClassData) != 0 {
+		t.Fatal("data-class bytes counted for control traffic")
+	}
+}
+
+// TestMemHandlerReentrancy: a handler that sends in turn must not deadlock,
+// and its frames drain in the same Drain call.
+func TestMemHandlerReentrancy(t *testing.T) {
+	mesh := NewMesh(1)
+	a := mesh.Attach("a")
+	b := mesh.Attach("b")
+	c := mesh.Attach("c")
+	var final []byte
+	b.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+		b.Tell("c", class, append(frame, '!'))
+	})
+	c.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+		final = frame
+	})
+	if err := a.Tell("b", simnet.ClassControl, []byte("hop")); err != nil {
+		t.Fatal(err)
+	}
+	if n := mesh.Drain(); n != 2 {
+		t.Fatalf("delivered %d, want 2", n)
+	}
+	if string(final) != "hop!" {
+		t.Fatalf("relayed frame = %q", final)
+	}
+}
+
+func TestMemCastLimitAndLoss(t *testing.T) {
+	mesh := NewMesh(7)
+	mesh.SetCastLimit(8)
+	a := mesh.Attach("a")
+	b := mesh.Attach("b")
+	n := 0
+	b.Receive(func(simnet.NodeID, simnet.Class, []byte) { n++ })
+
+	if err := a.Cast("b", simnet.ClassControl, make([]byte, 9)); err == nil {
+		t.Fatal("oversized cast accepted")
+	}
+	if err := a.Tell("b", simnet.ClassControl, make([]byte, 9)); err != nil {
+		t.Fatalf("tell has no datagram limit: %v", err)
+	}
+
+	mesh.SetCastLoss(1.0)
+	if err := a.Cast("b", simnet.ClassControl, []byte("gone")); err != nil {
+		t.Fatalf("lost cast must not error: %v", err)
+	}
+	mesh.SetCastLoss(0)
+	if err := a.Cast("b", simnet.ClassControl, []byte("here")); err != nil {
+		t.Fatal(err)
+	}
+	mesh.Drain()
+	if n != 2 { // the oversized Tell and the surviving cast
+		t.Fatalf("delivered %d frames, want 2", n)
+	}
+	// Lost casts still spent their bytes.
+	if got := a.SentBytes(simnet.ClassControl); got != 9+4+4 {
+		t.Fatalf("SentBytes = %d, want 17", got)
+	}
+}
+
+func TestMemUnknownPeerAndClose(t *testing.T) {
+	mesh := NewMesh(1)
+	a := mesh.Attach("a")
+	if err := a.Tell("ghost", simnet.ClassData, []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("tell to unknown peer: %v", err)
+	}
+	a.Close()
+	if err := a.Tell("a", simnet.ClassData, []byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("tell after close: %v", err)
+	}
+}
+
+// TestMemDeterministicLoss: the same seed and send order drop the same
+// frames.
+func TestMemDeterministicLoss(t *testing.T) {
+	run := func() []int {
+		mesh := NewMesh(99)
+		mesh.SetCastLoss(0.5)
+		a := mesh.Attach("a")
+		b := mesh.Attach("b")
+		var arrived []int
+		b.Receive(func(from simnet.NodeID, class simnet.Class, frame []byte) {
+			arrived = append(arrived, int(frame[0]))
+		})
+		for i := 0; i < 32; i++ {
+			a.Cast("b", simnet.ClassControl, []byte{byte(i)})
+		}
+		mesh.Drain()
+		return arrived
+	}
+	first := run()
+	for rep := 0; rep < 3; rep++ {
+		if got := run(); fmt.Sprint(got) != fmt.Sprint(first) {
+			t.Fatalf("loss pattern varied: %v vs %v", got, first)
+		}
+	}
+	if len(first) == 0 || len(first) == 32 {
+		t.Fatalf("loss rate 0.5 delivered %d of 32", len(first))
+	}
+}

@@ -30,6 +30,11 @@ const (
 	// maxDatagramBytes bounds one UDP cast.
 	maxDatagramBytes = 64 << 10
 
+	// coalesceMax bounds frames that ride the shared per-conn pending
+	// buffer. Larger frames flush the backlog and then write straight from
+	// the caller's buffer, so a checkpoint blob is never copied.
+	coalesceMax = 8 << 10
+
 	dialAttempts = 4
 	dialTimeout  = 2 * time.Second
 	retryBackoff = 25 * time.Millisecond
@@ -40,12 +45,158 @@ type connKey struct {
 	class simnet.Class
 }
 
-// sendConn is one outbound (peer, class) connection. The mutex serialises
-// writers so concurrent Tells to the same peer and class stay FIFO on the
-// stream.
+// sendConn is one outbound (peer, class) connection with a group-commit
+// send path: small frames are framed into a shared pending buffer, and
+// whichever goroutine holds the write role flushes everything pending in
+// one syscall. The buffer ping-pongs between two recycled backing arrays,
+// so the steady-state framing path allocates nothing. Frames appended
+// while a flush is in flight ride the next flush; FIFO order per
+// connection is preserved because appends are serialised by the mutex and
+// the writer always flushes the buffer as one contiguous block.
 type sendConn struct {
-	mu sync.Mutex
-	c  net.Conn
+	mu      sync.Mutex
+	flushed sync.Cond // broadcast after every flush attempt
+	c       net.Conn
+	pend    []byte // framed messages awaiting the writer
+	spare   []byte // recycled backing array for the next pend generation
+	writing bool   // a goroutine currently holds the write role
+	// appended and flushedB are cumulative byte counters: a waiter's frame
+	// has reached the kernel exactly when flushedB covers its append point.
+	appended int64
+	flushedB int64
+	err      error // sticky: the first write failure poisons the conn
+}
+
+func newSendConn(c net.Conn) *sendConn {
+	sc := &sendConn{c: c}
+	sc.flushed.L = &sc.mu
+	return sc
+}
+
+// appendFramed appends one length-prefixed message — 4-byte length, class
+// byte, frame — onto dst.
+func appendFramed(dst []byte, class simnet.Class, frame []byte) []byte {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(frame)+1))
+	hdr[4] = byte(class)
+	dst = append(dst, hdr[:]...)
+	return append(dst, frame...)
+}
+
+// write delivers one framed message with group commit: N concurrent small
+// sends on the same connection cost one syscall, not N.
+func (sc *sendConn) write(class simnet.Class, frame []byte) error {
+	sc.mu.Lock()
+	if sc.err != nil {
+		err := sc.err
+		sc.mu.Unlock()
+		return err
+	}
+	if len(frame) > coalesceMax {
+		return sc.writeDirectLocked(class, frame)
+	}
+	sc.pend = appendFramed(sc.pend, class, frame)
+	sc.appended += int64(5 + len(frame))
+	myEnd := sc.appended
+	for sc.writing {
+		if sc.flushedB >= myEnd { // another writer flushed our frame
+			sc.mu.Unlock()
+			return nil
+		}
+		if sc.err != nil {
+			err := sc.err
+			sc.mu.Unlock()
+			return err
+		}
+		sc.flushed.Wait()
+	}
+	if sc.flushedB >= myEnd {
+		sc.mu.Unlock()
+		return nil
+	}
+	if sc.err != nil {
+		err := sc.err
+		sc.mu.Unlock()
+		return err
+	}
+	buf := sc.swapPendLocked()
+	sc.mu.Unlock()
+
+	_, err := sc.c.Write(buf)
+
+	sc.mu.Lock()
+	sc.finishFlushLocked(buf, err)
+	sc.mu.Unlock()
+	return err
+}
+
+// writeDirectLocked takes the write role, flushes the pending backlog,
+// then writes the header and the caller's frame without copying it.
+// Called with mu held; returns with mu released.
+func (sc *sendConn) writeDirectLocked(class simnet.Class, frame []byte) error {
+	for sc.writing {
+		if sc.err != nil {
+			err := sc.err
+			sc.mu.Unlock()
+			return err
+		}
+		sc.flushed.Wait()
+	}
+	if sc.err != nil {
+		err := sc.err
+		sc.mu.Unlock()
+		return err
+	}
+	buf := sc.swapPendLocked()
+	sc.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = sc.c.Write(buf)
+	}
+	if err == nil {
+		var hdr [5]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(frame)+1))
+		hdr[4] = byte(class)
+		if _, err = sc.c.Write(hdr[:]); err == nil {
+			_, err = sc.c.Write(frame)
+		}
+	}
+
+	sc.mu.Lock()
+	sc.finishFlushLocked(buf, err)
+	sc.mu.Unlock()
+	return err
+}
+
+// swapPendLocked claims the write role and detaches the pending buffer.
+func (sc *sendConn) swapPendLocked() []byte {
+	sc.writing = true
+	buf := sc.pend
+	sc.pend = sc.spare[:0]
+	sc.spare = nil
+	return buf
+}
+
+// finishFlushLocked releases the write role, advances the flush counter
+// on success (an error is sticky and fails every queued waiter, whose
+// frames may not have reached the wire), and recycles the flushed
+// buffer's backing array.
+func (sc *sendConn) finishFlushLocked(buf []byte, err error) {
+	sc.writing = false
+	if err != nil {
+		sc.err = err
+	} else {
+		sc.flushedB += int64(len(buf))
+		if cap(buf) > 0 {
+			if len(sc.pend) == 0 {
+				sc.pend = buf[:0]
+			} else {
+				sc.spare = buf[:0]
+			}
+		}
+	}
+	sc.flushed.Broadcast()
 }
 
 // Socket is the real-network transport: reliable ordered Tell over
@@ -68,8 +219,23 @@ type Socket struct {
 	redials       int64
 	journal       *obs.Journal
 
+	// Per-peer datagram budget (token bucket, bytes). Zero rate = no cap.
+	castRate    float64
+	castBurst   float64
+	castBuckets map[simnet.NodeID]*castBucket
+
+	castFallbacks  int64
+	castSuppressed int64
+	sentBytes      [simnet.ClassPreserve + 1]int64
+
 	h  atomic.Value // Handler
 	wg sync.WaitGroup
+}
+
+// castBucket is one peer's datagram token bucket.
+type castBucket struct {
+	tokens float64
+	last   time.Time
 }
 
 // Stats is a point-in-time snapshot of the transport's connection health.
@@ -78,6 +244,10 @@ type Stats struct {
 	DeadConns int64
 	// Redials counts successful dials that replaced a dead connection.
 	Redials int64
+	// CastFallbacks counts oversized casts delivered reliably via Tell.
+	CastFallbacks int64
+	// CastSuppressed counts casts dropped by the per-peer send budget.
+	CastSuppressed int64
 }
 
 // SetJournal attaches a lifecycle journal: dead connections and redials
@@ -93,7 +263,53 @@ func (s *Socket) SetJournal(j *obs.Journal) {
 func (s *Socket) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{DeadConns: s.deadConns, Redials: s.redials}
+	return Stats{
+		DeadConns: s.deadConns, Redials: s.redials,
+		CastFallbacks:  atomic.LoadInt64(&s.castFallbacks),
+		CastSuppressed: atomic.LoadInt64(&s.castSuppressed),
+	}
+}
+
+// SetCastBudget caps the datagram bytes this node may send to any one
+// peer: a token bucket refilling at bytesPerSec with the given burst.
+// Casts over budget are silently suppressed (Cast is best-effort; the
+// CastSuppressed counter records them). A zero rate removes the cap.
+func (s *Socket) SetCastBudget(bytesPerSec, burst int) {
+	s.mu.Lock()
+	s.castRate = float64(bytesPerSec)
+	s.castBurst = float64(burst)
+	s.castBuckets = make(map[simnet.NodeID]*castBucket)
+	s.mu.Unlock()
+}
+
+// SentBytes reports the payload bytes sent on one traffic class, across
+// Tell and Cast. A cast that fell back to Tell counts once; suppressed
+// casts never reached the wire and do not count.
+func (s *Socket) SentBytes(class simnet.Class) int64 {
+	return atomic.LoadInt64(&s.sentBytes[class])
+}
+
+// castAllowLocked charges n bytes against the peer's token bucket.
+func (s *Socket) castAllowLocked(to simnet.NodeID, n int) bool {
+	if s.castRate <= 0 {
+		return true
+	}
+	now := time.Now()
+	b := s.castBuckets[to]
+	if b == nil {
+		b = &castBucket{tokens: s.castBurst, last: now}
+		s.castBuckets[to] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * s.castRate
+	if b.tokens > s.castBurst {
+		b.tokens = s.castBurst
+	}
+	b.last = now
+	if b.tokens < float64(n) {
+		return false
+	}
+	b.tokens -= float64(n)
+	return true
 }
 
 // NewSocket listens on listen ("host:port", port 0 for ephemeral) for both
@@ -208,10 +424,8 @@ func (s *Socket) Tell(to simnet.NodeID, class simnet.Class, frame []byte) error 
 			lastErr = err
 			continue
 		}
-		sc.mu.Lock()
-		err = writeFrame(sc.c, class, frame)
-		sc.mu.Unlock()
-		if err == nil {
+		if err = sc.write(class, frame); err == nil {
+			atomic.AddInt64(&s.sentBytes[class], int64(len(frame)))
 			return nil
 		}
 		lastErr = err
@@ -220,12 +434,23 @@ func (s *Socket) Tell(to simnet.NodeID, class simnet.Class, frame []byte) error 
 	return fmt.Errorf("transport: tell %s/%s: %w", to, class, lastErr)
 }
 
-// Cast sends the frame as one best-effort UDP datagram; oversized frames
-// and missing peers are errors, network loss is not.
+// Cast sends the frame as one best-effort UDP datagram; missing peers are
+// errors, network loss is not. A frame too large for one datagram falls
+// back to Tell transparently — the caller asked for best effort and gets
+// reliable delivery instead, at stream cost (journalled as cast_fallback).
+// When a per-peer budget is set, casts over budget are dropped, which is
+// within Cast's loss contract.
 func (s *Socket) Cast(to simnet.NodeID, class simnet.Class, frame []byte) error {
+	id := string(s.info.ID)
+	n := 1 + 2 + len(id) + len(frame)
 	s.mu.Lock()
 	addr, ok := s.peers[to]
 	closed := s.closed
+	allowed := true
+	if !closed && ok && n <= maxDatagramBytes {
+		allowed = s.castAllowLocked(to, n)
+	}
+	journal := s.journal
 	s.mu.Unlock()
 	if closed {
 		return ErrClosed
@@ -233,11 +458,19 @@ func (s *Socket) Cast(to simnet.NodeID, class simnet.Class, frame []byte) error 
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownPeer, to)
 	}
-	id := string(s.info.ID)
-	n := 1 + 2 + len(id) + len(frame)
 	if n > maxDatagramBytes {
-		return fmt.Errorf("transport: datagram of %d bytes exceeds limit", n)
+		atomic.AddInt64(&s.castFallbacks, 1)
+		journal.Emit(obs.Event{
+			At: time.Now().UnixNano(), Kind: "cast_fallback",
+			Node: string(s.info.ID), Detail: string(to),
+		})
+		return s.Tell(to, class, frame)
 	}
+	if !allowed {
+		atomic.AddInt64(&s.castSuppressed, 1)
+		return nil
+	}
+	atomic.AddInt64(&s.sentBytes[class], int64(len(frame)))
 	buf := make([]byte, 0, n)
 	buf = append(buf, byte(class))
 	buf = append(buf, byte(len(id)>>8), byte(len(id)))
@@ -308,7 +541,7 @@ func (s *Socket) conn(to simnet.NodeID, class simnet.Class) (*sendConn, error) {
 		return nil, err
 	}
 
-	sc := &sendConn{c: c}
+	sc := newSendConn(c)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -330,8 +563,31 @@ func (s *Socket) conn(to simnet.NodeID, class simnet.Class) (*sendConn, error) {
 			Node: string(s.info.ID), Detail: string(to),
 		})
 	}
+	s.wg.Add(1)
+	go s.watchConn(key, sc)
 	s.mu.Unlock()
 	return sc, nil
+}
+
+// watchConn blocks reading the outbound connection, which the peer never
+// writes to: anything Read returns means the connection is gone. The conn
+// is poisoned and dropped immediately, so the next Tell redials instead
+// of writing a frame into a dead socket — the single-syscall send path
+// has no second write to trip over a delayed RST.
+func (s *Socket) watchConn(key connKey, sc *sendConn) {
+	defer s.wg.Done()
+	var buf [1]byte
+	_, err := sc.c.Read(buf[:])
+	if err == nil {
+		err = fmt.Errorf("transport: unexpected data on send-only conn")
+	}
+	sc.mu.Lock()
+	if sc.err == nil {
+		sc.err = err
+	}
+	sc.flushed.Broadcast()
+	sc.mu.Unlock()
+	s.dropConn(key.id, key.class, sc)
 }
 
 // dropConn discards a dead connection so the next attempt redials.
@@ -351,14 +607,11 @@ func (s *Socket) dropConn(to simnet.NodeID, class simnet.Class, sc *sendConn) {
 	sc.c.Close()
 }
 
+// writeFrame writes one framed message in a single syscall. Only the
+// per-dial hello path uses it; steady-state sends go through
+// sendConn.write, which reuses its buffers.
 func writeFrame(c net.Conn, class simnet.Class, frame []byte) error {
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(frame)+1))
-	hdr[4] = byte(class)
-	if _, err := c.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := c.Write(frame)
+	_, err := c.Write(appendFramed(make([]byte, 0, 5+len(frame)), class, frame))
 	return err
 }
 

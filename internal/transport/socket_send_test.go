@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mobistreams/internal/simnet"
+)
+
+// fakeConn is a net.Conn for exercising the framing layer without a
+// network: every Write is recorded (and optionally gated), nothing else
+// does anything.
+type fakeConn struct {
+	mu      sync.Mutex
+	writes  int
+	bytes   []byte
+	discard bool          // don't record bytes (keeps alloc tests clean)
+	gate    chan struct{} // when non-nil, each Write blocks until a receive
+}
+
+func (c *fakeConn) Write(b []byte) (int, error) {
+	if c.gate != nil {
+		<-c.gate
+	}
+	c.mu.Lock()
+	c.writes++
+	if !c.discard {
+		c.bytes = append(c.bytes, b...)
+	}
+	c.mu.Unlock()
+	return len(b), nil
+}
+
+func (c *fakeConn) Read([]byte) (int, error)         { select {} }
+func (c *fakeConn) Close() error                     { return nil }
+func (c *fakeConn) LocalAddr() net.Addr              { return nil }
+func (c *fakeConn) RemoteAddr() net.Addr             { return nil }
+func (c *fakeConn) SetDeadline(time.Time) error      { return nil }
+func (c *fakeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(time.Time) error { return nil }
+
+// parseFramed splits a byte stream into its framed messages.
+func parseFramed(t *testing.T, b []byte) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	for len(b) > 0 {
+		if len(b) < 5 {
+			t.Fatalf("trailing garbage: % x", b)
+		}
+		n := binary.BigEndian.Uint32(b[:4])
+		if int(n) < 1 || 4+int(n) > len(b) {
+			t.Fatalf("bad frame length %d in % x", n, b)
+		}
+		frames = append(frames, b[5:4+n])
+		b = b[4+n:]
+	}
+	return frames
+}
+
+// injectConn plants a fake connection as a's cached conn to peer "b" on
+// the control class, so Tell exercises the framing path in isolation.
+func injectConn(t *testing.T, a *Socket, c net.Conn) *sendConn {
+	t.Helper()
+	a.AddPeer("b", "127.0.0.1:1") // never dialed; the conn is pre-cached
+	sc := newSendConn(c)
+	a.mu.Lock()
+	a.conns[connKey{"b", simnet.ClassControl}] = sc
+	a.mu.Unlock()
+	return sc
+}
+
+// TestSocketTellCoalesces: frames sent while a flush is in flight are
+// batched into one write. One slow write plus eight concurrent Tells must
+// reach the conn as exactly two writes, with all frames intact and FIFO.
+func TestSocketTellCoalesces(t *testing.T) {
+	a, _ := newSock(t, "a")
+	fc := &fakeConn{gate: make(chan struct{})}
+	sc := injectConn(t, a, fc)
+
+	errs := make(chan error, 9)
+	go func() { errs <- a.Tell("b", simnet.ClassControl, []byte("first")) }()
+	// Wait until that Tell holds the write role (blocked inside Write).
+	waitCond(t, func() bool {
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		return sc.writing
+	})
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		i := i
+		go func() { errs <- a.Tell("b", simnet.ClassControl, []byte{'w', byte('0' + i)}) }()
+	}
+	// Wait until every waiter has appended its frame to the shared buffer.
+	waitCond(t, func() bool {
+		sc.mu.Lock()
+		defer sc.mu.Unlock()
+		return len(sc.pend) == waiters*(5+2)
+	})
+	fc.gate <- struct{}{} // release the first write
+	fc.gate <- struct{}{} // ... and the group-committed second
+	for i := 0; i < waiters+1; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.mu.Lock()
+	writes, stream := fc.writes, append([]byte(nil), fc.bytes...)
+	fc.mu.Unlock()
+	if writes != 2 {
+		t.Fatalf("%d writes for %d frames, want 2 (group commit)", writes, waiters+1)
+	}
+	frames := parseFramed(t, stream)
+	if len(frames) != waiters+1 {
+		t.Fatalf("%d frames on the wire, want %d", len(frames), waiters+1)
+	}
+	if string(frames[0]) != "first" {
+		t.Fatalf("first frame = %q", frames[0])
+	}
+	seen := map[byte]bool{}
+	for _, f := range frames[1:] {
+		if len(f) != 2 || f[0] != 'w' {
+			t.Fatalf("corrupted frame %q", f)
+		}
+		seen[f[1]] = true
+	}
+	if len(seen) != waiters {
+		t.Fatalf("lost frames in the batch: %q", frames[1:])
+	}
+}
+
+// TestSocketTellFramingZeroAlloc pins the satellite requirement: the
+// steady-state Tell framing path allocates nothing — the header+frame
+// copy rides a recycled per-conn buffer.
+func TestSocketTellFramingZeroAlloc(t *testing.T) {
+	a, _ := newSock(t, "a")
+	injectConn(t, a, &fakeConn{discard: true})
+	frame := make([]byte, 128)
+	for i := 0; i < 8; i++ { // warm the recycled buffers
+		if err := a.Tell("b", simnet.ClassControl, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := a.Tell("b", simnet.ClassControl, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("framing layer allocates %.1f per Tell, want 0", avg)
+	}
+}
+
+// TestSocketLargeFrameBypassesPend: a frame over the coalesce bound is
+// written directly (header write + body write), never copied into the
+// pending buffer, and interleaves correctly with queued small frames.
+func TestSocketLargeFrameBypassesPend(t *testing.T) {
+	a, _ := newSock(t, "a")
+	fc := &fakeConn{}
+	sc := injectConn(t, a, fc)
+	small := []byte("tiny")
+	big := make([]byte, coalesceMax+1)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Tell("b", simnet.ClassControl, small); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tell("b", simnet.ClassControl, big); err != nil {
+		t.Fatal(err)
+	}
+	sc.mu.Lock()
+	pendCap := cap(sc.pend) + cap(sc.spare)
+	sc.mu.Unlock()
+	if pendCap > coalesceMax {
+		t.Fatalf("large frame was copied into a %d-byte pend buffer", pendCap)
+	}
+	frames := parseFramed(t, fc.bytes)
+	if len(frames) != 2 || string(frames[0]) != "tiny" || len(frames[1]) != len(big) {
+		t.Fatalf("stream corrupted: %d frames", len(frames))
+	}
+}
+
+func waitCond(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// BenchmarkSocketTell measures the real loopback send path; the framing
+// layer itself must not allocate (see TestSocketTellFramingZeroAlloc for
+// the hard assertion without network noise).
+func BenchmarkSocketTell(b *testing.B) {
+	a, err := NewSocket("a", "127.0.0.1:0", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	rcv, err := NewSocket("b", "127.0.0.1:0", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rcv.Close()
+	rcv.Receive(func(simnet.NodeID, simnet.Class, []byte) {})
+	a.AddPeer("b", rcv.Info().Addr)
+	frame := make([]byte, 256)
+	if err := a.Tell("b", simnet.ClassControl, frame); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Tell("b", simnet.ClassControl, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSocketTellFraming isolates the framing layer on a no-op conn:
+// this is the 0 allocs/op path the satellite pins.
+func BenchmarkSocketTellFraming(b *testing.B) {
+	a, err := NewSocket("a", "127.0.0.1:0", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	a.AddPeer("b", "127.0.0.1:1")
+	sc := newSendConn(&fakeConn{discard: true})
+	a.mu.Lock()
+	a.conns[connKey{"b", simnet.ClassControl}] = sc
+	a.mu.Unlock()
+	frame := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Tell("b", simnet.ClassControl, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

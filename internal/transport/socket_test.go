@@ -166,6 +166,12 @@ func TestSocketRedialAfterPeerRestart(t *testing.T) {
 	b1c.wait(t, 1, 5*time.Second)
 	addr := b1.Info().Addr
 	b1.Close()
+	// Connection death is detected asynchronously: the per-conn monitor
+	// observes the peer's FIN and drops the conn. Wait for that before
+	// sending again — a send racing the detection window lands in the
+	// kernel buffer of a dying socket, which no TCP user can distinguish
+	// from delivery without application-level acks.
+	waitCond(t, func() bool { return a.Stats().DeadConns >= 1 })
 
 	// Restart a listener on the same address under the same identity.
 	var b2 *Socket
@@ -251,8 +257,72 @@ func TestSocketCastUDP(t *testing.T) {
 	if got[0].from != "a" || got[0].class != simnet.ClassPreserve || string(got[0].frame) != "gram" {
 		t.Fatalf("datagram: %+v", got[0])
 	}
-	if err := a.Cast("b", simnet.ClassPreserve, make([]byte, maxDatagramBytes)); err == nil {
-		t.Fatal("oversized datagram accepted")
+}
+
+// TestSocketCastFallback: a frame too large for one datagram is delivered
+// anyway — Cast transparently downgrades to Tell — and the downgrade is
+// observable in the stats and the journal.
+func TestSocketCastFallback(t *testing.T) {
+	a, _ := newSock(t, "a")
+	j := obs.NewJournal(0)
+	a.SetJournal(j)
+	b, bc := newSock(t, "b")
+	a.AddPeer("b", b.Info().Addr)
+
+	big := make([]byte, maxDatagramBytes) // header pushes it over the limit
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Cast("b", simnet.ClassControl, big); err != nil {
+		t.Fatalf("oversized cast must fall back, not error: %v", err)
+	}
+	got := bc.wait(t, 1, 5*time.Second)
+	if got[0].from != "a" || got[0].class != simnet.ClassControl || len(got[0].frame) != len(big) {
+		t.Fatalf("fallback frame: from=%s class=%s len=%d", got[0].from, got[0].class, len(got[0].frame))
+	}
+	if st := a.Stats(); st.CastFallbacks != 1 {
+		t.Fatalf("CastFallbacks = %d, want 1", st.CastFallbacks)
+	}
+	var logged bool
+	for _, ev := range j.Events() {
+		if ev.Kind == "cast_fallback" && ev.Detail == "b" {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Fatalf("journal missing cast_fallback event: %+v", j.Events())
+	}
+	if got := a.SentBytes(simnet.ClassControl); got != int64(len(big)) {
+		t.Fatalf("SentBytes counted fallback twice or not at all: %d", got)
+	}
+}
+
+// TestSocketCastBudget: with a per-peer budget set, casts beyond the burst
+// are suppressed rather than sent, and the suppression is counted.
+func TestSocketCastBudget(t *testing.T) {
+	a, _ := newSock(t, "a")
+	b, bc := newSock(t, "b")
+	a.AddPeer("b", b.Info().Addr)
+	// 1 byte/s refill: effectively only the burst is spendable in-test.
+	a.SetCastBudget(1, 300)
+
+	for i := 0; i < 10; i++ {
+		if err := a.Cast("b", simnet.ClassControl, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := a.Stats()
+	if st.CastSuppressed == 0 {
+		t.Fatal("no casts suppressed despite exhausted budget")
+	}
+	if sent := 10 - int(st.CastSuppressed); sent < 1 || sent > 4 {
+		t.Fatalf("sent %d datagrams, want 1..4 under a 300-byte burst", sent)
+	}
+	bc.wait(t, 1, 5*time.Second) // at least one within-budget cast arrives
+
+	a.SetCastBudget(0, 0) // lifting the cap restores unlimited casts
+	if err := a.Cast("b", simnet.ClassControl, []byte("free")); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -48,6 +48,17 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		Stages: []AssignStage{{Slot: "a", Op: "pass", Host: "n0"}},
 		Peers:  []AssignPeer{{ID: "n1", Addr: "127.0.0.1:1"}}}), nil)
 	add(AppendSinkOut(nil, tp))
+	add(AppendGossipDigest(nil, &GossipDigest{From: "n1", Reply: true,
+		Entries: []DigestEntry{{Origin: "n0", Seq: 3}}}), nil)
+	add(AppendGossipDigest(nil, &GossipDigest{From: "n1", Lo: "a", Hi: "n0",
+		Entries: []DigestEntry{{Origin: "n0", Seq: 3}}}), nil)
+	add(AppendGossipDelta(nil, &GossipDelta{From: "n0", Msgs: []GossipMsg{
+		{Origin: "n0", Seq: 1, Hops: 1, Method: "member", Payload: []byte{7}},
+	}}), nil)
+	add(AppendRollup(nil, &Rollup{Region: "r", Lead: "n1", Epoch: 1,
+		Phones: 8, Idle: 1, Backlog: 2, BatteryRisk: 1, OutTuples: 40, CtrlBytes: 512}), nil)
+	add(AppendXRegionEnv(nil, &XRegionEnv{FromRegion: "a", ToRegion: "b",
+		Stream: "s", Seq: 2, Payload: []byte("p")}), nil)
 	return seeds
 }
 

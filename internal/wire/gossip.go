@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"mobistreams/internal/simnet"
+)
+
+// This file carries the federation control plane's frame kinds: the gossip
+// layer's anti-entropy digests and message deltas, the per-region telemetry
+// rollup, and the cross-region tuple envelope. All four follow the codec's
+// contract — deterministic append-to-buffer encode with exact SizeX,
+// bounds-checked zero-copy decode — so the federated control plane stays on
+// the zero-alloc path end to end.
+
+// GossipMsg is one epidemic broadcast message: identified by (Origin, Seq),
+// tagged with the registered method it dispatches to, carrying an opaque
+// payload. Hops counts forwarding steps from the origin; relays past the
+// lazy-push threshold advertise the ID instead of pushing the payload.
+type GossipMsg struct {
+	Origin  simnet.NodeID
+	Seq     uint64
+	Hops    uint8
+	Method  string
+	Payload []byte
+}
+
+// DigestEntry is one origin's highest contiguous delivered sequence in a
+// gossip digest: "I hold everything Origin published through Seq".
+type DigestEntry struct {
+	Origin simnet.NodeID
+	Seq    uint64
+}
+
+// GossipDigest is the push-pull anti-entropy summary. A node sends its
+// per-origin high-water marks to a sampled peer; the peer replies with a
+// GossipDelta of messages the digester is missing and — unless Reply is
+// set — its own digest, so one exchange repairs both directions without
+// looping.
+//
+// Lo and Hi bound the origin-ID window this digest covers: the sender
+// asserts its marks are complete for every origin in [Lo, Hi) — Lo
+// inclusive, Hi exclusive, an empty Lo meaning "from the start of the ID
+// space" and an empty Hi "to the end". A receiver must only repair
+// origins inside the window — an origin absent from Entries but inside
+// the window is genuinely at zero; outside, it is merely unmentioned.
+// Half-open windows tile the ID space with no gaps (each window's Hi is
+// the next window's Lo), so rotating bounded digests eventually cover
+// every origin either side might hold while each frame stays
+// constant-size as the overlay grows.
+type GossipDigest struct {
+	From    simnet.NodeID
+	Reply   bool
+	Lo, Hi  simnet.NodeID
+	Entries []DigestEntry
+}
+
+// Covers reports whether origin falls inside the digest's half-open
+// window [Lo, Hi).
+func (d *GossipDigest) Covers(origin simnet.NodeID) bool {
+	return (d.Lo == "" || origin >= d.Lo) && (d.Hi == "" || origin < d.Hi)
+}
+
+// GossipDelta is a batch of gossip messages: a single eager-push forward, a
+// graft response, or an anti-entropy repair.
+type GossipDelta struct {
+	From simnet.NodeID
+	Msgs []GossipMsg
+}
+
+// Rollup is one region's aggregate telemetry published into the federation:
+// population, load and battery risk, plus the output/control counters the
+// lead folds into fleet-wide caps. The same frame carries the lead's
+// aggregate back out (Region names the fleet scope then).
+type Rollup struct {
+	// Region names the reporting region (or aggregate scope).
+	Region string
+	// Lead is the region's agent node on the backhaul overlay.
+	Lead simnet.NodeID
+	// Epoch orders rollups from the same region; stale epochs are ignored.
+	Epoch uint64
+	// Phones and Idle describe the population; Backlog sums queued items.
+	Phones  int
+	Idle    int
+	Backlog int
+	// BatteryRisk counts phones below the low-battery threshold.
+	BatteryRisk int
+	// OutTuples counts tuples the region's sinks published.
+	OutTuples uint64
+	// CtrlBytes counts control-plane bytes the region's agent has sent.
+	CtrlBytes uint64
+}
+
+// XRegionEnv is the cross-region tuple envelope: one region's stream output
+// addressed to another region over the cellular backhaul. Payload is a
+// complete wire frame (typically KindSinkOut); Seq is the per-(FromRegion,
+// Stream) sequence receivers dedup on, making redelivery idempotent.
+type XRegionEnv struct {
+	FromRegion string
+	ToRegion   string
+	Stream     string
+	Seq        uint64
+	Payload    []byte
+}
+
+// ---- gossip digest -------------------------------------------------------
+
+// SizeGossipDigest reports the exact frame size AppendGossipDigest produces.
+func SizeGossipDigest(d *GossipDigest) int {
+	total := 1 + sizeString(string(d.From)) + 1 +
+		sizeString(string(d.Lo)) + sizeString(string(d.Hi)) + 4
+	for i := range d.Entries {
+		total += sizeString(string(d.Entries[i].Origin)) + 8
+	}
+	return total
+}
+
+// AppendGossipDigest encodes a digest frame onto dst. Entries are encoded
+// in the order given; the gossip layer emits them sorted by origin so the
+// encoding is deterministic.
+func AppendGossipDigest(dst []byte, d *GossipDigest) []byte {
+	dst = appendU8(dst, byte(KindGossipDigest))
+	dst = appendString(dst, string(d.From))
+	dst = appendBool(dst, d.Reply)
+	dst = appendString(dst, string(d.Lo))
+	dst = appendString(dst, string(d.Hi))
+	dst = appendU32(dst, uint32(len(d.Entries)))
+	for i := range d.Entries {
+		dst = appendString(dst, string(d.Entries[i].Origin))
+		dst = appendU64(dst, d.Entries[i].Seq)
+	}
+	return dst
+}
+
+// DecodeGossipDigest decodes a digest frame.
+func DecodeGossipDigest(frame []byte) (GossipDigest, error) {
+	r := reader{b: frame}
+	r.kind(KindGossipDigest)
+	var d GossipDigest
+	d.From = simnet.NodeID(r.str())
+	d.Reply = r.boolean()
+	d.Lo = simnet.NodeID(r.str())
+	d.Hi = simnet.NodeID(r.str())
+	if n := r.count(4 + 8); r.err == nil && n > 0 {
+		d.Entries = make([]DigestEntry, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			d.Entries = append(d.Entries, DigestEntry{
+				Origin: simnet.NodeID(r.str()), Seq: r.u64(),
+			})
+		}
+	}
+	return d, r.done()
+}
+
+// ---- gossip delta --------------------------------------------------------
+
+// SizeGossipDelta reports the exact frame size AppendGossipDelta produces.
+func SizeGossipDelta(d *GossipDelta) int {
+	total := 1 + sizeString(string(d.From)) + 4
+	for i := range d.Msgs {
+		m := &d.Msgs[i]
+		total += sizeString(string(m.Origin)) + 8 + 1 +
+			sizeString(m.Method) + sizeBytes(m.Payload)
+	}
+	return total
+}
+
+// AppendGossipDelta encodes a delta frame onto dst.
+func AppendGossipDelta(dst []byte, d *GossipDelta) []byte {
+	dst = appendU8(dst, byte(KindGossipDelta))
+	dst = appendString(dst, string(d.From))
+	dst = appendU32(dst, uint32(len(d.Msgs)))
+	for i := range d.Msgs {
+		m := &d.Msgs[i]
+		dst = appendString(dst, string(m.Origin))
+		dst = appendU64(dst, m.Seq)
+		dst = appendU8(dst, m.Hops)
+		dst = appendString(dst, m.Method)
+		dst = appendBytes(dst, m.Payload)
+	}
+	return dst
+}
+
+// DecodeGossipDelta decodes a delta frame. Message payloads are zero-copy
+// views into the frame: callers keeping them past the frame's lifetime must
+// copy.
+func DecodeGossipDelta(frame []byte) (GossipDelta, error) {
+	r := reader{b: frame}
+	r.kind(KindGossipDelta)
+	var d GossipDelta
+	d.From = simnet.NodeID(r.str())
+	// Each message is at least two counted strings, a u64, a hop byte and
+	// a counted payload.
+	if n := r.count(4 + 8 + 1 + 4 + 4); r.err == nil && n > 0 {
+		d.Msgs = make([]GossipMsg, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			d.Msgs = append(d.Msgs, GossipMsg{
+				Origin:  simnet.NodeID(r.str()),
+				Seq:     r.u64(),
+				Hops:    r.u8(),
+				Method:  r.str(),
+				Payload: r.bytes(),
+			})
+		}
+	}
+	return d, r.done()
+}
+
+// ---- region rollup -------------------------------------------------------
+
+// SizeRollup reports the exact frame size AppendRollup produces.
+func SizeRollup(ru *Rollup) int {
+	return 1 + sizeString(ru.Region) + sizeString(string(ru.Lead)) +
+		8 + 8 + 8 + 8 + 8 + 8 + 8
+}
+
+// AppendRollup encodes a rollup frame onto dst.
+func AppendRollup(dst []byte, ru *Rollup) []byte {
+	dst = appendU8(dst, byte(KindRollup))
+	dst = appendString(dst, ru.Region)
+	dst = appendString(dst, string(ru.Lead))
+	dst = appendU64(dst, ru.Epoch)
+	dst = appendI64(dst, int64(ru.Phones))
+	dst = appendI64(dst, int64(ru.Idle))
+	dst = appendI64(dst, int64(ru.Backlog))
+	dst = appendI64(dst, int64(ru.BatteryRisk))
+	dst = appendU64(dst, ru.OutTuples)
+	return appendU64(dst, ru.CtrlBytes)
+}
+
+// DecodeRollup decodes a rollup frame.
+func DecodeRollup(frame []byte) (Rollup, error) {
+	r := reader{b: frame}
+	r.kind(KindRollup)
+	var ru Rollup
+	ru.Region = r.str()
+	ru.Lead = simnet.NodeID(r.str())
+	ru.Epoch = r.u64()
+	ru.Phones = int(r.i64())
+	ru.Idle = int(r.i64())
+	ru.Backlog = int(r.i64())
+	ru.BatteryRisk = int(r.i64())
+	ru.OutTuples = r.u64()
+	ru.CtrlBytes = r.u64()
+	return ru, r.done()
+}
+
+// ---- cross-region envelope -----------------------------------------------
+
+// SizeXRegionEnv reports the exact frame size AppendXRegionEnv produces.
+func SizeXRegionEnv(e *XRegionEnv) int {
+	return 1 + sizeString(e.FromRegion) + sizeString(e.ToRegion) +
+		sizeString(e.Stream) + 8 + sizeBytes(e.Payload)
+}
+
+// AppendXRegionEnv encodes a cross-region envelope onto dst.
+func AppendXRegionEnv(dst []byte, e *XRegionEnv) []byte {
+	dst = appendU8(dst, byte(KindXRegion))
+	dst = appendString(dst, e.FromRegion)
+	dst = appendString(dst, e.ToRegion)
+	dst = appendString(dst, e.Stream)
+	dst = appendU64(dst, e.Seq)
+	return appendBytes(dst, e.Payload)
+}
+
+// DecodeXRegionEnv decodes a cross-region envelope. Payload is a zero-copy
+// view into the frame.
+func DecodeXRegionEnv(frame []byte) (XRegionEnv, error) {
+	r := reader{b: frame}
+	r.kind(KindXRegion)
+	var e XRegionEnv
+	e.FromRegion = r.str()
+	e.ToRegion = r.str()
+	e.Stream = r.str()
+	e.Seq = r.u64()
+	e.Payload = r.bytes()
+	return e, r.done()
+}

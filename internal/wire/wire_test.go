@@ -92,6 +92,26 @@ func frameCases(t *testing.T) []frameCase {
 		Peers: []AssignPeer{{ID: "w1", Addr: "127.0.0.1:7402"}},
 	}
 	sink := sampleTuple()
+	digest := &GossipDigest{
+		From: "r1", Reply: true, Lo: "lead", Hi: "r2",
+		Entries: []DigestEntry{{Origin: "lead", Seq: 9}, {Origin: "r2", Seq: 4}},
+	}
+	delta := &GossipDelta{
+		From: "r2",
+		Msgs: []GossipMsg{
+			{Origin: "lead", Seq: 8, Hops: 2, Method: "cap", Payload: []byte{1, 2, 3}},
+			{Origin: "r2", Seq: 4, Hops: 0, Method: "rollup", Payload: nil},
+		},
+	}
+	rollup := &Rollup{
+		Region: "uptown", Lead: "r3", Epoch: 7,
+		Phones: 16, Idle: 3, Backlog: 42, BatteryRisk: 2,
+		OutTuples: 900, CtrlBytes: 12345,
+	}
+	env := &XRegionEnv{
+		FromRegion: "busline-12", ToRegion: "downtown", Stream: "crowding",
+		Seq: 77, Payload: []byte("inner-frame"),
+	}
 	spans := &SpanDump{
 		From: "w1",
 		Spans: []obs.Span{
@@ -152,6 +172,18 @@ func frameCases(t *testing.T) []frameCase {
 		{"spans", wrapSize(SizeSpans(spans)),
 			wrap(func(d []byte) []byte { return AppendSpans(d, spans) }),
 			func(f []byte) (interface{}, error) { return DecodeSpans(f) }},
+		{"gossip-digest", wrapSize(SizeGossipDigest(digest)),
+			wrap(func(d []byte) []byte { return AppendGossipDigest(d, digest) }),
+			func(f []byte) (interface{}, error) { return DecodeGossipDigest(f) }},
+		{"gossip-delta", wrapSize(SizeGossipDelta(delta)),
+			wrap(func(d []byte) []byte { return AppendGossipDelta(d, delta) }),
+			func(f []byte) (interface{}, error) { return DecodeGossipDelta(f) }},
+		{"rollup", wrapSize(SizeRollup(rollup)),
+			wrap(func(d []byte) []byte { return AppendRollup(d, rollup) }),
+			func(f []byte) (interface{}, error) { return DecodeRollup(f) }},
+		{"xregion", wrapSize(SizeXRegionEnv(env)),
+			wrap(func(d []byte) []byte { return AppendXRegionEnv(d, env) }),
+			func(f []byte) (interface{}, error) { return DecodeXRegionEnv(f) }},
 	}
 }
 
@@ -368,6 +400,71 @@ func TestEncodeZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("encode allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestGossipRoundTripValues pins field-level fidelity for the federation
+// kinds: digests and deltas survive intact (payloads as views), rollups and
+// envelopes carry every counter through.
+func TestGossipRoundTripValues(t *testing.T) {
+	d := GossipDelta{From: "r2", Msgs: []GossipMsg{
+		{Origin: "lead", Seq: 8, Hops: 3, Method: "cap", Payload: []byte{1, 2}},
+		{Origin: "r9", Seq: 1, Hops: 0, Method: "member", Payload: nil},
+	}}
+	got, err := DecodeGossipDelta(AppendGossipDelta(nil, &d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != d.From || len(got.Msgs) != 2 {
+		t.Fatalf("delta header mismatch: %+v", got)
+	}
+	m := got.Msgs[0]
+	if m.Origin != "lead" || m.Seq != 8 || m.Hops != 3 || m.Method != "cap" || !bytes.Equal(m.Payload, []byte{1, 2}) {
+		t.Fatalf("delta msg mismatch: %+v", m)
+	}
+	if got.Msgs[1].Method != "member" || len(got.Msgs[1].Payload) != 0 {
+		t.Fatalf("empty-payload msg mismatch: %+v", got.Msgs[1])
+	}
+
+	dg := GossipDigest{From: "r1", Lo: "a", Hi: "m", Entries: []DigestEntry{{Origin: "a", Seq: 1}}}
+	gotDg, err := DecodeGossipDigest(AppendGossipDigest(nil, &dg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDg.Reply || gotDg.Entries[0].Origin != "a" || gotDg.Entries[0].Seq != 1 {
+		t.Fatalf("digest mismatch: %+v", gotDg)
+	}
+	if gotDg.Lo != "a" || gotDg.Hi != "m" {
+		t.Fatalf("digest window mismatch: %+v", gotDg)
+	}
+	if !gotDg.Covers("a") || !gotDg.Covers("lz") || gotDg.Covers("m") || gotDg.Covers("A") {
+		t.Fatal("digest window coverage wrong (half-open [Lo,Hi))")
+	}
+	full := GossipDigest{From: "r1"}
+	if !full.Covers("anything") || !full.Covers("") {
+		t.Fatal("unbounded digest must cover every origin")
+	}
+
+	ru := Rollup{Region: "uptown", Lead: "r3", Epoch: 7, Phones: 16, Idle: 3,
+		Backlog: 42, BatteryRisk: 2, OutTuples: 900, CtrlBytes: 12345}
+	gotRu, err := DecodeRollup(AppendRollup(nil, &ru))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRu != ru {
+		t.Fatalf("rollup mismatch: got %+v want %+v", gotRu, ru)
+	}
+
+	env := XRegionEnv{FromRegion: "busline-12", ToRegion: "downtown",
+		Stream: "crowding", Seq: 77, Payload: []byte("inner")}
+	gotEnv, err := DecodeXRegionEnv(AppendXRegionEnv(nil, &env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotEnv.FromRegion != env.FromRegion || gotEnv.ToRegion != env.ToRegion ||
+		gotEnv.Stream != env.Stream || gotEnv.Seq != env.Seq ||
+		!bytes.Equal(gotEnv.Payload, env.Payload) {
+		t.Fatalf("envelope mismatch: %+v", gotEnv)
 	}
 }
 
