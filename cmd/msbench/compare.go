@@ -22,6 +22,7 @@ import (
 //	go run ./cmd/msbench -exp obs -obsout BENCH_obs.json
 //	go run ./cmd/msbench -exp elastic -seed 5 -elasticout BENCH_elastic.json
 //	go run ./cmd/msbench -exp federation -seed 5 -fedout BENCH_federation.json
+//	go run ./cmd/msbench -exp placement -seed 5 -placeout BENCH_placement.json
 //	then copy the summary numbers below from those files.
 type Baseline struct {
 	Comment string `json:"comment"`
@@ -63,6 +64,15 @@ type Baseline struct {
 	// count — the sub-linear fan-out claim's number. Fully deterministic
 	// (seeded simulation), so the grace term is small.
 	FederationCtrlBytesPerPhoneLargest float64 `json:"federation_ctrl_bytes_per_phone_largest"`
+	// PlacementLossVsGreedy is the planner arm's tuple loss divided by the
+	// greedy arm's (floored at one tuple) in the placement experiment: the
+	// planner-beats-greedy headline as a ratio, so the gate tracks the
+	// relative claim rather than an absolute count that moves with the
+	// churn schedule. The gate additionally requires the planner arm to
+	// keep its cross-channel airtime share below the greedy arm's — that
+	// claim is structural (repacking removes cross-cell hops), so it gets
+	// no regression factor at all.
+	PlacementLossVsGreedy float64 `json:"placement_loss_vs_greedy"`
 }
 
 // regressionFactor is the gate's threshold: a metric more than 20% worse
@@ -100,9 +110,17 @@ const (
 	// window phase). The byte counts themselves are deterministic, so the
 	// grace only needs to cover intentional small retunes, not noise.
 	fedGraceBytesPerPhone = 20.0
+	// placementGraceRatio absorbs churn-schedule sensitivity in the
+	// loss-vs-greedy ratio: both arms run the same seed, but a migration
+	// landing one tick earlier can shift a single lost tuple between arms,
+	// which moves the ratio a lot when the absolute counts are small. At
+	// the committed baseline (both arms lose zero; ratio 0.0) the grace is
+	// what tolerates one stray planner-arm tuple against a clean greedy
+	// run, so it must stay above 1.0.
+	placementGraceRatio = 1.5
 )
 
-func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath, obsPath, elasticPath, fedPath string, w io.Writer) error {
+func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath, obsPath, elasticPath, fedPath, placePath string, w io.Writer) error {
 	var base Baseline
 	if err := readJSON(baselinePath, &base); err != nil {
 		return fmt.Errorf("baseline: %w", err)
@@ -138,6 +156,10 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	var fedRep bench.FederationReport
 	if err := readJSON(fedPath, &fedRep); err != nil {
 		return fmt.Errorf("federation results: %w", err)
+	}
+	var placeRep bench.PlacementReport
+	if err := readJSON(placePath, &placeRep); err != nil {
+		return fmt.Errorf("placement results: %w", err)
 	}
 
 	var worstLoss int64
@@ -248,6 +270,34 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	fmt.Fprintf(w, "gate: federation ctrl bytes/phone at %d regions %.1f (baseline %.1f, limit %.1f)\n",
 		fedLargest, fedBytesPerPhone, base.FederationCtrlBytesPerPhoneLargest, fedLimit)
 
+	// Placement: the planner's tuple loss relative to the greedy baseline
+	// arm, plus the structural cross-channel claim and the run's
+	// exactly-once invariant (duplicates gated at zero, no grace).
+	var greedyRow, plannerRow *bench.PlacementOutcome
+	for i := range placeRep.Rows {
+		switch placeRep.Rows[i].Mode {
+		case "greedy":
+			greedyRow = &placeRep.Rows[i]
+		case "planner":
+			plannerRow = &placeRep.Rows[i]
+		}
+	}
+	placeRatio, placeSeen := -1.0, greedyRow != nil && plannerRow != nil
+	if placeSeen {
+		greedyLost := greedyRow.Lost
+		if greedyLost < 1 {
+			greedyLost = 1
+		}
+		placeRatio = float64(plannerRow.Lost) / float64(greedyLost)
+	}
+	placeLimit := base.PlacementLossVsGreedy*regressionFactor + placementGraceRatio
+	fmt.Fprintf(w, "gate: placement loss vs greedy %.2f (baseline %.2f, limit %.2f)\n",
+		placeRatio, base.PlacementLossVsGreedy, placeLimit)
+	if placeSeen {
+		fmt.Fprintf(w, "gate: placement cross-channel share planner %.3f vs greedy %.3f\n",
+			plannerRow.CrossChannelShare, greedyRow.CrossChannelShare)
+	}
+
 	var failures []string
 	if !emitSeen {
 		failures = append(failures, "emit results carry no context-contract row")
@@ -299,6 +349,20 @@ func runCompare(baselinePath, churnPath, ckptPath, scalePath, emitPath, wirePath
 	}
 	if fedDups != 0 {
 		failures = append(failures, fmt.Sprintf("federation run published %d duplicate cross-region outputs", fedDups))
+	}
+	if !placeSeen {
+		failures = append(failures, "placement results carry no greedy+planner row pair")
+	} else {
+		if placeRatio > placeLimit {
+			failures = append(failures, fmt.Sprintf("placement loss vs greedy regressed: %.2f > %.2f", placeRatio, placeLimit))
+		}
+		if plannerRow.CrossChannelShare >= greedyRow.CrossChannelShare {
+			failures = append(failures, fmt.Sprintf("placement planner no longer beats greedy on cross-channel share: %.3f >= %.3f",
+				plannerRow.CrossChannelShare, greedyRow.CrossChannelShare))
+		}
+		if plannerRow.Duplicates != 0 {
+			failures = append(failures, fmt.Sprintf("placement planner run published %d duplicate outputs", plannerRow.Duplicates))
+		}
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {

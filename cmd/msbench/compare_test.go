@@ -19,9 +19,9 @@ func writeFile(t *testing.T, dir, name, content string) string {
 }
 
 // gateFixtures writes a full healthy result set matching the committed
-// baseline shape, returning the nine paths runCompare takes. Callers
+// baseline shape, returning the ten paths runCompare takes. Callers
 // overwrite individual files to construct failure cases.
-func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed string) {
+func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place string) {
 	t.Helper()
 	baseline = writeFile(t, dir, "baseline.json", `{
 		"max_scheduler_tuple_loss": 0,
@@ -32,7 +32,8 @@ func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit,
 		"obs_overhead_pct": 5.0,
 		"trace_allocs_per_op": 0.0,
 		"elastic_p99_hotspot_ms": 650.0,
-		"federation_ctrl_bytes_per_phone_largest": 560.0
+		"federation_ctrl_bytes_per_phone_largest": 560.0,
+		"placement_loss_vs_greedy": 0.5
 	}`)
 	churn = writeFile(t, dir, "churn.json", `{"rows": [
 		{"mode": "scheduler", "tuples_lost": 0},
@@ -74,14 +75,18 @@ func gateFixtures(t *testing.T, dir string) (baseline, churn, ckpt, scale, emit,
 		{"mode": "gossip", "regions": 64, "ctrl_bytes_per_phone": 555.0, "xregion_dup_outputs": 0},
 		{"mode": "unicast", "regions": 64, "ctrl_bytes_per_phone": 756.0, "xregion_dup_outputs": 0}
 	]}`)
+	place = writeFile(t, dir, "placement.json", `{"rows": [
+		{"mode": "greedy", "tuples_lost": 8, "cross_channel_share": 0.55, "duplicates": 0},
+		{"mode": "planner", "tuples_lost": 2, "cross_channel_share": 0.12, "duplicates": 0}
+	]}`)
 	return
 }
 
 func TestComparePasses(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err != nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out); err != nil {
 		t.Fatalf("healthy results failed the gate: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "no regressions") {
@@ -94,13 +99,13 @@ func TestComparePasses(t *testing.T) {
 // must fail the build, decode-side allocations must not.
 func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "encode_stream", "allocs_per_op": 1.0, "ns_per_op": 55, "frame_bytes": 80},
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("1.0 wire-encode allocs/op passed the gate:\n%s", out.String())
 	}
@@ -113,12 +118,12 @@ func TestCompareFailsOnWireEncodeAlloc(t *testing.T) {
 // silently pass.
 func TestCompareFailsOnMissingWireRows(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "wire.json", `{"rows": [
 		{"op": "decode_stream", "allocs_per_op": 2.0, "ns_per_op": 90, "frame_bytes": 80}
 	]}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out); err == nil {
 		t.Fatalf("wire results without encode rows passed the gate:\n%s", out.String())
 	}
 }
@@ -127,12 +132,12 @@ func TestCompareFailsOnMissingWireRows(t *testing.T) {
 // wire pin.
 func TestCompareFailsOnEmitAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "emit.json", `{"rows": [
 		{"mode": "context", "allocs_per_op": 1.0, "ns_per_op": 120}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("1.0 emit allocs/op passed the gate:\n%s", out.String())
 	}
@@ -146,7 +151,7 @@ func TestCompareFailsOnEmitAlloc(t *testing.T) {
 // the smallest possible regression — must fail the build.
 func TestCompareFailsOnTraceAlloc(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{
 		"iters": 200000,
 		"off_ns_per_op": 100.0,
@@ -155,7 +160,7 @@ func TestCompareFailsOnTraceAlloc(t *testing.T) {
 		"trace_allocs_per_op": 1.0
 	}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("1.0 traced-path allocs/op passed the gate:\n%s", out.String())
 	}
@@ -168,7 +173,7 @@ func TestCompareFailsOnTraceAlloc(t *testing.T) {
 // baseline plus grace must fail, attributed to the obs gate.
 func TestCompareFailsOnObsOverhead(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{
 		"iters": 200000,
 		"off_ns_per_op": 100.0,
@@ -177,7 +182,7 @@ func TestCompareFailsOnObsOverhead(t *testing.T) {
 		"trace_allocs_per_op": 0.0
 	}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("80%% obs overhead passed the gate:\n%s", out.String())
 	}
@@ -190,10 +195,10 @@ func TestCompareFailsOnObsOverhead(t *testing.T) {
 // silently pass the pinned-allocation gate.
 func TestCompareFailsOnEmptyObsResults(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "obs.json", `{}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out); err == nil {
 		t.Fatalf("empty obs results passed the gate:\n%s", out.String())
 	}
 }
@@ -203,13 +208,13 @@ func TestCompareFailsOnEmptyObsResults(t *testing.T) {
 // the split/merge policy stopped absorbing the hotspot.
 func TestCompareFailsOnElasticP99Regression(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "elastic.json", `{"rows": [
 		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0},
 		{"mode": "elastic", "p99_hotspot_ms": 3200.0, "splits": 0, "duplicates": 0}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("3200 ms elastic hotspot p99 passed the gate against a 650 ms baseline:\n%s", out.String())
 	}
@@ -223,13 +228,13 @@ func TestCompareFailsOnElasticP99Regression(t *testing.T) {
 // when the latency numbers are healthy.
 func TestCompareFailsOnElasticDuplicates(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "elastic.json", `{"rows": [
 		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0},
 		{"mode": "elastic", "p99_hotspot_ms": 640.0, "splits": 2, "duplicates": 1}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("a duplicate output passed the gate:\n%s", out.String())
 	}
@@ -242,12 +247,12 @@ func TestCompareFailsOnElasticDuplicates(t *testing.T) {
 // must not silently pass.
 func TestCompareFailsOnMissingElasticRow(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "elastic.json", `{"rows": [
 		{"mode": "static", "p99_hotspot_ms": 4500.0, "duplicates": 0}
 	]}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out); err == nil {
 		t.Fatalf("elastic results without an elastic-mode row passed the gate:\n%s", out.String())
 	}
 }
@@ -258,13 +263,13 @@ func TestCompareFailsOnMissingElasticRow(t *testing.T) {
 // gossip overlay's sub-linear fan-out regressed.
 func TestCompareFailsOnFederationFanoutRegression(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "federation.json", `{"rows": [
 		{"mode": "gossip", "regions": 4, "ctrl_bytes_per_phone": 380.0, "xregion_dup_outputs": 0},
 		{"mode": "gossip", "regions": 64, "ctrl_bytes_per_phone": 1400.0, "xregion_dup_outputs": 0}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("1400 B/phone passed the gate against a 560 B/phone baseline:\n%s", out.String())
 	}
@@ -278,13 +283,13 @@ func TestCompareFailsOnFederationFanoutRegression(t *testing.T) {
 // fails the build even when the byte counts are healthy.
 func TestCompareFailsOnFederationDuplicates(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "federation.json", `{"rows": [
 		{"mode": "gossip", "regions": 4, "ctrl_bytes_per_phone": 380.0, "xregion_dup_outputs": 1},
 		{"mode": "gossip", "regions": 64, "ctrl_bytes_per_phone": 555.0, "xregion_dup_outputs": 0}
 	]}`)
 	var out bytes.Buffer
-	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out)
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
 	if err == nil {
 		t.Fatalf("a duplicate cross-region output passed the gate:\n%s", out.String())
 	}
@@ -297,12 +302,88 @@ func TestCompareFailsOnFederationDuplicates(t *testing.T) {
 // sweep rows must not silently pass.
 func TestCompareFailsOnMissingFederationRows(t *testing.T) {
 	dir := t.TempDir()
-	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed := gateFixtures(t, dir)
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
 	writeFile(t, dir, "federation.json", `{"rows": [
 		{"mode": "unicast", "regions": 64, "ctrl_bytes_per_phone": 756.0}
 	]}`)
 	var out bytes.Buffer
-	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, &out); err == nil {
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out); err == nil {
 		t.Fatalf("federation results without gossip rows passed the gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnPlacementLossRegression is the placement gate's verified
+// fail path: the planner arm losing far more tuples than the greedy baseline
+// (ratio past baseline×1.2 plus grace) means pack-to-empty planning stopped
+// paying for itself under churn.
+func TestCompareFailsOnPlacementLossRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
+	writeFile(t, dir, "placement.json", `{"rows": [
+		{"mode": "greedy", "tuples_lost": 8, "cross_channel_share": 0.55, "duplicates": 0},
+		{"mode": "planner", "tuples_lost": 40, "cross_channel_share": 0.12, "duplicates": 0}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
+	if err == nil {
+		t.Fatalf("a 5x loss ratio passed the gate against a 0.5 baseline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "placement loss vs greedy regressed") {
+		t.Fatalf("failure not attributed to the placement loss gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnPlacementCrossChannelClaim: the planner's structural
+// claim — less cross-channel airtime than greedy — is gated with no grace.
+// The moment repacking stops consolidating pipelines onto single channels,
+// the share meets or exceeds greedy's and the build fails.
+func TestCompareFailsOnPlacementCrossChannelClaim(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
+	writeFile(t, dir, "placement.json", `{"rows": [
+		{"mode": "greedy", "tuples_lost": 8, "cross_channel_share": 0.55, "duplicates": 0},
+		{"mode": "planner", "tuples_lost": 2, "cross_channel_share": 0.55, "duplicates": 0}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
+	if err == nil {
+		t.Fatalf("planner matching greedy's cross-channel share passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "no longer beats greedy on cross-channel share") {
+		t.Fatalf("failure not attributed to the cross-channel gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnPlacementDuplicates: plan execution rides the same
+// exactly-once migration path as the scheduler, so the planner arm is gated
+// at zero duplicates with no grace.
+func TestCompareFailsOnPlacementDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
+	writeFile(t, dir, "placement.json", `{"rows": [
+		{"mode": "greedy", "tuples_lost": 8, "cross_channel_share": 0.55, "duplicates": 0},
+		{"mode": "planner", "tuples_lost": 2, "cross_channel_share": 0.12, "duplicates": 1}
+	]}`)
+	var out bytes.Buffer
+	err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out)
+	if err == nil {
+		t.Fatalf("a duplicate output in the planner arm passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "duplicate outputs") {
+		t.Fatalf("failure not attributed to the placement exactly-once gate:\n%s", out.String())
+	}
+}
+
+// TestCompareFailsOnMissingPlacementRows: results without both a greedy and
+// a planner row must not silently pass.
+func TestCompareFailsOnMissingPlacementRows(t *testing.T) {
+	dir := t.TempDir()
+	baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place := gateFixtures(t, dir)
+	writeFile(t, dir, "placement.json", `{"rows": [
+		{"mode": "greedy", "tuples_lost": 8, "cross_channel_share": 0.55, "duplicates": 0}
+	]}`)
+	var out bytes.Buffer
+	if err := runCompare(baseline, churn, ckpt, scale, emit, wire, obs, elastic, fed, place, &out); err == nil {
+		t.Fatalf("placement results without a planner row passed the gate:\n%s", out.String())
 	}
 }

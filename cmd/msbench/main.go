@@ -18,23 +18,27 @@
 //	msbench -exp wire           # wire codec encode/decode cost
 //	msbench -exp elastic        # static vs elastic keyed parallelism, moving hotspot
 //	msbench -exp federation     # control fan-out vs region count, gossip vs unicast
+//	msbench -exp placement      # greedy scorer vs topology-aware placement planner
 //
 // -churnout / -ckptout / -scaleout / -emitout / -wireout / -elasticout /
-// -fedout write the churn, checkpoint, scale, emit, wire, elastic and
-// federation comparisons as machine-readable JSON (BENCH_scheduler.json /
-// BENCH_checkpoint.json / BENCH_scale.json / BENCH_emit.json /
-// BENCH_wire.json / BENCH_elastic.json / BENCH_federation.json in CI)
-// alongside the printed tables.
+// -fedout / -placeout write the churn, checkpoint, scale, emit, wire,
+// elastic, federation and placement comparisons as machine-readable JSON
+// (BENCH_scheduler.json / BENCH_checkpoint.json / BENCH_scale.json /
+// BENCH_emit.json / BENCH_wire.json / BENCH_elastic.json /
+// BENCH_federation.json / BENCH_placement.json in CI) alongside the printed
+// tables.
 //
 // -compare is the CI benchmark-regression gate: it reads the committed
 // baseline (BENCH_baseline.json) plus the fresh churn/checkpoint/scale/
-// emit/wire/elastic/federation JSON and exits non-zero when tuple loss,
-// checkpoint pause, largest-region throughput, the elastic run's hotspot
-// p99, or the federation sweep's busiest-node control bytes per phone
+// emit/wire/elastic/federation/placement JSON and exits non-zero when tuple
+// loss, checkpoint pause, largest-region throughput, the elastic run's
+// hotspot p99, the federation sweep's busiest-node control bytes per phone,
+// or the placement planner's tuple loss relative to the greedy baseline
 // regressed more than 20% against the baseline, when the emit-context
 // path or the wire encode path allocates per operation (both pinned at 0),
-// or when the federation sweep leaks a duplicate cross-region output
-// (pinned at 0).
+// when the federation sweep leaks a duplicate cross-region output
+// (pinned at 0), or when the placement planner stops beating the greedy
+// scorer on cross-channel airtime share.
 //
 // -cpuprofile / -memprofile write pprof profiles so hot-path regressions
 // caught by the gate are diagnosable straight from CI artifacts.
@@ -54,7 +58,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|obs|elastic|federation|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig6|fig8|fig9|fig10|churn|checkpoint|scale|emit|wire|obs|elastic|federation|placement|all")
 	maxK := flag.Int("maxk", 8, "maximum simultaneous failures/departures for fig9")
 	churnOut := flag.String("churnout", "", "write churn comparison JSON to this path")
 	ckptOut := flag.String("ckptout", "", "write checkpoint comparison JSON to this path")
@@ -67,6 +71,7 @@ func main() {
 	obsIters := flag.Int("obsiters", 200000, "tuples per observability-overhead measurement")
 	elasticOut := flag.String("elasticout", "", "write elastic-parallelism comparison JSON to this path")
 	fedOut := flag.String("fedout", "", "write federation fan-out sweep JSON to this path")
+	placeOut := flag.String("placeout", "", "write placement planner comparison JSON to this path")
 	scaleMax := flag.Int("scalemax", 64, "largest region size for the scale sweep (8..128)")
 	scaleChannels := flag.String("scalechannels", "1,4", "comma-separated WiFi channel counts for tuned scale rows")
 	seed := flag.Int64("seed", 1, "workload and loss seed")
@@ -82,6 +87,7 @@ func main() {
 	obsJSON := flag.String("obsjson", "BENCH_obs.json", "fresh observability-overhead results for -compare")
 	elasticJSON := flag.String("elasticjson", "BENCH_elastic.json", "fresh elastic-parallelism results for -compare")
 	fedJSON := flag.String("fedjson", "BENCH_federation.json", "fresh federation fan-out results for -compare")
+	placeJSON := flag.String("placejson", "BENCH_placement.json", "fresh placement planner results for -compare")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path at exit")
 	flag.Parse()
@@ -115,7 +121,7 @@ func main() {
 	}
 
 	if *compare {
-		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, *obsJSON, *elasticJSON, *fedJSON, os.Stdout); err != nil {
+		if err := runCompare(*baselinePath, *churnJSON, *ckptJSON, *scaleJSON, *emitJSON, *wireJSON, *obsJSON, *elasticJSON, *fedJSON, *placeJSON, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchmark regression gate: %v\n", err)
 			os.Exit(1)
 		}
@@ -345,6 +351,32 @@ func main() {
 					return err
 				}
 				fmt.Printf("wrote %s\n", *fedOut)
+			}
+			return nil
+		})
+	}
+	if want("placement") {
+		run("placement", func() error {
+			// The placement scenario carries its own speedup default tuned
+			// so a plan step's code-ship window spans enough wall time to
+			// survive CI scheduling stalls (see PlacementScenario.Speedup);
+			// only the seed is taken from the shared flags.
+			placeBase := bench.PlacementScenario{Seed: *seed}
+			rows, err := bench.PlacementComparison(placeBase)
+			if err != nil {
+				return err
+			}
+			bench.WritePlacementTable(os.Stdout, rows)
+			if *placeOut != "" {
+				f, err := os.Create(*placeOut)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := bench.WritePlacementJSON(f, placeBase, rows); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", *placeOut)
 			}
 			return nil
 		})

@@ -56,6 +56,7 @@ func main() {
 	failN := flag.Int("fail", 0, "phones to crash mid-window")
 	departN := flag.Int("depart", 0, "phones to depart mid-window")
 	phones := flag.Int("phones", 16, "region population (8 slots + spares)")
+	channels := flag.Int("channels", 1, "WiFi channel/AP domain count")
 	seed := flag.Int64("seed", 1, "workload seed")
 	listen := flag.String("listen", "", "transport-region lead: listen for worker joins on this address")
 	join := flag.String("join", "", "transport-region worker: join the lead at this address")
@@ -103,6 +104,7 @@ func main() {
 		App:              app,
 		Scheme:           scheme,
 		Phones:           *phones,
+		Channels:         *channels,
 		Speedup:          *speedup,
 		CheckpointPeriod: *period,
 		Measure:          *measure,
@@ -128,6 +130,17 @@ func main() {
 	fmt.Printf("duplicates:   %d suppressed at the sink\n", out.Duplicates)
 	fmt.Printf("inbox drops:  %d best-effort deliveries lost to full inboxes\n", out.InboxDrops)
 	fmt.Printf("transport:    %d redials, %d dead conns\n", out.Redials, out.DeadConns)
+	if out.Channels > 1 {
+		fmt.Printf("channels:     %d domains, %.1f%% of unicast bytes cross-channel\n",
+			out.Channels, out.CrossChannelShare*100)
+		for i, air := range out.ChannelAirtime {
+			members := 0
+			if i < len(out.ChannelMembers) {
+				members = out.ChannelMembers[i]
+			}
+			fmt.Printf("  ch%-2d        %v airtime, %d phones\n", i, air.Round(time.Millisecond), members)
+		}
+	}
 	if out.Dead {
 		fmt.Println("region:       DEAD (bypassed by the controller)")
 	}

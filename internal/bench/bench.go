@@ -51,6 +51,9 @@ type Scenario struct {
 	// spares that store checkpoint copies and stand in as replacements
 	// (default 16 = 8 active + 8 idle; Fig. 4 shows idle members).
 	Phones int
+	// Channels splits the WiFi medium into channel/AP domains (default 1,
+	// a single shared cell).
+	Channels int
 	// Speedup is the clock scale (default 400: one simulated minute
 	// takes 150 ms of wall time).
 	Speedup float64
@@ -183,7 +186,7 @@ func Run(s Scenario) (Outcome, error) {
 		Scheme:            s.Scheme,
 		Phones:            s.Phones,
 		Clock:             clk,
-		WiFi:              simnet.WiFiConfig{BitsPerSecond: s.WiFiBps, LossProb: s.WiFiLoss, Seed: s.Seed},
+		WiFi:              simnet.WiFiConfig{BitsPerSecond: s.WiFiBps, LossProb: s.WiFiLoss, Channels: s.Channels, Seed: s.Seed},
 		Cell:              cell,
 		ControllerID:      ctrl.ID(),
 		Broadcast:         broadcast.Config{BlockSize: 1024},

@@ -37,6 +37,13 @@ type Config struct {
 	// migrations (proactive; the paper's reactive recovery still backstops
 	// anything the scheduler misses).
 	Sched *scheduler.Scheduler
+	// Planner, when non-nil, enables topology-aware placement planning:
+	// each tick the controller snapshots the region's channel topology,
+	// asks the planner for a versioned plan, and executes its migrate /
+	// reserve / release steps through the migration machinery, journaling
+	// the plan lifecycle. When the planner reports no usable topology the
+	// tick falls back to Sched's greedy scorer (the baseline).
+	Planner *scheduler.Planner
 	// ScheduleTick is the telemetry/planning period (default 10 s).
 	ScheduleTick time.Duration
 	// OnRegionDead is called when a region can no longer run and is
@@ -95,6 +102,13 @@ type managed struct {
 	recoveries   int
 	departures   int
 	migrations   int
+	// spares are idle phones held claimed as warm spares by the placement
+	// planner; warmed marks phones that already received operator code,
+	// so migrating onto them skips the code ship.
+	spares      map[simnet.NodeID]bool
+	warmed      map[simnet.NodeID]bool
+	planCommits int
+	planAborts  int
 	// fedEpoch orders this region's federation rollups.
 	fedEpoch uint64
 	// migrating holds off checkpoint rounds while a live migration has a
@@ -154,6 +168,8 @@ func (c *Controller) AddRegion(r *region.Region) {
 		handoffDone:  make(map[simnet.NodeID]bool),
 		catchUpDone:  make(map[uint64]int),
 		failedSeen:   make(map[simnet.NodeID]bool),
+		spares:       make(map[simnet.NodeID]bool),
+		warmed:       make(map[simnet.NodeID]bool),
 	}
 	c.mu.Lock()
 	c.regions[r.ID()] = m
@@ -177,7 +193,7 @@ func (c *Controller) Start() {
 		}
 		c.wg.Add(1)
 		go c.pingLoop(m)
-		if c.cfg.Sched != nil || c.cfg.FederationSink != nil {
+		if c.cfg.Sched != nil || c.cfg.Planner != nil || c.cfg.FederationSink != nil {
 			c.wg.Add(1)
 			go c.scheduleLoop(m)
 		}

@@ -40,7 +40,7 @@ func (c *Controller) scheduleLoop(m *managed) {
 			m.mu.Lock()
 			busy := m.recovering || m.pendingVer != 0
 			m.mu.Unlock()
-			if busy || c.cfg.Sched == nil {
+			if busy || (c.cfg.Sched == nil && c.cfg.Planner == nil) {
 				continue
 			}
 			if !polled {
@@ -48,6 +48,14 @@ func (c *Controller) scheduleLoop(m *managed) {
 				// rates across polls, so an extra poll during a busy window
 				// would perturb the scheduler's risk scores.
 				stats = m.r.Telemetry()
+			}
+			if c.cfg.Planner != nil && c.runPlan(m, stats) {
+				continue
+			}
+			// Greedy baseline, and the fallback when the planner reports
+			// no usable channel topology.
+			if c.cfg.Sched == nil {
+				continue
 			}
 			for _, mig := range c.cfg.Sched.Plan(stats) {
 				if c.stopped() {
@@ -68,10 +76,33 @@ func (c *Controller) scheduleLoop(m *managed) {
 // through the existing resolver-per-retry delivery path, and the vacated
 // host relays stragglers until senders observe the new placement.
 func (c *Controller) migrateSlot(m *managed, mig scheduler.Migration) bool {
+	return c.migrateTo(m, mig, false)
+}
+
+// returnTarget hands an unused migration target back: a pre-claimed warm
+// spare returns to the spare pool (still claimed, still warm), an
+// ad-hoc-claimed idle goes back to the region's idle list.
+func (c *Controller) returnTarget(m *managed, to simnet.NodeID, preclaimed bool) {
+	if preclaimed {
+		m.mu.Lock()
+		m.spares[to] = true
+		m.mu.Unlock()
+		return
+	}
+	m.r.ReleaseToIdle(to)
+}
+
+// migrateTo is migrateSlot with spare-pool awareness: when preclaimed, the
+// target is a warm spare the planner already holds (no ClaimIdle) whose
+// operator code may already be aboard (no code ship).
+func (c *Controller) migrateTo(m *managed, mig scheduler.Migration, preclaimed bool) bool {
 	if cur, ok := m.r.Placement(mig.Slot); !ok || cur != mig.From {
+		if preclaimed {
+			c.returnTarget(m, mig.To, true)
+		}
 		return false // placement changed under the plan (recovery won a race)
 	}
-	if !m.r.ClaimIdle(mig.To) {
+	if !preclaimed && !m.r.ClaimIdle(mig.To) {
 		return false
 	}
 	m.mu.Lock()
@@ -79,11 +110,13 @@ func (c *Controller) migrateSlot(m *managed, mig scheduler.Migration) bool {
 		// A recovery or checkpoint round started between the plan and
 		// now; stand down and return the claimed target untouched.
 		m.mu.Unlock()
-		m.r.ReleaseToIdle(mig.To)
+		c.returnTarget(m, mig.To, preclaimed)
 		return false
 	}
 	m.migrating = true
 	delete(m.restored, mig.To)
+	warm := m.warmed[mig.To]
+	m.warmed[mig.To] = true
 	m.mu.Unlock()
 	defer func() {
 		m.mu.Lock()
@@ -92,7 +125,9 @@ func (c *Controller) migrateSlot(m *managed, mig scheduler.Migration) bool {
 	}()
 
 	c.logf("controller: migrating %s off %s to %s (%s)", mig.Slot, mig.From, mig.To, mig.Reason)
-	c.shipCode(mig.To)
+	if !warm {
+		c.shipCode(mig.To)
+	}
 	c.send(mig.From, node.Command{Op: node.CmdMigrate, Target: mig.To, Slot: mig.Slot})
 	if !c.awaitTransfer(m, mig.To, 60*time.Second) {
 		// The restore report never arrived. Inspect where the slot's
@@ -112,7 +147,7 @@ func (c *Controller) migrateSlot(m *managed, mig scheduler.Migration) bool {
 			// CmdMigrate never took effect (lost command, source died
 			// first): nothing moved, return the target to the pool.
 			c.logf("controller: migration of %s to %s never started", mig.Slot, mig.To)
-			m.r.ReleaseToIdle(mig.To)
+			c.returnTarget(m, mig.To, preclaimed)
 		default:
 			// The source vacated but the state never installed at the
 			// target: the slot is dark. Point placement at the target

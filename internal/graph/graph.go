@@ -38,6 +38,7 @@ type Graph struct {
 	opsOnSlot map[string][]string // slot -> operators, declaration order
 	slotUp    map[string][]string // slot -> distinct feeding slots, sorted
 	slotDown  map[string][]string // slot -> distinct fed slots, sorted
+	slotEdges []SlotEdge          // cross-slot edges with op-edge weights, sorted
 
 	groups  []KeyedGroupSpec    // keyed parallel groups, declaration order
 	groupOf map[string]groupRef // instance op ID -> group membership
@@ -264,6 +265,28 @@ func (g *Graph) compileSlots() {
 		g.slotUp[slot] = sortedKeys(up)
 		g.slotDown[slot] = sortedKeys(down)
 	}
+	// Weighted cross-slot edges: one entry per feeding pair, weight = the
+	// number of operator-level edges it aggregates. The placement planner
+	// uses these to group communicating slots.
+	weights := make(map[[2]string]int)
+	for _, id := range g.order {
+		from := g.ops[id].Slot
+		for _, o := range g.out[id] {
+			if to := g.ops[o].Slot; to != from {
+				weights[[2]string{from, to}]++
+			}
+		}
+	}
+	g.slotEdges = make([]SlotEdge, 0, len(weights))
+	for pair, w := range weights {
+		g.slotEdges = append(g.slotEdges, SlotEdge{From: pair[0], To: pair[1], Weight: w})
+	}
+	sort.Slice(g.slotEdges, func(i, j int) bool {
+		if g.slotEdges[i].From != g.slotEdges[j].From {
+			return g.slotEdges[i].From < g.slotEdges[j].From
+		}
+		return g.slotEdges[i].To < g.slotEdges[j].To
+	})
 }
 
 // Operators returns operator IDs in declaration order.
@@ -330,6 +353,18 @@ func (g *Graph) SlotUpstreams(slot string) []string { return g.slotUp[slot] }
 // slot, excluding itself, sorted. The returned slice is cached and shared:
 // callers must not mutate it.
 func (g *Graph) SlotDownstreams(slot string) []string { return g.slotDown[slot] }
+
+// SlotEdge is one directed cross-slot communication edge: Weight counts the
+// operator-level edges it aggregates.
+type SlotEdge struct {
+	From, To string
+	Weight   int
+}
+
+// SlotEdges returns the distinct cross-slot edges with their op-edge
+// weights, sorted by (From, To). The returned slice is cached and shared:
+// callers must not mutate it.
+func (g *Graph) SlotEdges() []SlotEdge { return g.slotEdges }
 
 // KeyedGroups returns the keyed parallel groups in declaration order.
 func (g *Graph) KeyedGroups() []KeyedGroupSpec {

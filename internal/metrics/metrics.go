@@ -310,4 +310,13 @@ type Report struct {
 	CkptDeltaRatio float64
 	CkptDeltaBlobs int64
 	CkptFullBlobs  int64
+
+	// Channel-domain observability: per-channel airtime and membership
+	// from the WiFi medium, and the share of reliable unicast bytes whose
+	// endpoints sat on different channels (each such transfer charges two
+	// cells of airtime — the cost the placement planner packs away).
+	Channels          int
+	ChannelAirtime    []time.Duration
+	ChannelMembers    []int
+	CrossChannelShare float64
 }

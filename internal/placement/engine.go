@@ -1,0 +1,191 @@
+package placement
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"mobistreams/internal/simnet"
+)
+
+// Config parameterises the planning engine.
+type Config struct {
+	// SparesPerDomain is the warm spare pool kept per slot-hosting domain
+	// (default 1). Domains whose Poisson departure-rate estimate exceeds
+	// DepartRateBoost hold one extra.
+	SparesPerDomain int
+	// HazardHorizon is how far ahead a forecast departure triggers an
+	// evacuation (default 75 s — ahead of the greedy scorer's reactive
+	// thresholds, so planned moves beat emergency recovery).
+	HazardHorizon time.Duration
+	// MaxMigrations bounds migrate steps per plan (default 4).
+	MaxMigrations int
+	// MinBatteryFraction excludes weak phones from targets and spare pools
+	// (default 0.15).
+	MinBatteryFraction float64
+	// DepartRateBoost is the per-domain departure rate (phones/minute)
+	// above which the domain's spare pool grows by one (default 1.5).
+	DepartRateBoost float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.SparesPerDomain <= 0 {
+		c.SparesPerDomain = 1
+	}
+	if c.HazardHorizon <= 0 {
+		c.HazardHorizon = 75 * time.Second
+	}
+	if c.MaxMigrations <= 0 {
+		c.MaxMigrations = 4
+	}
+	if c.MinBatteryFraction <= 0 {
+		c.MinBatteryFraction = 0.15
+	}
+	if c.DepartRateBoost <= 0 {
+		c.DepartRateBoost = 1.5
+	}
+}
+
+// Engine turns topology snapshots into plans. It is deterministic: the
+// only state carried between plans is the version counter and the
+// departure-rate EWMA, so a fresh engine given the same snapshot always
+// emits the same plan bytes.
+type Engine struct {
+	cfg Config
+
+	mu          sync.Mutex
+	version     uint64
+	lastDeparts []int64
+	lastNow     time.Duration
+	departRate  []float64
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	cfg.applyDefaults()
+	return &Engine{cfg: cfg}
+}
+
+// move is one pending migrate step before targets are chosen.
+type move struct {
+	slot   string
+	from   simnet.NodeID
+	domain int
+	evac   bool
+	in     time.Duration // hazard horizon for evacuations
+	reason string
+}
+
+// Plan builds the next placement plan from one snapshot: forecast hazards,
+// pack slot groups into domains, synthesise ordered migrate steps
+// (evacuations first, most urgent leading), then rebalance the warm spare
+// pools. A plan with no steps means the region is already packed and safe.
+func (e *Engine) Plan(s Snapshot) *Plan {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	f := e.runForecast(&s)
+	pk := e.packGroups(&s, f)
+
+	var moves []move
+	for _, a := range s.Slots {
+		if !pk.needsHome[a.Slot] {
+			continue
+		}
+		mv := move{slot: a.Slot, from: a.Phone, domain: pk.domainOf[a.Slot]}
+		if h, doomed := f.doomedPhone(&s, string(a.Phone)); doomed {
+			mv.evac, mv.in, mv.reason = true, h.In, hazardReason(h)
+		} else if s.phone(a.Phone) == nil {
+			continue // host unknown: recovery owns this slot right now
+		} else {
+			mv.reason = "pack:cross-domain"
+		}
+		moves = append(moves, mv)
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].evac != moves[j].evac {
+			return moves[i].evac
+		}
+		if moves[i].evac && moves[i].in != moves[j].in {
+			return moves[i].in < moves[j].in
+		}
+		return moves[i].slot < moves[j].slot
+	})
+	if len(moves) > e.cfg.MaxMigrations {
+		moves = moves[:e.cfg.MaxMigrations]
+	}
+
+	// Candidate landing spots per domain: warm spares first (that is what
+	// the pool is for), then idle phones, strongest battery first.
+	candidates := make([][]*Phone, len(s.Domains))
+	for i := range s.Phones {
+		p := &s.Phones[i]
+		if !(p.Idle || p.Spare) || !f.healthy(i, p, e.cfg.MinBatteryFraction) {
+			continue
+		}
+		if p.Domain >= 0 && p.Domain < len(candidates) {
+			candidates[p.Domain] = append(candidates[p.Domain], p)
+		}
+	}
+	for d := range candidates {
+		sort.Slice(candidates[d], func(i, j int) bool {
+			a, b := candidates[d][i], candidates[d][j]
+			if a.Spare != b.Spare {
+				return a.Spare
+			}
+			if a.BatteryFraction != b.BatteryFraction {
+				return a.BatteryFraction > b.BatteryFraction
+			}
+			return a.ID < b.ID
+		})
+	}
+	used := make(map[simnet.NodeID]bool)
+	take := func(d int) *Phone {
+		for _, p := range candidates[d] {
+			if !used[p.ID] {
+				used[p.ID] = true
+				return p
+			}
+		}
+		return nil
+	}
+
+	e.version++
+	plan := &Plan{Region: s.Region, Version: e.version}
+	for _, mv := range moves {
+		target := take(mv.domain)
+		if target == nil && mv.evac {
+			// The home domain is full but the host is leaving: landing
+			// anywhere beats emergency recovery. Try the other domains,
+			// fullest candidate pool first.
+			order := make([]int, len(candidates))
+			for d := range order {
+				order[d] = d
+			}
+			sort.Slice(order, func(i, j int) bool {
+				if len(candidates[order[i]]) != len(candidates[order[j]]) {
+					return len(candidates[order[i]]) > len(candidates[order[j]])
+				}
+				return order[i] < order[j]
+			})
+			for _, d := range order {
+				if d == mv.domain {
+					continue
+				}
+				if target = take(d); target != nil {
+					break
+				}
+			}
+		}
+		if target == nil {
+			continue
+		}
+		plan.Steps = append(plan.Steps, Step{
+			Kind: StepMigrate, Slot: mv.slot, From: mv.from,
+			To: target.ID, Domain: target.Domain, Reason: mv.reason,
+		})
+	}
+
+	plan.Steps = append(plan.Steps, e.planSpares(&s, f, pk, used)...)
+	return plan
+}

@@ -1,0 +1,247 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// goldenSnapshot is a two-domain region with one three-slot chain: the
+// chain's tail sits on a draining phone in the wrong domain, so the plan
+// must evacuate it into the domain holding the rest of the chain and then
+// top the domain's spare pool up.
+func goldenSnapshot() Snapshot {
+	return Snapshot{
+		Region: "r1",
+		Now:    60 * time.Second,
+		Domains: []Domain{
+			{ID: 0, Members: 4, Present: 4},
+			{ID: 1, Members: 2, Present: 2},
+		},
+		Phones: []Phone{
+			{ID: "p1", Domain: 0, BatteryJoules: 100, BatteryFraction: 0.90, DrainWatts: 0.05},
+			{ID: "p2", Domain: 0, BatteryJoules: 100, BatteryFraction: 0.85, DrainWatts: 0.05},
+			{ID: "p3", Domain: 0, Idle: true, BatteryFraction: 0.90},
+			{ID: "p4", Domain: 0, Idle: true, BatteryFraction: 0.80},
+			{ID: "p5", Domain: 1, BatteryJoules: 10, BatteryFraction: 0.50, DrainWatts: 0.5},
+			{ID: "p6", Domain: 1, Idle: true, BatteryFraction: 0.85},
+		},
+		Slots: []Assignment{
+			{Slot: "n1", Phone: "p1"},
+			{Slot: "n2", Phone: "p2"},
+			{Slot: "n3", Phone: "p5"},
+		},
+		Edges: []Edge{
+			{From: "n1", To: "n2", Weight: 1},
+			{From: "n2", To: "n3", Weight: 1},
+		},
+	}
+}
+
+// TestPlanGolden pins the deterministic plan output: the same topology +
+// telemetry snapshot must always produce byte-identical plan encodings,
+// from this engine and from any fresh engine.
+func TestPlanGolden(t *testing.T) {
+	const want = "plan r1 v1 steps=2\n" +
+		" 0 migrate n3 p5->p3 dom0 evac:battery(20s)\n" +
+		" 1 reserve p4 dom0 spare:pool\n"
+
+	got := New(Config{}).Plan(goldenSnapshot()).Encode()
+	if got != want {
+		t.Fatalf("plan drifted from golden output.\ngot:\n%swant:\n%s", got, want)
+	}
+	if again := New(Config{}).Plan(goldenSnapshot()).Encode(); again != got {
+		t.Fatalf("identical snapshots produced different plans:\n%s\nvs\n%s", got, again)
+	}
+}
+
+func TestGroupSlots(t *testing.T) {
+	slots := []Assignment{
+		{Slot: "a1"}, {Slot: "a2"}, {Slot: "b1"}, {Slot: "b2"}, {Slot: "solo"},
+	}
+	edges := []Edge{
+		{From: "a1", To: "a2"},
+		{From: "b1", To: "b2"},
+		{From: "b2", To: "zz"}, // edge to an unassigned slot is ignored
+	}
+	got := groupSlots(slots, edges)
+	want := [][]string{{"a1", "a2"}, {"b1", "b2"}, {"solo"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groupSlots = %v, want %v", got, want)
+	}
+}
+
+// TestPackSpreadsIndependentGroups: two chains scattered across two
+// domains must each be packed whole, into *different* domains — packing
+// both onto one channel would trade cross-channel hops for a hot cell.
+func TestPackSpreadsIndependentGroups(t *testing.T) {
+	s := Snapshot{
+		Region:  "r1",
+		Now:     30 * time.Second,
+		Domains: []Domain{{ID: 0}, {ID: 1}},
+		Phones: []Phone{
+			{ID: "p1", Domain: 0, BatteryFraction: 0.9},
+			{ID: "p2", Domain: 1, BatteryFraction: 0.9},
+			{ID: "p3", Domain: 0, BatteryFraction: 0.9},
+			{ID: "p4", Domain: 1, BatteryFraction: 0.9},
+			{ID: "p5", Domain: 0, Idle: true, BatteryFraction: 0.9},
+			{ID: "p6", Domain: 0, Idle: true, BatteryFraction: 0.8},
+			{ID: "p7", Domain: 1, Idle: true, BatteryFraction: 0.9},
+			{ID: "p8", Domain: 1, Idle: true, BatteryFraction: 0.8},
+		},
+		Slots: []Assignment{
+			{Slot: "na1", Phone: "p1"},
+			{Slot: "na2", Phone: "p2"},
+			{Slot: "nb1", Phone: "p3"},
+			{Slot: "nb2", Phone: "p4"},
+		},
+		Edges: []Edge{
+			{From: "na1", To: "na2"},
+			{From: "nb1", To: "nb2"},
+		},
+	}
+	e := New(Config{})
+	f := e.runForecast(&s)
+	pk := e.packGroups(&s, f)
+	if pk.domainOf["na1"] != pk.domainOf["na2"] {
+		t.Fatalf("chain A split across domains: %v", pk.domainOf)
+	}
+	if pk.domainOf["nb1"] != pk.domainOf["nb2"] {
+		t.Fatalf("chain B split across domains: %v", pk.domainOf)
+	}
+	if pk.domainOf["na1"] == pk.domainOf["nb1"] {
+		t.Fatalf("independent chains stacked on one domain: %v", pk.domainOf)
+	}
+}
+
+// TestPackSpillsOnlyWhenNoDomainFits: a group larger than any single
+// domain's capacity straddles domains, but keeps incumbents in place.
+func TestPackSpillsOnlyWhenNoDomainFits(t *testing.T) {
+	s := Snapshot{
+		Region:  "r1",
+		Domains: []Domain{{ID: 0}, {ID: 1}},
+		Phones: []Phone{
+			{ID: "p1", Domain: 0, BatteryFraction: 0.9},
+			{ID: "p2", Domain: 0, BatteryFraction: 0.9},
+			{ID: "p3", Domain: 1, BatteryFraction: 0.9},
+			{ID: "p4", Domain: 0, Idle: true, BatteryFraction: 0.9},
+			// Domain 1 has no idle capacity.
+		},
+		Slots: []Assignment{
+			{Slot: "n1", Phone: "p1"},
+			{Slot: "n2", Phone: "p2"},
+			{Slot: "n3", Phone: "p3"},
+			{Slot: "n4", Phone: "p3"}, // two slots share p3
+		},
+		Edges: []Edge{
+			{From: "n1", To: "n2"}, {From: "n2", To: "n3"}, {From: "n3", To: "n4"},
+		},
+	}
+	e := New(Config{})
+	f := e.runForecast(&s)
+	pk := e.packGroups(&s, f)
+	// Whole group is 4 slots; domain 0 holds 2 incumbents + 1 idle = 3,
+	// domain 1 holds 2 incumbents and nothing else. No domain fits all 4.
+	if pk.domainOf["n1"] != 0 || pk.domainOf["n2"] != 0 {
+		t.Fatalf("spill moved incumbents off domain 0: %v", pk.domainOf)
+	}
+	if pk.domainOf["n3"] != 0 && pk.domainOf["n3"] != 1 {
+		t.Fatalf("n3 routed nowhere: %v", pk.domainOf)
+	}
+	moves := 0
+	for _, need := range pk.needsHome {
+		if need {
+			moves++
+		}
+	}
+	if moves > 1 {
+		t.Fatalf("spill planned %d moves, want at most 1 (fill domain 0's idle)", moves)
+	}
+}
+
+// TestForecastTrajectoryEvacuation: a phone walking toward the WiFi
+// boundary is evacuated before it crosses, with a trajectory reason.
+func TestForecastTrajectoryEvacuation(t *testing.T) {
+	s := Snapshot{
+		Region:  "r1",
+		Now:     10 * time.Second,
+		RadiusM: 100,
+		Domains: []Domain{{ID: 0}, {ID: 1}},
+		Phones: []Phone{
+			// 80 m out, walking straight out at 1 m/s: crosses in 20 s.
+			{ID: "p1", Domain: 0, BatteryFraction: 0.9, X: 80, VelX: 1},
+			{ID: "p2", Domain: 0, Idle: true, BatteryFraction: 0.9},
+			{ID: "p3", Domain: 1, BatteryFraction: 0.9},
+		},
+		Slots: []Assignment{{Slot: "n1", Phone: "p1"}},
+	}
+	plan := New(Config{}).Plan(s)
+	if len(plan.Steps) == 0 || plan.Steps[0].Kind != StepMigrate {
+		t.Fatalf("no evacuation planned: %s", plan.Encode())
+	}
+	st := plan.Steps[0]
+	if st.Slot != "n1" || st.To != "p2" || st.Reason != "evac:trajectory(20s)" {
+		t.Fatalf("unexpected evacuation step: %s", st)
+	}
+}
+
+// TestSpareChurnBoost: a domain whose observed departure rate runs hot
+// gets an extra warm spare reserved with the churn reason.
+func TestSpareChurnBoost(t *testing.T) {
+	snap := func(now time.Duration, departs int64, spare bool) Snapshot {
+		s := Snapshot{
+			Region:  "r1",
+			Now:     now,
+			Domains: []Domain{{ID: 0, Departures: departs}, {ID: 1}},
+			Phones: []Phone{
+				{ID: "p1", Domain: 0, BatteryFraction: 0.9},
+				{ID: "p2", Domain: 0, Idle: !spare, Spare: spare, BatteryFraction: 0.9},
+				{ID: "p3", Domain: 0, Idle: true, BatteryFraction: 0.8},
+				{ID: "p4", Domain: 1, Idle: true, BatteryFraction: 0.9},
+			},
+			Slots: []Assignment{{Slot: "n1", Phone: "p1"}},
+		}
+		return s
+	}
+	e := New(Config{})
+	first := e.Plan(snap(30*time.Second, 0, false))
+	if len(first.Steps) != 1 || first.Steps[0].Kind != StepReserve || first.Steps[0].Reason != "spare:pool" {
+		t.Fatalf("first plan should reserve one baseline spare: %s", first.Encode())
+	}
+	// Two departures in 30 s of domain 0: 4/min observed, EWMA 2/min —
+	// over the 1.5/min boost threshold.
+	second := e.Plan(snap(60*time.Second, 2, true))
+	var churn *Step
+	for i := range second.Steps {
+		if second.Steps[i].Kind == StepReserve && second.Steps[i].Domain == 0 {
+			churn = &second.Steps[i]
+		}
+	}
+	if churn == nil || churn.Reason != "spare:churn" {
+		t.Fatalf("hot domain did not get a churn spare: %s", second.Encode())
+	}
+}
+
+// TestSpareSurplusRelease: spares beyond the pool size are returned to the
+// shared idle pool, weakest battery first.
+func TestSpareSurplusRelease(t *testing.T) {
+	s := Snapshot{
+		Region:  "r1",
+		Domains: []Domain{{ID: 0}, {ID: 1}},
+		Phones: []Phone{
+			{ID: "p1", Domain: 0, BatteryFraction: 0.9},
+			{ID: "p2", Domain: 0, Spare: true, BatteryFraction: 0.9},
+			{ID: "p3", Domain: 0, Spare: true, BatteryFraction: 0.4},
+			{ID: "p4", Domain: 1, Idle: true, BatteryFraction: 0.9},
+		},
+		Slots: []Assignment{{Slot: "n1", Phone: "p1"}},
+	}
+	plan := New(Config{}).Plan(s)
+	if len(plan.Steps) != 1 {
+		t.Fatalf("want exactly one release, got: %s", plan.Encode())
+	}
+	st := plan.Steps[0]
+	if st.Kind != StepRelease || st.To != "p3" || st.Reason != "spare:surplus" {
+		t.Fatalf("unexpected step: %s", st)
+	}
+}

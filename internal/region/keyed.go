@@ -227,6 +227,7 @@ func (r *Region) KeyedTelemetry(logical string) []scheduler.InstanceStat {
 	for i, inst := range insts {
 		st := scheduler.InstanceStat{Instance: inst, Index: i, Active: activeSet[i]}
 		slot := r.cfg.Graph.SlotOf(inst)
+		st.Slot = slot
 		r.mu.Lock()
 		pid, placed := r.placement[slot]
 		n := r.nodes[pid]

@@ -131,6 +131,10 @@ type Region struct {
 	stopped      bool
 	joined       int // phones recruited after construction (ID allocation)
 	migrations   int64
+	// domainDeparts counts phones lost (departed or failed) per WiFi
+	// channel domain — the placement forecaster's Poisson departure-rate
+	// input. Sized on first use to the medium's channel count.
+	domainDeparts []int64
 
 	// teleMu guards the previous-poll energy/processed readings the
 	// telemetry collector differentiates into drain and tuple rates.
@@ -450,6 +454,13 @@ func (r *Region) Stop() {
 // Obs exposes the region's observability registry: always-on operator and
 // edge histograms, the sampling tracer and the lifecycle journal.
 func (r *Region) Obs() *obs.Registry { return r.obs }
+
+// Jot appends one lifecycle event to the region's journal on behalf of an
+// external coordinator — the controller uses it to surface placement-plan
+// lifecycle (plan.propose / plan.step / plan.commit / plan.abort).
+func (r *Region) Jot(kind, slot string, version uint64, detail string) {
+	r.jot(kind, slot, version, detail)
+}
 
 // jot appends one lifecycle event to the region's journal.
 func (r *Region) jot(kind, slot string, version uint64, detail string) {
@@ -812,6 +823,7 @@ func (r *Region) FailPhone(id simnet.NodeID) {
 		r.wifi.SetPresent(standbyIDs[i], false)
 	}
 	r.wifi.SetPresent(id, false)
+	r.noteDomainLoss(id)
 	r.jot("phone.fail", "", 0, string(id))
 }
 
@@ -825,7 +837,25 @@ func (r *Region) DepartPhone(id simnet.NodeID) {
 	}
 	r.mu.Unlock()
 	r.wifi.SetPresent(id, false)
+	r.noteDomainLoss(id)
 	r.jot("phone.depart", "", 0, string(id))
+}
+
+// noteDomainLoss records a phone loss (failure or departure) against its
+// WiFi channel domain for the placement forecaster's departure-rate input.
+func (r *Region) noteDomainLoss(id simnet.NodeID) {
+	ch, ok := r.wifi.ChannelOf(id)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	if len(r.domainDeparts) < r.wifi.Channels() {
+		next := make([]int64, r.wifi.Channels())
+		copy(next, r.domainDeparts)
+		r.domainDeparts = next
+	}
+	r.domainDeparts[ch]++
+	r.mu.Unlock()
 }
 
 // Failed reports whether a phone has failed.
@@ -954,6 +984,17 @@ func (r *Region) BatchStats() *metrics.BatchSizes { return &r.batchStats }
 func (r *Region) Report(now time.Duration) metrics.Report {
 	src, edge := r.PreservedBytes()
 	ckptBlob, ckptFull := r.ckptStats.Bytes()
+	chans := r.wifi.ChannelStats()
+	airtime := make([]time.Duration, len(chans))
+	members := make([]int, len(chans))
+	for i, cs := range chans {
+		airtime[i] = cs.Airtime
+		members[i] = cs.Members
+	}
+	var crossShare float64
+	if cross, total := r.wifi.CrossChannelBytes(); total > 0 {
+		crossShare = float64(cross) / float64(total)
+	}
 	return metrics.Report{
 		Scheme:         r.cfg.Scheme.String(),
 		Tuples:         r.Throughput.Count(),
@@ -975,5 +1016,10 @@ func (r *Region) Report(now time.Duration) metrics.Report {
 		CkptFullBytes:  ckptFull,
 		CkptDeltaBlobs: r.ckptStats.DeltaBlobs(),
 		CkptFullBlobs:  r.ckptStats.FullBlobs(),
+
+		Channels:          len(chans),
+		ChannelAirtime:    airtime,
+		ChannelMembers:    members,
+		CrossChannelShare: crossShare,
 	}
 }

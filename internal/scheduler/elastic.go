@@ -12,6 +12,10 @@ type InstanceStat struct {
 	// position in the group.
 	Instance string
 	Index    int
+	// Slot is the graph slot hosting the instance — the key the shared
+	// Cooldowns ledger tracks, so a migration of the slot and an elastic
+	// reconfiguration of the instance see each other's cooldowns.
+	Slot string
 	// Active reports whether the instance owns at least one key range.
 	// Dormant instances are split targets.
 	Active bool
@@ -57,6 +61,14 @@ type ElasticPolicy struct {
 	// tuples in one window, and merging on that evidence hands its whole
 	// key range to a peer right before the traffic comes back.
 	MinColdPolls int
+	// Cooldowns, when set, is the per-slot disruption ledger shared with
+	// the migration scheduler: an instance whose slot was just migrated is
+	// not split or merged within Cooldown, and a planned split/merge notes
+	// the slots it touches so the scheduler will not migrate them either.
+	Cooldowns *Cooldowns
+	// Scope qualifies slot keys in the shared ledger; use the region name
+	// the migration scheduler plans under.
+	Scope string
 
 	mu       sync.Mutex
 	last     map[string]time.Duration
@@ -97,11 +109,13 @@ func (p *ElasticPolicy) Plan(now time.Duration, logical string, stats []Instance
 
 	var active []InstanceStat
 	dormant := -1
+	dormantSlot := ""
 	for _, st := range stats {
 		if st.Active {
 			active = append(active, st)
 		} else if dormant < 0 {
 			dormant = st.Index
+			dormantSlot = st.Slot
 		}
 	}
 	if len(active) == 0 {
@@ -117,7 +131,13 @@ func (p *ElasticPolicy) Plan(now time.Duration, logical string, stats []Instance
 		}
 	}
 	if hottest.Backlog >= hot && dormant >= 0 {
+		if !p.slotReady(hottest.Slot, now, cooldown) || !p.slotReady(dormantSlot, now, cooldown) {
+			// A migration just disrupted one of the slots involved; let
+			// its state settle before flipping routing tables on it.
+			return nil
+		}
 		p.note(logical, now)
+		p.noteSlots(now, hottest.Slot, dormantSlot)
 		return &ElasticAction{
 			Logical: logical, Split: true,
 			From: hottest.Index, To: dormant,
@@ -177,11 +197,37 @@ func (p *ElasticPolicy) Plan(now time.Duration, logical string, stats []Instance
 	if to < 0 {
 		return nil
 	}
+	if !p.slotReady(coldest.Slot, now, cooldown) || !p.slotReady(active[to].Slot, now, cooldown) {
+		return nil
+	}
 	p.note(logical, now)
+	p.noteSlots(now, coldest.Slot, active[to].Slot)
 	return &ElasticAction{
 		Logical: logical,
 		From:    coldest.Index, To: active[to].Index,
 		Reason: "cold",
+	}
+}
+
+// slotReady consults the shared per-slot ledger; without a ledger (or a
+// slot) every instance is ready.
+func (p *ElasticPolicy) slotReady(slot string, now, window time.Duration) bool {
+	if p.Cooldowns == nil || slot == "" {
+		return true
+	}
+	return p.Cooldowns.Ready(p.Scope, slot, now, window)
+}
+
+// noteSlots records a planned reconfiguration against the slots it touches
+// in the shared ledger, so the migration scheduler backs off them too.
+func (p *ElasticPolicy) noteSlots(now time.Duration, slots ...string) {
+	if p.Cooldowns == nil {
+		return
+	}
+	for _, s := range slots {
+		if s != "" {
+			p.Cooldowns.Note(p.Scope, s, now)
+		}
 	}
 }
 

@@ -17,7 +17,6 @@ package scheduler
 import (
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"mobistreams/internal/phone"
@@ -203,6 +202,11 @@ type Config struct {
 	// at or above this value (default 0.5): evacuating onto the next phone
 	// to die just doubles the work.
 	TargetRiskCeiling float64
+	// Cooldowns is the shared per-slot disruption ledger. Pass the same
+	// instance to the ElasticPolicy (and Planner) serving the region so
+	// migrations and split/merges see each other's cooldowns; a private
+	// ledger is created when nil.
+	Cooldowns *Cooldowns
 }
 
 func (c *Config) applyDefaults() {
@@ -218,25 +222,28 @@ func (c *Config) applyDefaults() {
 	if c.TargetRiskCeiling <= 0 {
 		c.TargetRiskCeiling = 0.5
 	}
+	if c.Cooldowns == nil {
+		c.Cooldowns = NewCooldowns()
+	}
 }
 
 // Scheduler plans migrations from telemetry. One Scheduler may serve many
 // regions (the controller runs one planning loop per region against a
-// shared instance), so the cooldown state is mutex-guarded.
+// shared instance); the per-slot cooldown state lives in the shared
+// Cooldowns ledger.
 type Scheduler struct {
 	cfg Config
-
-	mu sync.Mutex
-	// lastMove[region][slot] is the Now at which the slot was last planned
-	// to move; used for the cooldown.
-	lastMove map[string]map[string]time.Duration
 }
 
 // New creates a scheduler.
 func New(cfg Config) *Scheduler {
 	cfg.applyDefaults()
-	return &Scheduler{cfg: cfg, lastMove: make(map[string]map[string]time.Duration)}
+	return &Scheduler{cfg: cfg}
 }
+
+// Cooldowns exposes the scheduler's per-slot disruption ledger so other
+// policies (ElasticPolicy, Planner) can share it.
+func (s *Scheduler) Cooldowns() *Cooldowns { return s.cfg.Cooldowns }
 
 // Plan inspects one region's telemetry and returns the migrations to run
 // now, most urgent first. Each returned slot is recorded against the
@@ -280,13 +287,6 @@ func (s *Scheduler) Plan(rs RegionStats) []Migration {
 		return hosts[i].ID < hosts[j].ID
 	})
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	moved := s.lastMove[rs.Region]
-	if moved == nil {
-		moved = make(map[string]time.Duration)
-		s.lastMove[rs.Region] = moved
-	}
 	var plan []Migration
 	ti := 0
 	for _, h := range hosts {
@@ -294,7 +294,7 @@ func (s *Scheduler) Plan(rs RegionStats) []Migration {
 			if len(plan) >= s.cfg.MaxPerTick || ti >= len(targets) {
 				return plan
 			}
-			if at, ok := moved[slot]; ok && rs.Now-at < s.cfg.Cooldown {
+			if !s.cfg.Cooldowns.Ready(rs.Region, slot, rs.Now, s.cfg.Cooldown) {
 				continue
 			}
 			plan = append(plan, Migration{
@@ -303,7 +303,7 @@ func (s *Scheduler) Plan(rs RegionStats) []Migration {
 				To:     targets[ti].ID,
 				Reason: risks[h.ID].Reason,
 			})
-			moved[slot] = rs.Now
+			s.cfg.Cooldowns.Note(rs.Region, slot, rs.Now)
 			ti++
 		}
 	}

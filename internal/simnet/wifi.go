@@ -120,6 +120,13 @@ type WiFi struct {
 	stripes  [memberStripes]memberStripe
 	nextChan uint32 // round-robin channel assignment (atomic)
 
+	// uniBytes/crossBytes account reliable unicast traffic (effective
+	// bytes, retransmissions included): crossBytes is the subset whose
+	// sender and receiver sit on different channels and therefore charged
+	// two cells of airtime for one transfer (atomics).
+	uniBytes   int64
+	crossBytes int64
+
 	rngMu sync.Mutex
 	rng   *rand.Rand
 }
@@ -249,6 +256,48 @@ func (w *WiFi) ChannelBusyUntil(i int) time.Duration {
 	return time.Duration(atomic.LoadInt64(&w.chans[i].busyUntil))
 }
 
+// ChannelStat is one channel's membership and airtime snapshot.
+type ChannelStat struct {
+	Channel int
+	// Members counts endpoints assigned to the channel (present or not);
+	// Present counts the subset in radio range.
+	Members int
+	Present int
+	// Airtime is the cumulative airtime reserved on the channel.
+	Airtime time.Duration
+}
+
+// ChannelStats snapshots every channel's membership counts and cumulative
+// airtime, ordered by channel index. Membership is read stripe-by-stripe,
+// so counts are consistent per stripe but the snapshot as a whole is
+// advisory under concurrent joins — exact for a quiesced medium.
+func (w *WiFi) ChannelStats() []ChannelStat {
+	stats := make([]ChannelStat, len(w.chans))
+	for i := range stats {
+		stats[i].Channel = i
+		stats[i].Airtime = time.Duration(atomic.LoadInt64(&w.chans[i].airtime))
+	}
+	for i := range w.stripes {
+		s := &w.stripes[i]
+		s.mu.RLock()
+		for _, m := range s.members {
+			stats[m.channel].Members++
+			if m.present {
+				stats[m.channel].Present++
+			}
+		}
+		s.mu.RUnlock()
+	}
+	return stats
+}
+
+// CrossChannelBytes reports the effective unicast bytes that crossed
+// channels (charging both cells) and the effective unicast total. The ratio
+// is the cross-channel airtime share the placement planner minimises.
+func (w *WiFi) CrossChannelBytes() (cross, total int64) {
+	return atomic.LoadInt64(&w.crossBytes), atomic.LoadInt64(&w.uniBytes)
+}
+
 // airtimeFor converts an effective byte count into airtime.
 func (w *WiFi) airtimeFor(size int) time.Duration {
 	return time.Duration(float64(size*8) / w.cfg.BitsPerSecond * float64(time.Second))
@@ -341,7 +390,12 @@ func (w *WiFi) Respond(req Message, from NodeID, class Class, size int, payload 
 	if !toOK {
 		toCh = fromCh
 	}
-	w.occupyPair(w.effectiveBytes(size), fromCh, toCh)
+	eff := w.effectiveBytes(size)
+	w.occupyPair(eff, fromCh, toCh)
+	atomic.AddInt64(&w.uniBytes, int64(eff))
+	if fromCh != toCh {
+		atomic.AddInt64(&w.crossBytes, int64(eff))
+	}
 	w.Counters.Add(class, size)
 	if w.cfg.PropDelay > 0 {
 		w.clk.Sleep(w.cfg.PropDelay)
@@ -358,6 +412,10 @@ func (w *WiFi) send(from, to NodeID, class Class, size int, payload interface{},
 	// Reliable transfer over a lossy medium costs extra airtime for
 	// retransmissions: effective bytes = (size + framing) / (1 - loss).
 	remaining := w.effectiveBytes(size)
+	atomic.AddInt64(&w.uniBytes, int64(remaining))
+	if fromCh != toCh {
+		atomic.AddInt64(&w.crossBytes, int64(remaining))
+	}
 	for remaining > 0 {
 		chunk := remaining
 		if chunk > w.cfg.ChunkBytes {

@@ -136,3 +136,61 @@ func TestWiFiMultiChannelAirtimeConservation(t *testing.T) {
 		t.Fatal("channel 3 should carry strictly less airtime than channel 0")
 	}
 }
+
+// TestWiFiChannelStatsAndCrossBytes checks the topology export the placement
+// planner consumes: ChannelStats mirrors per-channel membership/presence and
+// the airtime accumulators, and CrossChannelBytes counts exactly the unicast
+// traffic whose endpoints sit on different channels.
+func TestWiFiChannelStatsAndCrossBytes(t *testing.T) {
+	cfg := WiFiConfig{
+		BitsPerSecond: 8e6,
+		FrameOverhead: 200,
+		Channels:      3,
+	}
+	clk := testClock()
+	w := NewWiFi(clk, cfg)
+	ids := []NodeID{"a", "b", "c", "d", "e", "f"}
+	for _, id := range ids {
+		w.Join(NewEndpoint(id, 1<<10)) // round-robin: a,d->0 b,e->1 c,f->2
+	}
+	w.SetPresent("e", false) // departed but still attached
+
+	// Same-channel a(0)->d(0), then cross-channel a(0)->b(1).
+	if err := w.Unicast("a", "d", ClassData, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Unicast("a", "b", ClassData, 4000, nil); err != nil {
+		t.Fatal(err)
+	}
+	cross, total := w.CrossChannelBytes()
+	wantCross := int64(legacyEff(cfg, 4000))
+	wantTotal := int64(legacyEff(cfg, 1000)) + wantCross
+	if cross != wantCross || total != wantTotal {
+		t.Fatalf("CrossChannelBytes = (%d, %d), want (%d, %d)", cross, total, wantCross, wantTotal)
+	}
+
+	stats := w.ChannelStats()
+	if len(stats) != 3 {
+		t.Fatalf("ChannelStats returned %d channels, want 3", len(stats))
+	}
+	wantMembers := []int{2, 2, 2}
+	wantPresent := []int{2, 1, 2}
+	for i, st := range stats {
+		if st.Channel != i {
+			t.Fatalf("stats[%d].Channel = %d", i, st.Channel)
+		}
+		if st.Members != wantMembers[i] || st.Present != wantPresent[i] {
+			t.Fatalf("channel %d members/present = %d/%d, want %d/%d",
+				i, st.Members, st.Present, wantMembers[i], wantPresent[i])
+		}
+		if st.Airtime != w.ChannelAirtime(i) {
+			t.Fatalf("channel %d stats airtime %v != accumulator %v", i, st.Airtime, w.ChannelAirtime(i))
+		}
+	}
+	if stats[0].Airtime <= stats[1].Airtime {
+		t.Fatal("channel 0 carried both unicasts and must lead channel 1 on airtime")
+	}
+	if stats[2].Airtime != 0 {
+		t.Fatalf("channel 2 idle but charged %v", stats[2].Airtime)
+	}
+}
